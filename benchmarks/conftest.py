@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures.
+
+Benchmarks run the paper's experiments at scaled size (see DESIGN.md §4).
+Dataset surrogates are cached per session so repeated benches don't pay
+generation cost, and every suite prints the paper-style table it
+regenerates (use ``-s`` to see them).
+"""
+
+import pytest
+
+from repro.graph import datasets
+
+
+@pytest.fixture(scope="session")
+def dataset_cache():
+    """Lazily-built cache of Table 1 surrogates."""
+    cache = {}
+
+    def load(name: str):
+        if name not in cache:
+            cache[name] = datasets.load(name)
+        return cache[name]
+
+    return load
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer.
+
+    The experiment harnesses are long-running relative to microbenchmarks;
+    one round keeps suite time sane while still recording wall-clock.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

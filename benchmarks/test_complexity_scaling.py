@@ -1,0 +1,85 @@
+"""Complexity claims (Section 3, "Time Complexity").
+
+* The merge phase is ``O(n · |S*|)`` where ``S*`` is the largest group —
+  so merge cost grows with group size, which LDME's divide keeps small.
+* The sort-based encoder's cost is governed by ``|E|``, not ``|S|``:
+  encode time grows roughly linearly when we scale the edge count, while
+  the naive all-pairs encoder grows quadratically in the supernode count.
+"""
+
+import time
+
+import numpy as np
+from conftest import once
+
+from repro.core.encode import encode_all_pairs, encode_sorted
+from repro.core.merge import merge_group_exact
+from repro.core.partition import SupernodePartition
+from repro.graph.generators import web_host_graph
+
+
+def _fresh_partition(n, merges, seed=0):
+    rng = np.random.default_rng(seed)
+    part = SupernodePartition(n)
+    for _ in range(merges):
+        ids = list(part.supernode_ids())
+        if len(ids) < 2:
+            break
+        a, b = rng.choice(len(ids), size=2, replace=False)
+        part.merge(ids[int(a)], ids[int(b)])
+    return part
+
+
+def test_encode_scales_with_edges_not_supernodes(benchmark):
+    """Algorithm 5: doubling |E| roughly doubles encode time; the naive
+    all-pairs encoder's time explodes with |S| instead."""
+
+    def measure():
+        rows = []
+        for hosts in (20, 40, 80):
+            graph = web_host_graph(num_hosts=hosts, host_size=30, seed=1)
+            part = _fresh_partition(graph.num_nodes, graph.num_nodes // 4)
+            tic = time.perf_counter()
+            encode_sorted(graph, part)
+            sorted_s = time.perf_counter() - tic
+            tic = time.perf_counter()
+            encode_all_pairs(graph, part)
+            quad_s = time.perf_counter() - tic
+            rows.append((graph.num_edges, part.num_supernodes,
+                         sorted_s, quad_s))
+        return rows
+
+    rows = once(benchmark, measure)
+    print()
+    for edges, supers, sorted_s, quad_s in rows:
+        print(f"|E|={edges:>7,} |S|={supers:>6,}: sorted {sorted_s:.4f}s "
+              f"all-pairs {quad_s:.4f}s")
+    # Sorted encoder: time ratio tracks the edge ratio (sub-quadratic).
+    edge_ratio = rows[-1][0] / rows[0][0]
+    sorted_ratio = rows[-1][2] / max(rows[0][2], 1e-6)
+    assert sorted_ratio < edge_ratio * 3
+    # All-pairs: grows much faster than the sorted encoder.
+    quad_ratio = rows[-1][3] / max(rows[0][3], 1e-6)
+    assert quad_ratio > sorted_ratio
+
+
+def test_merge_cost_grows_with_group_size(benchmark):
+    """Merge-phase work is quadratic in group size — the reason the divide
+    step's group-size control is the paper's headline lever."""
+    graph = web_host_graph(num_hosts=40, host_size=30, seed=2)
+
+    def measure():
+        timings = []
+        for size in (50, 100, 200):
+            part = SupernodePartition(graph.num_nodes)
+            group = list(range(size))
+            tic = time.perf_counter()
+            merge_group_exact(graph, part, group, threshold=2.0, seed=0)
+            timings.append(time.perf_counter() - tic)
+        return timings
+
+    t50, t100, t200 = once(benchmark, measure)
+    print(f"\nmerge scan: 50→{t50:.4f}s 100→{t100:.4f}s 200→{t200:.4f}s")
+    # Threshold 2.0 blocks merges, isolating the candidate-scan cost;
+    # quadrupling the group should far more than double the scan.
+    assert t200 > 2 * t50

@@ -1,0 +1,80 @@
+"""Figure 2 — SWeG vs. LDME5 vs. LDME20 over iterations.
+
+Regenerates all four series (compression, total time, divide+merge time,
+encode time) on the CN and EU surrogates with a scaled iteration sweep,
+then checks the paper's shapes:
+
+* LDME (both settings) runs substantially faster than SWeG;
+* LDME5's compression lands near SWeG's, LDME20's below LDME5's;
+* LDME's encode time stays flat across T while SWeG's encode time falls
+  as the supernode count shrinks.
+"""
+
+import pytest
+from conftest import once
+
+from repro.baselines.sweg import SWeG
+from repro.core.ldme import LDME
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.reporting import format_result
+
+ITERATIONS = (2, 4, 8)
+
+
+def test_fig2_report_and_shapes(benchmark, dataset_cache):
+    graphs = {"CN": dataset_cache("CN"), "IN": dataset_cache("IN")}
+    result = once(
+        benchmark, run_fig2, graphs=graphs, iterations_list=ITERATIONS, seed=0
+    )
+    print()
+    print(format_result(result))
+    final_t = max(ITERATIONS)
+    by_algo = {
+        row["algorithm"]: row
+        for row in result.rows
+        if row["T"] == final_t and row["graph"] == "CN"
+    }
+    # Speed shape: both LDME settings beat SWeG on total time.
+    assert by_algo["LDME5"]["total_s"] < by_algo["SWeG"]["total_s"]
+    assert by_algo["LDME20"]["total_s"] < by_algo["SWeG"]["total_s"]
+    # Compression shape: LDME5 near SWeG; LDME20 at or below LDME5.
+    assert by_algo["LDME5"]["compression"] > by_algo["SWeG"]["compression"] - 0.15
+    assert by_algo["LDME20"]["compression"] <= by_algo["LDME5"]["compression"] + 0.02
+
+
+def test_fig2_encode_time_shape(dataset_cache, benchmark):
+    """LDME's encode cost is ~flat in T; SWeG's falls as |S| shrinks."""
+    graph = dataset_cache("CN")
+
+    def encode_times():
+        ldme = [
+            LDME(k=5, iterations=t, seed=0).summarize(graph).stats.encode_seconds
+            for t in ITERATIONS
+        ]
+        sweg = [
+            SWeG(iterations=t, seed=0).summarize(graph).stats.encode_seconds
+            for t in ITERATIONS
+        ]
+        return ldme, sweg
+
+    ldme_times, sweg_times = once(benchmark, encode_times)
+    print(f"\nLDME encode seconds over T={ITERATIONS}: "
+          f"{[round(t, 4) for t in ldme_times]}")
+    print(f"SWeG encode seconds over T={ITERATIONS}: "
+          f"{[round(t, 4) for t in sweg_times]}")
+    # LDME flat: max/min within a generous factor.
+    assert max(ldme_times) <= 5 * max(min(ldme_times), 1e-4)
+    # SWeG decreasing tendency: last <= first (more merging → fewer |S|).
+    assert sweg_times[-1] <= sweg_times[0] * 1.5
+
+
+@pytest.mark.parametrize("algo_name,factory", [
+    ("LDME5", lambda: LDME(k=5, iterations=8, seed=0)),
+    ("LDME20", lambda: LDME(k=20, iterations=8, seed=0)),
+    ("SWeG", lambda: SWeG(iterations=8, seed=0)),
+])
+def test_fig2_total_time(benchmark, dataset_cache, algo_name, factory):
+    """Headline per-algorithm wall clock on the CN surrogate (T = 8)."""
+    graph = dataset_cache("CN")
+    result = once(benchmark, factory().summarize, graph)
+    assert result.compression >= 0

@@ -1,0 +1,66 @@
+"""Figure 3 — LDME5/20 on the large graphs (SWeG over budget).
+
+The paper's H2/IC/UK/AR runs are the scalability statement: only LDME
+finishes. At reproduction scale the analogue is a per-run budget: LDME
+must complete comfortably inside it while SWeG overruns on the same
+graph (checked on H2, the smallest of the "large" set, so the suite
+stays quick).
+"""
+
+import time
+
+from conftest import once
+
+from repro.baselines.sweg import SWeG
+from repro.core.ldme import LDME
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.reporting import format_result
+
+ITERATIONS = 5
+
+
+def test_fig3_report(benchmark, dataset_cache):
+    graphs = {name: dataset_cache(name) for name in ("H2", "IC")}
+    result = once(
+        benchmark, run_fig3, graphs=graphs, iterations=ITERATIONS, seed=0
+    )
+    print()
+    print(format_result(result))
+    assert all(row["feasible"] for row in result.rows)
+    # LDME20 is the high-speed setting: never slower than 2x LDME5.
+    for name in ("H2", "IC"):
+        t5 = next(r["total_s"] for r in result.rows
+                  if r["graph"] == name and r["algorithm"] == "LDME5")
+        t20 = next(r["total_s"] for r in result.rows
+                   if r["graph"] == name and r["algorithm"] == "LDME20")
+        assert t20 <= 2 * t5
+
+
+def test_fig3_ldme_vs_sweg_budget(benchmark, dataset_cache):
+    """LDME finishes well inside the time SWeG needs on the same graph."""
+    graph = dataset_cache("H2")
+
+    def both():
+        tic = time.perf_counter()
+        LDME(k=20, iterations=ITERATIONS, seed=0).summarize(graph)
+        ldme_seconds = time.perf_counter() - tic
+        tic = time.perf_counter()
+        SWeG(iterations=ITERATIONS, seed=0).summarize(graph)
+        sweg_seconds = time.perf_counter() - tic
+        return ldme_seconds, sweg_seconds
+
+    ldme_seconds, sweg_seconds = once(benchmark, both)
+    print(f"\nH2: LDME20 {ldme_seconds:.2f}s vs SWeG {sweg_seconds:.2f}s "
+          f"({sweg_seconds / max(ldme_seconds, 1e-9):.1f}x)")
+    assert ldme_seconds < sweg_seconds
+
+
+def test_fig3_billion_edge_standin(benchmark, dataset_cache):
+    """The AR surrogate (the paper's billion-edge graph) completes."""
+    graph = dataset_cache("AR")
+    result = once(
+        benchmark, LDME(k=20, iterations=3, seed=0).summarize, graph
+    )
+    assert result.compression >= 0
+    print(f"\nAR surrogate: compression {result.compression:.3f} "
+          f"in {result.stats.total_seconds:.2f}s")

@@ -1,0 +1,37 @@
+"""Figure 4 — number of groups and max group size vs. signature length k.
+
+The paper's tuning claim: as k grows the weighted-LSH divide produces more
+groups of smaller maximum size (the signature space is (n/k + 1)^k).
+"""
+
+from conftest import once
+
+from repro.core.divide import lsh_divide
+from repro.core.partition import SupernodePartition
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.reporting import format_result
+
+K_VALUES = (5, 10, 15, 20)
+
+
+def test_fig4_report_and_shapes(benchmark, dataset_cache):
+    graphs = {name: dataset_cache(name) for name in ("CN", "H1", "H2")}
+    result = once(benchmark, run_fig4, graphs=graphs, k_values=K_VALUES, seed=0)
+    print()
+    print(format_result(result))
+    for name in graphs:
+        groups = [v for _, v in result.series("k", "num_groups",
+                                              where={"graph": name})]
+        max_sizes = [v for _, v in result.series("k", "max_group_size",
+                                                 where={"graph": name})]
+        # Paper shape: groups increase, largest group shrinks with k.
+        assert groups[-1] > groups[0], name
+        assert max_sizes[-1] <= max_sizes[0], name
+
+
+def test_fig4_divide_cost_per_k(benchmark, dataset_cache):
+    """Cost of a single weighted-LSH divide at the largest k."""
+    graph = dataset_cache("H2")
+    partition = SupernodePartition(graph.num_nodes)
+    groups, stats = once(benchmark, lsh_divide, graph, partition, 20, 0)
+    assert stats.num_groups > 0

@@ -1,0 +1,35 @@
+"""Figure 5(a) — LDME vs. MoSSo running time on a single machine.
+
+Paper shape: LDME5 is 1.5-5.7x and LDME20 2.6-10.2x faster than MoSSo
+(e = 0.3, c = 120); VoG is over 40x slower than LDME everywhere.
+"""
+
+from conftest import once
+
+from repro.experiments.fig5a import run_fig5a
+from repro.experiments.reporting import format_result
+
+
+def test_fig5a_report_and_shapes(benchmark, dataset_cache):
+    graphs = {"CN": dataset_cache("CN")}
+    result = once(
+        benchmark, run_fig5a, graphs=graphs, iterations=10, seed=0,
+        escape_prob=0.3, sample_size=120,
+    )
+    print()
+    print(format_result(result))
+    seconds = {row["algorithm"]: row["seconds"] for row in result.rows}
+    assert seconds["LDME5"] < seconds["MoSSo"]
+    assert seconds["LDME20"] < seconds["MoSSo"]
+
+
+def test_fig5a_vog_off_the_chart(benchmark, dataset_cache):
+    """VoG is dramatically slower than LDME (left off the paper's plot)."""
+    graphs = {"CN": dataset_cache("CN")}
+    result = once(
+        benchmark, run_fig5a, graphs=graphs, iterations=10, seed=0,
+        sample_size=30, include_vog=True,
+    )
+    seconds = {row["algorithm"]: row["seconds"] for row in result.rows}
+    print(f"\nVoG {seconds['VoG']:.2f}s vs LDME20 {seconds['LDME20']:.2f}s")
+    assert seconds["VoG"] > seconds["LDME20"]

@@ -1,0 +1,48 @@
+"""Figure 5(c) — SBM density sweep.
+
+Paper shape: as block density rises, MoSSo's runtime climbs sharply and
+VoG goes off the chart, while LDME and SWeG stay resilient (LDME up to 8x
+faster than SWeG).
+"""
+
+from conftest import once
+
+from repro.experiments.fig5c import run_fig5c
+from repro.experiments.reporting import format_result
+
+LEVELS = (0.0, 0.5, 1.0)
+
+
+def test_fig5c_report_and_shapes(benchmark):
+    result = once(
+        benchmark, run_fig5c, levels=LEVELS, community_size=100,
+        iterations=5, seed=0, include_vog=False, mosso_sample_size=60,
+    )
+    print()
+    print(format_result(result))
+
+    def series(algo):
+        return [v for _, v in result.series("density_level", "seconds",
+                                            where={"algorithm": algo})]
+
+    mosso = series("MoSSo")
+    ldme5 = series("LDME5")
+    # MoSSo's cost climbs with density far faster than LDME's.
+    mosso_growth = mosso[-1] / max(mosso[0], 1e-9)
+    ldme_growth = ldme5[-1] / max(ldme5[0], 1e-9)
+    print(f"growth (dense/sparse): MoSSo {mosso_growth:.1f}x, "
+          f"LDME5 {ldme_growth:.1f}x")
+    assert mosso[-1] > ldme5[-1]
+    # LDME is resilient at the densest level.
+    assert ldme5[-1] < mosso[-1]
+
+
+def test_fig5c_vog_included(benchmark):
+    """VoG at one density level — confirming it is the slowest curve."""
+    result = once(
+        benchmark, run_fig5c, levels=(0.5,), community_size=100,
+        iterations=3, seed=0, include_vog=True, mosso_sample_size=30,
+    )
+    seconds = {row["algorithm"]: row["seconds"] for row in result.rows}
+    print(f"\nseconds: { {k: round(v, 3) for k, v in seconds.items()} }")
+    assert seconds["VoG"] >= seconds["LDME20"]

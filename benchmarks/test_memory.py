@@ -1,0 +1,75 @@
+"""Space-complexity checks (Section 3, "Space Complexity").
+
+The paper argues LDME's working set is ``O(|E|)``: the graph, the output
+and the per-group ``W`` tables (small groups keep ``W`` far below its
+worst case). We measure Python-heap peaks with ``tracemalloc`` and check
+the growth *rate*: peak memory should scale roughly linearly with ``|E|``.
+"""
+
+import tracemalloc
+
+from conftest import once
+
+from repro.core.ldme import LDME
+from repro.graph.generators import web_host_graph
+
+
+def _peak_bytes(fn) -> int:
+    tracemalloc.start()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+        return peak
+    finally:
+        tracemalloc.stop()
+
+
+def test_ldme_memory_scales_linearly(benchmark):
+    """Doubling |E| should roughly double the heap peak, not square it."""
+
+    def measure():
+        rows = []
+        for hosts in (20, 40, 80):
+            graph = web_host_graph(num_hosts=hosts, host_size=30, seed=3)
+            peak = _peak_bytes(
+                lambda g=graph: LDME(k=5, iterations=4, seed=0).summarize(g)
+            )
+            rows.append((graph.num_edges, peak))
+        return rows
+
+    rows = once(benchmark, measure)
+    print()
+    for edges, peak in rows:
+        print(f"|E|={edges:>7,}: peak {peak / 1e6:.1f} MB "
+              f"({peak / max(1, edges):.0f} B/edge)")
+    edge_growth = rows[-1][0] / rows[0][0]
+    peak_growth = rows[-1][1] / max(1, rows[0][1])
+    # Linear-ish: memory growth within ~2x of the edge growth.
+    assert peak_growth < edge_growth * 2
+
+
+def test_both_k_settings_bounded(benchmark):
+    """Peak memory stays O(|E|)-bounded at both ends of the k dial.
+
+    The dominant terms differ — big groups (small k) grow the per-group
+    ``W`` tables, small groups (large k) grow the |S| × k signature matrix
+    (fewer merges keep |S| high) — but neither blows past a small factor
+    of the other.
+    """
+    graph = web_host_graph(num_hosts=60, host_size=30, seed=4)
+
+    def measure():
+        big_groups = _peak_bytes(
+            lambda: LDME(k=2, iterations=3, seed=0).summarize(graph)
+        )
+        small_groups = _peak_bytes(
+            lambda: LDME(k=20, iterations=3, seed=0).summarize(graph)
+        )
+        return big_groups, small_groups
+
+    big_groups, small_groups = once(benchmark, measure)
+    print(f"\npeak: k=2 {big_groups / 1e6:.1f} MB, "
+          f"k=20 {small_groups / 1e6:.1f} MB")
+    ratio = max(big_groups, small_groups) / max(1, min(big_groups,
+                                                       small_groups))
+    assert ratio < 4.0

@@ -1,0 +1,54 @@
+"""Query-serving benchmarks (the intro's motivating application).
+
+Measures the mixed query workload on the raw CSR graph vs. the two summary
+indexes, and verifies total agreement on a lossless summary.
+"""
+
+from conftest import once
+
+from repro.core.ldme import LDME
+from repro.experiments.queries_exp import run_query_latency
+from repro.experiments.reporting import format_result
+from repro.queries import CompiledSummaryIndex, SummaryIndex
+
+
+def test_query_latency_report(benchmark, dataset_cache):
+    graphs = {"CN": dataset_cache("CN")}
+    result = once(
+        benchmark, run_query_latency, graphs=graphs, num_queries=500,
+        iterations=10, seed=0,
+    )
+    print()
+    print(format_result(result))
+    row = result.rows[0]
+    assert row["agreement"] == 1.0
+
+
+def test_index_variants_agree_and_serve(benchmark, dataset_cache):
+    """Set-based vs. array-backed index: identical answers, measured cost."""
+    import time
+
+    graph = dataset_cache("CN")
+    summary = LDME(k=5, iterations=10, seed=0).summarize(graph)
+
+    def measure():
+        plain = SummaryIndex(summary)
+        compiled = CompiledSummaryIndex(summary)
+        tic = time.perf_counter()
+        for v in range(graph.num_nodes):
+            plain.neighbors(v)
+        plain_s = time.perf_counter() - tic
+        tic = time.perf_counter()
+        for v in range(graph.num_nodes):
+            compiled.neighbors(v)
+        compiled_s = time.perf_counter() - tic
+        mismatches = sum(
+            1 for v in range(0, graph.num_nodes, 17)
+            if plain.neighbors(v) != compiled.neighbors(v)
+        )
+        return plain_s, compiled_s, mismatches
+
+    plain_s, compiled_s, mismatches = once(benchmark, measure)
+    print(f"\nfull neighbourhood sweep: set-based {plain_s:.3f}s, "
+          f"array-backed {compiled_s:.3f}s")
+    assert mismatches == 0

@@ -1,0 +1,28 @@
+"""Table 1 — dataset summary.
+
+Regenerates the dataset inventory (paper sizes next to the surrogates this
+reproduction actually runs) and benchmarks surrogate construction.
+"""
+
+from conftest import once
+
+from repro.experiments.reporting import format_result
+from repro.experiments.table1 import run_table1
+from repro.graph import datasets
+
+
+def test_table1_report(benchmark):
+    """Build all eight surrogates and print the Table 1 analogue."""
+    result = once(benchmark, run_table1)
+    assert len(result.rows) == 8
+    # Size ordering matches the paper: CN smallest ... AR largest.
+    edges = [row["Surrogate edges"] for row in result.rows]
+    assert edges == sorted(edges)
+    print()
+    print(format_result(result))
+
+
+def test_largest_surrogate_generation(benchmark):
+    """Generation cost of the billion-edge stand-in (AR surrogate)."""
+    graph = once(benchmark, datasets.load, "AR")
+    assert graph.num_edges > 100_000

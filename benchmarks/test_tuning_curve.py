@@ -1,0 +1,27 @@
+"""Tuning claim (Section 3): k trades compression for running time.
+
+Traces the full curve the paper's LDME5/LDME20 endpoints sit on.
+"""
+
+from conftest import once
+
+from repro.experiments.reporting import format_result
+from repro.experiments.tuning import run_tuning_curve
+
+
+def test_tuning_curve_shape(benchmark, dataset_cache):
+    graphs = {"H1": dataset_cache("H1")}
+    result = once(
+        benchmark, run_tuning_curve, graphs=graphs,
+        k_values=(2, 5, 10, 20), iterations=8, seed=0,
+    )
+    print()
+    print(format_result(result))
+    compression = [v for _, v in result.series("k", "compression")]
+    merge_time = [v for _, v in result.series("k", "divide_merge_s")]
+    max_group = [v for _, v in result.series("k", "max_group_size")]
+    # Compression falls monotonically with k.
+    assert all(a >= b for a, b in zip(compression, compression[1:]))
+    # Groups shrink with k; so does merge-phase time end to end.
+    assert max_group[-1] <= max_group[0]
+    assert merge_time[-1] <= merge_time[0]

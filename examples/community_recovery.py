@@ -1,0 +1,58 @@
+"""Summarization as implicit community recovery.
+
+Runs LDME on a stochastic block model with planted communities and checks
+how well the resulting supernode partition aligns with the ground truth —
+plus a convergence trace (compression per iteration) from a single tracked
+run.
+
+Run with::
+
+    python examples/community_recovery.py
+"""
+
+import numpy as np
+
+from repro import LDME, compare_partitions, stochastic_block_model
+from repro.experiments.reporting import format_table
+
+
+def main() -> None:
+    sizes = [60, 60, 60]
+    probs = [
+        [0.40, 0.01, 0.01],
+        [0.01, 0.40, 0.01],
+        [0.01, 0.01, 0.40],
+    ]
+    graph = stochastic_block_model(sizes, probs, seed=11)
+    truth = np.repeat(np.arange(3), 60)
+    print(f"SBM: {graph.num_nodes} nodes / {graph.num_edges} edges, "
+          f"3 planted communities\n")
+
+    summary = LDME(k=2, iterations=20, seed=0,
+                   track_compression=True).summarize(graph)
+
+    # Convergence trace from one run (per-iteration encode).
+    rows = [
+        {
+            "iteration": it.iteration,
+            "supernodes": it.num_supernodes,
+            "objective": it.objective,
+            "compression": it.compression,
+            "merges": it.merges,
+        }
+        for it in summary.stats.iterations
+        if it.iteration % 4 == 0 or it.iteration == 1
+    ]
+    print(format_table(rows))
+
+    # Community alignment of the final partition.
+    agreement = compare_partitions(summary.partition, truth)
+    print(f"\nalignment with planted communities: "
+          f"purity {agreement.purity:.3f}, "
+          f"ARI {agreement.adjusted_rand_index:.3f}, "
+          f"NMI {agreement.normalized_mutual_information:.3f}")
+    print("high purity = supernodes almost never straddle communities")
+
+
+if __name__ == "__main__":
+    main()

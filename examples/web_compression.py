@@ -1,0 +1,49 @@
+"""Compress a web-crawl-like graph with every algorithm and tune ``k``.
+
+Demonstrates the paper's central trade-off: the DOPH signature length
+``k`` dials between compression (small k) and speed (large k), and LDME
+beats the baselines on running time at comparable compression.
+
+Run with::
+
+    python examples/web_compression.py
+"""
+
+import time
+
+from repro import LDME, MoSSo, SWeG, web_host_graph
+from repro.experiments.reporting import format_table
+
+
+def run(name, summarizer, graph):
+    tic = time.perf_counter()
+    summary = summarizer.summarize(graph)
+    elapsed = time.perf_counter() - tic
+    return {
+        "algorithm": name,
+        "seconds": elapsed,
+        "compression": summary.compression,
+        "supernodes": summary.num_supernodes,
+        "objective": summary.objective,
+    }
+
+
+def main() -> None:
+    graph = web_host_graph(num_hosts=60, host_size=40, seed=11)
+    print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges\n")
+
+    rows = []
+    # The k dial: more bins = faster divide+merge, less compression.
+    for k in (2, 5, 10, 20):
+        rows.append(run(f"LDME(k={k})", LDME(k=k, iterations=15, seed=0), graph))
+    rows.append(run("SWeG", SWeG(iterations=15, seed=0), graph))
+    rows.append(run("MoSSo", MoSSo(seed=0), graph))
+    print(format_table(rows))
+    print(
+        "\nShape to notice: compression falls and (divide+merge) time "
+        "drops as k grows; SWeG compresses well but pays in time."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Comparison algorithms: SWeG, RANDOMIZED, SAGS, MoSSo and VoG."""
+
+from .mosso import MoSSo
+from .randomized import Randomized
+from .sags import SAGS
+from .sweg import SWeG
+from .vog import Structure, VoG, VoGSummary
+
+__all__ = ["SWeG", "Randomized", "SAGS", "MoSSo", "VoG", "VoGSummary", "Structure"]

@@ -1,0 +1,113 @@
+"""RANDOMIZED baseline (Navlakha, Rastogi & Shrivastava, SIGMOD 2008).
+
+The original correction-set summarizer: repeatedly pick a random supernode,
+score every candidate within **2 hops** by exact Saving, and merge the best
+pair while the savings stay positive. No dividing step — which is exactly
+why SWeG (and then LDME) superseded it at scale. Included because it is the
+framework's root and a useful compression-quality oracle on small graphs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Set, Union
+
+import numpy as np
+
+from ..core.encode import encode_sorted
+from ..core.partition import SupernodePartition
+from ..core.saving import GroupAdjacency
+from ..core.summary import RunStats, Summarization
+from ..graph.graph import Graph
+
+__all__ = ["Randomized"]
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+class Randomized:
+    """Navlakha-style randomized greedy merging.
+
+    Parameters
+    ----------
+    threshold:
+        Minimum Saving to accept a merge (the original uses 0: any
+        improvement). Merging stops when no candidate clears it.
+    max_passes:
+        Safety bound on full passes over the supernode set.
+    seed:
+        Seed for the random visit order.
+    """
+
+    name = "RANDOMIZED"
+
+    def __init__(
+        self,
+        threshold: float = 0.0,
+        max_passes: int = 10,
+        seed: int = 0,
+        cost_model: str = "exact",
+    ) -> None:
+        if max_passes < 1:
+            raise ValueError("max_passes must be >= 1")
+        self.threshold = threshold
+        self.max_passes = max_passes
+        self.seed = seed
+        self.cost_model = cost_model
+
+    # ------------------------------------------------------------------
+    def _two_hop_candidates(
+        self, graph: Graph, partition: SupernodePartition, sid: int
+    ) -> Set[int]:
+        """Supernodes within two hops of ``sid`` in the original graph."""
+        node2super = partition.node2super
+        candidates: Set[int] = set()
+        for v in partition.members(sid):
+            for u in graph.neighbors(v).tolist():
+                candidates.add(int(node2super[u]))
+                for w in graph.neighbors(u).tolist():
+                    candidates.add(int(node2super[w]))
+        candidates.discard(sid)
+        return candidates
+
+    def summarize(self, graph: Graph) -> Summarization:
+        """Run randomized greedy merging to a local optimum, then encode."""
+        rng = np.random.default_rng(self.seed)
+        partition = SupernodePartition(graph.num_nodes)
+        stats = RunStats()
+        tic = time.perf_counter()
+        for _ in range(self.max_passes):
+            merged_any = False
+            order = list(partition.supernode_ids())
+            rng.shuffle(order)
+            for sid in order:
+                if sid not in partition:
+                    continue  # merged away earlier this pass
+                candidates = self._two_hop_candidates(graph, partition, sid)
+                if not candidates:
+                    continue
+                adjacency = GroupAdjacency(
+                    graph,
+                    partition,
+                    [sid, *candidates],
+                    cost_model=self.cost_model,
+                )
+                best, best_saving = adjacency.best_candidate(sid, candidates)
+                if best is not None and best_saving > self.threshold:
+                    partition.merge(sid, best)
+                    merged_any = True
+            if not merged_any:
+                break
+        stats.merge_seconds = time.perf_counter() - tic
+        tic = time.perf_counter()
+        encoded = encode_sorted(graph, partition)
+        stats.encode_seconds = time.perf_counter() - tic
+        return Summarization(
+            num_nodes=graph.num_nodes,
+            num_edges=graph.num_edges,
+            partition=partition,
+            superedges=encoded.superedges,
+            corrections=encoded.corrections,
+            stats=stats,
+            algorithm=self.name,
+        )

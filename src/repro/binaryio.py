@@ -1,0 +1,153 @@
+"""Compact binary serialization of summaries (``.ldmeb``).
+
+The text format in :mod:`repro.graph.io` is debuggable; this module is the
+storage-oriented counterpart: a varint-coded binary layout whose size is
+what :func:`repro.metrics.summary_size_bits` models. Layout (all integers
+LEB128 varints):
+
+```
+magic "LDMB" | version | num_nodes | num_edges
+num_supernodes | per supernode: id, member_count, gap-coded sorted members
+num_superedges | gap-coded sorted (a, b) pairs (loops included)
+|C+| | gap-coded sorted pairs
+|C-| | gap-coded sorted pairs
+```
+
+Gap coding: pairs are sorted lexicographically; the first component is
+delta-coded against the previous pair's first component, the second stored
+raw. This keeps real summaries a fraction of the text format's size.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import IO, List, Tuple, Union
+
+from .core.summary import CorrectionSet, Summarization
+
+__all__ = ["write_summary_binary", "read_summary_binary"]
+
+MAGIC = b"LDMB"
+VERSION = 1
+
+Edge = Tuple[int, int]
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+# ----------------------------------------------------------------------
+# varint primitives
+# ----------------------------------------------------------------------
+def _write_varint(out: IO[bytes], value: int) -> None:
+    if value < 0:
+        raise ValueError("varints encode non-negative integers")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.write(bytes([byte | 0x80]))
+        else:
+            out.write(bytes([byte]))
+            return
+
+
+def _read_varint(data: bytes, pos: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise ValueError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def _write_pairs(out: IO[bytes], pairs: List[Edge]) -> None:
+    """Sorted pair list with first components gap-coded."""
+    ordered = sorted(pairs)
+    _write_varint(out, len(ordered))
+    previous = 0
+    for a, b in ordered:
+        _write_varint(out, a - previous)
+        _write_varint(out, b)
+        previous = a
+
+
+def _read_pairs(data: bytes, pos: int) -> Tuple[List[Edge], int]:
+    count, pos = _read_varint(data, pos)
+    pairs: List[Edge] = []
+    previous = 0
+    for _ in range(count):
+        gap, pos = _read_varint(data, pos)
+        b, pos = _read_varint(data, pos)
+        a = previous + gap
+        pairs.append((a, b))
+        previous = a
+    return pairs, pos
+
+
+# ----------------------------------------------------------------------
+# public API
+# ----------------------------------------------------------------------
+def write_summary_binary(summary: Summarization, path: PathLike) -> int:
+    """Serialize ``summary``; returns the file size in bytes."""
+    with open(os.fspath(path), "wb") as out:
+        out.write(MAGIC)
+        _write_varint(out, VERSION)
+        _write_varint(out, summary.num_nodes)
+        _write_varint(out, summary.num_edges)
+        sids = summary.supernode_ids()
+        _write_varint(out, len(sids))
+        for sid in sids:
+            _write_varint(out, sid)
+            members = sorted(summary.members(sid))
+            _write_varint(out, len(members))
+            previous = 0
+            for member in members:
+                _write_varint(out, member - previous)
+                previous = member
+        _write_pairs(out, list(summary.superedges))
+        _write_pairs(out, list(summary.corrections.additions))
+        _write_pairs(out, list(summary.corrections.deletions))
+    return os.path.getsize(os.fspath(path))
+
+
+def read_summary_binary(path: PathLike) -> Summarization:
+    """Deserialize a summary written by :func:`write_summary_binary`."""
+    with open(os.fspath(path), "rb") as fh:
+        data = fh.read()
+    if data[:4] != MAGIC:
+        raise ValueError(f"{path}: not an LDMB summary file")
+    pos = 4
+    version, pos = _read_varint(data, pos)
+    if version != VERSION:
+        raise ValueError(f"{path}: unsupported version {version}")
+    num_nodes, pos = _read_varint(data, pos)
+    num_edges, pos = _read_varint(data, pos)
+    num_supers, pos = _read_varint(data, pos)
+    members = {}
+    for _ in range(num_supers):
+        sid, pos = _read_varint(data, pos)
+        count, pos = _read_varint(data, pos)
+        mem: List[int] = []
+        previous = 0
+        for _ in range(count):
+            gap, pos = _read_varint(data, pos)
+            previous += gap
+            mem.append(previous)
+        members[sid] = mem
+    superedges, pos = _read_pairs(data, pos)
+    additions, pos = _read_pairs(data, pos)
+    deletions, pos = _read_pairs(data, pos)
+    if pos != len(data):
+        raise ValueError(f"{path}: {len(data) - pos} trailing bytes")
+    return Summarization.from_members(
+        num_nodes=num_nodes,
+        members=members,
+        superedges=superedges,
+        corrections=CorrectionSet(additions, deletions),
+        num_edges=num_edges,
+        algorithm="loaded-binary",
+    )

@@ -1,0 +1,334 @@
+"""Command-line interface.
+
+``ldme`` (installed via the console script) exposes the library's main
+workflows::
+
+    ldme summarize graph.txt --k 5 --iterations 20 -o out.summary
+    ldme reconstruct out.summary -o rebuilt.txt
+    ldme stats graph.txt
+    ldme experiment fig2 fig4
+    ldme datasets
+
+Graphs are plain edge-list files (``u v`` per line, ``#`` comments).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .baselines.sweg import SWeG
+from .core.ldme import LDME
+from .core.reconstruct import reconstruct
+from .experiments.reporting import format_result, format_table
+from .experiments.runner import EXPERIMENTS, run_all
+from .graph import datasets
+from .graph.io import load_graph, read_summary, save_graph, write_summary
+from .graph.stats import graph_stats
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="ldme",
+        description="Correction-set graph summarization with weighted LSH.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sum = sub.add_parser("summarize", help="summarize a graph file")
+    p_sum.add_argument("graph", help="edge-list (or .adj) graph file")
+    p_sum.add_argument("--algorithm", choices=("ldme", "sweg"), default="ldme")
+    p_sum.add_argument("--k", type=int, default=5, help="DOPH signature length")
+    p_sum.add_argument("--iterations", "-T", type=int, default=20)
+    p_sum.add_argument("--epsilon", type=float, default=0.0,
+                       help="lossy error bound (0 = lossless)")
+    p_sum.add_argument("--seed", type=int, default=0)
+    p_sum.add_argument("--output", "-o", help="write the summary to this path")
+    p_sum.add_argument("--resume-from", metavar="CKPT",
+                       help="warm-start from a partition checkpoint")
+    p_sum.add_argument("--checkpoint", metavar="CKPT",
+                       help="write the final partition checkpoint here")
+    p_sum.add_argument("--chunked", action="store_true",
+                       help="bounded-memory edge-list ingestion")
+
+    p_rec = sub.add_parser("reconstruct", help="rebuild a graph from a summary")
+    p_rec.add_argument("summary", help="summary file written by 'summarize'")
+    p_rec.add_argument("--output", "-o", required=True,
+                       help="edge-list output path")
+
+    p_stats = sub.add_parser("stats", help="print statistics of a graph file")
+    p_stats.add_argument("graph")
+
+    p_exp = sub.add_parser("experiment", help="run paper experiments")
+    p_exp.add_argument(
+        "names",
+        nargs="*",
+        help=f"experiments to run (default all): {', '.join(EXPERIMENTS)}",
+    )
+    p_exp.add_argument(
+        "--format", choices=("table", "csv", "json"), default="table",
+        help="output format for the result rows",
+    )
+    p_exp.add_argument(
+        "--output-dir", metavar="DIR",
+        help="also save each result as DIR/<experiment>.csv (or .json)",
+    )
+
+    sub.add_parser("datasets", help="list the Table 1 dataset surrogates")
+
+    p_cmp = sub.add_parser(
+        "compare", help="run several algorithms on one graph side by side"
+    )
+    p_cmp.add_argument("graph")
+    p_cmp.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["ldme5", "ldme20", "sweg"],
+        choices=["ldme5", "ldme20", "sweg", "mosso", "randomized", "sags"],
+    )
+    p_cmp.add_argument("--iterations", "-T", type=int, default=10)
+    p_cmp.add_argument("--seed", type=int, default=0)
+
+    p_ana = sub.add_parser(
+        "analyze", help="run analytics directly on a summary file"
+    )
+    p_ana.add_argument("summary", help="summary file (text or .ldmeb binary)")
+    p_ana.add_argument("--top", type=int, default=5,
+                       help="how many top-degree nodes to list")
+
+    p_str = sub.add_parser(
+        "stream", help="replay a +/- edge stream and summarize the result"
+    )
+    p_str.add_argument("stream", help="stream file of '+ u v' / '- u v' lines")
+    p_str.add_argument("--num-nodes", type=int, required=True)
+    p_str.add_argument("--sample-size", type=int, default=120)
+    p_str.add_argument("--seed", type=int, default=0)
+    p_str.add_argument("--output", "-o", help="write the snapshot summary")
+
+    p_eval = sub.add_parser(
+        "evaluate",
+        help="score a summary's partition against ground-truth labels",
+    )
+    p_eval.add_argument("summary", help="summary file (text or .ldmeb)")
+    p_eval.add_argument("labels", help="labels file: 'node label' per line")
+    return parser
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    if args.chunked:
+        from .graph.external import read_edge_list_chunked
+
+        graph = read_edge_list_chunked(args.graph)
+    else:
+        graph = load_graph(args.graph)
+    if args.algorithm == "ldme":
+        algo = LDME(
+            k=args.k,
+            iterations=args.iterations,
+            epsilon=args.epsilon,
+            seed=args.seed,
+        )
+    else:
+        algo = SWeG(
+            iterations=args.iterations, epsilon=args.epsilon, seed=args.seed
+        )
+    initial = None
+    if args.resume_from:
+        from .graph.io import read_partition
+
+        initial = read_partition(args.resume_from)
+    summary = algo.summarize(graph, initial_partition=initial)
+    print(format_table([summary.describe()]))
+    if args.output:
+        write_summary(summary, args.output)
+        print(f"summary written to {args.output}")
+    if args.checkpoint:
+        from .graph.io import write_partition
+
+        write_partition(summary.partition, args.checkpoint)
+        print(f"partition checkpoint written to {args.checkpoint}")
+    return 0
+
+
+def _cmd_reconstruct(args: argparse.Namespace) -> int:
+    summary = read_summary(args.summary)
+    graph = reconstruct(summary)
+    save_graph(graph, args.output)
+    print(
+        f"reconstructed {graph.num_nodes} nodes / {graph.num_edges} edges "
+        f"to {args.output}"
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    print(format_table([graph_stats(graph).as_dict()]))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments.reporting import to_csv, to_json
+    from .experiments.runner import save_results
+
+    results = run_all(args.names or None)
+    if args.output_dir:
+        fmt = "json" if args.format == "json" else "csv"
+        for path in save_results(results, args.output_dir, fmt):
+            print(f"saved {path}")
+    for result in results:
+        if args.format == "csv":
+            print(to_csv(result), end="")
+        elif args.format == "json":
+            print(to_json(result))
+        else:
+            print(format_result(result))
+            print()
+    return 0
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    rows = [
+        {
+            "Graph": name,
+            "Abbr": abbrev,
+            "Paper nodes": paper_nodes,
+            "Paper edges": paper_edges,
+            "Surrogate nodes": nodes,
+            "Surrogate edges": edges,
+        }
+        for name, abbrev, paper_nodes, paper_edges, nodes, edges
+        in datasets.table1_rows()
+    ]
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .baselines.mosso import MoSSo
+    from .baselines.randomized import Randomized
+    from .baselines.sags import SAGS
+    from .metrics import size_report
+
+    graph = load_graph(args.graph)
+    factories = {
+        "ldme5": lambda: LDME(k=5, iterations=args.iterations, seed=args.seed),
+        "ldme20": lambda: LDME(k=20, iterations=args.iterations,
+                               seed=args.seed),
+        "sweg": lambda: SWeG(iterations=args.iterations, seed=args.seed),
+        "mosso": lambda: MoSSo(seed=args.seed),
+        "randomized": lambda: Randomized(seed=args.seed),
+        "sags": lambda: SAGS(seed=args.seed),
+    }
+    rows = []
+    for name in args.algorithms:
+        import time as _time
+
+        tic = _time.perf_counter()
+        summary = factories[name]().summarize(graph)
+        elapsed = _time.perf_counter() - tic
+        report = size_report(graph, summary)
+        rows.append(
+            {
+                "algorithm": summary.algorithm,
+                "seconds": elapsed,
+                "compression": summary.compression,
+                "supernodes": summary.num_supernodes,
+                "objective": summary.objective,
+                "bit_ratio": report.bit_ratio,
+            }
+        )
+    print(format_table(rows))
+    return 0
+
+
+def _load_any_summary(path: str):
+    if path.endswith(".ldmeb"):
+        from .binaryio import read_summary_binary
+
+        return read_summary_binary(path)
+    return read_summary(path)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .queries import SummaryIndex, pagerank, top_degree_nodes, triangle_count
+
+    summary = _load_any_summary(args.summary)
+    index = SummaryIndex(summary)
+    ranks = pagerank(index)
+    hubs = top_degree_nodes(index, args.top)
+    rows = [
+        {
+            "supernodes": summary.num_supernodes,
+            "objective": summary.objective,
+            "triangles": triangle_count(index),
+            "top_degree": " ".join(map(str, hubs)),
+            "pagerank_winner": int(ranks.argmax()) if ranks.size else -1,
+        }
+    ]
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from .streaming import DynamicSummarizer, read_stream
+
+    ds = DynamicSummarizer(
+        num_nodes=args.num_nodes,
+        sample_size=args.sample_size,
+        seed=args.seed,
+    )
+    ds.apply(read_stream(args.stream))
+    summary = ds.snapshot()
+    print(format_table([summary.describe()]))
+    if args.output:
+        write_summary(summary, args.output)
+        print(f"snapshot written to {args.output}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from .evaluation import compare_partitions, read_labels
+
+    summary = _load_any_summary(args.summary)
+    labels = read_labels(args.labels)
+    if labels.size != summary.num_nodes:
+        print(
+            f"error: labels cover {labels.size} nodes but summary has "
+            f"{summary.num_nodes}", file=sys.stderr,
+        )
+        return 1
+    agreement = compare_partitions(summary.partition, labels)
+    print(format_table([agreement.as_dict()]))
+    return 0
+
+
+_COMMANDS = {
+    "summarize": _cmd_summarize,
+    "reconstruct": _cmd_reconstruct,
+    "stats": _cmd_stats,
+    "experiment": _cmd_experiment,
+    "datasets": _cmd_datasets,
+    "compare": _cmd_compare,
+    "analyze": _cmd_analyze,
+    "stream": _cmd_stream,
+    "evaluate": _cmd_evaluate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

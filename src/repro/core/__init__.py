@@ -1,0 +1,73 @@
+"""Core contribution: LDME and the divide/merge/encode machinery."""
+
+from .base import BaseSummarizer
+from .config import LDMEConfig
+from .cost import (
+    COST_MODELS,
+    get_cost_model,
+    loop_cost_exact,
+    loop_cost_paper,
+    pair_cost_exact,
+    pair_cost_paper,
+)
+from .divide import DivideStats, lsh_divide, shingle_divide
+from .drop import drop_edges, verify_error_bound
+from .encode import EncodeResult, encode_per_supernode, encode_sorted
+from .ldme import LDME, ldme5, ldme20, summarize
+from .merge import (
+    MergeStats,
+    merge_group_exact,
+    merge_group_superjaccard,
+    merge_threshold,
+    super_jaccard,
+)
+from .partition import SupernodePartition
+from .reconstruct import reconstruct, reconstruction_error, verify_lossless
+from .resummarize import affected_nodes, resummarize
+from .saving import GroupAdjacency, saving_of_pair, supernode_cost
+from .validate import SummaryValidationError, check_summary, validate_summary
+from .summary import CorrectionSet, IterationStats, RunStats, Summarization
+
+__all__ = [
+    "BaseSummarizer",
+    "LDMEConfig",
+    "COST_MODELS",
+    "get_cost_model",
+    "pair_cost_exact",
+    "loop_cost_exact",
+    "pair_cost_paper",
+    "loop_cost_paper",
+    "DivideStats",
+    "lsh_divide",
+    "shingle_divide",
+    "drop_edges",
+    "verify_error_bound",
+    "EncodeResult",
+    "encode_sorted",
+    "encode_per_supernode",
+    "LDME",
+    "ldme5",
+    "ldme20",
+    "summarize",
+    "MergeStats",
+    "merge_threshold",
+    "merge_group_exact",
+    "merge_group_superjaccard",
+    "super_jaccard",
+    "SupernodePartition",
+    "reconstruct",
+    "reconstruction_error",
+    "verify_lossless",
+    "resummarize",
+    "affected_nodes",
+    "GroupAdjacency",
+    "saving_of_pair",
+    "supernode_cost",
+    "check_summary",
+    "validate_summary",
+    "SummaryValidationError",
+    "CorrectionSet",
+    "IterationStats",
+    "RunStats",
+    "Summarization",
+]

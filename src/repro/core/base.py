@@ -1,0 +1,187 @@
+"""Shared driver scaffolding for all correction-set summarizers.
+
+Every algorithm in this package (LDME, SWeG, RANDOMIZED, SAGS) follows the
+same outer loop: initialize singleton supernodes, run ``T`` divide+merge
+rounds, encode once, optionally drop for the lossy case. ``BaseSummarizer``
+owns that loop plus the phase timing instrumentation the paper's figures
+need; subclasses provide the divide and merge policies.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from typing import List, Tuple
+
+import numpy as np
+
+from ..graph.graph import Graph
+from .divide import DivideStats
+from .drop import drop_edges
+from .encode import encode_per_supernode, encode_sorted
+from .merge import MergeStats, merge_threshold
+from .partition import SupernodePartition
+from .summary import IterationStats, RunStats, Summarization
+
+__all__ = ["BaseSummarizer"]
+
+
+class BaseSummarizer(ABC):
+    """Template for divide/merge/encode summarizers.
+
+    Subclasses implement :meth:`divide` and :meth:`merge_one_group` and set
+    :attr:`name`; everything else (loop, timing, encoding, dropping,
+    result assembly) is shared so timing comparisons across algorithms are
+    apples to apples.
+    """
+
+    #: Human-readable algorithm name recorded on results.
+    name: str = "base"
+
+    def __init__(
+        self,
+        iterations: int = 20,
+        epsilon: float = 0.0,
+        seed: int = 0,
+        encoder: str = "sorted",
+        cost_model: str = "exact",
+        early_stop_rounds: int = 0,
+        track_compression: bool = False,
+    ) -> None:
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        if encoder not in ("sorted", "per-supernode"):
+            raise ValueError("encoder must be 'sorted' or 'per-supernode'")
+        if early_stop_rounds < 0:
+            raise ValueError("early_stop_rounds must be non-negative")
+        self.iterations = iterations
+        self.epsilon = epsilon
+        self.seed = seed
+        self.encoder = encoder
+        self.cost_model = cost_model
+        # Extension beyond the paper: stop once this many consecutive
+        # iterations produced zero merges (0 disables the check).
+        self.early_stop_rounds = early_stop_rounds
+        # Encode after every iteration and record the objective on the
+        # IterationStats (one run yields the whole per-T curve of Fig. 2).
+        self.track_compression = track_compression
+
+    # ------------------------------------------------------------------
+    # policy hooks
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def divide(
+        self,
+        graph: Graph,
+        partition: SupernodePartition,
+        rng: np.random.Generator,
+    ) -> Tuple[List[List[int]], DivideStats]:
+        """Split supernodes into merge groups for this iteration."""
+
+    @abstractmethod
+    def merge_one_group(
+        self,
+        graph: Graph,
+        partition: SupernodePartition,
+        group: List[int],
+        threshold: float,
+        rng: np.random.Generator,
+    ) -> MergeStats:
+        """Run the merge loop on one group (mutating ``partition``)."""
+
+    # ------------------------------------------------------------------
+    # shared driver
+    # ------------------------------------------------------------------
+    def summarize(
+        self,
+        graph: Graph,
+        initial_partition: SupernodePartition = None,
+    ) -> Summarization:
+        """Run the full pipeline on ``graph`` and return the summarization.
+
+        ``initial_partition`` warm-starts from an existing supernode
+        assignment (e.g. a checkpoint or a previous run's partition); the
+        default is the paper's all-singleton initialization. The provided
+        partition is not mutated.
+        """
+        rng = np.random.default_rng(self.seed)
+        if initial_partition is None:
+            partition = SupernodePartition(graph.num_nodes)
+        else:
+            if initial_partition.num_nodes != graph.num_nodes:
+                raise ValueError(
+                    "initial_partition covers a different node universe"
+                )
+            partition = initial_partition.copy()
+        stats = RunStats()
+        stalled = 0
+        for t in range(1, self.iterations + 1):
+            tic = time.perf_counter()
+            groups, divide_stats = self.divide(graph, partition, rng)
+            divide_seconds = time.perf_counter() - tic
+
+            tic = time.perf_counter()
+            merge_stats = MergeStats()
+            threshold = merge_threshold(t)
+            for group in groups:
+                merge_stats += self.merge_one_group(
+                    graph, partition, group, threshold, rng
+                )
+            merge_seconds = time.perf_counter() - tic
+
+            stats.divide_seconds += divide_seconds
+            stats.merge_seconds += merge_seconds
+            record = IterationStats(
+                iteration=t,
+                divide_seconds=divide_seconds,
+                merge_seconds=merge_seconds,
+                num_groups=divide_stats.num_groups,
+                max_group_size=divide_stats.max_group_size,
+                num_supernodes=partition.num_supernodes,
+                merges=merge_stats.merges,
+            )
+            if self.track_compression:
+                tic = time.perf_counter()
+                snapshot = (
+                    encode_sorted(graph, partition)
+                    if self.encoder == "sorted"
+                    else encode_per_supernode(graph, partition)
+                )
+                record.encode_seconds = time.perf_counter() - tic
+                tracked = Summarization(
+                    num_nodes=graph.num_nodes,
+                    num_edges=graph.num_edges,
+                    partition=partition,
+                    superedges=snapshot.superedges,
+                    corrections=snapshot.corrections,
+                )
+                record.objective = tracked.objective
+                record.compression = tracked.compression
+            stats.iterations.append(record)
+            if self.early_stop_rounds:
+                stalled = 0 if merge_stats.merges else stalled + 1
+                if stalled >= self.early_stop_rounds:
+                    break
+        tic = time.perf_counter()
+        if self.encoder == "sorted":
+            encoded = encode_sorted(graph, partition)
+        else:
+            encoded = encode_per_supernode(graph, partition)
+        stats.encode_seconds = time.perf_counter() - tic
+
+        result = Summarization(
+            num_nodes=graph.num_nodes,
+            num_edges=graph.num_edges,
+            partition=partition,
+            superedges=encoded.superedges,
+            corrections=encoded.corrections,
+            stats=stats,
+            algorithm=self.name,
+        )
+        if self.epsilon > 0:
+            tic = time.perf_counter()
+            result = drop_edges(graph, result, self.epsilon)
+            result.stats.drop_seconds = time.perf_counter() - tic
+        return result

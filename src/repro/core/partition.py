@@ -1,0 +1,229 @@
+"""Supernode partition: the mutable state every summarizer iterates on.
+
+A :class:`SupernodePartition` maps each original node to its current
+supernode and tracks member lists. Supernode ids are stable integers drawn
+from the node id space (initially supernode ``v`` = {v}); a merge keeps the
+id of the *larger* side and folds the smaller member list in, matching the
+paper's ``W``-update rule which iterates the smaller hashtable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Tuple
+
+import numpy as np
+
+from ..graph.graph import Graph
+
+__all__ = ["SupernodePartition"]
+
+
+class SupernodePartition:
+    """Partition of ``0..n-1`` into supernodes.
+
+    Parameters
+    ----------
+    num_nodes:
+        Size of the node universe; the initial partition is all-singletons
+        (line 1 of Algorithm 1).
+    """
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 0:
+            raise ValueError("num_nodes must be non-negative")
+        self._node2super = np.arange(num_nodes, dtype=np.int64)
+        self._members: Dict[int, List[int]] = {
+            v: [v] for v in range(num_nodes)
+        }
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_members(
+        cls, num_nodes: int, members: Mapping[int, Iterable[int]]
+    ) -> "SupernodePartition":
+        """Build a partition from an explicit supernode → members mapping.
+
+        The mapping must cover every node exactly once; supernode ids must
+        be node ids of one of their members (any member works).
+        """
+        part = cls.__new__(cls)
+        part._node2super = np.full(num_nodes, -1, dtype=np.int64)
+        part._members = {}
+        for sid, mem in members.items():
+            mem_list = [int(v) for v in mem]
+            if not mem_list:
+                raise ValueError(f"supernode {sid} has no members")
+            for v in mem_list:
+                if not 0 <= v < num_nodes:
+                    raise ValueError(f"member {v} out of range")
+                if part._node2super[v] != -1:
+                    raise ValueError(f"node {v} assigned to two supernodes")
+                part._node2super[v] = sid
+            part._members[int(sid)] = mem_list
+        if np.any(part._node2super < 0):
+            missing = int(np.flatnonzero(part._node2super < 0)[0])
+            raise ValueError(f"node {missing} not covered by any supernode")
+        return part
+
+    @classmethod
+    def from_labels(cls, labels) -> "SupernodePartition":
+        """Build a partition from a node → cluster-label array.
+
+        Labels are arbitrary hashables; each cluster's supernode id is its
+        lowest member node id (so ids stay within the node space, matching
+        the merge invariant). Interop helper for evaluation workflows.
+        """
+        label_list = list(labels)
+        groups: Dict[object, List[int]] = {}
+        for node, label in enumerate(label_list):
+            groups.setdefault(label, []).append(node)
+        members = {min(mem): mem for mem in groups.values()}
+        return cls.from_members(len(label_list), members)
+
+    def copy(self) -> "SupernodePartition":
+        """Deep copy (used by experiments that fork a warm partition)."""
+        dup = SupernodePartition.__new__(SupernodePartition)
+        dup._node2super = self._node2super.copy()
+        dup._members = {sid: list(mem) for sid, mem in self._members.items()}
+        return dup
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Size of the underlying node universe."""
+        return int(self._node2super.size)
+
+    @property
+    def num_supernodes(self) -> int:
+        """Current number of supernodes ``|S|``."""
+        return len(self._members)
+
+    @property
+    def node2super(self) -> np.ndarray:
+        """The node → supernode id array (do not mutate)."""
+        return self._node2super
+
+    def supernode_of(self, v: int) -> int:
+        """Supernode id currently containing node ``v``."""
+        return int(self._node2super[v])
+
+    def members(self, sid: int) -> List[int]:
+        """Member node ids of supernode ``sid`` (a copy-safe list view)."""
+        return self._members[sid]
+
+    def size(self, sid: int) -> int:
+        """``|A|`` — member count of supernode ``sid``."""
+        return len(self._members[sid])
+
+    def supernode_ids(self) -> Iterator[int]:
+        """Iterate over current supernode ids."""
+        return iter(self._members.keys())
+
+    def __contains__(self, sid: int) -> bool:
+        return sid in self._members
+
+    def __len__(self) -> int:
+        return self.num_supernodes
+
+    def members_map(self) -> Dict[int, List[int]]:
+        """Snapshot dict of supernode id → member list (copied)."""
+        return {sid: list(mem) for sid, mem in self._members.items()}
+
+    # ------------------------------------------------------------------
+    # neighbourhood views
+    # ------------------------------------------------------------------
+    def neighborhood(self, graph: Graph, sid: int) -> np.ndarray:
+        """``N_A``: sorted unique node ids adjacent to any member of ``sid``.
+
+        This is exactly the support of the binarized supervector that the
+        DOPH divide hashes.
+        """
+        rows = [graph.neighbors(v) for v in self._members[sid]]
+        if not rows:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(rows))
+
+    def supervector(self, graph: Graph, sid: int) -> Dict[int, int]:
+        """``w(A, ·)``: node id → number of members of ``A`` adjacent to it.
+
+        The weighted vector whose weighted-Jaccard similarity equals
+        SuperJaccard (Section 3 of the paper).
+        """
+        weights: Dict[int, int] = {}
+        for v in self._members[sid]:
+            for u in graph.neighbors(v).tolist():
+                weights[u] = weights.get(u, 0) + 1
+        return weights
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def merge(self, a: int, b: int) -> Tuple[int, int]:
+        """Merge supernodes ``a`` and ``b``.
+
+        Returns ``(survivor, absorbed)``: the larger side's id survives
+        (ties keep ``a``), and the absorbed side's members are relabelled.
+        """
+        if a == b:
+            raise ValueError("cannot merge a supernode with itself")
+        mem_a = self._members[a]
+        mem_b = self._members[b]
+        if len(mem_b) > len(mem_a):
+            survivor, absorbed = b, a
+            mem_s, mem_x = mem_b, mem_a
+        else:
+            survivor, absorbed = a, b
+            mem_s, mem_x = mem_a, mem_b
+        for v in mem_x:
+            self._node2super[v] = survivor
+        mem_s.extend(mem_x)
+        del self._members[absorbed]
+        return survivor, absorbed
+
+    def extract(self, v: int) -> int:
+        """Split node ``v`` out of its supernode into a fresh singleton.
+
+        Returns the singleton's supernode id (always ``v`` itself; if the
+        old supernode was labelled ``v``, the remainder is relabelled to one
+        of its other members). Used by incremental summarizers (MoSSo).
+        """
+        sid = int(self._node2super[v])
+        mem = self._members[sid]
+        if len(mem) == 1:
+            return sid
+        mem.remove(v)
+        if sid == v:
+            # The departing node owned the label; hand it to a survivor.
+            new_sid = mem[0]
+            for u in mem:
+                self._node2super[u] = new_sid
+            self._members[new_sid] = mem
+            del self._members[v]
+        self._members[v] = [v]
+        self._node2super[v] = v
+        return v
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise if internal invariants are violated (used by tests)."""
+        seen = np.zeros(self.num_nodes, dtype=bool)
+        for sid, mem in self._members.items():
+            if not mem:
+                raise AssertionError(f"supernode {sid} is empty")
+            for v in mem:
+                if seen[v]:
+                    raise AssertionError(f"node {v} appears twice")
+                seen[v] = True
+                if self._node2super[v] != sid:
+                    raise AssertionError(
+                        f"node2super[{v}] = {self._node2super[v]} != {sid}"
+                    )
+        if not seen.all():
+            missing = int(np.flatnonzero(~seen)[0])
+            raise AssertionError(f"node {missing} not in any supernode")

@@ -1,0 +1,70 @@
+"""Reconstruction: rebuild ``Ĝ`` from a summary + correction sets.
+
+Follows the problem definition exactly: expand every superedge ``(A, B)``
+into all member pairs, add ``C+``, remove ``C-``. For a lossless
+summarization ``Ĝ == G``; :func:`verify_lossless` asserts that end to end
+(this is the invariant every algorithm's tests lean on).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from ..graph.graph import Graph
+from .summary import Summarization
+
+__all__ = ["reconstruct", "verify_lossless", "reconstruction_error"]
+
+Edge = Tuple[int, int]
+
+
+def reconstruct(summarization: Summarization) -> Graph:
+    """Build the reconstructed graph ``Ĝ = (V, Ê)``."""
+    edges: Set[Edge] = set()
+    partition = summarization.partition
+    # Step 1: expand superedges into member pairs.
+    for a, b in summarization.superedges:
+        mem_a = partition.members(a)
+        if a == b:
+            for i, u in enumerate(mem_a):
+                for v in mem_a[i + 1:]:
+                    edges.add((u, v) if u < v else (v, u))
+            continue
+        mem_b = partition.members(b)
+        for u in mem_a:
+            for v in mem_b:
+                edges.add((u, v) if u < v else (v, u))
+    # Step 2: add C+.
+    for u, v in summarization.corrections.additions:
+        edges.add((u, v) if u < v else (v, u))
+    # Step 3: remove C-.
+    for u, v in summarization.corrections.deletions:
+        edges.discard((u, v) if u < v else (v, u))
+    return Graph.from_edges(summarization.num_nodes, sorted(edges))
+
+
+def verify_lossless(graph: Graph, summarization: Summarization) -> None:
+    """Raise ``AssertionError`` unless the summarization reproduces ``graph``."""
+    rebuilt = reconstruct(summarization)
+    if rebuilt != graph:
+        missing, spurious = reconstruction_error(graph, summarization)
+        raise AssertionError(
+            f"reconstruction mismatch: {len(missing)} missing edges, "
+            f"{len(spurious)} spurious edges (e.g. missing={missing[:5]}, "
+            f"spurious={spurious[:5]})"
+        )
+
+
+def reconstruction_error(
+    graph: Graph, summarization: Summarization
+) -> Tuple[List[Edge], List[Edge]]:
+    """Edges lost and edges invented by the reconstruction.
+
+    Returns ``(missing, spurious)``; both empty iff lossless. Used to
+    validate the lossy dropping step against the Eq. 2 error bound.
+    """
+    original = set(graph.edges())
+    rebuilt = set(reconstruct(summarization).edges())
+    missing = sorted(original - rebuilt)
+    spurious = sorted(rebuilt - original)
+    return missing, spurious

@@ -1,0 +1,74 @@
+"""Incremental re-summarization after graph updates.
+
+Static summarizers start from singletons every time; MoSSo handles streams
+edge by edge. This extension covers the middle ground the paper's dynamic
+comparison motivates: a graph receives a *batch* of updates and the old
+summary is mostly still right. :func:`resummarize` warm-starts from the
+previous partition, first extracting every node whose neighbourhood the
+update batch touched (their old grouping is suspect), then runs a few LDME
+iterations to regroup.
+
+Cost scales with the update size plus the usual per-iteration cost — for
+small batches this is far cheaper than a cold run at equal quality.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set, Tuple
+
+from ..graph.graph import Graph
+from .ldme import LDME
+from .partition import SupernodePartition
+from .summary import Summarization
+
+__all__ = ["affected_nodes", "resummarize"]
+
+Edge = Tuple[int, int]
+
+
+def affected_nodes(updates: Iterable[Edge]) -> Set[int]:
+    """Endpoints touched by an update batch (insertions or deletions)."""
+    touched: Set[int] = set()
+    for u, v in updates:
+        touched.add(int(u))
+        touched.add(int(v))
+    return touched
+
+
+def resummarize(
+    new_graph: Graph,
+    previous_partition: SupernodePartition,
+    updates: Iterable[Edge],
+    k: int = 5,
+    iterations: int = 5,
+    seed: int = 0,
+    **ldme_kwargs,
+) -> Summarization:
+    """Summarize ``new_graph`` reusing the previous partition.
+
+    Parameters
+    ----------
+    new_graph:
+        The updated graph (after applying the batch).
+    previous_partition:
+        The partition from the previous summarization (not mutated).
+    updates:
+        The edges inserted and/or deleted since that summarization; their
+        endpoints are re-seeded as singletons before merging resumes.
+    k / iterations / seed / ldme_kwargs:
+        LDME settings for the refresh rounds.
+    """
+    if previous_partition.num_nodes != new_graph.num_nodes:
+        raise ValueError(
+            "previous partition covers a different node universe; "
+            "re-run from scratch when nodes are added or removed"
+        )
+    warm = previous_partition.copy()
+    for node in affected_nodes(updates):
+        if not 0 <= node < new_graph.num_nodes:
+            raise ValueError(f"update endpoint {node} out of range")
+        warm.extract(node)
+    algo = LDME(k=k, iterations=iterations, seed=seed, **ldme_kwargs)
+    summary = algo.summarize(new_graph, initial_partition=warm)
+    summary.algorithm = f"{summary.algorithm}-incremental"
+    return summary

@@ -1,0 +1,122 @@
+"""Structural validation of summarization outputs.
+
+Deserialized or hand-built summaries can be malformed in ways losslessness
+checks alone won't localize (dangling supernode ids, out-of-range nodes,
+duplicate correction edges, additions that expanded superedges already
+cover). :func:`validate_summary` raises a precise error for each failure
+mode; :func:`check_summary` returns the problems as a list for tooling.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..graph.graph import Graph
+from .reconstruct import reconstruction_error
+from .summary import Summarization
+
+__all__ = ["validate_summary", "check_summary", "SummaryValidationError"]
+
+
+class SummaryValidationError(ValueError):
+    """A summarization violates a structural invariant."""
+
+
+def check_summary(
+    summary: Summarization, graph: Optional[Graph] = None
+) -> List[str]:
+    """Collect structural problems (empty list = clean).
+
+    With ``graph`` provided, also verifies exact losslessness.
+    """
+    problems: List[str] = []
+    partition = summary.partition
+
+    # Partition covers the node universe consistently.
+    try:
+        partition.validate()
+    except AssertionError as exc:
+        problems.append(f"partition invalid: {exc}")
+    if partition.num_nodes != summary.num_nodes:
+        problems.append(
+            f"partition covers {partition.num_nodes} nodes but summary "
+            f"declares {summary.num_nodes}"
+        )
+
+    # Superedges must reference live supernodes.
+    live = set(partition.supernode_ids())
+    for a, b in summary.superedges:
+        if a not in live or b not in live:
+            problems.append(f"superedge ({a}, {b}) references a dead supernode")
+    seen_superedges = set()
+    for pair in summary.superedges:
+        key = (min(pair), max(pair))
+        if key in seen_superedges:
+            problems.append(f"duplicate superedge {key}")
+        seen_superedges.add(key)
+
+    # Correction edges: in range, canonical, unique, and no overlap
+    # between C+ and C-.
+    additions = summary.corrections.additions
+    deletions = summary.corrections.deletions
+    for label, edges in (("C+", additions), ("C-", deletions)):
+        seen = set()
+        for u, v in edges:
+            if not (0 <= u < summary.num_nodes and 0 <= v < summary.num_nodes):
+                problems.append(f"{label} edge ({u}, {v}) out of node range")
+            if (u, v) in seen:
+                problems.append(f"duplicate {label} edge ({u}, {v})")
+            seen.add((u, v))
+    overlap = set(additions) & set(deletions)
+    for edge in sorted(overlap):
+        problems.append(f"edge {edge} appears in both C+ and C-")
+
+    # C- edges only make sense inside an encoded superedge block; C+ edges
+    # must not duplicate pairs a superedge already produces.
+    node2super = partition.node2super
+    superedge_pairs = {
+        (min(a, b), max(a, b)) for a, b in summary.superedges
+    }
+
+    def in_range(u, v):
+        return 0 <= u < summary.num_nodes and 0 <= v < summary.num_nodes
+
+    for u, v in deletions:
+        if not in_range(u, v):
+            continue  # already reported above
+        pair = _pair_of(node2super, u, v)
+        if pair not in superedge_pairs:
+            problems.append(
+                f"C- edge ({u}, {v}) targets pair {pair} with no superedge"
+            )
+    for u, v in additions:
+        if not in_range(u, v):
+            continue
+        pair = _pair_of(node2super, u, v)
+        if pair in superedge_pairs:
+            problems.append(
+                f"C+ edge ({u}, {v}) duplicates covered pair {pair}"
+            )
+
+    if graph is not None and not problems:
+        missing, spurious = reconstruction_error(graph, summary)
+        if missing or spurious:
+            problems.append(
+                f"reconstruction mismatch: {len(missing)} missing / "
+                f"{len(spurious)} spurious edges"
+            )
+    return problems
+
+
+def _pair_of(node2super, u: int, v: int):
+    a, b = int(node2super[u]), int(node2super[v])
+    return (a, b) if a < b else (b, a)
+
+
+def validate_summary(
+    summary: Summarization, graph: Optional[Graph] = None
+) -> None:
+    """Raise :class:`SummaryValidationError` on the first set of problems."""
+    problems = check_summary(summary, graph)
+    if problems:
+        raise SummaryValidationError("; ".join(problems[:10]))

@@ -1,0 +1,14 @@
+"""Simulated distributed runtime (substitute for the paper's Spark/EMR)."""
+
+from .multiprocess import MultiprocessLDME, plan_group_merges
+from .parallel import DistributedResult, run_distributed
+from .runtime import ClusterSpec, SimulatedCluster
+
+__all__ = [
+    "ClusterSpec",
+    "SimulatedCluster",
+    "DistributedResult",
+    "run_distributed",
+    "MultiprocessLDME",
+    "plan_group_merges",
+]

@@ -1,0 +1,242 @@
+"""Real shared-memory parallel LDME (the paper's parallel implementation).
+
+The paper notes every phase of LDME parallelizes: signatures per supernode,
+merge per group, encode per supernode. :class:`MultiprocessLDME` runs the
+merge phase on a process pool for real: each worker receives a batch of
+groups plus a frozen snapshot of the iteration-start partition, *plans* the
+merges for its groups (groups are disjoint, so plans never conflict), and
+the parent applies all plans. Out-of-group supernode sizes are read from
+the snapshot — the same staleness semantics as the paper's Spark version,
+where each executor works against the broadcast partition state.
+
+Uses the ``fork`` start method so the graph's CSR arrays are inherited
+copy-on-write instead of pickled per task; on platforms without ``fork``
+(or with ``num_workers=1``) it degrades to the serial loop.
+
+On the scaled surrogate graphs in this repo the process-pool overhead often
+exceeds the merge work — this class exists for API completeness and for
+larger inputs, and its tests assert *correctness* (lossless output,
+valid partitions), not speedups.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.encode import encode_sorted
+from ..core.ldme import LDME
+from ..core.merge import MergeStats, merge_group_exact, merge_threshold
+from ..core.partition import SupernodePartition
+from ..core.summary import IterationStats, RunStats, Summarization
+from ..graph.graph import Graph
+
+__all__ = ["MultiprocessLDME", "plan_group_merges"]
+
+# Shared state inherited by forked workers (set immediately before the pool
+# is created; read-only in children).
+_SHARED: dict = {}
+
+
+class _SnapshotPartition:
+    """Partition view a worker plans merges against.
+
+    Group members are local and mutable (in-group merges update them);
+    everything else reads the frozen iteration-start snapshot. The merge
+    log records (a, b) pairs in order so the parent can replay them on the
+    real partition with identical survivor decisions.
+    """
+
+    def __init__(
+        self,
+        node2super: np.ndarray,
+        sizes: np.ndarray,
+        group_members: Dict[int, List[int]],
+    ) -> None:
+        self._node2super = node2super
+        self._sizes = sizes
+        self._members = {sid: list(mem) for sid, mem in group_members.items()}
+        self.merge_log: List[Tuple[int, int]] = []
+
+    @property
+    def node2super(self) -> np.ndarray:
+        return self._node2super
+
+    def members(self, sid: int) -> List[int]:
+        return self._members[sid]
+
+    def size(self, sid: int) -> int:
+        local = self._members.get(sid)
+        if local is not None:
+            return len(local)
+        return int(self._sizes[sid])
+
+    def merge(self, a: int, b: int) -> Tuple[int, int]:
+        if a == b:
+            raise ValueError("cannot merge a supernode with itself")
+        self.merge_log.append((a, b))
+        mem_a, mem_b = self._members[a], self._members[b]
+        if len(mem_b) > len(mem_a):
+            survivor, absorbed = b, a
+            mem_s, mem_x = mem_b, mem_a
+        else:
+            survivor, absorbed = a, b
+            mem_s, mem_x = mem_a, mem_b
+        mem_s.extend(mem_x)
+        del self._members[absorbed]
+        return survivor, absorbed
+
+
+def plan_group_merges(
+    graph: Graph,
+    node2super: np.ndarray,
+    sizes: np.ndarray,
+    group_members: Dict[int, List[int]],
+    threshold: float,
+    seed: int,
+    cost_model: str = "exact",
+) -> Tuple[List[Tuple[int, int]], int]:
+    """Plan the merges for one group against a partition snapshot.
+
+    Returns the ordered (a, b) merge pairs plus the candidate-scoring count.
+    Pure function of its inputs — usable directly (tests) or from workers.
+    """
+    snapshot = _SnapshotPartition(node2super, sizes, group_members)
+    stats = merge_group_exact(
+        graph,
+        snapshot,
+        list(group_members),
+        threshold,
+        seed=np.random.default_rng(seed),
+        cost_model=cost_model,
+    )
+    return snapshot.merge_log, stats.candidates_scored
+
+
+def _worker(task) -> Tuple[List[Tuple[int, int]], int]:
+    """Pool worker: plan merges for one batch of groups."""
+    batches, threshold, seed, cost_model = task
+    graph = _SHARED["graph"]
+    node2super = _SHARED["node2super"]
+    sizes = _SHARED["sizes"]
+    log: List[Tuple[int, int]] = []
+    scored = 0
+    for offset, group_members in enumerate(batches):
+        merges, count = plan_group_merges(
+            graph, node2super, sizes, group_members,
+            threshold, seed + offset, cost_model,
+        )
+        log.extend(merges)
+        scored += count
+    return log, scored
+
+
+class MultiprocessLDME(LDME):
+    """LDME with a process-parallel merge phase.
+
+    Parameters are those of :class:`~repro.core.ldme.LDME` plus
+    ``num_workers`` (defaults to the CPU count, capped at 8).
+    """
+
+    def __init__(self, num_workers: Optional[int] = None, **kwargs) -> None:
+        super().__init__(**kwargs)
+        if num_workers is not None and num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers or min(8, multiprocessing.cpu_count())
+        self.name = f"{self.name}-mp{self.num_workers}"
+
+    # ------------------------------------------------------------------
+    def summarize(self, graph: Graph) -> Summarization:
+        if self.num_workers == 1 or not _fork_available():
+            return super().summarize(graph)
+        rng = np.random.default_rng(self.seed)
+        partition = SupernodePartition(graph.num_nodes)
+        stats = RunStats()
+        for t in range(1, self.iterations + 1):
+            tic = time.perf_counter()
+            groups, divide_stats = self.divide(graph, partition, rng)
+            divide_seconds = time.perf_counter() - tic
+
+            tic = time.perf_counter()
+            threshold = merge_threshold(t)
+            merge_stats = MergeStats()
+            plans = self._plan_parallel(graph, partition, groups, threshold, t)
+            for log, scored in plans:
+                merge_stats.candidates_scored += scored
+                for a, b in log:
+                    partition.merge(a, b)
+                    merge_stats.merges += 1
+            merge_seconds = time.perf_counter() - tic
+
+            stats.divide_seconds += divide_seconds
+            stats.merge_seconds += merge_seconds
+            stats.iterations.append(
+                IterationStats(
+                    iteration=t,
+                    divide_seconds=divide_seconds,
+                    merge_seconds=merge_seconds,
+                    num_groups=divide_stats.num_groups,
+                    max_group_size=divide_stats.max_group_size,
+                    num_supernodes=partition.num_supernodes,
+                    merges=merge_stats.merges,
+                )
+            )
+        tic = time.perf_counter()
+        encoded = encode_sorted(graph, partition)
+        stats.encode_seconds = time.perf_counter() - tic
+        return Summarization(
+            num_nodes=graph.num_nodes,
+            num_edges=graph.num_edges,
+            partition=partition,
+            superedges=encoded.superedges,
+            corrections=encoded.corrections,
+            stats=stats,
+            algorithm=self.name,
+        )
+
+    # ------------------------------------------------------------------
+    def _plan_parallel(
+        self,
+        graph: Graph,
+        partition: SupernodePartition,
+        groups: Sequence[List[int]],
+        threshold: float,
+        iteration: int,
+    ):
+        """Fan the groups out over a fork pool and collect merge plans."""
+        if not groups:
+            return []
+        node2super = partition.node2super.copy()
+        sizes = np.bincount(node2super, minlength=graph.num_nodes).astype(
+            np.int64
+        )
+        batches: List[List[Dict[int, List[int]]]] = [
+            [] for _ in range(self.num_workers)
+        ]
+        for i, group in enumerate(groups):
+            batches[i % self.num_workers].append(
+                {sid: list(partition.members(sid)) for sid in group}
+            )
+        base_seed = self.seed * 100_003 + iteration
+        tasks = [
+            (batch, threshold, base_seed + 10_000 * w, self.cost_model)
+            for w, batch in enumerate(batches)
+            if batch
+        ]
+        _SHARED["graph"] = graph
+        _SHARED["node2super"] = node2super
+        _SHARED["sizes"] = sizes
+        try:
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(processes=min(self.num_workers, len(tasks))) as pool:
+                return pool.map(_worker, tasks)
+        finally:
+            _SHARED.clear()
+
+
+def _fork_available() -> bool:
+    """True when the 'fork' start method exists on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()

@@ -1,0 +1,177 @@
+"""Quality evaluation of supernode partitions.
+
+Summarizers group nodes with similar connectivity; on graphs with known
+community structure (SBM, host graphs) the supernode partition should
+align with the planted communities. This module provides the standard
+clustering-agreement measures — purity, Adjusted Rand Index and Normalized
+Mutual Information — implemented from scratch over
+:class:`~repro.core.partition.SupernodePartition` objects or plain label
+arrays, plus a convenience comparison of two summarizations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence, Union
+
+import numpy as np
+
+from .core.partition import SupernodePartition
+
+__all__ = [
+    "partition_labels",
+    "purity",
+    "adjusted_rand_index",
+    "normalized_mutual_information",
+    "PartitionAgreement",
+    "compare_partitions",
+    "read_labels",
+]
+
+LabelsLike = Union[Sequence[int], np.ndarray, SupernodePartition]
+
+
+def partition_labels(partition: LabelsLike) -> np.ndarray:
+    """Normalize input to a dense int64 label array."""
+    if isinstance(partition, SupernodePartition):
+        return partition.node2super.astype(np.int64)
+    labels = np.asarray(partition, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ValueError("labels must be one-dimensional")
+    return labels
+
+
+def _contingency(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Contingency table between two labelings (rows = a, cols = b)."""
+    if a.shape != b.shape:
+        raise ValueError("labelings must cover the same nodes")
+    _, a_idx = np.unique(a, return_inverse=True)
+    _, b_idx = np.unique(b, return_inverse=True)
+    table = np.zeros((a_idx.max() + 1 if a.size else 1,
+                      b_idx.max() + 1 if b.size else 1), dtype=np.int64)
+    np.add.at(table, (a_idx, b_idx), 1)
+    return table
+
+
+def purity(predicted: LabelsLike, truth: LabelsLike) -> float:
+    """Fraction of nodes whose cluster's majority truth label matches.
+
+    1.0 means every predicted cluster is contained in one true community.
+    """
+    a = partition_labels(predicted)
+    b = partition_labels(truth)
+    if a.size == 0:
+        return 1.0
+    table = _contingency(a, b)
+    return float(table.max(axis=1).sum() / a.size)
+
+
+def _comb2(x: np.ndarray) -> np.ndarray:
+    return x * (x - 1) / 2.0
+
+
+def adjusted_rand_index(predicted: LabelsLike, truth: LabelsLike) -> float:
+    """Adjusted Rand Index: chance-corrected pair-counting agreement.
+
+    1.0 = identical partitions, ~0 = random relative to marginals.
+    """
+    a = partition_labels(predicted)
+    b = partition_labels(truth)
+    if a.size < 2:
+        return 1.0
+    table = _contingency(a, b)
+    sum_cells = _comb2(table.astype(np.float64)).sum()
+    sum_rows = _comb2(table.sum(axis=1).astype(np.float64)).sum()
+    sum_cols = _comb2(table.sum(axis=0).astype(np.float64)).sum()
+    total = _comb2(np.float64(a.size))
+    expected = sum_rows * sum_cols / total
+    maximum = (sum_rows + sum_cols) / 2.0
+    if maximum == expected:
+        return 1.0
+    return float((sum_cells - expected) / (maximum - expected))
+
+
+def normalized_mutual_information(
+    predicted: LabelsLike, truth: LabelsLike
+) -> float:
+    """NMI with arithmetic-mean normalization (0 = independent, 1 = equal)."""
+    a = partition_labels(predicted)
+    b = partition_labels(truth)
+    if a.size == 0:
+        return 1.0
+    table = _contingency(a, b).astype(np.float64)
+    n = float(a.size)
+    joint = table / n
+    pa = joint.sum(axis=1)
+    pb = joint.sum(axis=0)
+    mutual = 0.0
+    for i in range(table.shape[0]):
+        for j in range(table.shape[1]):
+            if joint[i, j] > 0:
+                mutual += joint[i, j] * math.log(
+                    joint[i, j] / (pa[i] * pb[j])
+                )
+    h_a = -sum(p * math.log(p) for p in pa if p > 0)
+    h_b = -sum(p * math.log(p) for p in pb if p > 0)
+    denom = (h_a + h_b) / 2.0
+    if denom == 0.0:
+        return 1.0  # both labelings are single-cluster
+    return float(mutual / denom)
+
+
+@dataclass(frozen=True)
+class PartitionAgreement:
+    """Agreement scores between two partitions."""
+
+    purity: float
+    adjusted_rand_index: float
+    normalized_mutual_information: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dict for tabular reporting."""
+        return {
+            "purity": self.purity,
+            "ari": self.adjusted_rand_index,
+            "nmi": self.normalized_mutual_information,
+        }
+
+
+def compare_partitions(
+    predicted: LabelsLike, truth: LabelsLike
+) -> PartitionAgreement:
+    """All three agreement measures at once."""
+    return PartitionAgreement(
+        purity=purity(predicted, truth),
+        adjusted_rand_index=adjusted_rand_index(predicted, truth),
+        normalized_mutual_information=normalized_mutual_information(
+            predicted, truth
+        ),
+    )
+
+
+def read_labels(path) -> np.ndarray:
+    """Read a node → community labels file (``node label`` per line).
+
+    Nodes may appear in any order but must cover ``0..n-1`` exactly once.
+    Used by ``ldme evaluate``.
+    """
+    import os
+
+    entries: Dict[int, int] = {}
+    with open(os.fspath(path), "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(f"{path}:{lineno}: expected 'node label'")
+            node, label = int(parts[0]), int(parts[1])
+            if node in entries:
+                raise ValueError(f"{path}:{lineno}: duplicate node {node}")
+            entries[node] = label
+    if sorted(entries) != list(range(len(entries))):
+        raise ValueError(f"{path}: labels must cover nodes 0..n-1")
+    return np.asarray([entries[v] for v in range(len(entries))],
+                      dtype=np.int64)

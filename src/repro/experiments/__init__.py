@@ -1,0 +1,43 @@
+"""Experiment harnesses reproducing every table and figure of the paper."""
+
+from .ablations import run_ablations
+from .fig2 import run_fig2
+from .fig3 import run_fig3
+from .fig4 import run_fig4
+from .fig5a import run_fig5a
+from .fig5b import run_fig5b
+from .fig5c import run_fig5c, sbm_graph_for_level
+from .reporting import ExperimentResult, format_result, format_table
+from .runner import EXPERIMENTS, run_all, write_report
+from .lossy import run_lossy_curve
+from .queries_exp import generate_query_workload, run_query_latency
+from .robustness import rewire, run_noise_robustness, run_seed_sensitivity
+from .scaling import run_scaling_curve
+from .table1 import run_table1
+from .tuning import run_tuning_curve
+
+__all__ = [
+    "run_table1",
+    "run_tuning_curve",
+    "run_lossy_curve",
+    "run_query_latency",
+    "run_ablations",
+    "run_noise_robustness",
+    "run_seed_sensitivity",
+    "rewire",
+    "generate_query_workload",
+    "run_scaling_curve",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5a",
+    "run_fig5b",
+    "run_fig5c",
+    "sbm_graph_for_level",
+    "ExperimentResult",
+    "format_result",
+    "format_table",
+    "EXPERIMENTS",
+    "run_all",
+    "write_report",
+]

@@ -1,0 +1,72 @@
+"""Ablation harness: isolate each of LDME's design choices.
+
+Runs LDME variants that differ in exactly one knob — encoder, merge
+policy, cost model, divide weighting, divide strategy (via SWeG) — on one
+graph and reports compression and phase times side by side. The benchmark
+mirror is ``benchmarks/test_ablations.py``; this harness makes the same
+comparisons reachable from ``ldme experiment ablations``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..baselines.sweg import SWeG
+from ..core.ldme import LDME
+from ..graph import datasets
+from ..graph.graph import Graph
+from .reporting import ExperimentResult
+
+__all__ = ["run_ablations"]
+
+
+def run_ablations(
+    dataset_names: Sequence[str] = ("CN",),
+    iterations: int = 8,
+    seed: int = 0,
+    graphs: Optional[Dict[str, Graph]] = None,
+) -> ExperimentResult:
+    """One row per variant per graph."""
+    result = ExperimentResult(
+        experiment="ablations",
+        title="Design-choice ablations (one knob changed per row)",
+    )
+    if graphs is None:
+        graphs = {name: datasets.load(name) for name in dataset_names}
+    variants = [
+        ("LDME5 (reference)", lambda: LDME(k=5, iterations=iterations,
+                                           seed=seed)),
+        ("encoder=per-supernode", lambda: LDME(k=5, iterations=iterations,
+                                               seed=seed,
+                                               encoder="per-supernode")),
+        ("merge=superjaccard", lambda: LDME(k=5, iterations=iterations,
+                                            seed=seed,
+                                            merge_policy="superjaccard")),
+        ("cost=paper", lambda: LDME(k=5, iterations=iterations, seed=seed,
+                                    cost_model="paper")),
+        ("divide=expanded-weights", lambda: LDME(k=5,
+                                                 iterations=iterations,
+                                                 seed=seed,
+                                                 divide_weights="expanded")),
+        ("divide=shingle (SWeG)", lambda: SWeG(iterations=iterations,
+                                               seed=seed)),
+    ]
+    for name, graph in graphs.items():
+        for label, factory in variants:
+            summary = factory().summarize(graph)
+            result.rows.append(
+                {
+                    "graph": name,
+                    "variant": label,
+                    "compression": summary.compression,
+                    "total_s": summary.stats.total_seconds,
+                    "divide_merge_s": summary.stats.divide_merge_seconds,
+                    "encode_s": summary.stats.encode_seconds,
+                    "supernodes": summary.num_supernodes,
+                }
+            )
+    result.notes.append(
+        "Each non-reference row changes exactly one design choice; compare "
+        "against the first row of its graph."
+    )
+    return result

@@ -1,0 +1,140 @@
+"""Query-answering experiment: latency on the summary vs. the raw graph.
+
+The paper's introduction motivates summarization with efficient query
+answering on the compact representation. This harness generates a mixed
+query workload (neighbourhood, edge-membership, 2-hop), runs it against
+both the raw CSR graph and the :class:`~repro.queries.SummaryIndex`, and
+verifies every answer agrees — quantifying the price/benefit of serving
+queries without reconstruction.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.ldme import LDME
+from ..graph import datasets
+from ..graph.graph import Graph
+from ..queries.index import SummaryIndex
+from .reporting import ExperimentResult
+
+__all__ = ["generate_query_workload", "run_query_latency"]
+
+Query = Tuple[str, int, int]     # ("nbr"|"edge"|"2hop", u, v)
+
+
+def generate_query_workload(
+    graph: Graph,
+    num_queries: int = 1000,
+    seed: int = 0,
+    mix: Dict[str, float] = None,
+) -> List[Query]:
+    """Random query mix over the graph's node universe.
+
+    ``mix`` maps query kind → probability; default 50% neighbourhood,
+    30% edge-membership (half of them true edges), 20% 2-hop counts.
+    """
+    if num_queries < 0:
+        raise ValueError("num_queries must be non-negative")
+    mix = mix or {"nbr": 0.5, "edge": 0.3, "2hop": 0.2}
+    total = sum(mix.values())
+    if total <= 0:
+        raise ValueError("query mix must have positive mass")
+    rng = np.random.default_rng(seed)
+    kinds = list(mix)
+    probs = np.array([mix[k] for k in kinds]) / total
+    src, dst = graph.edge_arrays()
+    workload: List[Query] = []
+    for _ in range(num_queries):
+        kind = kinds[int(rng.choice(len(kinds), p=probs))]
+        if kind == "edge" and src.size and rng.random() < 0.5:
+            i = int(rng.integers(src.size))
+            workload.append(("edge", int(src[i]), int(dst[i])))
+        else:
+            u = int(rng.integers(graph.num_nodes))
+            v = int(rng.integers(graph.num_nodes))
+            workload.append((kind, u, v))
+    return workload
+
+
+def _run_on_graph(graph: Graph, workload: Sequence[Query]) -> List:
+    answers = []
+    for kind, u, v in workload:
+        if kind == "nbr":
+            answers.append(graph.neighbors(u).tolist())
+        elif kind == "edge":
+            answers.append(graph.has_edge(u, v))
+        else:  # 2hop: count of distinct nodes exactly two hops from u
+            one_hop = set(graph.neighbors(u).tolist())
+            two_hop = set()
+            for w in one_hop:
+                two_hop.update(graph.neighbors(w).tolist())
+            answers.append(len(two_hop - one_hop - {u}))
+    return answers
+
+
+def _run_on_index(index: SummaryIndex, workload: Sequence[Query]) -> List:
+    answers = []
+    for kind, u, v in workload:
+        if kind == "nbr":
+            answers.append(index.neighbors(u))
+        elif kind == "edge":
+            answers.append(index.has_edge(u, v))
+        else:
+            one_hop = set(index.neighbors(u))
+            two_hop = set()
+            for w in one_hop:
+                two_hop.update(index.neighbors(w))
+            answers.append(len(two_hop - one_hop - {u}))
+    return answers
+
+
+def run_query_latency(
+    dataset_names: Sequence[str] = ("CN",),
+    num_queries: int = 500,
+    k: int = 5,
+    iterations: int = 10,
+    seed: int = 0,
+    graphs: Optional[Dict[str, Graph]] = None,
+) -> ExperimentResult:
+    """Time the workload on the raw graph and on the summary index."""
+    result = ExperimentResult(
+        experiment="queries",
+        title="Query latency: raw CSR graph vs. summary index",
+    )
+    if graphs is None:
+        graphs = {name: datasets.load(name) for name in dataset_names}
+    for name, graph in graphs.items():
+        summary = LDME(k=k, iterations=iterations, seed=seed).summarize(graph)
+        index = SummaryIndex(summary)
+        workload = generate_query_workload(graph, num_queries, seed=seed)
+
+        tic = time.perf_counter()
+        graph_answers = _run_on_graph(graph, workload)
+        graph_seconds = time.perf_counter() - tic
+
+        tic = time.perf_counter()
+        index_answers = _run_on_index(index, workload)
+        index_seconds = time.perf_counter() - tic
+
+        agree = sum(
+            1 for a, b in zip(graph_answers, index_answers) if a == b
+        )
+        result.rows.append(
+            {
+                "graph": name,
+                "queries": len(workload),
+                "graph_s": graph_seconds,
+                "summary_s": index_seconds,
+                "agreement": agree / max(1, len(workload)),
+                "compression": summary.compression,
+            }
+        )
+    result.notes.append(
+        "Lossless summaries must reach agreement 1.0; the summary pays an "
+        "expansion cost per neighbourhood but answers without storing E."
+    )
+    return result

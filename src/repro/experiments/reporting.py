@@ -1,0 +1,132 @@
+"""Plain-text reporting for experiment harnesses.
+
+Every experiment returns an :class:`ExperimentResult` — a titled list of
+row dicts — and this module renders them as aligned ASCII tables the way
+the paper's tables/series read. Keeping formatting in one place means every
+benchmark prints comparable output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "format_result",
+    "to_csv",
+    "to_json",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment harness run."""
+
+    experiment: str                  # e.g. "figure2"
+    title: str                       # human description
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def column_names(self) -> List[str]:
+        """Union of row keys, in first-appearance order."""
+        names: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in names:
+                    names.append(key)
+        return names
+
+    def series(self, x: str, y: str, where: Optional[Dict[str, object]] = None):
+        """Extract an (x, y) series, optionally filtered by column values.
+
+        The figure benchmarks use this to check shapes ("time decreases
+        with k") without caring about table layout.
+        """
+        points = []
+        for row in self.rows:
+            if where and any(row.get(k) != v for k, v in where.items()):
+                continue
+            if x in row and y in row:
+                points.append((row[x], row[y]))
+        return points
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}"
+        return f"{value:.4f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]], columns: Optional[Sequence[str]] = None
+) -> str:
+    """Render rows as an aligned ASCII table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    cells = [[_format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), max((len(line[i]) for line in cells), default=0))
+        for i, col in enumerate(columns)
+    ]
+    header = " | ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    rule = "-+-".join("-" * w for w in widths)
+    body = "\n".join(
+        " | ".join(line[i].rjust(widths[i]) for i in range(len(columns)))
+        for line in cells
+    )
+    return f"{header}\n{rule}\n{body}"
+
+
+def format_result(result: ExperimentResult) -> str:
+    """Full printable report for one experiment."""
+    parts = [f"== {result.experiment}: {result.title} =="]
+    parts.append(format_table(result.rows, result.column_names()))
+    for note in result.notes:
+        parts.append(f"note: {note}")
+    return "\n".join(parts)
+
+
+def to_csv(result: ExperimentResult) -> str:
+    """Render the rows as CSV (header from column order)."""
+    import csv
+    import io
+
+    columns = result.column_names()
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns)
+    writer.writeheader()
+    for row in result.rows:
+        writer.writerow({col: row.get(col, "") for col in columns})
+    return buffer.getvalue()
+
+
+def to_json(result: ExperimentResult) -> str:
+    """Render the whole result (metadata + rows) as JSON."""
+    import json
+
+    return json.dumps(
+        {
+            "experiment": result.experiment,
+            "title": result.title,
+            "rows": result.rows,
+            "notes": result.notes,
+        },
+        indent=2,
+        default=str,
+    )

@@ -1,0 +1,107 @@
+"""Run every experiment and emit a consolidated report.
+
+``python -m repro.experiments.runner`` (or ``ldme experiment all``) runs
+the scaled version of each table/figure and prints paper-style output;
+``write_report`` additionally produces the markdown used to refresh
+EXPERIMENTS.md measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .ablations import run_ablations
+from .fig2 import run_fig2
+from .fig3 import run_fig3
+from .fig4 import run_fig4
+from .fig5a import run_fig5a
+from .fig5b import run_fig5b
+from .fig5c import run_fig5c
+from .reporting import ExperimentResult, format_result
+from .lossy import run_lossy_curve
+from .queries_exp import run_query_latency
+from .robustness import run_noise_robustness, run_seed_sensitivity
+from .scaling import run_scaling_curve
+from .table1 import run_table1
+from .tuning import run_tuning_curve
+
+__all__ = ["EXPERIMENTS", "run_all", "write_report", "save_results"]
+
+#: Registry of experiment name → harness (scaled defaults).
+EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "table1": run_table1,
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig5a": run_fig5a,
+    "fig5b": run_fig5b,
+    "fig5c": run_fig5c,
+    "tuning": run_tuning_curve,
+    "lossy": run_lossy_curve,
+    "scaling": run_scaling_curve,
+    "queries": run_query_latency,
+    "ablations": run_ablations,
+    "robustness": run_noise_robustness,
+    "seeds": run_seed_sensitivity,
+}
+
+
+def run_all(names: List[str] = None) -> List[ExperimentResult]:
+    """Run the named experiments (default: every one) in registry order."""
+    selected = names or list(EXPERIMENTS)
+    results = []
+    for name in selected:
+        if name not in EXPERIMENTS:
+            raise KeyError(
+                f"unknown experiment {name!r}; choose from {list(EXPERIMENTS)}"
+            )
+        results.append(EXPERIMENTS[name]())
+    return results
+
+
+def save_results(
+    results: List[ExperimentResult], directory, fmt: str = "csv"
+) -> List[str]:
+    """Persist each result to ``directory`` as ``<experiment>.<fmt>``.
+
+    ``fmt`` is ``"csv"`` or ``"json"``; returns the written paths. Used by
+    ``ldme experiment --output-dir``.
+    """
+    import os
+
+    from .reporting import to_csv, to_json
+
+    if fmt not in ("csv", "json"):
+        raise ValueError("fmt must be 'csv' or 'json'")
+    os.makedirs(directory, exist_ok=True)
+    written = []
+    for result in results:
+        path = os.path.join(os.fspath(directory),
+                            f"{result.experiment}.{fmt}")
+        payload = to_csv(result) if fmt == "csv" else to_json(result)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+        written.append(path)
+    return written
+
+
+def write_report(results: List[ExperimentResult]) -> str:
+    """Render all results into one markdown document."""
+    chunks = ["# LDME reproduction — experiment report", ""]
+    for result in results:
+        chunks.append("```")
+        chunks.append(format_result(result))
+        chunks.append("```")
+        chunks.append("")
+    return "\n".join(chunks)
+
+
+def main() -> None:  # pragma: no cover - exercised via CLI tests
+    results = run_all()
+    for result in results:
+        print(format_result(result))
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

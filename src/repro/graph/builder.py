@@ -1,0 +1,102 @@
+"""Incremental construction of :class:`~repro.graph.graph.Graph` objects.
+
+``GraphBuilder`` buffers edges (with optional arbitrary node labels) and
+produces an immutable CSR graph. It is the ingestion point for file loaders,
+generators and the dynamic-stream example: callers never hand-assemble CSR
+arrays themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Accumulates edges and builds a simple undirected :class:`Graph`.
+
+    Parameters
+    ----------
+    num_nodes:
+        If given, node ids must be ints in ``0 .. num_nodes - 1`` and the
+        built graph has exactly that many nodes. If ``None``, arbitrary
+        hashable labels are accepted and compacted to dense ids in first-seen
+        order; :attr:`labels` then maps dense id back to the original label.
+    """
+
+    def __init__(self, num_nodes: Optional[int] = None) -> None:
+        if num_nodes is not None and num_nodes < 0:
+            raise ValueError("num_nodes must be non-negative")
+        self._fixed_n = num_nodes
+        self._src: List[int] = []
+        self._dst: List[int] = []
+        self._label_to_id: Dict[Hashable, int] = {}
+        self._labels: List[Hashable] = []
+        self._self_loops_dropped = 0
+
+    # ------------------------------------------------------------------
+    def _resolve(self, label: Hashable) -> int:
+        if self._fixed_n is not None:
+            node = int(label)
+            if not 0 <= node < self._fixed_n:
+                raise ValueError(
+                    f"node {node} out of range for fixed num_nodes="
+                    f"{self._fixed_n}"
+                )
+            return node
+        node = self._label_to_id.get(label)
+        if node is None:
+            node = len(self._labels)
+            self._label_to_id[label] = node
+            self._labels.append(label)
+        return node
+
+    def add_node(self, label: Hashable) -> int:
+        """Register a (possibly isolated) node; returns its dense id."""
+        return self._resolve(label)
+
+    def add_edge(self, u: Hashable, v: Hashable) -> "GraphBuilder":
+        """Buffer the undirected edge ``{u, v}``. Self loops are dropped."""
+        ui, vi = self._resolve(u), self._resolve(v)
+        if ui == vi:
+            self._self_loops_dropped += 1
+            return self
+        self._src.append(ui)
+        self._dst.append(vi)
+        return self
+
+    def add_edges(self, edges: Iterable[Tuple[Hashable, Hashable]]) -> "GraphBuilder":
+        """Buffer many edges; chains for fluent use."""
+        for u, v in edges:
+            self.add_edge(u, v)
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def num_buffered_edges(self) -> int:
+        """Edges buffered so far (before de-duplication)."""
+        return len(self._src)
+
+    @property
+    def self_loops_dropped(self) -> int:
+        """Count of self loops silently discarded."""
+        return self._self_loops_dropped
+
+    @property
+    def labels(self) -> List[Hashable]:
+        """Dense-id → original-label mapping (label mode only)."""
+        if self._fixed_n is not None:
+            raise ValueError("labels are only tracked when num_nodes is None")
+        return list(self._labels)
+
+    def build(self) -> Graph:
+        """Produce the immutable graph (symmetrized, de-duplicated)."""
+        n = self._fixed_n if self._fixed_n is not None else len(self._labels)
+        src = np.asarray(self._src, dtype=np.int64)
+        dst = np.asarray(self._dst, dtype=np.int64)
+        return Graph.from_edge_arrays(n, src, dst)

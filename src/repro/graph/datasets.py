@@ -1,0 +1,144 @@
+"""Synthetic surrogates for the paper's Table 1 datasets.
+
+The paper evaluates on eight web/social crawls from the Laboratory of Web
+Algorithmics (cnr-2000 … arabic-2005, up to 1.1 billion edges). Those files
+are not available offline and pure Python cannot run billion-edge inputs in
+this environment, so each dataset is replaced by a *scaled surrogate* with
+the same qualitative structure: heavy-tailed degrees and host-block locality
+(see ``DESIGN.md`` §4). The registry keeps the paper's true node/edge counts
+alongside each surrogate so reports can show both.
+
+Surrogates are deterministic: ``load(name)`` always returns the same graph
+for a given package version (fixed seeds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from .generators import rmat, web_host_graph
+from .graph import Graph
+
+__all__ = ["DatasetSpec", "DATASETS", "load", "names", "table1_rows"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One row of Table 1 plus its surrogate recipe."""
+
+    name: str            # paper dataset name, e.g. "cnr-2000"
+    abbrev: str          # paper abbreviation, e.g. "CN"
+    paper_nodes: int     # node count reported in Table 1
+    paper_edges: int     # symmetrized edge count reported in Table 1
+    size_class: str      # "small" | "medium" | "large"
+    factory: Callable[[], Graph]  # builds the surrogate
+
+    def load(self) -> Graph:
+        """Build (deterministically) the scaled surrogate graph."""
+        return self.factory()
+
+
+def _surrogate(scale: int, edge_factor: int, seed: int) -> Callable[[], Graph]:
+    """R-MAT surrogate recipe: skewed web-like graph, 2**scale nodes."""
+
+    def factory() -> Graph:
+        return rmat(scale=scale, edge_factor=edge_factor, seed=seed)
+
+    return factory
+
+
+def _host_surrogate(
+    num_hosts: int, host_size: int, links: int, seed: int
+) -> Callable[[], Graph]:
+    """Host/template surrogate recipe: strong locality and link-set
+    redundancy (the structure group-based summarizers compress well)."""
+
+    def factory() -> Graph:
+        return web_host_graph(
+            num_hosts=num_hosts,
+            host_size=host_size,
+            links_per_template=links,
+            inter_edges_per_host=6,
+            seed=seed,
+        )
+
+    return factory
+
+
+def _community_surrogate(
+    num_hosts: int, host_size: int, links: int, mutation: float, seed: int
+) -> Callable[[], Graph]:
+    """Dense-community surrogate (collaboration-network flavour): template
+    copying with a higher mutation rate, so neighbourhoods are *near*
+    duplicates rather than exact ones — the regime where the DOPH ``k``
+    dial visibly trades group size for group count (Figure 4)."""
+
+    def factory() -> Graph:
+        return web_host_graph(
+            num_hosts=num_hosts,
+            host_size=host_size,
+            links_per_template=links,
+            mutation_prob=mutation,
+            inter_edges_per_host=8,
+            seed=seed,
+        )
+
+    return factory
+
+
+# Scaled surrogates. Sizes grow in the same order as the paper's datasets so
+# relative comparisons ("SWeG cannot finish the large ones") keep their shape.
+_SPECS: List[DatasetSpec] = [
+    DatasetSpec("cnr-2000", "CN", 325_557, 5_565_380, "small",
+                _host_surrogate(num_hosts=40, host_size=30, links=8, seed=11)),
+    DatasetSpec("in-2004", "IN", 1_382_908, 27_560_356, "medium",
+                _surrogate(scale=11, edge_factor=8, seed=12)),
+    DatasetSpec("eu-2005", "EU", 862_664, 32_778_363, "medium",
+                _host_surrogate(num_hosts=60, host_size=40, links=10, seed=13)),
+    DatasetSpec("hollywood-2009", "H1", 1_139_905, 113_891_327, "medium",
+                _community_surrogate(num_hosts=80, host_size=50, links=14,
+                                     mutation=0.05, seed=14)),
+    DatasetSpec("hollywood-2011", "H2", 2_180_759, 228_985_632, "large",
+                _community_surrogate(num_hosts=140, host_size=60, links=16,
+                                     mutation=0.05, seed=15)),
+    DatasetSpec("indochina-2004", "IC", 7_414_866, 304_472_122, "large",
+                _host_surrogate(num_hosts=160, host_size=55, links=16, seed=16)),
+    DatasetSpec("uk-2002", "UK", 18_520_486, 529_444_615, "large",
+                _surrogate(scale=14, edge_factor=12, seed=17)),
+    DatasetSpec("arabic-2005", "AR", 22_744_080, 1_116_651_935, "large",
+                _surrogate(scale=14, edge_factor=18, seed=18)),
+]
+
+DATASETS: Dict[str, DatasetSpec] = {spec.abbrev: spec for spec in _SPECS}
+# Allow lookup by full paper name, too.
+DATASETS.update({spec.name: spec for spec in _SPECS})
+
+
+def names() -> List[str]:
+    """Canonical abbreviations in Table 1 order."""
+    return [spec.abbrev for spec in _SPECS]
+
+
+def load(name: str) -> Graph:
+    """Load a surrogate by abbreviation ("CN") or paper name ("cnr-2000")."""
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {', '.join(names())}"
+        ) from None
+    return spec.load()
+
+
+def table1_rows() -> List[Tuple[str, str, int, int, int, int]]:
+    """Rows of (name, abbrev, paper nodes, paper edges, surrogate nodes,
+    surrogate edges) for Table 1 reporting."""
+    rows = []
+    for spec in _SPECS:
+        graph = spec.load()
+        rows.append(
+            (spec.name, spec.abbrev, spec.paper_nodes, spec.paper_edges,
+             graph.num_nodes, graph.num_edges)
+        )
+    return rows

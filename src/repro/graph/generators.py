@@ -1,0 +1,371 @@
+"""Synthetic graph generators.
+
+These are the workload substrate for every experiment: the paper's LAW web
+crawls are unavailable offline (and billion-edge inputs are out of reach for
+pure Python), so the dataset registry in :mod:`repro.graph.datasets` builds
+scaled surrogates from the generators here. Each generator takes an explicit
+seed / :class:`numpy.random.Generator` so experiments are reproducible.
+
+Provided models
+---------------
+* :func:`erdos_renyi` — G(n, p) baseline randomness.
+* :func:`barabasi_albert` — preferential attachment (heavy-tailed degrees).
+* :func:`rmat` — Recursive MATrix model; the standard stand-in for skewed
+  web/social graphs (Graph500 uses it for the same reason).
+* :func:`powerlaw_cluster` — Holme–Kim style BA with triad closure, giving
+  the local clustering web crawls exhibit.
+* :func:`stochastic_block_model` — the generator the paper itself uses for
+  Figure 5(c).
+* :func:`web_host_graph` — two-level "host" structure: dense intra-host
+  cliques/stars plus sparse inter-host links, mimicking crawl locality.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = [
+    "erdos_renyi",
+    "barabasi_albert",
+    "rmat",
+    "powerlaw_cluster",
+    "stochastic_block_model",
+    "web_host_graph",
+    "forest_fire",
+]
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def _rng(seed: SeedLike) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+# ----------------------------------------------------------------------
+def erdos_renyi(num_nodes: int, p: float, seed: SeedLike = None) -> Graph:
+    """G(n, p): each of the ``n(n-1)/2`` pairs is an edge with prob. ``p``.
+
+    Sampled by drawing a binomial edge count and rejection-free pair
+    sampling, so it stays fast for small ``p``.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be in [0, 1]")
+    if num_nodes < 0:
+        raise ValueError("num_nodes must be non-negative")
+    rng = _rng(seed)
+    total_pairs = num_nodes * (num_nodes - 1) // 2
+    if total_pairs == 0 or p == 0.0:
+        return Graph.from_edges(num_nodes, [])
+    m = int(rng.binomial(total_pairs, p))
+    # Sample pair indices without replacement, then invert the triangular
+    # indexing to recover (u, v).
+    picks = rng.choice(total_pairs, size=min(m, total_pairs), replace=False)
+    u = (
+        num_nodes
+        - 2
+        - np.floor(
+            np.sqrt(-8.0 * picks + 4.0 * num_nodes * (num_nodes - 1) - 7.0) / 2.0
+            - 0.5
+        )
+    ).astype(np.int64)
+    v = (
+        picks
+        + u
+        + 1
+        - num_nodes * (num_nodes - 1) // 2
+        + (num_nodes - u) * ((num_nodes - u) - 1) // 2
+    ).astype(np.int64)
+    return Graph.from_edge_arrays(num_nodes, u, v)
+
+
+def barabasi_albert(num_nodes: int, m: int, seed: SeedLike = None) -> Graph:
+    """Preferential attachment: each new node attaches to ``m`` targets.
+
+    Uses the repeated-nodes trick (attach to a uniform sample of the edge
+    endpoint multiset) for linear-time generation.
+    """
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    if num_nodes < m + 1:
+        raise ValueError("num_nodes must exceed m")
+    rng = _rng(seed)
+    src: List[int] = []
+    dst: List[int] = []
+    # endpoint multiset; seeded with a star over the first m+1 nodes
+    repeated: List[int] = []
+    for v in range(m):
+        src.append(v)
+        dst.append(m)
+        repeated.extend((v, m))
+    for v in range(m + 1, num_nodes):
+        targets = set()
+        while len(targets) < m:
+            pick = repeated[int(rng.integers(len(repeated)))]
+            targets.add(pick)
+        for t in targets:
+            src.append(v)
+            dst.append(t)
+            repeated.extend((v, t))
+    return Graph.from_edge_arrays(
+        num_nodes,
+        np.asarray(src, dtype=np.int64),
+        np.asarray(dst, dtype=np.int64),
+    )
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 8,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: SeedLike = None,
+) -> Graph:
+    """R-MAT graph with ``2**scale`` nodes and ``edge_factor * n`` edge draws.
+
+    The default (a, b, c, d) = (0.57, 0.19, 0.19, 0.05) is the Graph500
+    parameterization, whose skew resembles web crawls. Duplicate draws and
+    self loops are removed, so the realized edge count is a little lower
+    than ``edge_factor * n``.
+    """
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise ValueError("quadrant probabilities must be non-negative")
+    rng = _rng(seed)
+    n = 1 << scale
+    m = edge_factor * n
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    for level in range(scale):
+        r = rng.random(m)
+        # quadrant choice per edge per level
+        right = r >= a + c  # dst bit set when falling into b or d
+        down = ((r >= a) & (r < a + c)) | (r >= a + b + c)  # src bit set (c or d)
+        src |= down.astype(np.int64) << level
+        dst |= right.astype(np.int64) << level
+    return Graph.from_edge_arrays(n, src, dst)
+
+
+def powerlaw_cluster(
+    num_nodes: int,
+    m: int,
+    triangle_prob: float = 0.5,
+    seed: SeedLike = None,
+) -> Graph:
+    """Holme–Kim powerlaw-cluster graph (BA + triad closure).
+
+    With probability ``triangle_prob`` each attachment step closes a
+    triangle with a neighbour of the previous target, giving clustering on
+    top of a heavy-tailed degree distribution.
+    """
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    if num_nodes < m + 1:
+        raise ValueError("num_nodes must exceed m")
+    if not 0.0 <= triangle_prob <= 1.0:
+        raise ValueError("triangle_prob must be in [0, 1]")
+    rng = _rng(seed)
+    adjacency: List[set] = [set() for _ in range(num_nodes)]
+    repeated: List[int] = []
+
+    def connect(u: int, v: int) -> None:
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+        repeated.extend((u, v))
+
+    for v in range(m):
+        connect(v, m)
+    for v in range(m + 1, num_nodes):
+        count = 0
+        last_target: Optional[int] = None
+        while count < m:
+            if (
+                last_target is not None
+                and rng.random() < triangle_prob
+                and adjacency[last_target]
+            ):
+                candidates = [
+                    u for u in adjacency[last_target] if u != v and u not in adjacency[v]
+                ]
+                if candidates:
+                    target = candidates[int(rng.integers(len(candidates)))]
+                    connect(v, target)
+                    count += 1
+                    continue
+            target = repeated[int(rng.integers(len(repeated)))]
+            if target != v and target not in adjacency[v]:
+                connect(v, target)
+                last_target = target
+                count += 1
+    edges = [(u, w) for u in range(num_nodes) for w in adjacency[u] if u < w]
+    return Graph.from_edges(num_nodes, edges)
+
+
+def stochastic_block_model(
+    block_sizes: Sequence[int],
+    block_matrix: Sequence[Sequence[float]],
+    seed: SeedLike = None,
+) -> Graph:
+    """Stochastic block model, the generator of the paper's Figure 5(c).
+
+    ``block_matrix[i][j]`` is the probability of an edge between a node of
+    community ``i`` and one of community ``j`` (symmetric).
+    """
+    sizes = [int(s) for s in block_sizes]
+    if any(s < 0 for s in sizes):
+        raise ValueError("block sizes must be non-negative")
+    k = len(sizes)
+    probs = np.asarray(block_matrix, dtype=np.float64)
+    if probs.shape != (k, k):
+        raise ValueError("block_matrix must be square and match block_sizes")
+    if not np.allclose(probs, probs.T):
+        raise ValueError("block_matrix must be symmetric")
+    if probs.size and (probs.min() < 0.0 or probs.max() > 1.0):
+        raise ValueError("block probabilities must be in [0, 1]")
+    rng = _rng(seed)
+    offsets = np.concatenate([[0], np.cumsum(sizes)])
+    n = int(offsets[-1])
+    src_parts: List[np.ndarray] = []
+    dst_parts: List[np.ndarray] = []
+    for i in range(k):
+        for j in range(i, k):
+            p = float(probs[i, j])
+            if p == 0.0:
+                continue
+            if i == j:
+                block = erdos_renyi(sizes[i], p, rng)
+                s, t = block.edge_arrays()
+                src_parts.append(s + offsets[i])
+                dst_parts.append(t + offsets[i])
+            else:
+                total = sizes[i] * sizes[j]
+                if total == 0:
+                    continue
+                m = int(rng.binomial(total, p))
+                picks = rng.choice(total, size=min(m, total), replace=False)
+                src_parts.append(picks // sizes[j] + offsets[i])
+                dst_parts.append(picks % sizes[j] + offsets[j])
+    if src_parts:
+        src = np.concatenate(src_parts)
+        dst = np.concatenate(dst_parts)
+    else:
+        src = np.empty(0, dtype=np.int64)
+        dst = np.empty(0, dtype=np.int64)
+    return Graph.from_edge_arrays(n, src, dst)
+
+
+def forest_fire(
+    num_nodes: int,
+    forward_prob: float = 0.35,
+    seed: SeedLike = None,
+) -> Graph:
+    """Forest Fire model (Leskovec et al.): burn-based attachment.
+
+    Each new node picks a random ambassador and "burns" through the graph:
+    it links to the ambassador, then recursively to a geometrically
+    distributed number of each burned node's neighbours. Produces the
+    shrinking-diameter, densifying graphs typical of real networks —
+    another summarization workload with strong local redundancy.
+    """
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be >= 1")
+    if not 0.0 <= forward_prob < 1.0:
+        raise ValueError("forward_prob must be in [0, 1)")
+    rng = _rng(seed)
+    adjacency: List[set] = [set() for _ in range(num_nodes)]
+
+    def connect(u: int, v: int) -> None:
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+
+    for v in range(1, num_nodes):
+        ambassador = int(rng.integers(v))
+        burned = {ambassador}
+        frontier = [ambassador]
+        connect(v, ambassador)
+        while frontier:
+            w = frontier.pop()
+            # Geometric(1 - p) number of neighbours catch fire.
+            budget = int(rng.geometric(1.0 - forward_prob)) - 1
+            if budget <= 0:
+                continue
+            candidates = [u for u in adjacency[w] if u not in burned and u != v]
+            rng.shuffle(candidates)
+            for u in candidates[:budget]:
+                burned.add(u)
+                connect(v, u)
+                frontier.append(u)
+    edges = [(u, w) for u in range(num_nodes) for w in adjacency[u] if u < w]
+    return Graph.from_edges(num_nodes, edges)
+
+
+def web_host_graph(
+    num_hosts: int,
+    host_size: int,
+    templates_per_host: int = 3,
+    links_per_template: int = 6,
+    mutation_prob: float = 0.1,
+    inter_edges_per_host: int = 4,
+    seed: SeedLike = None,
+) -> Graph:
+    """Template-copying web-crawl surrogate with host locality.
+
+    Real web graphs are dominated by groups of pages with *identical or
+    near-identical* link sets (pages stamped from the same template inside
+    a host) — precisely the redundancy that group-based summarizers, and
+    LDME's full-signature LSH grouping in particular, exploit. The model:
+
+    * each host has ``templates_per_host`` templates, each a random set of
+      ``links_per_template`` target pages within the host;
+    * every page copies one template's link set, independently rewiring
+      each link with probability ``mutation_prob`` (the classic "copying
+      model" for the web);
+    * ``inter_edges_per_host`` random pages per host additionally link to
+      random hub pages of other hosts (the first page of each host acts as
+      its hub).
+    """
+    if num_hosts < 1 or host_size < 2:
+        raise ValueError("need at least one host of size >= 2")
+    if templates_per_host < 1:
+        raise ValueError("templates_per_host must be >= 1")
+    if not 0.0 <= mutation_prob <= 1.0:
+        raise ValueError("mutation_prob must be in [0, 1]")
+    rng = _rng(seed)
+    n = num_hosts * host_size
+    links = max(1, min(links_per_template, host_size - 1))
+    src: List[int] = []
+    dst: List[int] = []
+    hub_ids = np.arange(num_hosts, dtype=np.int64) * host_size
+    for h in range(num_hosts):
+        base = h * host_size
+        templates = [
+            rng.choice(host_size, size=links, replace=False)
+            for _ in range(templates_per_host)
+        ]
+        for page in range(host_size):
+            template = templates[int(rng.integers(templates_per_host))]
+            for target in template.tolist():
+                if rng.random() < mutation_prob:
+                    target = int(rng.integers(host_size))
+                if target != page:
+                    src.append(base + page)
+                    dst.append(base + target)
+        locals_ = rng.integers(0, host_size, size=inter_edges_per_host)
+        remotes = hub_ids[rng.integers(0, num_hosts, size=inter_edges_per_host)]
+        for page, hub in zip(locals_.tolist(), remotes.tolist()):
+            if base + page != hub:
+                src.append(base + page)
+                dst.append(int(hub))
+    return Graph.from_edge_arrays(
+        n,
+        np.asarray(src, dtype=np.int64),
+        np.asarray(dst, dtype=np.int64),
+    )

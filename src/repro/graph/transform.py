@@ -1,0 +1,131 @@
+"""Graph transformations: the preprocessing toolbox.
+
+Real pipelines rarely summarize a graph exactly as ingested — they extract
+the giant component, drop low-degree fringe, relabel to a dense id space,
+or combine snapshots. These operations all return new immutable
+:class:`~repro.graph.graph.Graph` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from .graph import Graph
+from .stats import connected_components
+
+__all__ = [
+    "largest_component",
+    "filter_min_degree",
+    "relabel",
+    "compact",
+    "union",
+    "difference",
+    "remove_edges",
+    "add_edges",
+]
+
+Edge = Tuple[int, int]
+
+
+def largest_component(graph: Graph) -> Tuple[Graph, np.ndarray]:
+    """The induced subgraph on the largest connected component.
+
+    Returns ``(subgraph, original_ids)`` where ``original_ids[i]`` is the
+    input-graph id of the subgraph's node ``i``.
+    """
+    components = connected_components(graph)
+    if not components:
+        return Graph.from_edges(0, []), np.empty(0, dtype=np.int64)
+    giant = max(components, key=len)
+    giant = np.sort(giant)
+    return graph.subgraph(giant), giant
+
+
+def filter_min_degree(graph: Graph, min_degree: int) -> Tuple[Graph, np.ndarray]:
+    """Iteratively remove nodes of degree < ``min_degree`` (k-core style).
+
+    Unlike a one-shot filter, removal is repeated until stable, so the
+    result's minimum degree really is ``min_degree`` (or the graph is
+    empty). Returns ``(subgraph, original_ids)``.
+    """
+    if min_degree < 0:
+        raise ValueError("min_degree must be non-negative")
+    keep = np.ones(graph.num_nodes, dtype=bool)
+    degree = graph.degrees().astype(np.int64)
+    changed = True
+    while changed:
+        changed = False
+        for v in np.flatnonzero(keep & (degree < min_degree)).tolist():
+            keep[v] = False
+            changed = True
+            for u in graph.neighbors(v).tolist():
+                if keep[u]:
+                    degree[u] -= 1
+    kept = np.flatnonzero(keep)
+    return graph.subgraph(kept), kept
+
+
+def relabel(graph: Graph, mapping: Dict[int, int]) -> Graph:
+    """Apply an explicit bijective node relabelling."""
+    if len(mapping) != graph.num_nodes:
+        raise ValueError("mapping must cover every node")
+    if sorted(mapping.values()) != list(range(graph.num_nodes)):
+        raise ValueError("mapping must be a bijection onto 0..n-1")
+    lookup = np.empty(graph.num_nodes, dtype=np.int64)
+    for old, new in mapping.items():
+        lookup[old] = new
+    src, dst = graph.edge_arrays()
+    return Graph.from_edge_arrays(graph.num_nodes, lookup[src], lookup[dst])
+
+
+def compact(graph: Graph) -> Tuple[Graph, np.ndarray]:
+    """Drop isolated nodes and relabel survivors densely.
+
+    Returns ``(subgraph, original_ids)``.
+    """
+    kept = np.flatnonzero(graph.degrees() > 0)
+    return graph.subgraph(kept), kept
+
+
+def union(a: Graph, b: Graph) -> Graph:
+    """Edge union of two graphs over the larger node universe."""
+    n = max(a.num_nodes, b.num_nodes)
+    src_a, dst_a = a.edge_arrays()
+    src_b, dst_b = b.edge_arrays()
+    return Graph.from_edge_arrays(
+        n,
+        np.concatenate([src_a, src_b]),
+        np.concatenate([dst_a, dst_b]),
+    )
+
+
+def difference(a: Graph, b: Graph) -> Graph:
+    """Edges of ``a`` not present in ``b`` (node universe of ``a``)."""
+    b_edges = set(b.edges())
+    keep = [(u, v) for u, v in a.edges() if (u, v) not in b_edges]
+    return Graph.from_edges(a.num_nodes, keep)
+
+
+def remove_edges(graph: Graph, edges: Iterable[Edge]) -> Graph:
+    """A copy of ``graph`` without the given edges (absent edges ignored)."""
+    drop = {(min(u, v), max(u, v)) for u, v in edges}
+    keep = [e for e in graph.edges() if e not in drop]
+    return Graph.from_edges(graph.num_nodes, keep)
+
+
+def add_edges(graph: Graph, edges: Iterable[Edge]) -> Graph:
+    """A copy of ``graph`` with the given edges added (dedup applies)."""
+    src, dst = graph.edge_arrays()
+    extra: List[Edge] = [(int(u), int(v)) for u, v in edges]
+    if not extra:
+        return graph
+    extra_src = np.asarray([u for u, _ in extra], dtype=np.int64)
+    extra_dst = np.asarray([v for _, v in extra], dtype=np.int64)
+    n = max(graph.num_nodes, int(max(extra_src.max(), extra_dst.max())) + 1)
+    return Graph.from_edge_arrays(
+        n,
+        np.concatenate([src, extra_src]),
+        np.concatenate([dst, extra_dst]),
+    )

@@ -1,0 +1,188 @@
+"""Traversals, decompositions and orderings over CSR graphs.
+
+Supporting algorithms the summarizers and baselines lean on:
+
+* :func:`bfs_distances`, :func:`shortest_path` — plain traversal.
+* :func:`k_core` / :func:`core_numbers` — degeneracy peeling; dense cores
+  are prime summarization targets and VoG candidate material.
+* :func:`clustering_coefficient` — local triangle density.
+* :func:`slashburn` — the hub-removal ordering of Lim/Kang/Faloutsos that
+  the original VoG uses to generate candidate subgraphs: repeatedly remove
+  the top-``k`` hubs, spin off the small disconnected components ("spokes"),
+  and recurse on the giant connected component.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = [
+    "bfs_distances",
+    "shortest_path",
+    "core_numbers",
+    "k_core",
+    "clustering_coefficient",
+    "slashburn",
+]
+
+
+def bfs_distances(graph: Graph, source: int) -> Dict[int, int]:
+    """Hop distance from ``source`` to every reachable node."""
+    if not 0 <= source < graph.num_nodes:
+        raise IndexError(f"source {source} out of range")
+    distances = {source: 0}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in graph.neighbors(v).tolist():
+            if u not in distances:
+                distances[u] = distances[v] + 1
+                queue.append(u)
+    return distances
+
+
+def shortest_path(graph: Graph, source: int, target: int) -> Optional[List[int]]:
+    """One shortest path from ``source`` to ``target`` (None if unreachable)."""
+    if not (0 <= source < graph.num_nodes and 0 <= target < graph.num_nodes):
+        raise IndexError("endpoint out of range")
+    if source == target:
+        return [source]
+    parent = {source: source}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in graph.neighbors(v).tolist():
+            if u in parent:
+                continue
+            parent[u] = v
+            if u == target:
+                path = [u]
+                while path[-1] != source:
+                    path.append(parent[path[-1]])
+                return path[::-1]
+            queue.append(u)
+    return None
+
+
+def core_numbers(graph: Graph) -> np.ndarray:
+    """Core number of every node (lazy-heap degeneracy peeling).
+
+    Nodes are removed in order of current degree; a node's core number is
+    the highest minimum-degree threshold at which it survives.
+    """
+    import heapq
+
+    n = graph.num_nodes
+    current = graph.degrees().astype(np.int64)
+    cores = np.zeros(n, dtype=np.int64)
+    removed = np.zeros(n, dtype=bool)
+    heap = [(int(current[v]), v) for v in range(n)]
+    heapq.heapify(heap)
+    level = 0
+    while heap:
+        d, v = heapq.heappop(heap)
+        if removed[v] or d != current[v]:
+            continue  # stale entry
+        level = max(level, d)
+        cores[v] = level
+        removed[v] = True
+        for u in graph.neighbors(v).tolist():
+            if not removed[u]:
+                current[u] -= 1
+                heapq.heappush(heap, (int(current[u]), u))
+    return cores
+
+
+def k_core(graph: Graph, k: int) -> np.ndarray:
+    """Node ids of the maximal subgraph with minimum degree >= ``k``."""
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    return np.flatnonzero(core_numbers(graph) >= k)
+
+
+def clustering_coefficient(graph: Graph, v: int) -> float:
+    """Fraction of ``v``'s neighbour pairs that are themselves adjacent."""
+    neighbors = graph.neighbors(v).tolist()
+    d = len(neighbors)
+    if d < 2:
+        return 0.0
+    nbr_set = set(neighbors)
+    links = 0
+    for u in neighbors:
+        links += sum(1 for w in graph.neighbors(u).tolist()
+                     if w in nbr_set and w > u)
+    return 2.0 * links / (d * (d - 1))
+
+
+def slashburn(
+    graph: Graph, hub_count: int = 1, max_rounds: int = 10_000
+) -> Tuple[np.ndarray, List[np.ndarray]]:
+    """SlashBurn hub-removal ordering.
+
+    Repeatedly: remove the ``hub_count`` highest-degree remaining nodes
+    ("slash"), collect the non-giant connected components that break off
+    ("burn", the *spokes*), keep going on the giant component. Returns the
+    hub ordering (hubs first, in removal order) and the list of spoke
+    components (as arrays of node ids) — the original VoG's candidate pool.
+    """
+    if hub_count < 1:
+        raise ValueError("hub_count must be >= 1")
+    n = graph.num_nodes
+    alive = np.ones(n, dtype=bool)
+    degree = graph.degrees().astype(np.int64)
+    hubs: List[int] = []
+    spokes: List[np.ndarray] = []
+    for _ in range(max_rounds):
+        alive_ids = np.flatnonzero(alive)
+        if alive_ids.size == 0:
+            break
+        # Slash: remove the current top hubs.
+        order = alive_ids[np.argsort(degree[alive_ids])[::-1]]
+        round_hubs = order[:hub_count].tolist()
+        for hub in round_hubs:
+            hubs.append(int(hub))
+            alive[hub] = False
+            for u in graph.neighbors(hub).tolist():
+                if alive[u]:
+                    degree[u] -= 1
+        # Burn: find components among survivors; keep only the giant one.
+        components = _alive_components(graph, alive)
+        if not components:
+            break
+        components.sort(key=len, reverse=True)
+        giant = components[0]
+        for component in components[1:]:
+            spokes.append(np.asarray(component, dtype=np.int64))
+            for v in component:
+                alive[v] = False
+        if len(giant) <= hub_count:
+            spokes.append(np.asarray(giant, dtype=np.int64))
+            for v in giant:
+                alive[v] = False
+    return np.asarray(hubs, dtype=np.int64), spokes
+
+
+def _alive_components(graph: Graph, alive: np.ndarray) -> List[List[int]]:
+    """Connected components of the subgraph induced by ``alive`` nodes."""
+    seen = np.zeros(graph.num_nodes, dtype=bool)
+    components: List[List[int]] = []
+    for start in np.flatnonzero(alive).tolist():
+        if seen[start]:
+            continue
+        seen[start] = True
+        component = [start]
+        queue = deque([start])
+        while queue:
+            v = queue.popleft()
+            for u in graph.neighbors(v).tolist():
+                if alive[u] and not seen[u]:
+                    seen[u] = True
+                    component.append(u)
+                    queue.append(u)
+        components.append(component)
+    return components

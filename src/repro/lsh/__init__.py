@@ -1,0 +1,23 @@
+"""Locality sensitive hashing substrate: permutations, shingles, MinHash,
+DOPH (Algorithm 2) and exact weighted minhash (ICWS)."""
+
+from .doph import EMPTY, DOPHHasher, doph_signature
+from .minhash import MinHasher, jaccard
+from .permutation import ArithmeticBijection, random_permutation
+from .shingle import node_shingles, shingle_groups, supernode_shingle
+from .weighted import ICWSHasher, weighted_jaccard
+
+__all__ = [
+    "EMPTY",
+    "DOPHHasher",
+    "doph_signature",
+    "MinHasher",
+    "jaccard",
+    "ArithmeticBijection",
+    "random_permutation",
+    "node_shingles",
+    "shingle_groups",
+    "supernode_shingle",
+    "ICWSHasher",
+    "weighted_jaccard",
+]

@@ -1,0 +1,85 @@
+"""Classic MinHash signatures over sets.
+
+Used by the SAGS baseline (simple-LSH candidate generation) and by tests as
+a reference implementation: ``Pr[minhash collision] = Jaccard``. Each hash
+function is an independent arithmetic bijection so signatures over a shared
+universe can be computed without materializing permutations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+from .permutation import ArithmeticBijection
+
+__all__ = ["MinHasher", "jaccard"]
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def jaccard(a: Iterable[int], b: Iterable[int]) -> float:
+    """Exact Jaccard similarity of two sets (reference metric)."""
+    sa, sb = set(a), set(b)
+    if not sa and not sb:
+        return 1.0
+    return len(sa & sb) / len(sa | sb)
+
+
+class MinHasher:
+    """Computes length-``num_hashes`` MinHash signatures over ``0..n-1``.
+
+    Parameters
+    ----------
+    universe_size:
+        Size of the item universe (node count, for neighbourhood sets).
+    num_hashes:
+        Signature length; collision probability estimates average over it.
+    seed:
+        Seed or generator for the hash family.
+    """
+
+    def __init__(
+        self, universe_size: int, num_hashes: int, seed: SeedLike = None
+    ) -> None:
+        if universe_size < 1:
+            raise ValueError("universe_size must be >= 1")
+        if num_hashes < 1:
+            raise ValueError("num_hashes must be >= 1")
+        rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        self.universe_size = universe_size
+        self.num_hashes = num_hashes
+        self._hashes = [
+            ArithmeticBijection(universe_size, rng) for _ in range(num_hashes)
+        ]
+
+    def signature(self, items: Sequence[int]) -> np.ndarray:
+        """MinHash signature of a set; empty sets map to all ``-1``."""
+        arr = np.asarray(list(items), dtype=np.int64)
+        if arr.size == 0:
+            return np.full(self.num_hashes, -1, dtype=np.int64)
+        if arr.min() < 0 or arr.max() >= self.universe_size:
+            raise ValueError("items out of universe range")
+        return np.asarray(
+            [int(h.apply(arr).min()) for h in self._hashes], dtype=np.int64
+        )
+
+    @staticmethod
+    def estimate_similarity(sig_a: np.ndarray, sig_b: np.ndarray) -> float:
+        """Fraction of agreeing signature positions ≈ Jaccard similarity."""
+        if sig_a.shape != sig_b.shape:
+            raise ValueError("signatures must have equal length")
+        if sig_a.size == 0:
+            return 0.0
+        return float(np.mean(sig_a == sig_b))
+
+    def band_keys(self, signature: np.ndarray, bands: int) -> list:
+        """Split a signature into ``bands`` hashable band keys (LSH banding)."""
+        if bands < 1 or self.num_hashes % bands != 0:
+            raise ValueError("bands must divide the signature length")
+        rows = self.num_hashes // bands
+        return [
+            (i, tuple(signature[i * rows:(i + 1) * rows].tolist()))
+            for i in range(bands)
+        ]

@@ -1,0 +1,91 @@
+"""Random bijections over the node universe.
+
+Both the shingle divide (SWeG) and DOPH (LDME) need a random bijection
+``h : {0..n-1} -> {0..n-1}``. For the graph sizes this package targets an
+explicit permutation array is the fastest and simplest representation; a
+Feistel-style arithmetic bijection is also provided for callers that want
+O(1) memory (useful when hashing many independent permutations).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = ["random_permutation", "ArithmeticBijection"]
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def _rng(seed: SeedLike) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def random_permutation(n: int, seed: SeedLike = None) -> np.ndarray:
+    """A uniformly random permutation of ``0..n-1`` as an int64 array.
+
+    ``perm[v]`` is the new index of ``v``; the array form makes applying the
+    permutation to a whole neighbour slice a single fancy-index.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return _rng(seed).permutation(n).astype(np.int64)
+
+
+class ArithmeticBijection:
+    """O(1)-memory bijection ``v -> (a*v + b) mod p`` restricted to ``0..n-1``.
+
+    ``p`` is the smallest prime >= n; values that map outside ``0..n-1`` are
+    cycle-walked until they land inside. This is a standard constant-space
+    substitute for an explicit permutation when ``n`` is large or when many
+    independent hash functions are needed.
+    """
+
+    __slots__ = ("n", "_p", "_a", "_b")
+
+    def __init__(self, n: int, seed: SeedLike = None) -> None:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        rng = _rng(seed)
+        self.n = n
+        self._p = _next_prime(n)
+        self._a = int(rng.integers(1, self._p))
+        self._b = int(rng.integers(0, self._p))
+
+    def apply(self, values: np.ndarray) -> np.ndarray:
+        """Apply the bijection elementwise (vectorized, with cycle walking)."""
+        values = np.asarray(values, dtype=np.int64)
+        out = (self._a * values + self._b) % self._p
+        # Cycle-walk any value that escaped the domain back into it.
+        mask = out >= self.n
+        while np.any(mask):
+            out[mask] = (self._a * out[mask] + self._b) % self._p
+            mask = out >= self.n
+        return out
+
+    def __call__(self, values: np.ndarray) -> np.ndarray:
+        return self.apply(values)
+
+
+def _next_prime(n: int) -> int:
+    """Smallest prime >= n (trial division; n is at most graph-sized)."""
+    candidate = max(2, n)
+    while not _is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+def _is_prime(n: int) -> bool:
+    if n < 2:
+        return False
+    if n % 2 == 0:
+        return n == 2
+    f = 3
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 2
+    return True

@@ -1,0 +1,54 @@
+"""Shingle functions — SWeG's dividing metric.
+
+The *shingle* of a node ``v`` is ``f(v) = min h(u)`` over the closed
+neighbourhood ``N_v ∪ {v}`` for a random bijection ``h``; the shingle of a
+supernode ``A`` is ``F(A) = min f(v)`` over members. Supernodes with equal
+shingles form one group. This is exactly the divide step of SWeG [32] that
+LDME replaces with weighted LSH.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from ..graph.graph import Graph
+
+__all__ = ["node_shingles", "supernode_shingle", "shingle_groups"]
+
+
+def node_shingles(graph: Graph, perm: np.ndarray) -> np.ndarray:
+    """``f(v)`` for every node: min of ``perm`` over the closed neighbourhood.
+
+    ``perm`` must be a bijection array over ``0..n-1`` (see
+    :func:`repro.lsh.permutation.random_permutation`).
+    """
+    n = graph.num_nodes
+    if perm.shape != (n,):
+        raise ValueError("perm must have one entry per node")
+    out = perm.copy()  # h(v) itself participates (u = v case)
+    if graph.indices.size:
+        heads = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.indptr))
+        np.minimum.at(out, heads, perm[graph.indices])
+    return out
+
+
+def supernode_shingle(members: Iterable[int], shingles: np.ndarray) -> int:
+    """``F(A) = min f(v)`` over the supernode's members."""
+    return int(min(int(shingles[v]) for v in members))
+
+
+def shingle_groups(
+    supernode_members: Dict[int, List[int]], shingles: np.ndarray
+) -> Dict[int, List[int]]:
+    """Group supernode ids by their shingle ``F(A)``.
+
+    Returns shingle value → list of supernode ids. Singleton groups are kept
+    (the merge phase skips them cheaply), matching the paper's description.
+    """
+    groups: Dict[int, List[int]] = {}
+    for sid, members in supernode_members.items():
+        key = supernode_shingle(members, shingles)
+        groups.setdefault(key, []).append(sid)
+    return groups

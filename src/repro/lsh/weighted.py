@@ -1,0 +1,113 @@
+"""Weighted MinHash.
+
+Two pieces live here:
+
+* :func:`weighted_jaccard` — the exact weighted Jaccard similarity
+  ``J_w(X, Y) = Σ min(X_v, Y_v) / Σ max(X_v, Y_v)`` over sparse integer
+  vectors. This *is* SuperJaccard when the vectors are supervectors
+  (Section 3 of the paper proves the identity).
+* :class:`ICWSHasher` — Improved Consistent Weighted Sampling
+  (Ioffe 2010 / Shrivastava 2016), an exact weighted-minwise LSH family:
+  ``Pr[hash(X) == hash(Y)] = J_w(X, Y)``. LDME itself uses DOPH over the
+  binarized vector (faster, approximate); ICWS is the exact reference the
+  tests compare DOPH against, and an alternative divide metric exposed by
+  the public API.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Union
+
+import numpy as np
+
+__all__ = ["weighted_jaccard", "ICWSHasher"]
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def weighted_jaccard(x: Dict[int, float], y: Dict[int, float]) -> float:
+    """Exact weighted Jaccard similarity of two sparse non-negative vectors.
+
+    Vectors are dicts index → weight; absent indices are zero. Two all-zero
+    vectors are defined to be identical (similarity 1).
+    """
+    if any(w < 0 for w in x.values()) or any(w < 0 for w in y.values()):
+        raise ValueError("weights must be non-negative")
+    num = 0.0
+    den = 0.0
+    for key in set(x) | set(y):
+        xv = x.get(key, 0.0)
+        yv = y.get(key, 0.0)
+        num += min(xv, yv)
+        den += max(xv, yv)
+    if den == 0.0:
+        return 1.0
+    return num / den
+
+
+class ICWSHasher:
+    """Improved Consistent Weighted Sampling (exact weighted minhash).
+
+    For each of ``num_hashes`` independent samples and every possible index
+    ``v`` we lazily draw ``(r, c, beta) ~ (Gamma(2,1), Gamma(2,1), U[0,1])``
+    and hash a weighted vector ``X`` to the index attaining the minimum of
+    ``a_v = c / y_v - ... `` per Ioffe's scheme. Collision probability equals
+    the weighted Jaccard similarity exactly.
+    """
+
+    def __init__(self, num_hashes: int, seed: SeedLike = None) -> None:
+        if num_hashes < 1:
+            raise ValueError("num_hashes must be >= 1")
+        self.num_hashes = num_hashes
+        self._seed_seq = np.random.SeedSequence(
+            seed if isinstance(seed, int) else None
+        )
+        if isinstance(seed, np.random.Generator):
+            # Derive a reproducible integer from the supplied generator.
+            self._seed_seq = np.random.SeedSequence(int(seed.integers(2**63)))
+        # Per-(hash, index) parameters are drawn deterministically on demand
+        # via counter-based seeding, so the universe never has to be known
+        # up front and memory stays O(1).
+        self._base = int(self._seed_seq.generate_state(1)[0])
+
+    def _params(self, hash_id: int, index: int) -> Tuple[float, float, float]:
+        """Deterministic (r, c, beta) for one (hash function, index) pair."""
+        rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=self._base, spawn_key=(hash_id, index))
+        )
+        r = float(rng.gamma(2.0, 1.0))
+        c = float(rng.gamma(2.0, 1.0))
+        beta = float(rng.uniform(0.0, 1.0))
+        return r, c, beta
+
+    def _sample_one(self, weights: Dict[int, float], hash_id: int) -> Tuple[int, int]:
+        """One CWS sample: the (index, t) pair attaining the minimum."""
+        best_key: Tuple[int, int] = (-1, 0)
+        best_val = np.inf
+        for index, weight in weights.items():
+            if weight <= 0:
+                continue
+            r, c, beta = self._params(hash_id, index)
+            t = int(np.floor(np.log(weight) / r + beta))
+            ln_y = r * (t - beta)
+            ln_a = np.log(c) - ln_y - r
+            if ln_a < best_val:
+                best_val = ln_a
+                best_key = (index, t)
+        return best_key
+
+    def signature(self, weights: Dict[int, float]) -> list:
+        """Length-``num_hashes`` signature; hashable list of (index, t)."""
+        if any(w < 0 for w in weights.values()):
+            raise ValueError("weights must be non-negative")
+        return [self._sample_one(weights, h) for h in range(self.num_hashes)]
+
+    @staticmethod
+    def estimate_similarity(sig_a: list, sig_b: list) -> float:
+        """Fraction of agreeing samples ≈ exact weighted Jaccard."""
+        if len(sig_a) != len(sig_b):
+            raise ValueError("signatures must have equal length")
+        if not sig_a:
+            return 0.0
+        agree = sum(1 for a, b in zip(sig_a, sig_b) if a == b)
+        return agree / len(sig_a)

@@ -1,0 +1,155 @@
+"""Weighted DOPH via universe expansion (Shrivastava, NeurIPS 2016).
+
+The paper binarizes supervectors before DOPH and leans on the result of
+[34] that the collision probability still approximates the *weighted*
+Jaccard similarity for sparse vectors. This module implements the
+underlying reduction explicitly, as a higher-fidelity alternative:
+
+An integer-weighted vector ``X`` over universe ``n`` is expanded to a
+binary vector over universe ``n · W`` (``W`` = weight cap) whose 1-bits
+are ``(v, 0), (v, 1), …, (v, X_v − 1)`` for every index ``v``. Plain
+(unweighted) minwise hashing of expanded vectors collides with probability
+*exactly* ``J_w`` — so DOPH over the expansion inherits the weighted
+guarantee up to densification noise.
+
+Exposed to LDME as ``LDME(divide_weights="expanded")``: the divide then
+groups by similarity of the true ``w(A, ·)`` vectors instead of their
+support. Costs a factor ``~avg weight`` in hashing work; on graphs where
+multi-edges between supernode pairs carry signal (heavily merged
+partitions) it buys grouping precision.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+import numpy as np
+
+from .doph import doph_signature, doph_signatures_bulk
+from .permutation import random_permutation
+
+__all__ = ["expand_weighted", "WeightedDOPHHasher", "weighted_doph_signatures_bulk"]
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def expand_weighted(
+    indices: np.ndarray, weights: np.ndarray, weight_cap: int
+) -> np.ndarray:
+    """1-bit positions of the expanded binary vector.
+
+    ``(index, slot)`` is flattened to ``index * weight_cap + slot`` for
+    slots ``0 .. min(weight, cap) − 1``. Weights above the cap saturate
+    (standard practice: the cap bounds the expansion factor).
+    """
+    if weight_cap < 1:
+        raise ValueError("weight_cap must be >= 1")
+    indices = np.asarray(indices, dtype=np.int64)
+    weights = np.asarray(weights, dtype=np.int64)
+    if indices.shape != weights.shape:
+        raise ValueError("indices and weights must have equal length")
+    if np.any(weights < 0):
+        raise ValueError("weights must be non-negative")
+    clipped = np.minimum(weights, weight_cap)
+    keep = clipped > 0
+    indices, clipped = indices[keep], clipped[keep]
+    if indices.size == 0:
+        return np.empty(0, dtype=np.int64)
+    base = np.repeat(indices * weight_cap, clipped)
+    slots = np.concatenate([np.arange(c, dtype=np.int64) for c in clipped])
+    return base + slots
+
+
+class WeightedDOPHHasher:
+    """DOPH over weight-expanded vectors: Pr[collision] ≈ weighted Jaccard.
+
+    Parameters
+    ----------
+    universe_size:
+        Size of the original index universe.
+    k:
+        Signature length.
+    weight_cap:
+        Maximum weight represented exactly (larger weights saturate).
+    seed:
+        Seed for the permutation and direction bits.
+    """
+
+    def __init__(
+        self,
+        universe_size: int,
+        k: int,
+        weight_cap: int = 4,
+        seed: SeedLike = None,
+    ) -> None:
+        if universe_size < 1:
+            raise ValueError("universe_size must be >= 1")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if weight_cap < 1:
+            raise ValueError("weight_cap must be >= 1")
+        rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        self.universe_size = universe_size
+        self.k = k
+        self.weight_cap = weight_cap
+        self.perm = random_permutation(universe_size * weight_cap, rng)
+        self.directions = rng.integers(0, 2, size=k).astype(np.int64)
+
+    def signature(self, weights: Dict[int, int]) -> np.ndarray:
+        """Signature of a sparse integer-weighted vector (dict form)."""
+        if not weights:
+            indices = np.empty(0, dtype=np.int64)
+            values = np.empty(0, dtype=np.int64)
+        else:
+            indices = np.fromiter(weights.keys(), dtype=np.int64,
+                                  count=len(weights))
+            values = np.fromiter(weights.values(), dtype=np.int64,
+                                 count=len(weights))
+        if indices.size and (indices.min() < 0
+                             or indices.max() >= self.universe_size):
+            raise ValueError("indices out of universe range")
+        expanded = expand_weighted(indices, values, self.weight_cap)
+        return doph_signature(expanded, self.perm, self.k, self.directions)
+
+    def signature_key(self, weights: Dict[int, int]) -> tuple:
+        """Hashable signature for dict-based grouping."""
+        return tuple(self.signature(weights).tolist())
+
+
+def weighted_doph_signatures_bulk(
+    row_ids: np.ndarray,
+    item_ids: np.ndarray,
+    item_weights: np.ndarray,
+    num_rows: int,
+    universe_size: int,
+    k: int,
+    weight_cap: int,
+    perm: np.ndarray,
+    directions: np.ndarray,
+) -> np.ndarray:
+    """Bulk weighted DOPH: vectorized expansion + one bulk DOPH pass.
+
+    ``(row_ids[i], item_ids[i], item_weights[i])`` triples list the sparse
+    weighted vectors; ``perm`` must cover ``universe_size * weight_cap``.
+    """
+    row_ids = np.asarray(row_ids, dtype=np.int64)
+    item_ids = np.asarray(item_ids, dtype=np.int64)
+    item_weights = np.asarray(item_weights, dtype=np.int64)
+    if not (row_ids.shape == item_ids.shape == item_weights.shape):
+        raise ValueError("row/item/weight arrays must have equal length")
+    clipped = np.minimum(item_weights, weight_cap)
+    keep = clipped > 0
+    row_ids, item_ids, clipped = row_ids[keep], item_ids[keep], clipped[keep]
+    if row_ids.size:
+        expanded_rows = np.repeat(row_ids, clipped)
+        base = np.repeat(item_ids * weight_cap, clipped)
+        slots = np.concatenate(
+            [np.arange(c, dtype=np.int64) for c in clipped.tolist()]
+        )
+        expanded_items = base + slots
+    else:
+        expanded_rows = np.empty(0, dtype=np.int64)
+        expanded_items = np.empty(0, dtype=np.int64)
+    return doph_signatures_bulk(
+        expanded_rows, expanded_items, num_rows, perm, k, directions
+    )

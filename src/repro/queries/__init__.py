@@ -1,0 +1,27 @@
+"""Summary-resident query answering and analytics."""
+
+from .analytics import (
+    common_neighbors,
+    connected_components,
+    degree_histogram,
+    diameter_estimate,
+    neighborhood_jaccard,
+    pagerank,
+    top_degree_nodes,
+    triangle_count,
+)
+from .compiled import CompiledSummaryIndex
+from .index import SummaryIndex
+
+__all__ = [
+    "SummaryIndex",
+    "CompiledSummaryIndex",
+    "degree_histogram",
+    "triangle_count",
+    "pagerank",
+    "common_neighbors",
+    "neighborhood_jaccard",
+    "top_degree_nodes",
+    "connected_components",
+    "diameter_estimate",
+]

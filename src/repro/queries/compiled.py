@@ -1,0 +1,160 @@
+"""Array-backed summary index.
+
+:class:`~repro.queries.index.SummaryIndex` keeps Python dict/set state.
+:class:`CompiledSummaryIndex` compiles the summary once into flat numpy
+arrays — CSR over supernodes for the superedges, CSR over nodes for each
+correction set, contiguous member arrays — trading per-query Python-object
+work for a compact, off-heap, shareable representation (the arrays can be
+memory-mapped or handed to workers without pickling dict graphs).
+
+Honest trade-off: on graphs with small neighbourhoods the set-based index
+answers point queries faster (numpy has per-call overhead); the compiled
+form wins on memory footprint and on large-neighbourhood expansion.
+Answers are identical to :class:`SummaryIndex`; tests assert it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..core.summary import Summarization
+
+__all__ = ["CompiledSummaryIndex"]
+
+
+def _contains(sorted_arr: np.ndarray, value: int) -> bool:
+    """Membership test on a sorted array (binary search)."""
+    pos = int(np.searchsorted(sorted_arr, value))
+    return pos < sorted_arr.size and int(sorted_arr[pos]) == value
+
+
+def _csr_from_pairs(num_rows: int, src, dst):
+    """Build (indptr, indices) with both directions of each pair."""
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    heads = np.concatenate([src, dst])
+    tails = np.concatenate([dst, src])
+    counts = np.bincount(heads, minlength=num_rows)
+    indptr = np.zeros(num_rows + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    order = np.lexsort((tails, heads))
+    return indptr, tails[order]
+
+
+class CompiledSummaryIndex:
+    """Immutable, array-backed query index over a summarization."""
+
+    def __init__(self, summary: Summarization) -> None:
+        self._num_nodes = summary.num_nodes
+        partition = summary.partition
+        # Dense supernode ids.
+        sids = sorted(partition.supernode_ids())
+        self._dense_of = {sid: i for i, sid in enumerate(sids)}
+        dense = np.full(summary.num_nodes, -1, dtype=np.int64)
+        member_lists: List[np.ndarray] = []
+        for i, sid in enumerate(sids):
+            members = np.asarray(sorted(partition.members(sid)),
+                                 dtype=np.int64)
+            member_lists.append(members)
+            dense[members] = i
+        self._node2dense = dense
+        # Members CSR.
+        self._member_indptr = np.zeros(len(sids) + 1, dtype=np.int64)
+        np.cumsum([m.size for m in member_lists],
+                  out=self._member_indptr[1:])
+        self._member_indices = (
+            np.concatenate(member_lists)
+            if member_lists
+            else np.empty(0, dtype=np.int64)
+        )
+        # Superedge CSR over dense supernode ids (loops stored once and
+        # flagged separately so expansion can exclude self).
+        non_loops = [(a, b) for a, b in summary.superedges if a != b]
+        self._has_loop = np.zeros(len(sids), dtype=bool)
+        for a, b in summary.superedges:
+            if a == b:
+                self._has_loop[self._dense_of[a]] = True
+        if non_loops:
+            src = [self._dense_of[a] for a, b in non_loops]
+            dst = [self._dense_of[b] for a, b in non_loops]
+        else:
+            src, dst = [], []
+        self._super_indptr, self._super_indices = _csr_from_pairs(
+            len(sids), src, dst
+        )
+        # Correction CSRs over node ids.
+        self._add_indptr, self._add_indices = _csr_from_pairs(
+            summary.num_nodes,
+            [u for u, _ in summary.corrections.additions],
+            [v for _, v in summary.corrections.additions],
+        )
+        self._del_indptr, self._del_indices = _csr_from_pairs(
+            summary.num_nodes,
+            [u for u, _ in summary.corrections.deletions],
+            [v for _, v in summary.corrections.deletions],
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Node count of the summarized graph."""
+        return self._num_nodes
+
+    def _members_of(self, dense_sid: int) -> np.ndarray:
+        lo = self._member_indptr[dense_sid]
+        hi = self._member_indptr[dense_sid + 1]
+        return self._member_indices[lo:hi]
+
+    def neighbors(self, v: int) -> List[int]:
+        """Sorted neighbour list of ``v`` (identical to SummaryIndex)."""
+        if not 0 <= v < self._num_nodes:
+            raise IndexError(f"node {v} out of range")
+        sid = int(self._node2dense[v])
+        lo, hi = self._super_indptr[sid], self._super_indptr[sid + 1]
+        parts = [self._members_of(int(o)) for o in self._super_indices[lo:hi]]
+        if self._has_loop[sid]:
+            parts.append(self._members_of(sid))
+        parts.append(
+            self._add_indices[self._add_indptr[v]:self._add_indptr[v + 1]]
+        )
+        if not parts:
+            return []
+        combined = np.unique(np.concatenate(parts))
+        deletions = self._del_indices[
+            self._del_indptr[v]:self._del_indptr[v + 1]
+        ]
+        if deletions.size:
+            combined = np.setdiff1d(combined, deletions, assume_unique=True)
+        # Remove self (a superloop or same-supernode superedge adds it).
+        pos = np.searchsorted(combined, v)
+        if pos < combined.size and combined[pos] == v:
+            combined = np.delete(combined, pos)
+        return combined.tolist()
+
+    def degree(self, v: int) -> int:
+        """Degree of ``v`` in the reconstructed graph."""
+        return len(self.neighbors(v))
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Edge membership without materializing the neighbourhood."""
+        if u == v:
+            return False
+        if not (0 <= u < self._num_nodes and 0 <= v < self._num_nodes):
+            raise IndexError("node out of range")
+        dels = self._del_indices[self._del_indptr[u]:self._del_indptr[u + 1]]
+        if _contains(dels, v):
+            return False
+        adds = self._add_indices[self._add_indptr[u]:self._add_indptr[u + 1]]
+        if _contains(adds, v):
+            return True
+        su = int(self._node2dense[u])
+        sv = int(self._node2dense[v])
+        if su == sv:
+            return bool(self._has_loop[su])
+        row = self._super_indices[
+            self._super_indptr[su]:self._super_indptr[su + 1]
+        ]
+        pos = np.searchsorted(row, sv)
+        return pos < row.size and int(row[pos]) == sv

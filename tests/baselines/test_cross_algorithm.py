@@ -1,0 +1,91 @@
+"""Cross-algorithm comparisons: the orderings the paper's story rests on.
+
+Run every summarizer on the same structured graphs and check the relative
+behaviour (not absolute numbers): compression orderings, supernode-count
+sanity, and that all outputs describe the *same* graph.
+"""
+
+import pytest
+
+from repro.baselines import SAGS, MoSSo, Randomized, SWeG
+from repro.core.ldme import LDME
+from repro.core.reconstruct import reconstruct
+from repro.graph.generators import stochastic_block_model, web_host_graph
+
+
+@pytest.fixture(scope="module")
+def template_graph():
+    return web_host_graph(num_hosts=10, host_size=20, seed=31)
+
+
+@pytest.fixture(scope="module")
+def results(template_graph):
+    return {
+        "LDME5": LDME(k=5, iterations=12, seed=0).summarize(template_graph),
+        "LDME20": LDME(k=20, iterations=12, seed=0).summarize(template_graph),
+        "SWeG": SWeG(iterations=12, seed=0).summarize(template_graph),
+        "MoSSo": MoSSo(seed=0, sample_size=30).summarize(template_graph),
+        "SAGS": SAGS(seed=0, rounds=3).summarize(template_graph),
+        "Randomized": Randomized(seed=0, max_passes=3).summarize(
+            template_graph
+        ),
+    }
+
+
+class TestAllLossless:
+    def test_every_algorithm_reconstructs(self, template_graph, results):
+        for name, summary in results.items():
+            assert reconstruct(summary) == template_graph, name
+
+
+class TestCompressionOrderings:
+    def test_ldme5_beats_ldme20(self, results):
+        assert results["LDME5"].compression > results["LDME20"].compression
+
+    def test_everyone_compresses_template_structure(self, results):
+        for name, summary in results.items():
+            assert summary.compression > 0.05, name
+
+    def test_exact_saving_methods_lead(self, results):
+        # SWeG/LDME5/Randomized (savings-driven, many rounds) should beat
+        # the single-shot LSH baseline SAGS on this redundant graph.
+        best_savings = max(
+            results[name].compression
+            for name in ("LDME5", "SWeG", "Randomized")
+        )
+        assert best_savings >= results["SAGS"].compression - 0.05
+
+
+class TestStructuralSanity:
+    def test_objectives_consistent_with_compression(self, template_graph,
+                                                    results):
+        for name, summary in results.items():
+            expected = 1 - summary.objective / template_graph.num_edges
+            assert summary.compression == pytest.approx(expected), name
+
+    def test_supernode_counts_bounded(self, template_graph, results):
+        for name, summary in results.items():
+            assert 1 <= summary.num_supernodes <= template_graph.num_nodes
+
+    def test_partitions_valid(self, results):
+        for name, summary in results.items():
+            summary.partition.validate()
+
+
+class TestOnCommunityGraph:
+    def test_relative_speed_on_sbm(self):
+        # The Figure 5(c) core claim at test scale: LDME no slower than
+        # SWeG on a dense-community SBM.
+        graph = stochastic_block_model(
+            [50, 50, 50],
+            [[0.4, 0.02, 0.02], [0.02, 0.4, 0.02], [0.02, 0.02, 0.4]],
+            seed=1,
+        )
+        ldme = LDME(k=5, iterations=5, seed=0).summarize(graph)
+        sweg = SWeG(iterations=5, seed=0).summarize(graph)
+        assert (
+            ldme.stats.divide_merge_seconds
+            <= sweg.stats.divide_merge_seconds
+        )
+        assert reconstruct(ldme) == graph
+        assert reconstruct(sweg) == graph

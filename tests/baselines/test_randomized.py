@@ -1,0 +1,60 @@
+"""Tests for the RANDOMIZED (Navlakha) baseline."""
+
+import pytest
+
+from repro.baselines.randomized import Randomized
+from repro.core.reconstruct import verify_lossless
+from repro.graph.graph import Graph
+
+
+class TestEndToEnd:
+    def test_lossless(self, small_web):
+        result = Randomized(seed=0, max_passes=3).summarize(small_web)
+        verify_lossless(small_web, result)
+
+    def test_compresses_redundancy(self, star):
+        result = Randomized(seed=0).summarize(star)
+        # The star's leaves are perfect merge candidates.
+        assert result.num_supernodes < star.num_nodes
+        verify_lossless(star, result)
+
+    def test_empty_graph(self):
+        g = Graph.from_edges(3, [])
+        result = Randomized(seed=0).summarize(g)
+        assert result.objective == 0
+
+    def test_objective_no_worse_than_identity(self, random_graph):
+        result = Randomized(seed=1, max_passes=2).summarize(random_graph)
+        assert result.objective <= random_graph.num_edges
+
+
+class TestTwoHopCandidates:
+    def test_candidates_within_two_hops(self, path4):
+        algo = Randomized(seed=0)
+        from repro.core.partition import SupernodePartition
+
+        part = SupernodePartition(4)
+        candidates = algo._two_hop_candidates(path4, part, 0)
+        assert candidates == {1, 2}  # node 3 is 3 hops away
+
+    def test_candidates_exclude_self(self, triangle):
+        from repro.core.partition import SupernodePartition
+
+        algo = Randomized(seed=0)
+        part = SupernodePartition(3)
+        assert 0 not in algo._two_hop_candidates(triangle, part, 0)
+
+
+class TestParameters:
+    def test_threshold_blocks_all(self, small_web):
+        result = Randomized(threshold=1.0, seed=0).summarize(small_web)
+        assert result.num_supernodes == small_web.num_nodes
+
+    def test_max_passes_validated(self):
+        with pytest.raises(ValueError):
+            Randomized(max_passes=0)
+
+    def test_deterministic(self, small_web):
+        a = Randomized(seed=5, max_passes=2).summarize(small_web)
+        b = Randomized(seed=5, max_passes=2).summarize(small_web)
+        assert a.objective == b.objective

@@ -1,0 +1,57 @@
+"""Tests for the SAGS (simple-LSH) baseline."""
+
+import pytest
+
+from repro.baselines.sags import SAGS
+from repro.core.reconstruct import verify_lossless
+from repro.graph.graph import Graph
+
+
+class TestEndToEnd:
+    def test_lossless(self, small_web):
+        result = SAGS(seed=0, rounds=2).summarize(small_web)
+        verify_lossless(small_web, result)
+
+    def test_merges_identical_neighborhoods(self, star):
+        result = SAGS(seed=0, similarity_threshold=0.9).summarize(star)
+        assert result.num_supernodes < star.num_nodes
+        verify_lossless(star, result)
+
+    def test_empty_graph(self):
+        result = SAGS(seed=0).summarize(Graph.from_edges(3, []))
+        assert result.objective == 0
+
+    def test_deterministic(self, small_web):
+        a = SAGS(seed=2, rounds=2).summarize(small_web)
+        b = SAGS(seed=2, rounds=2).summarize(small_web)
+        assert a.objective == b.objective
+
+
+class TestParameters:
+    def test_bands_must_divide(self):
+        with pytest.raises(ValueError):
+            SAGS(num_hashes=10, bands=3)
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            SAGS(similarity_threshold=1.5)
+
+    def test_rounds_validated(self):
+        with pytest.raises(ValueError):
+            SAGS(rounds=0)
+
+    def test_threshold_one_only_merges_identicals(self, small_web):
+        result = SAGS(seed=0, similarity_threshold=1.0, rounds=2).summarize(
+            small_web
+        )
+        # Merged members must have had identical neighbourhood unions.
+        verify_lossless(small_web, result)
+
+    def test_high_threshold_fewer_merges(self, small_web):
+        loose = SAGS(seed=0, similarity_threshold=0.3, rounds=2).summarize(
+            small_web
+        )
+        strict = SAGS(seed=0, similarity_threshold=0.95, rounds=2).summarize(
+            small_web
+        )
+        assert strict.num_supernodes >= loose.num_supernodes

@@ -1,0 +1,67 @@
+"""Tests for the SWeG baseline."""
+
+import pytest
+
+from repro.baselines.sweg import SWeG
+from repro.core.ldme import LDME
+from repro.core.reconstruct import verify_lossless
+from repro.graph.graph import Graph
+
+
+class TestEndToEnd:
+    def test_lossless(self, small_web):
+        result = SWeG(iterations=8, seed=0).summarize(small_web)
+        verify_lossless(small_web, result)
+
+    def test_lossless_random(self, random_graph):
+        result = SWeG(iterations=5, seed=0).summarize(random_graph)
+        verify_lossless(random_graph, result)
+
+    def test_compresses(self, small_web):
+        result = SWeG(iterations=15, seed=0).summarize(small_web)
+        assert result.compression > 0.2
+
+    def test_algorithm_name(self, small_web):
+        assert SWeG(iterations=2, seed=0).summarize(small_web).algorithm == "SWeG"
+
+    def test_deterministic(self, small_web):
+        a = SWeG(iterations=4, seed=3).summarize(small_web)
+        b = SWeG(iterations=4, seed=3).summarize(small_web)
+        assert a.objective == b.objective
+
+    def test_empty_graph(self):
+        g = Graph.from_edges(4, [])
+        result = SWeG(iterations=2, seed=0).summarize(g)
+        assert result.objective == 0
+
+
+class TestOptions:
+    def test_max_group_size_resplit(self, small_web):
+        result = SWeG(iterations=6, seed=0, max_group_size=8).summarize(small_web)
+        verify_lossless(small_web, result)
+
+    def test_negative_max_group_size_rejected(self):
+        with pytest.raises(ValueError):
+            SWeG(max_group_size=-1)
+
+    def test_default_encoder_is_per_supernode(self):
+        assert SWeG().encoder == "per-supernode"
+
+    def test_sorted_encoder_ablation(self, small_web):
+        result = SWeG(iterations=4, seed=0, encoder="sorted").summarize(small_web)
+        verify_lossless(small_web, result)
+
+
+class TestComparativeShape:
+    def test_compression_comparable_to_ldme(self, small_web):
+        # The paper: LDME5 compression within a few percent of SWeG's.
+        sweg = SWeG(iterations=15, seed=0).summarize(small_web)
+        ldme = LDME(k=5, iterations=15, seed=0).summarize(small_web)
+        assert ldme.compression >= sweg.compression - 0.15
+
+    def test_groups_larger_than_ldme(self, small_web):
+        sweg = SWeG(iterations=3, seed=0).summarize(small_web)
+        ldme = LDME(k=10, iterations=3, seed=0).summarize(small_web)
+        sweg_max = max(it.max_group_size for it in sweg.stats.iterations)
+        ldme_max = max(it.max_group_size for it in ldme.stats.iterations)
+        assert sweg_max >= ldme_max

@@ -1,0 +1,127 @@
+"""Tests for the VoG MDL baseline."""
+
+import math
+
+import pytest
+
+from repro.baselines.vog import VoG, _log2_binom, _log2_star
+from repro.graph.generators import stochastic_block_model, web_host_graph
+from repro.graph.graph import Graph
+
+
+class TestCodeLengths:
+    def test_log2_star_monotone(self):
+        values = [_log2_star(n) for n in (1, 2, 10, 100, 10_000)]
+        assert values == sorted(values)
+
+    def test_log2_star_small(self):
+        assert _log2_star(0) == 0.0
+        assert _log2_star(1) > 0.0
+
+    def test_log2_binom_exact_small(self):
+        assert _log2_binom(5, 2) == pytest.approx(math.log2(10))
+
+    def test_log2_binom_edges(self):
+        assert _log2_binom(5, 0) == 0.0
+        assert _log2_binom(5, 5) == 0.0
+        assert _log2_binom(5, 6) == 0.0  # out of range → free
+
+
+class TestStructureIdentification:
+    def test_clique_labelled_fc(self):
+        # K6 embedded among leaves: the clique candidate should label "fc".
+        edges = [(u, v) for u in range(6) for v in range(u + 1, 6)]
+        g = Graph.from_edges(6, edges)
+        vog = VoG(seed=0, min_size=3)
+        structure = vog._best_structure(g, list(range(6)))
+        assert structure is not None
+        assert structure.kind == "fc"
+
+    def test_star_labelled_st(self, star):
+        vog = VoG(seed=0)
+        structure = vog._best_structure(star, list(range(6)))
+        assert structure is not None
+        assert structure.kind == "st"
+        assert structure.nodes[0] == 0  # hub first
+
+    def test_bipartite_core_recognized(self, bipartite_block):
+        vog = VoG(seed=0)
+        structure = vog._best_structure(bipartite_block, list(range(6)))
+        assert structure is not None
+        assert structure.kind in ("bc", "st")  # K3,3 compresses as a core
+
+    def test_empty_candidate_rejected(self):
+        g = Graph.from_edges(4, [(0, 1)])
+        vog = VoG(seed=0)
+        assert vog._best_structure(g, [2, 3]) is None
+
+
+class TestSummarize:
+    def test_selects_structures_on_community_graph(self):
+        graph = stochastic_block_model(
+            [20, 20, 20],
+            [[0.6, 0.02, 0.02], [0.02, 0.6, 0.02], [0.02, 0.02, 0.6]],
+            seed=0,
+        )
+        summary = VoG(seed=0).summarize(graph)
+        assert summary.structures
+        assert summary.total_bits < summary.baseline_bits
+        assert summary.bit_savings > 0
+
+    def test_web_graph_summary(self):
+        graph = web_host_graph(num_hosts=5, host_size=12, seed=0)
+        summary = VoG(seed=0).summarize(graph)
+        assert summary.num_edges == graph.num_edges
+        assert summary.seconds >= 0
+
+    def test_empty_graph(self):
+        summary = VoG(seed=0).summarize(Graph.from_edges(4, []))
+        assert summary.structures == []
+        assert summary.total_bits == 0.0
+
+    def test_max_candidates_respected(self):
+        graph = web_host_graph(num_hosts=6, host_size=12, seed=0)
+        vog = VoG(seed=0, max_candidates=5)
+        assert len(vog._candidates(graph)) <= 5
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            VoG(min_size=1)
+        with pytest.raises(ValueError):
+            VoG(min_size=5, max_size=4)
+
+
+class TestLabelPropagation:
+    def test_communities_partition_nodes(self, small_web):
+        vog = VoG(seed=0)
+        communities = vog._label_propagation(small_web)
+        nodes = sorted(v for comm in communities for v in comm)
+        assert nodes == list(range(small_web.num_nodes))
+
+    def test_disconnected_blocks_not_mixed(self):
+        g = Graph.from_edges(
+            6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]
+        )
+        communities = VoG(seed=0)._label_propagation(g)
+        for comm in communities:
+            blocks = {v // 3 for v in comm}
+            assert len(blocks) == 1
+
+
+class TestSlashBurnCandidates:
+    def test_slashburn_source_runs(self):
+        graph = web_host_graph(num_hosts=5, host_size=12, seed=0)
+        summary = VoG(seed=0, candidate_source="slashburn").summarize(graph)
+        assert summary.num_edges == graph.num_edges
+
+    def test_unknown_source_rejected(self):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            VoG(candidate_source="bogus")
+
+    def test_sources_produce_different_pools(self):
+        graph = web_host_graph(num_hosts=5, host_size=12, seed=0)
+        lp = VoG(seed=0)._candidates(graph)
+        sb = VoG(seed=0, candidate_source="slashburn")._candidates(graph)
+        assert lp != sb

@@ -1,0 +1,59 @@
+"""Shared fixtures: small deterministic graphs used across the suite."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import erdos_renyi, web_host_graph
+from repro.graph.graph import Graph
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """K3: the smallest graph with a superloop opportunity."""
+    return Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def path4() -> Graph:
+    """P4: 0-1-2-3."""
+    return Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+
+
+@pytest.fixture
+def star() -> Graph:
+    """Star with hub 0 and 5 leaves (identical leaf neighbourhoods)."""
+    return Graph.from_edges(6, [(0, i) for i in range(1, 6)])
+
+
+@pytest.fixture
+def two_cliques() -> Graph:
+    """Two K4s joined by one bridge — classic summarization shape."""
+    edges = []
+    for block in (range(0, 4), range(4, 8)):
+        block = list(block)
+        edges += [(u, v) for i, u in enumerate(block) for v in block[i + 1:]]
+    edges.append((0, 4))
+    return Graph.from_edges(8, edges)
+
+
+@pytest.fixture
+def bipartite_block() -> Graph:
+    """Complete bipartite K3,3 plus an isolated node."""
+    return Graph.from_edges(7, [(u, v) for u in range(3) for v in range(3, 6)])
+
+
+@pytest.fixture
+def small_web() -> Graph:
+    """A small template-structured web graph (compressible)."""
+    return web_host_graph(num_hosts=6, host_size=12, seed=42)
+
+
+@pytest.fixture
+def random_graph() -> Graph:
+    """A fixed mid-density random graph."""
+    return erdos_renyi(40, 0.15, seed=123)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(2024)

@@ -1,0 +1,70 @@
+"""Tests for the shared BaseSummarizer driver behaviours."""
+
+import pytest
+
+from repro.baselines.sweg import SWeG
+from repro.core.base import BaseSummarizer
+from repro.core.ldme import LDME
+from repro.core.reconstruct import verify_lossless
+
+
+class TestDriverValidation:
+    def test_encoder_validated(self):
+        with pytest.raises(ValueError):
+            LDME(encoder="bogus")
+
+    def test_epsilon_validated(self):
+        with pytest.raises(ValueError):
+            LDME(epsilon=-0.5)
+
+    def test_abstract_base_not_instantiable(self):
+        with pytest.raises(TypeError):
+            BaseSummarizer()
+
+
+class TestTimingAccumulation:
+    def test_phase_times_sum_to_iterations(self, small_web):
+        result = LDME(k=5, iterations=5, seed=0).summarize(small_web)
+        stats = result.stats
+        divide_sum = sum(it.divide_seconds for it in stats.iterations)
+        merge_sum = sum(it.merge_seconds for it in stats.iterations)
+        assert stats.divide_seconds == pytest.approx(divide_sum)
+        assert stats.merge_seconds == pytest.approx(merge_sum)
+
+    def test_drop_time_only_when_lossy(self, small_web):
+        lossless = LDME(k=5, iterations=3, seed=0).summarize(small_web)
+        lossy = LDME(k=5, iterations=3, seed=0,
+                     epsilon=0.2).summarize(small_web)
+        assert lossless.stats.drop_seconds == 0.0
+        assert lossy.stats.drop_seconds > 0.0
+
+
+class TestEncoderAndTrackingCombos:
+    def test_per_supernode_with_tracking(self, small_web):
+        result = LDME(k=5, iterations=3, seed=0, encoder="per-supernode",
+                      track_compression=True).summarize(small_web)
+        verify_lossless(small_web, result)
+        assert result.stats.iterations[-1].objective == result.objective
+
+    def test_sweg_tracking_matches_final(self, small_web):
+        result = SWeG(iterations=3, seed=0,
+                      track_compression=True).summarize(small_web)
+        assert result.stats.iterations[-1].objective == result.objective
+
+    def test_tracking_with_early_stop(self):
+        from repro.graph.graph import Graph
+
+        g = Graph.from_edges(6, [(0, 1), (2, 3), (4, 5)])
+        result = LDME(k=3, iterations=20, seed=0, early_stop_rounds=2,
+                      track_compression=True).summarize(g)
+        assert len(result.stats.iterations) < 20
+        assert all(
+            it.objective is not None for it in result.stats.iterations
+        )
+
+    def test_lossy_with_tracking(self, small_web):
+        result = LDME(k=5, iterations=3, seed=0, epsilon=0.2,
+                      track_compression=True).summarize(small_web)
+        # Tracked per-iteration objectives are lossless snapshots; the
+        # final (dropped) objective can be lower.
+        assert result.objective <= result.stats.iterations[-1].objective

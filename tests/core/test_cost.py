@@ -1,0 +1,84 @@
+"""Tests for the objective cost models."""
+
+import pytest
+
+from repro.core.cost import (
+    get_cost_model,
+    loop_cost_exact,
+    loop_cost_paper,
+    pair_cost_exact,
+    pair_cost_paper,
+)
+
+
+class TestExactPairCost:
+    def test_sparse_pair_prefers_additions(self):
+        # 1 edge between two singletons: C+ (1) beats superedge (1 + 0).
+        assert pair_cost_exact(1, 1, 1) == 1
+
+    def test_dense_pair_prefers_superedge(self):
+        # Complete 2x3 block: superedge costs 1, C+ would cost 6.
+        assert pair_cost_exact(2, 3, 6) == 1
+
+    def test_break_even(self):
+        # e = 3 of 4 pairs: C+ costs 3, superedge costs 1 + 1 = 2.
+        assert pair_cost_exact(2, 2, 3) == 2
+
+    def test_cost_rises_then_falls_with_edges(self):
+        # Cost grows while C+ is cheaper, then shrinks once the superedge
+        # takes over (fewer deletions as the block fills up).
+        costs = [pair_cost_exact(3, 3, e) for e in range(10)]
+        peak = costs.index(max(costs))
+        assert all(a <= b for a, b in zip(costs[:peak], costs[1:peak + 1]))
+        assert all(a >= b for a, b in zip(costs[peak:], costs[peak + 1:]))
+        assert costs[9] == 1  # complete block: just the superedge
+
+    def test_zero_edges_zero_cost(self):
+        assert pair_cost_exact(4, 5, 0) == 0
+
+
+class TestExactLoopCost:
+    def test_superloop_is_free(self):
+        # K3 inside one supernode: encode superloop, no corrections.
+        assert loop_cost_exact(3, 3) == 0
+
+    def test_sparse_interior_prefers_additions(self):
+        assert loop_cost_exact(4, 1) == 1
+
+    def test_half_dense_interior(self):
+        # 6 pairs, 4 edges: superloop + 2 deletions (2) beats C+ (4).
+        assert loop_cost_exact(4, 4) == 2
+
+    def test_singleton_no_cost(self):
+        assert loop_cost_exact(1, 0) == 0
+
+
+class TestPaperModel:
+    def test_pair_formula_as_printed(self):
+        # min(|A|(|C|-1)/2, e)
+        assert pair_cost_paper(4, 3, 10) == 4.0
+        assert pair_cost_paper(4, 3, 2) == 2.0
+
+    def test_loop_formula(self):
+        assert loop_cost_paper(4, 10) == 6.0
+        assert loop_cost_paper(4, 3) == 3.0
+
+    def test_singleton_neighbor_free_under_paper_model(self):
+        # |C| = 1 → min(0, e) = 0: the paper's formula zeroes these pairs.
+        assert pair_cost_paper(5, 1, 7) == 0.0
+
+
+class TestRegistry:
+    def test_exact_lookup(self):
+        pair, loop = get_cost_model("exact")
+        assert pair is pair_cost_exact
+        assert loop is loop_cost_exact
+
+    def test_paper_lookup(self):
+        pair, loop = get_cost_model("paper")
+        assert pair is pair_cost_paper
+        assert loop is loop_cost_paper
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown cost model"):
+            get_cost_model("bogus")

@@ -1,0 +1,131 @@
+"""Tests for the lossy dropping step."""
+
+import pytest
+
+from repro.core.drop import drop_edges, verify_error_bound
+from repro.core.ldme import LDME
+from repro.core.reconstruct import reconstruction_error
+from repro.graph.generators import web_host_graph
+
+
+@pytest.fixture
+def lossless_summary(small_web):
+    return LDME(k=5, iterations=8, seed=0).summarize(small_web)
+
+
+class TestEpsilonZero:
+    def test_identity(self, small_web, lossless_summary):
+        dropped = drop_edges(small_web, lossless_summary, 0.0)
+        assert dropped.objective == lossless_summary.objective
+        assert reconstruction_error(small_web, dropped) == ([], [])
+
+    def test_negative_epsilon_rejected(self, small_web, lossless_summary):
+        with pytest.raises(ValueError):
+            drop_edges(small_web, lossless_summary, -0.1)
+
+
+class TestErrorBound:
+    @pytest.mark.parametrize("epsilon", [0.1, 0.3, 0.6, 1.0])
+    def test_bound_holds(self, small_web, lossless_summary, epsilon):
+        dropped = drop_edges(small_web, lossless_summary, epsilon)
+        verify_error_bound(small_web, dropped, epsilon)
+
+    def test_verify_error_bound_detects_violation(self, small_web,
+                                                  lossless_summary):
+        # A heavily dropped summary must violate a tiny epsilon.
+        dropped = drop_edges(small_web, lossless_summary, 1.0)
+        missing, spurious = reconstruction_error(small_web, dropped)
+        assert missing or spurious
+        with pytest.raises(AssertionError):
+            verify_error_bound(small_web, dropped, 0.0)
+
+
+class TestCompactnessGain:
+    def test_objective_never_grows(self, small_web, lossless_summary):
+        previous = lossless_summary.objective
+        for epsilon in (0.1, 0.3, 0.6):
+            dropped = drop_edges(small_web, lossless_summary, epsilon)
+            assert dropped.objective <= previous
+
+    def test_larger_epsilon_no_worse(self, small_web, lossless_summary):
+        small = drop_edges(small_web, lossless_summary, 0.1).objective
+        large = drop_edges(small_web, lossless_summary, 0.8).objective
+        assert large <= small
+
+    def test_input_not_mutated(self, small_web, lossless_summary):
+        before = lossless_summary.objective
+        drop_edges(small_web, lossless_summary, 0.5)
+        assert lossless_summary.objective == before
+
+
+class TestSuperedgeDropping:
+    def test_superedge_deletions_dropped_together(self):
+        # With a generous budget, dropped superedges must take their C-
+        # edges along (no orphan deletions pointing at missing blocks).
+        graph = web_host_graph(num_hosts=4, host_size=10, seed=1)
+        summary = LDME(k=5, iterations=10, seed=0).summarize(graph)
+        dropped = drop_edges(graph, summary, 1.0)
+        kept_pairs = set(dropped.superedges)
+        node2super = dropped.partition.node2super
+        for u, v in dropped.corrections.deletions:
+            a, b = int(node2super[u]), int(node2super[v])
+            pair = (a, b) if a < b else (b, a)
+            assert pair in kept_pairs
+
+
+class TestEndToEndLossyAlgorithms:
+    def test_ldme_epsilon_pipeline(self, small_web):
+        result = LDME(k=5, iterations=8, epsilon=0.25, seed=0).summarize(small_web)
+        verify_error_bound(small_web, result, 0.25)
+        lossless = LDME(k=5, iterations=8, epsilon=0.0, seed=0).summarize(small_web)
+        assert result.objective <= lossless.objective
+
+
+class TestDropEdgeCases:
+    def test_zero_degree_nodes_untouched(self):
+        # Isolated nodes have |N_v| = 0: their budget is 0 and nothing
+        # incident can be dropped (there is nothing incident).
+        from repro.graph.graph import Graph
+
+        g = Graph.from_edges(6, [(0, 1), (2, 3)])
+        summary = LDME(k=3, iterations=3, seed=0).summarize(g)
+        dropped = drop_edges(g, summary, 1.0)
+        verify_error_bound(g, dropped, 1.0)
+
+    def test_full_epsilon_can_empty_the_summary(self):
+        # ε = 1 allows every node to lose its whole neighbourhood: a
+        # 1-regular graph can drop to an empty summary.
+        from repro.graph.graph import Graph
+
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        summary = LDME(k=3, iterations=3, seed=0).summarize(g)
+        dropped = drop_edges(g, summary, 1.0)
+        assert dropped.objective == 0 or dropped.objective <= summary.objective
+
+    def test_superloop_only_summary(self, triangle):
+        # Whole triangle inside one supernode: only a superloop, nothing
+        # in the objective to drop; epsilon must not corrupt it.
+        from repro.core.partition import SupernodePartition
+        from repro.core.encode import encode_sorted
+        from repro.core.summary import Summarization
+
+        part = SupernodePartition.from_members(3, {0: [0, 1, 2]})
+        encoded = encode_sorted(triangle, part)
+        summary = Summarization(
+            num_nodes=3, num_edges=3, partition=part,
+            superedges=encoded.superedges, corrections=encoded.corrections,
+        )
+        assert summary.objective == 0
+        dropped = drop_edges(triangle, summary, 0.5)
+        verify_error_bound(triangle, dropped, 0.5)
+
+    def test_fractional_budget_rounds_down(self):
+        # deg 3 with ε=0.3 → budget floor(0.9) = 0: nothing droppable
+        # around that node.
+        from repro.graph.graph import Graph
+
+        g = Graph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        summary = LDME(k=3, iterations=3, seed=0).summarize(g)
+        dropped = drop_edges(g, summary, 0.3)
+        # Leaves have degree 1 (budget 0) so nothing can be dropped at all.
+        assert dropped.objective == summary.objective

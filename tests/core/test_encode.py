@@ -1,0 +1,172 @@
+"""Tests for the three encoders (sorted, per-supernode, all-pairs).
+
+All encoders must produce (a) lossless output and (b) the *minimum-cost*
+encoding for each supernode pair under the decision rule — and they must
+agree with each other on the objective value.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.encode import (
+    encode_all_pairs,
+    encode_per_supernode,
+    encode_sorted,
+)
+from repro.core.partition import SupernodePartition
+from repro.core.reconstruct import reconstruct
+from repro.core.summary import Summarization
+from repro.graph.generators import erdos_renyi, web_host_graph
+from repro.graph.graph import Graph
+
+ENCODERS = [encode_sorted, encode_per_supernode, encode_all_pairs]
+
+
+def _summarize(graph, partition, result):
+    return Summarization(
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        partition=partition,
+        superedges=result.superedges,
+        corrections=result.corrections,
+    )
+
+
+def _random_partition(n, rng, merges):
+    part = SupernodePartition(n)
+    for _ in range(merges):
+        ids = list(part.supernode_ids())
+        if len(ids) < 2:
+            break
+        a, b = rng.choice(len(ids), size=2, replace=False)
+        part.merge(ids[int(a)], ids[int(b)])
+    return part
+
+
+class TestDecisionRule:
+    def test_sparse_pair_goes_to_additions(self):
+        # One edge between two 2-node supernodes: C+ wins (1 <= 4/2).
+        g = Graph.from_edges(4, [(0, 2)])
+        part = SupernodePartition.from_members(4, {0: [0, 1], 2: [2, 3]})
+        result = encode_sorted(g, part)
+        assert result.superedges == []
+        assert result.corrections.additions == [(0, 2)]
+        assert result.corrections.deletions == []
+
+    def test_dense_pair_gets_superedge(self):
+        # 3 of 4 cross edges: superedge + 1 deletion beats 3 additions.
+        g = Graph.from_edges(4, [(0, 2), (0, 3), (1, 2)])
+        part = SupernodePartition.from_members(4, {0: [0, 1], 2: [2, 3]})
+        result = encode_sorted(g, part)
+        assert result.superedges == [(0, 2)]
+        assert result.corrections.deletions == [(1, 3)]
+        assert result.corrections.additions == []
+
+    def test_complete_block_no_corrections(self, bipartite_block):
+        part = SupernodePartition.from_members(
+            7, {0: [0, 1, 2], 3: [3, 4, 5], 6: [6]}
+        )
+        result = encode_sorted(bipartite_block, part)
+        assert result.superedges == [(0, 3)]
+        assert result.corrections.size == 0
+
+    def test_superloop_rule_dense_interior(self, triangle):
+        part = SupernodePartition.from_members(3, {0: [0, 1, 2]})
+        result = encode_sorted(triangle, part)
+        assert result.superedges == [(0, 0)]
+        assert result.corrections.size == 0
+
+    def test_superloop_rule_sparse_interior(self, path4):
+        # P4 inside one supernode: 3 edges of 6 pairs → threshold is
+        # |A|(|A|-1)/4 = 3, so 3 <= 3 keeps them in C+.
+        part = SupernodePartition.from_members(4, {0: [0, 1, 2, 3]})
+        result = encode_sorted(path4, part)
+        assert result.superedges == []
+        assert len(result.corrections.additions) == 3
+
+    def test_boundary_exactly_half(self):
+        # Exactly |A||B|/2 edges: rule says do NOT encode a superedge.
+        g = Graph.from_edges(4, [(0, 2), (1, 3)])
+        part = SupernodePartition.from_members(4, {0: [0, 1], 2: [2, 3]})
+        result = encode_sorted(g, part)
+        assert result.superedges == []
+        assert len(result.corrections.additions) == 2
+
+    def test_singleton_partition_identity(self, random_graph):
+        # With all-singleton supernodes, |E_AB| = 1 > |A||B|/2 = 0.5, so
+        # every edge becomes a superedge and the summary is the graph
+        # itself (objective = |E|).
+        part = SupernodePartition(random_graph.num_nodes)
+        result = encode_sorted(random_graph, part)
+        assert len(result.superedges) == random_graph.num_edges
+        assert result.corrections.size == 0
+
+    def test_empty_graph(self):
+        g = Graph.from_edges(4, [])
+        result = encode_sorted(g, SupernodePartition(4))
+        assert result.superedges == []
+        assert result.corrections.size == 0
+
+
+class TestEncodersAgree:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_same_objective_and_reconstruction(self, seed):
+        rng = np.random.default_rng(seed)
+        graph = erdos_renyi(20, 0.25, seed=seed)
+        part = _random_partition(20, rng, merges=8)
+        results = [encoder(graph, part) for encoder in ENCODERS]
+        objectives = [
+            _summarize(graph, part, r).objective for r in results
+        ]
+        assert len(set(objectives)) == 1
+        for r in results:
+            assert reconstruct(_summarize(graph, part, r)) == graph
+
+    def test_same_superedges(self, small_web, rng):
+        part = _random_partition(small_web.num_nodes, rng, merges=30)
+        expected = sorted(encode_sorted(small_web, part).superedges)
+        for encoder in (encode_per_supernode, encode_all_pairs):
+            assert sorted(encoder(small_web, part).superedges) == expected
+
+
+class TestLosslessInvariant:
+    @pytest.mark.parametrize("merges", [0, 5, 15, 35])
+    def test_random_partitions_reconstruct(self, merges, rng):
+        graph = web_host_graph(num_hosts=4, host_size=10, seed=3)
+        part = _random_partition(graph.num_nodes, rng, merges)
+        result = encode_sorted(graph, part)
+        assert reconstruct(_summarize(graph, part, result)) == graph
+
+    def test_everything_in_one_supernode(self, random_graph):
+        part = SupernodePartition.from_members(
+            random_graph.num_nodes,
+            {0: list(range(random_graph.num_nodes))},
+        )
+        result = encode_sorted(random_graph, part)
+        summary = _summarize(random_graph, part, result)
+        assert reconstruct(summary) == random_graph
+
+
+class TestMinimality:
+    def test_objective_is_pairwise_minimum(self, rng):
+        # The encoded objective must equal the sum over supernode pairs of
+        # min(E, 1 + F - E) plus loop terms — i.e. the best per-pair choice.
+        from repro.core.saving import GroupAdjacency
+
+        graph = erdos_renyi(16, 0.3, seed=5)
+        part = _random_partition(16, rng, merges=6)
+        ids = list(part.supernode_ids())
+        adjacency = GroupAdjacency(graph, part, ids)
+        expected = 0.0
+        for i, a in enumerate(ids):
+            for b in ids[i:]:
+                e = adjacency.edge_count(a, b)
+                if e == 0:
+                    continue
+                if a == b:
+                    size = part.size(a)
+                    expected += min(e, size * (size - 1) // 2 - e)
+                else:
+                    expected += min(e, 1 + part.size(a) * part.size(b) - e)
+        result = encode_sorted(graph, part)
+        assert _summarize(graph, part, result).objective == expected

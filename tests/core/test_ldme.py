@@ -1,0 +1,217 @@
+"""End-to-end tests for the LDME driver (Algorithm 1)."""
+
+import pytest
+
+from repro.core.config import LDMEConfig
+from repro.core.ldme import LDME, ldme5, ldme20, summarize
+from repro.core.reconstruct import verify_lossless
+from repro.graph.generators import web_host_graph
+from repro.graph.graph import Graph
+
+
+class TestEndToEnd:
+    def test_lossless_on_web_graph(self, small_web):
+        result = LDME(k=5, iterations=10, seed=0).summarize(small_web)
+        verify_lossless(small_web, result)
+
+    def test_lossless_on_random_graph(self, random_graph):
+        result = LDME(k=5, iterations=10, seed=0).summarize(random_graph)
+        verify_lossless(random_graph, result)
+
+    def test_lossless_with_isolated_nodes(self):
+        g = Graph.from_edges(10, [(0, 1), (1, 2)])
+        result = LDME(k=3, iterations=5, seed=0).summarize(g)
+        verify_lossless(g, result)
+
+    def test_empty_graph(self):
+        g = Graph.from_edges(5, [])
+        result = LDME(k=3, iterations=3, seed=0).summarize(g)
+        assert result.objective == 0
+        assert result.num_supernodes == 5
+
+    def test_compresses_redundant_structure(self, small_web):
+        result = LDME(k=5, iterations=20, seed=0).summarize(small_web)
+        assert result.compression > 0.2
+        assert result.num_supernodes < small_web.num_nodes
+
+    def test_deterministic_given_seed(self, small_web):
+        a = LDME(k=5, iterations=6, seed=11).summarize(small_web)
+        b = LDME(k=5, iterations=6, seed=11).summarize(small_web)
+        assert a.objective == b.objective
+        assert sorted(a.superedges) == sorted(b.superedges)
+
+    def test_algorithm_name_carries_k(self, small_web):
+        result = LDME(k=7, iterations=2, seed=0).summarize(small_web)
+        assert result.algorithm == "LDME7"
+
+
+class TestStatsInstrumentation:
+    def test_iteration_records_per_t(self, small_web):
+        result = LDME(k=5, iterations=4, seed=0).summarize(small_web)
+        assert len(result.stats.iterations) == 4
+        assert [it.iteration for it in result.stats.iterations] == [1, 2, 3, 4]
+
+    def test_phase_timings_nonnegative(self, small_web):
+        stats = LDME(k=5, iterations=3, seed=0).summarize(small_web).stats
+        assert stats.divide_seconds >= 0
+        assert stats.merge_seconds >= 0
+        assert stats.encode_seconds >= 0
+        assert stats.total_seconds >= stats.encode_seconds
+
+    def test_supernode_count_monotone_over_iterations(self, small_web):
+        result = LDME(k=2, iterations=8, seed=0).summarize(small_web)
+        counts = [it.num_supernodes for it in result.stats.iterations]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestTuning:
+    def test_larger_k_fewer_merges(self):
+        graph = web_host_graph(num_hosts=15, host_size=25,
+                               mutation_prob=0.15, seed=5)
+        low = LDME(k=2, iterations=10, seed=0).summarize(graph)
+        high = LDME(k=20, iterations=10, seed=0).summarize(graph)
+        assert low.compression >= high.compression
+
+    def test_more_iterations_no_worse(self, small_web):
+        short = LDME(k=5, iterations=2, seed=0).summarize(small_web)
+        long = LDME(k=5, iterations=25, seed=0).summarize(small_web)
+        assert long.compression >= short.compression - 1e-9
+
+
+class TestConfiguration:
+    def test_config_object(self, small_web):
+        config = LDMEConfig(k=3, iterations=4, seed=9)
+        result = LDME(config=config).summarize(small_web)
+        assert result.algorithm == "LDME3"
+        assert len(result.stats.iterations) == 4
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LDMEConfig(k=0)
+        with pytest.raises(ValueError):
+            LDMEConfig(iterations=0)
+        with pytest.raises(ValueError):
+            LDMEConfig(epsilon=-1)
+        with pytest.raises(ValueError):
+            LDMEConfig(cost_model="nope")
+        with pytest.raises(ValueError):
+            LDMEConfig(encoder="nope")
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            LDME(k=0)
+        with pytest.raises(ValueError):
+            LDME(iterations=0)
+
+    def test_paper_cost_model_still_lossless(self, small_web):
+        result = LDME(k=5, iterations=6, seed=0,
+                      cost_model="paper").summarize(small_web)
+        verify_lossless(small_web, result)
+
+    def test_per_supernode_encoder_option(self, small_web):
+        result = LDME(k=5, iterations=4, seed=0,
+                      encoder="per-supernode").summarize(small_web)
+        verify_lossless(small_web, result)
+
+
+class TestConvenienceAPI:
+    def test_presets(self):
+        assert ldme5().k == 5
+        assert ldme20().k == 20
+        assert ldme5(iterations=7).iterations == 7
+
+    def test_summarize_function(self, small_web):
+        result = summarize(small_web, k=5, iterations=5, seed=0)
+        verify_lossless(small_web, result)
+
+
+class TestEarlyStop:
+    def test_stops_after_stalled_rounds(self):
+        # A graph with nothing to merge: every iteration stalls.
+        g = Graph.from_edges(6, [(0, 1), (2, 3), (4, 5)])
+        result = LDME(k=3, iterations=30, seed=0,
+                      early_stop_rounds=3).summarize(g)
+        assert len(result.stats.iterations) < 30
+
+    def test_disabled_by_default(self):
+        g = Graph.from_edges(6, [(0, 1), (2, 3), (4, 5)])
+        result = LDME(k=3, iterations=10, seed=0).summarize(g)
+        assert len(result.stats.iterations) == 10
+
+    def test_still_lossless(self, small_web):
+        result = LDME(k=5, iterations=30, seed=0,
+                      early_stop_rounds=2).summarize(small_web)
+        verify_lossless(small_web, result)
+
+    def test_validated(self):
+        with pytest.raises(ValueError):
+            LDME(early_stop_rounds=-1)
+
+
+class TestMergePolicy:
+    def test_superjaccard_policy_lossless(self, small_web):
+        result = LDME(k=5, iterations=5, seed=0,
+                      merge_policy="superjaccard").summarize(small_web)
+        verify_lossless(small_web, result)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            LDME(merge_policy="bogus")
+
+
+class TestTrackedCompression:
+    def test_records_objective_per_iteration(self, small_web):
+        result = LDME(k=5, iterations=5, seed=0,
+                      track_compression=True).summarize(small_web)
+        for record in result.stats.iterations:
+            assert record.objective is not None
+            assert record.compression is not None
+            assert record.encode_seconds >= 0
+
+    def test_final_tracked_point_matches_result(self, small_web):
+        result = LDME(k=5, iterations=5, seed=0,
+                      track_compression=True).summarize(small_web)
+        last = result.stats.iterations[-1]
+        assert last.objective == result.objective
+        assert last.compression == pytest.approx(result.compression)
+
+    def test_untracked_leaves_fields_none(self, small_web):
+        result = LDME(k=5, iterations=3, seed=0).summarize(small_web)
+        assert all(it.objective is None for it in result.stats.iterations)
+
+    def test_tracked_objective_non_increasing(self, small_web):
+        result = LDME(k=2, iterations=8, seed=0,
+                      track_compression=True).summarize(small_web)
+        objectives = [it.objective for it in result.stats.iterations]
+        assert objectives == sorted(objectives, reverse=True)
+
+
+class TestWarmStart:
+    def test_warm_start_lossless(self, small_web):
+        first = LDME(k=5, iterations=4, seed=0).summarize(small_web)
+        second = LDME(k=5, iterations=4, seed=1).summarize(
+            small_web, initial_partition=first.partition
+        )
+        verify_lossless(small_web, second)
+
+    def test_warm_start_does_not_mutate_input(self, small_web):
+        first = LDME(k=5, iterations=4, seed=0).summarize(small_web)
+        count_before = first.partition.num_supernodes
+        LDME(k=5, iterations=4, seed=1).summarize(
+            small_web, initial_partition=first.partition
+        )
+        assert first.partition.num_supernodes == count_before
+
+    def test_warm_start_improves_or_matches(self, small_web):
+        first = LDME(k=5, iterations=4, seed=0).summarize(small_web)
+        resumed = LDME(k=5, iterations=4, seed=1).summarize(
+            small_web, initial_partition=first.partition
+        )
+        assert resumed.objective <= first.objective
+
+    def test_mismatched_universe_rejected(self, small_web, triangle):
+        first = LDME(k=3, iterations=2, seed=0).summarize(triangle)
+        with pytest.raises(ValueError, match="universe"):
+            LDME(k=3, iterations=2, seed=0).summarize(
+                small_web, initial_partition=first.partition
+            )

@@ -1,0 +1,196 @@
+"""Tests for SupernodePartition."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import SupernodePartition
+from repro.graph.graph import Graph
+
+
+class TestInitialState:
+    def test_singletons(self):
+        part = SupernodePartition(4)
+        assert part.num_supernodes == 4
+        for v in range(4):
+            assert part.supernode_of(v) == v
+            assert part.members(v) == [v]
+
+    def test_empty_universe(self):
+        part = SupernodePartition(0)
+        assert part.num_supernodes == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SupernodePartition(-1)
+
+
+class TestMerge:
+    def test_merge_keeps_larger_id(self):
+        part = SupernodePartition(5)
+        part.merge(0, 1)          # sizes 1/1 → keeps first (0)
+        survivor, absorbed = part.merge(2, 0)  # 0 now has 2 members
+        assert survivor == 0
+        assert absorbed == 2
+        assert sorted(part.members(0)) == [0, 1, 2]
+
+    def test_merge_tie_keeps_first(self):
+        part = SupernodePartition(4)
+        survivor, absorbed = part.merge(3, 1)
+        assert survivor == 3
+        assert absorbed == 1
+
+    def test_node2super_updated(self):
+        part = SupernodePartition(4)
+        part.merge(0, 3)
+        assert part.supernode_of(3) == 0
+        assert part.supernode_of(0) == 0
+
+    def test_merge_self_rejected(self):
+        part = SupernodePartition(3)
+        with pytest.raises(ValueError):
+            part.merge(1, 1)
+
+    def test_merge_reduces_count(self):
+        part = SupernodePartition(6)
+        part.merge(0, 1)
+        part.merge(2, 3)
+        assert part.num_supernodes == 4
+
+    def test_merged_id_gone(self):
+        part = SupernodePartition(3)
+        _, absorbed = part.merge(0, 1)
+        assert absorbed not in part
+        with pytest.raises(KeyError):
+            part.members(absorbed)
+
+    def test_validate_after_random_merges(self, rng):
+        part = SupernodePartition(30)
+        for _ in range(20):
+            ids = list(part.supernode_ids())
+            if len(ids) < 2:
+                break
+            a, b = rng.choice(len(ids), size=2, replace=False)
+            part.merge(ids[int(a)], ids[int(b)])
+        part.validate()
+
+
+class TestExtract:
+    def test_extract_creates_singleton(self):
+        part = SupernodePartition(4)
+        part.merge(0, 1)
+        part.extract(1)
+        assert part.supernode_of(1) == 1
+        assert part.members(1) == [1]
+        assert part.members(0) == [0]
+
+    def test_extract_singleton_noop(self):
+        part = SupernodePartition(3)
+        assert part.extract(2) == 2
+        part.validate()
+
+    def test_extract_label_owner_relabels_remainder(self):
+        part = SupernodePartition(4)
+        part.merge(0, 1)
+        part.merge(0, 2)
+        part.extract(0)  # 0 owned the label
+        assert part.supernode_of(0) == 0
+        assert part.members(0) == [0]
+        remainder = part.supernode_of(1)
+        assert remainder == part.supernode_of(2)
+        assert remainder in (1, 2)
+        part.validate()
+
+    def test_extract_then_merge_roundtrip(self):
+        part = SupernodePartition(5)
+        part.merge(0, 1)
+        part.extract(1)
+        part.merge(0, 1)
+        assert sorted(part.members(part.supernode_of(0))) == [0, 1]
+        part.validate()
+
+
+class TestFromMembers:
+    def test_valid_mapping(self):
+        part = SupernodePartition.from_members(4, {0: [0, 1], 2: [2], 3: [3]})
+        assert part.num_supernodes == 3
+        assert part.supernode_of(1) == 0
+
+    def test_missing_node_rejected(self):
+        with pytest.raises(ValueError, match="not covered"):
+            SupernodePartition.from_members(3, {0: [0, 1]})
+
+    def test_double_assignment_rejected(self):
+        with pytest.raises(ValueError, match="two supernodes"):
+            SupernodePartition.from_members(2, {0: [0, 1], 1: [1]})
+
+    def test_empty_supernode_rejected(self):
+        with pytest.raises(ValueError, match="no members"):
+            SupernodePartition.from_members(1, {0: [0], 5: []})
+
+    def test_out_of_range_member_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            SupernodePartition.from_members(2, {0: [0, 5], 1: [1]})
+
+
+class TestNeighborhoodViews:
+    def test_neighborhood_union(self, two_cliques):
+        part = SupernodePartition(8)
+        part.merge(0, 1)
+        hood = part.neighborhood(two_cliques, 0)
+        expected = np.unique(
+            np.concatenate([two_cliques.neighbors(0), two_cliques.neighbors(1)])
+        )
+        assert np.array_equal(hood, expected)
+
+    def test_neighborhood_of_isolated(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        part = SupernodePartition(3)
+        assert part.neighborhood(g, 2).size == 0
+
+    def test_supervector_counts(self, two_cliques):
+        part = SupernodePartition(8)
+        part.merge(0, 1)
+        vec = part.supervector(two_cliques, 0)
+        # Nodes 2 and 3 are adjacent to both 0 and 1.
+        assert vec[2] == 2
+        assert vec[3] == 2
+        # Node 4 is adjacent only to 0 (the bridge).
+        assert vec[4] == 1
+
+    def test_members_map_is_snapshot(self):
+        part = SupernodePartition(3)
+        snap = part.members_map()
+        part.merge(0, 1)
+        assert snap == {0: [0], 1: [1], 2: [2]}
+
+
+class TestCopy:
+    def test_copy_independent(self):
+        part = SupernodePartition(4)
+        dup = part.copy()
+        part.merge(0, 1)
+        assert dup.num_supernodes == 4
+        dup.validate()
+        part.validate()
+
+
+class TestFromLabels:
+    def test_groups_by_label(self):
+        part = SupernodePartition.from_labels([7, 7, 9, 9, 9])
+        assert part.num_supernodes == 2
+        assert sorted(part.members(part.supernode_of(0))) == [0, 1]
+        assert sorted(part.members(part.supernode_of(2))) == [2, 3, 4]
+        part.validate()
+
+    def test_string_labels(self):
+        part = SupernodePartition.from_labels(["a", "b", "a"])
+        assert part.supernode_of(0) == part.supernode_of(2)
+        assert part.supernode_of(1) != part.supernode_of(0)
+
+    def test_supernode_ids_are_min_members(self):
+        part = SupernodePartition.from_labels([1, 0, 1, 0])
+        assert set(part.supernode_ids()) == {0, 1}
+
+    def test_empty(self):
+        part = SupernodePartition.from_labels([])
+        assert part.num_supernodes == 0

@@ -1,0 +1,81 @@
+"""Tests for graph reconstruction from summaries."""
+
+import pytest
+
+from repro.core.partition import SupernodePartition
+from repro.core.reconstruct import (
+    reconstruct,
+    reconstruction_error,
+    verify_lossless,
+)
+from repro.core.summary import CorrectionSet, Summarization
+from repro.graph.graph import Graph
+
+
+def _summary(num_nodes, members, superedges, additions=(), deletions=()):
+    return Summarization(
+        num_nodes=num_nodes,
+        num_edges=0,
+        partition=SupernodePartition.from_members(num_nodes, members),
+        superedges=list(superedges),
+        corrections=CorrectionSet(list(additions), list(deletions)),
+    )
+
+
+class TestExpansion:
+    def test_superedge_expands_to_all_pairs(self):
+        s = _summary(4, {0: [0, 1], 2: [2, 3]}, [(0, 2)])
+        g = reconstruct(s)
+        assert g.num_edges == 4
+        for u in (0, 1):
+            for v in (2, 3):
+                assert g.has_edge(u, v)
+
+    def test_superloop_expands_to_internal_pairs(self):
+        s = _summary(3, {0: [0, 1, 2]}, [(0, 0)])
+        g = reconstruct(s)
+        assert g.num_edges == 3  # K3
+
+    def test_additions_added(self):
+        s = _summary(3, {0: [0], 1: [1], 2: [2]}, [], additions=[(0, 2)])
+        assert reconstruct(s).has_edge(0, 2)
+
+    def test_deletions_remove_expanded_pairs(self):
+        s = _summary(4, {0: [0, 1], 2: [2, 3]}, [(0, 2)], deletions=[(1, 3)])
+        g = reconstruct(s)
+        assert not g.has_edge(1, 3)
+        assert g.num_edges == 3
+
+    def test_steps_apply_in_order(self):
+        # C- wins over C+ (deletion happens last per the definition).
+        s = _summary(2, {0: [0], 1: [1]}, [], additions=[(0, 1)],
+                     deletions=[(0, 1)])
+        assert reconstruct(s).num_edges == 0
+
+    def test_empty_summary_empty_graph(self):
+        s = _summary(3, {0: [0], 1: [1], 2: [2]}, [])
+        g = reconstruct(s)
+        assert g.num_edges == 0
+        assert g.num_nodes == 3
+
+
+class TestVerification:
+    def test_verify_lossless_passes(self, triangle):
+        s = _summary(3, {0: [0, 1, 2]}, [(0, 0)])
+        verify_lossless(triangle, s)
+
+    def test_verify_lossless_fails_with_message(self, triangle):
+        s = _summary(3, {0: [0], 1: [1], 2: [2]}, [])
+        with pytest.raises(AssertionError, match="missing"):
+            verify_lossless(triangle, s)
+
+    def test_reconstruction_error_reports_both_sides(self):
+        original = Graph.from_edges(3, [(0, 1)])
+        s = _summary(3, {0: [0], 1: [1], 2: [2]}, [], additions=[(1, 2)])
+        missing, spurious = reconstruction_error(original, s)
+        assert missing == [(0, 1)]
+        assert spurious == [(1, 2)]
+
+    def test_error_empty_for_lossless(self, triangle):
+        s = _summary(3, {0: [0, 1, 2]}, [(0, 0)])
+        assert reconstruction_error(triangle, s) == ([], [])

@@ -1,0 +1,74 @@
+"""Tests for incremental re-summarization."""
+
+import pytest
+
+from repro.core.ldme import LDME
+from repro.core.reconstruct import verify_lossless
+from repro.core.resummarize import affected_nodes, resummarize
+from repro.graph.generators import web_host_graph
+from repro.graph.transform import add_edges, remove_edges
+
+
+@pytest.fixture
+def warm_setup():
+    graph = web_host_graph(num_hosts=8, host_size=12, seed=6)
+    summary = LDME(k=5, iterations=10, seed=0).summarize(graph)
+    return graph, summary
+
+
+class TestAffectedNodes:
+    def test_collects_endpoints(self):
+        assert affected_nodes([(0, 1), (1, 5)]) == {0, 1, 5}
+
+    def test_empty(self):
+        assert affected_nodes([]) == set()
+
+
+class TestResummarize:
+    def test_lossless_after_insertions(self, warm_setup):
+        graph, summary = warm_setup
+        updates = [(0, 50), (3, 60)]
+        new_graph = add_edges(graph, updates)
+        result = resummarize(new_graph, summary.partition, updates,
+                             iterations=3, seed=1)
+        verify_lossless(new_graph, result)
+
+    def test_lossless_after_deletions(self, warm_setup):
+        graph, summary = warm_setup
+        updates = list(graph.edges())[:5]
+        new_graph = remove_edges(graph, updates)
+        result = resummarize(new_graph, summary.partition, updates,
+                             iterations=3, seed=1)
+        verify_lossless(new_graph, result)
+
+    def test_beats_cold_run_at_equal_budget(self, warm_setup):
+        graph, summary = warm_setup
+        updates = [(0, 50)]
+        new_graph = add_edges(graph, updates)
+        incremental = resummarize(new_graph, summary.partition, updates,
+                                  iterations=2, seed=1)
+        cold = LDME(k=5, iterations=2, seed=1).summarize(new_graph)
+        assert incremental.objective <= cold.objective
+
+    def test_algorithm_name_tagged(self, warm_setup):
+        graph, summary = warm_setup
+        result = resummarize(graph, summary.partition, [],
+                             iterations=1, seed=0)
+        assert result.algorithm.endswith("-incremental")
+
+    def test_previous_partition_not_mutated(self, warm_setup):
+        graph, summary = warm_setup
+        before = summary.partition.num_supernodes
+        resummarize(graph, summary.partition, [(0, 1)], iterations=2, seed=0)
+        assert summary.partition.num_supernodes == before
+
+    def test_universe_mismatch_rejected(self, warm_setup):
+        graph, summary = warm_setup
+        bigger = add_edges(graph, [(0, graph.num_nodes + 5)])
+        with pytest.raises(ValueError, match="universe"):
+            resummarize(bigger, summary.partition, [], iterations=1)
+
+    def test_out_of_range_update_rejected(self, warm_setup):
+        graph, summary = warm_setup
+        with pytest.raises(ValueError, match="out of range"):
+            resummarize(graph, summary.partition, [(0, 10**6)], iterations=1)

@@ -1,0 +1,108 @@
+"""Tests for the Summarization result types and metrics."""
+
+import pytest
+
+from repro.core.partition import SupernodePartition
+from repro.core.summary import (
+    CorrectionSet,
+    IterationStats,
+    RunStats,
+    Summarization,
+)
+
+
+def _make(num_edges=10, superedges=(), additions=(), deletions=()):
+    n = 6
+    return Summarization(
+        num_nodes=n,
+        num_edges=num_edges,
+        partition=SupernodePartition(n),
+        superedges=list(superedges),
+        corrections=CorrectionSet(list(additions), list(deletions)),
+        algorithm="test",
+    )
+
+
+class TestCorrectionSet:
+    def test_canonicalizes_order(self):
+        cs = CorrectionSet(additions=[(3, 1)], deletions=[(5, 2)])
+        assert cs.additions == [(1, 3)]
+        assert cs.deletions == [(2, 5)]
+
+    def test_size(self):
+        cs = CorrectionSet(additions=[(0, 1)], deletions=[(1, 2), (2, 3)])
+        assert cs.size == 3
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            CorrectionSet(additions=[(2, 2)])
+
+
+class TestObjective:
+    def test_counts_non_loop_superedges_only(self):
+        s = _make(superedges=[(0, 1), (2, 2), (3, 4)])
+        assert s.num_superedges == 2
+        assert s.num_superloops == 1
+        assert s.objective == 2
+
+    def test_objective_includes_corrections(self):
+        s = _make(superedges=[(0, 1)], additions=[(0, 2)], deletions=[(3, 4)])
+        assert s.objective == 3
+
+    def test_compression_formula(self):
+        s = _make(num_edges=10, additions=[(0, 1), (0, 2)])
+        assert s.compression == pytest.approx(1 - 2 / 10)
+
+    def test_compression_empty_graph(self):
+        s = _make(num_edges=0)
+        assert s.compression == 0.0
+
+    def test_describe_keys(self):
+        d = _make().describe()
+        assert {"algorithm", "objective", "compression", "supernodes"} <= set(d)
+
+    def test_repr_contains_metrics(self):
+        assert "compression" in repr(_make())
+
+
+class TestRunStats:
+    def test_total_sums_phases(self):
+        stats = RunStats(divide_seconds=1.0, merge_seconds=2.0,
+                         encode_seconds=0.5, drop_seconds=0.25)
+        assert stats.total_seconds == pytest.approx(3.75)
+        assert stats.divide_merge_seconds == pytest.approx(3.0)
+
+    def test_iteration_records(self):
+        stats = RunStats()
+        stats.iterations.append(
+            IterationStats(
+                iteration=1, divide_seconds=0.1, merge_seconds=0.2,
+                num_groups=5, max_group_size=3, num_supernodes=10, merges=2,
+            )
+        )
+        assert stats.iterations[0].num_groups == 5
+
+
+class TestFromMembers:
+    def test_roundtrip_structure(self):
+        s = Summarization.from_members(
+            num_nodes=4,
+            members={0: [0, 1], 2: [2], 3: [3]},
+            superedges=[(0, 2)],
+            corrections=CorrectionSet(additions=[(2, 3)]),
+            num_edges=5,
+            algorithm="loaded",
+        )
+        assert s.num_supernodes == 3
+        assert s.members(0) == [0, 1]
+        assert s.objective == 2
+        assert s.algorithm == "loaded"
+
+    def test_supernode_ids_sorted(self):
+        s = Summarization.from_members(
+            num_nodes=3,
+            members={2: [2], 0: [0], 1: [1]},
+            superedges=[],
+            corrections=CorrectionSet(),
+        )
+        assert s.supernode_ids() == [0, 1, 2]

@@ -1,0 +1,116 @@
+"""Tests for structural summary validation (failure injection)."""
+
+import pytest
+
+from repro.core.ldme import LDME
+from repro.core.partition import SupernodePartition
+from repro.core.summary import CorrectionSet, Summarization
+from repro.core.validate import (
+    SummaryValidationError,
+    check_summary,
+    validate_summary,
+)
+
+
+@pytest.fixture
+def clean(small_web):
+    return small_web, LDME(k=5, iterations=8, seed=0).summarize(small_web)
+
+
+def _summary(num_nodes, members, superedges=(), additions=(), deletions=()):
+    return Summarization(
+        num_nodes=num_nodes,
+        num_edges=0,
+        partition=SupernodePartition.from_members(num_nodes, members),
+        superedges=list(superedges),
+        corrections=CorrectionSet(list(additions), list(deletions)),
+    )
+
+
+class TestCleanSummaries:
+    def test_algorithm_output_is_clean(self, clean):
+        graph, summary = clean
+        assert check_summary(summary, graph) == []
+        validate_summary(summary, graph)
+
+    def test_all_baselines_clean(self, small_web):
+        from repro.baselines.mosso import MoSSo
+        from repro.baselines.sweg import SWeG
+
+        for algo in (SWeG(iterations=4, seed=0),
+                     MoSSo(seed=0, sample_size=10)):
+            summary = algo.summarize(small_web)
+            assert check_summary(summary, small_web) == []
+
+    def test_lossy_output_structurally_clean(self, small_web):
+        summary = LDME(k=5, iterations=8, seed=0,
+                       epsilon=0.3).summarize(small_web)
+        # Structure valid (no graph passed: lossy reconstruction differs).
+        assert check_summary(summary) == []
+
+
+class TestInjectedFaults:
+    def test_dead_superedge_endpoint(self):
+        s = _summary(3, {0: [0, 1], 2: [2]}, superedges=[(0, 1)])
+        problems = check_summary(s)
+        assert any("dead supernode" in p for p in problems)
+
+    def test_duplicate_superedge(self):
+        s = _summary(4, {0: [0, 1], 2: [2, 3]},
+                     superedges=[(0, 2), (2, 0)])
+        problems = check_summary(s)
+        assert any("duplicate superedge" in p for p in problems)
+
+    def test_correction_out_of_range(self):
+        s = _summary(3, {0: [0], 1: [1], 2: [2]})
+        s.corrections.additions.append((0, 99))
+        problems = check_summary(s)
+        assert any("out of node range" in p for p in problems)
+
+    def test_duplicate_correction(self):
+        s = _summary(3, {0: [0], 1: [1], 2: [2]},
+                     additions=[(0, 1), (1, 0)])
+        problems = check_summary(s)
+        assert any("duplicate C+" in p for p in problems)
+
+    def test_overlapping_corrections(self):
+        # Overlap requires the pair to both have a superedge (for C-) and
+        # not (for C+), so expect at least the overlap complaint.
+        s = _summary(4, {0: [0, 1], 2: [2, 3]}, superedges=[(0, 2)],
+                     additions=[(0, 2)], deletions=[(0, 2)])
+        problems = check_summary(s)
+        assert any("both C+ and C-" in p for p in problems)
+
+    def test_orphan_deletion(self):
+        s = _summary(4, {0: [0, 1], 2: [2, 3]}, deletions=[(0, 2)])
+        problems = check_summary(s)
+        assert any("no superedge" in p for p in problems)
+
+    def test_addition_inside_covered_pair(self):
+        s = _summary(4, {0: [0, 1], 2: [2, 3]}, superedges=[(0, 2)],
+                     additions=[(1, 3)])
+        problems = check_summary(s)
+        assert any("duplicates covered pair" in p for p in problems)
+
+    def test_lossy_reconstruction_flagged_with_graph(self, small_web):
+        summary = LDME(k=5, iterations=8, seed=0,
+                       epsilon=0.5).summarize(small_web)
+        problems = check_summary(summary, small_web)
+        assert any("reconstruction mismatch" in p for p in problems)
+
+    def test_validate_raises(self):
+        s = _summary(3, {0: [0, 1], 2: [2]}, superedges=[(0, 1)])
+        with pytest.raises(SummaryValidationError):
+            validate_summary(s)
+
+    def test_node_count_mismatch(self, clean):
+        _, summary = clean
+        broken = Summarization(
+            num_nodes=summary.num_nodes + 5,
+            num_edges=summary.num_edges,
+            partition=summary.partition,
+            superedges=summary.superedges,
+            corrections=summary.corrections,
+        )
+        problems = check_summary(broken)
+        assert any("declares" in p for p in problems)

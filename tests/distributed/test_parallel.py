@@ -1,0 +1,74 @@
+"""Tests for distributed execution of summarizers."""
+
+import pytest
+
+from repro.baselines.sweg import SWeG
+from repro.core.ldme import LDME
+from repro.core.reconstruct import verify_lossless
+from repro.distributed import ClusterSpec, run_distributed
+
+
+class TestCorrectness:
+    def test_output_lossless(self, small_web):
+        run = run_distributed(
+            LDME(k=5, iterations=5, seed=0), small_web,
+            ClusterSpec(num_workers=4),
+        )
+        verify_lossless(small_web, run.summarization)
+
+    def test_matches_serial_result(self, small_web):
+        # Same seed → same RNG stream → identical partition and objective.
+        serial = LDME(k=5, iterations=5, seed=3).summarize(small_web)
+        distributed = run_distributed(
+            LDME(k=5, iterations=5, seed=3), small_web,
+            ClusterSpec(num_workers=8),
+        )
+        assert distributed.summarization.objective == serial.objective
+        assert sorted(distributed.summarization.superedges) == sorted(
+            serial.superedges
+        )
+
+    def test_sweg_runs_distributed(self, small_web):
+        run = run_distributed(
+            SWeG(iterations=3, seed=0), small_web, ClusterSpec(num_workers=4)
+        )
+        verify_lossless(small_web, run.summarization)
+        assert run.summarization.algorithm == "SWeG-distributed"
+
+
+class TestAccounting:
+    def test_simulated_time_positive(self, small_web):
+        run = run_distributed(
+            LDME(k=5, iterations=3, seed=0), small_web,
+            ClusterSpec(num_workers=4),
+        )
+        assert run.simulated_seconds > 0
+        assert run.serial_seconds > 0
+        assert run.num_workers == 4
+
+    def test_speedup_bounded_by_workers(self, small_web):
+        run = run_distributed(
+            LDME(k=5, iterations=3, seed=0), small_web,
+            ClusterSpec(num_workers=4, round_overhead=0.0, task_overhead=0.0),
+        )
+        assert 0 < run.speedup <= 4.0 + 1e-6
+
+    def test_zero_overhead_more_speedup(self, small_web):
+        lean = run_distributed(
+            LDME(k=5, iterations=3, seed=0), small_web,
+            ClusterSpec(num_workers=8, round_overhead=0.0, task_overhead=0.0),
+        )
+        heavy = run_distributed(
+            LDME(k=5, iterations=3, seed=0), small_web,
+            ClusterSpec(num_workers=8, round_overhead=0.5, task_overhead=0.01),
+        )
+        assert lean.simulated_seconds < heavy.simulated_seconds
+
+    def test_stats_carry_simulated_times(self, small_web):
+        run = run_distributed(
+            LDME(k=5, iterations=3, seed=0), small_web,
+            ClusterSpec(num_workers=4),
+        )
+        stats = run.summarization.stats
+        assert len(stats.iterations) == 3
+        assert stats.total_seconds > 0

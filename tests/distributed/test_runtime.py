@@ -1,0 +1,80 @@
+"""Tests for the simulated cluster scheduler."""
+
+import pytest
+
+from repro.distributed.runtime import ClusterSpec, SimulatedCluster
+
+
+def _cluster(workers, round_overhead=0.0, task_overhead=0.0):
+    return SimulatedCluster(
+        ClusterSpec(
+            num_workers=workers,
+            round_overhead=round_overhead,
+            task_overhead=task_overhead,
+        )
+    )
+
+
+class TestMakespan:
+    def test_single_worker_sums(self):
+        sim = _cluster(1)
+        assert sim.makespan([1.0, 2.0, 3.0]) == pytest.approx(6.0)
+
+    def test_perfect_split(self):
+        sim = _cluster(2)
+        assert sim.makespan([2.0, 1.0, 1.0]) == pytest.approx(2.0)
+
+    def test_dominant_task_bounds(self):
+        sim = _cluster(4)
+        assert sim.makespan([10.0, 0.1, 0.1]) == pytest.approx(10.0)
+
+    def test_empty_tasks(self):
+        assert _cluster(4).makespan([]) == 0.0
+
+    def test_makespan_at_least_mean_load(self):
+        sim = _cluster(3)
+        tasks = [0.5, 1.0, 0.25, 0.75, 1.5]
+        assert sim.makespan(tasks) >= sum(tasks) / 3
+
+    def test_task_overhead_charged(self):
+        sim = _cluster(1, task_overhead=0.5)
+        assert sim.makespan([1.0, 1.0]) == pytest.approx(3.0)
+
+
+class TestAccounting:
+    def test_round_accumulates(self):
+        sim = _cluster(2, round_overhead=0.1)
+        sim.run_round([1.0, 1.0])
+        assert sim.rounds == 1
+        assert sim.simulated_seconds == pytest.approx(1.1)
+        assert sim.serial_seconds == pytest.approx(2.0)
+
+    def test_data_parallel_divides(self):
+        sim = _cluster(4, round_overhead=0.0)
+        span = sim.run_data_parallel(8.0)
+        assert span == pytest.approx(2.0)
+        assert sim.serial_seconds == pytest.approx(8.0)
+
+    def test_speedup_property(self):
+        sim = _cluster(4)
+        sim.run_round([1.0] * 8)
+        assert sim.speedup == pytest.approx(4.0)
+
+    def test_speedup_no_rounds(self):
+        assert _cluster(3).speedup == 1.0
+
+    def test_negative_serial_rejected(self):
+        with pytest.raises(ValueError):
+            _cluster(2).run_data_parallel(-1.0)
+
+
+class TestSpecValidation:
+    def test_worker_count_positive(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(num_workers=0)
+
+    def test_overheads_nonnegative(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(round_overhead=-0.1)
+        with pytest.raises(ValueError):
+            ClusterSpec(task_overhead=-0.1)

@@ -1,0 +1,337 @@
+"""Integration tests for the per-figure experiment harnesses.
+
+Each harness runs at toy scale here (tiny graphs, few iterations); the
+shape assertions mirror what the corresponding paper figure shows.
+"""
+
+import pytest
+
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5a import run_fig5a
+from repro.experiments.fig5b import run_fig5b
+from repro.experiments.fig5c import run_fig5c, sbm_graph_for_level
+from repro.experiments.runner import EXPERIMENTS, run_all, write_report
+from repro.experiments.table1 import run_table1
+from repro.graph.generators import web_host_graph
+
+
+@pytest.fixture(scope="module")
+def toy_graphs():
+    return {"toy": web_host_graph(num_hosts=8, host_size=15, seed=1)}
+
+
+class TestTable1:
+    def test_eight_rows(self):
+        result = run_table1()
+        assert len(result.rows) == 8
+        assert result.rows[0]["Abbr"] == "CN"
+
+    def test_reports_both_scales(self):
+        row = run_table1().rows[0]
+        assert row["Paper edges"] > row["Surrogate edges"]
+
+
+class TestFig2:
+    def test_rows_per_graph_algorithm_iteration(self, toy_graphs):
+        result = run_fig2(
+            graphs=toy_graphs, iterations_list=(1, 2), include_sweg=True
+        )
+        assert len(result.rows) == 6  # 1 graph × 3 algorithms × 2 T values
+
+    def test_metrics_present(self, toy_graphs):
+        result = run_fig2(graphs=toy_graphs, iterations_list=(2,))
+        for row in result.rows:
+            assert 0 <= row["compression"] <= 1
+            assert row["total_s"] >= row["encode_s"]
+
+    def test_sweg_optional(self, toy_graphs):
+        result = run_fig2(
+            graphs=toy_graphs, iterations_list=(1,), include_sweg=False
+        )
+        assert {row["algorithm"] for row in result.rows} == {"LDME5", "LDME20"}
+
+
+class TestFig3:
+    def test_ldme_rows_marked_feasible(self, toy_graphs):
+        result = run_fig3(graphs=toy_graphs, iterations=2)
+        assert all(row["feasible"] for row in result.rows)
+        assert {row["algorithm"] for row in result.rows} == {"LDME5", "LDME20"}
+
+    def test_sweg_budget_row(self, toy_graphs):
+        result = run_fig3(
+            graphs=toy_graphs, iterations=2, sweg_budget_seconds=1e9
+        )
+        sweg_rows = [r for r in result.rows if r["algorithm"] == "SWeG"]
+        assert len(sweg_rows) == 1
+        assert sweg_rows[0]["feasible"]
+
+
+class TestFig4:
+    def test_shape_matches_paper(self, toy_graphs):
+        result = run_fig4(graphs=toy_graphs, k_values=(2, 10))
+        groups = dict(result.series("k", "num_groups"))
+        max_sizes = dict(result.series("k", "max_group_size"))
+        assert groups[10] >= groups[2]
+        assert max_sizes[10] <= max_sizes[2]
+
+
+class TestFig5a:
+    def test_algorithms_present(self, toy_graphs):
+        result = run_fig5a(graphs=toy_graphs, iterations=2, sample_size=10)
+        algos = {row["algorithm"] for row in result.rows}
+        assert algos == {"LDME5", "LDME20", "MoSSo"}
+
+    def test_vog_optional(self, toy_graphs):
+        result = run_fig5a(
+            graphs=toy_graphs, iterations=1, sample_size=5, include_vog=True
+        )
+        assert any(row["algorithm"] == "VoG" for row in result.rows)
+
+
+class TestFig5b:
+    def test_speedup_reported(self, toy_graphs):
+        result = run_fig5b(graphs=toy_graphs, iterations=2, num_workers=4)
+        for row in result.rows:
+            assert row["parallel_speedup"] > 0
+            assert row["simulated_s"] > 0
+
+    def test_sweg_included_by_default(self, toy_graphs):
+        result = run_fig5b(graphs=toy_graphs, iterations=1)
+        assert any(row["algorithm"] == "SWeG" for row in result.rows)
+
+
+class TestFig5c:
+    def test_density_sweep_rows(self):
+        result = run_fig5c(
+            levels=(0.0, 0.4), community_size=40, iterations=2,
+            include_vog=False, mosso_sample_size=10,
+        )
+        levels = {row["density_level"] for row in result.rows}
+        assert levels == {0.0, 0.4}
+        algos = {row["algorithm"] for row in result.rows}
+        assert {"LDME5", "LDME20", "SWeG", "MoSSo"} <= algos
+
+    def test_density_increases_edges(self):
+        sparse = sbm_graph_for_level(0.0, community_size=50, seed=0)
+        dense = sbm_graph_for_level(1.0, community_size=50, seed=0)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_level_validated(self):
+        with pytest.raises(ValueError):
+            sbm_graph_for_level(-1.0)
+
+
+class TestRunner:
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "fig2", "fig3", "fig4", "fig5a", "fig5b", "fig5c",
+            "tuning", "lossy", "scaling", "queries", "ablations",
+            "robustness", "seeds",
+        }
+
+    def test_run_all_selection(self):
+        results = run_all(["table1"])
+        assert len(results) == 1
+        assert results[0].experiment == "table1"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_all(["bogus"])
+
+    def test_write_report_markdown(self):
+        results = run_all(["table1"])
+        report = write_report(results)
+        assert report.startswith("# LDME reproduction")
+        assert "table1" in report
+
+
+class TestTuningCurve:
+    def test_curve_shape(self, toy_graphs):
+        from repro.experiments.tuning import run_tuning_curve
+
+        result = run_tuning_curve(
+            graphs=toy_graphs, k_values=(2, 10), iterations=4
+        )
+        compression = dict(result.series("k", "compression"))
+        max_group = dict(result.series("k", "max_group_size"))
+        assert compression[2] >= compression[10]
+        assert max_group[2] >= max_group[10]
+
+    def test_rows_per_k(self, toy_graphs):
+        from repro.experiments.tuning import run_tuning_curve
+
+        result = run_tuning_curve(graphs=toy_graphs, k_values=(3, 6, 9),
+                                  iterations=2)
+        assert len(result.rows) == 3
+
+
+class TestLossyCurve:
+    def test_objective_non_increasing(self, toy_graphs):
+        from repro.experiments.lossy import run_lossy_curve
+
+        result = run_lossy_curve(graphs=toy_graphs,
+                                 epsilons=(0.0, 0.3, 1.0), iterations=4)
+        objectives = [v for _, v in result.series("epsilon", "objective")]
+        assert objectives == sorted(objectives, reverse=True)
+
+    def test_zero_epsilon_lossless(self, toy_graphs):
+        from repro.experiments.lossy import run_lossy_curve
+
+        result = run_lossy_curve(graphs=toy_graphs, epsilons=(0.0,),
+                                 iterations=3)
+        row = result.rows[0]
+        assert row["missing_edges"] == 0
+        assert row["spurious_edges"] == 0
+
+
+class TestScalingCurve:
+    def test_rows_and_growth(self):
+        from repro.experiments.scaling import run_scaling_curve
+
+        result = run_scaling_curve(host_counts=(5, 10), iterations=2)
+        assert len(result.rows) == 2
+        assert result.rows[1]["edges"] > result.rows[0]["edges"]
+        assert all(row["total_s"] > 0 for row in result.rows)
+
+
+class TestQueryLatency:
+    def test_lossless_agreement_is_total(self, toy_graphs):
+        from repro.experiments.queries_exp import run_query_latency
+
+        result = run_query_latency(graphs=toy_graphs, num_queries=200,
+                                   iterations=4)
+        assert result.rows[0]["agreement"] == 1.0
+        assert result.rows[0]["graph_s"] > 0
+        assert result.rows[0]["summary_s"] > 0
+
+    def test_workload_generator(self, toy_graphs):
+        from repro.experiments.queries_exp import generate_query_workload
+
+        graph = toy_graphs["toy"]
+        workload = generate_query_workload(graph, 300, seed=1)
+        assert len(workload) == 300
+        kinds = {kind for kind, _, _ in workload}
+        assert kinds <= {"nbr", "edge", "2hop"}
+        assert len(kinds) >= 2
+
+    def test_workload_validation(self, toy_graphs):
+        import pytest as _pytest
+
+        from repro.experiments.queries_exp import generate_query_workload
+
+        graph = toy_graphs["toy"]
+        with _pytest.raises(ValueError):
+            generate_query_workload(graph, -1)
+        with _pytest.raises(ValueError):
+            generate_query_workload(graph, 10, mix={"nbr": 0.0})
+
+
+class TestFig3BudgetPath:
+    def test_sweg_marked_infeasible_with_tiny_budget(self, toy_graphs):
+        result = run_fig3(
+            graphs=toy_graphs, iterations=2, sweg_budget_seconds=1e-9
+        )
+        sweg_rows = [r for r in result.rows if r["algorithm"] == "SWeG"]
+        assert len(sweg_rows) == 1
+        assert not sweg_rows[0]["feasible"]
+
+
+class TestAblations:
+    def test_variants_present(self, toy_graphs):
+        from repro.experiments.ablations import run_ablations
+
+        result = run_ablations(graphs=toy_graphs, iterations=3)
+        variants = [row["variant"] for row in result.rows]
+        assert "LDME5 (reference)" in variants
+        assert any("shingle" in v for v in variants)
+        assert len(result.rows) == 6
+
+    def test_metrics_sane(self, toy_graphs):
+        from repro.experiments.ablations import run_ablations
+
+        result = run_ablations(graphs=toy_graphs, iterations=2)
+        for row in result.rows:
+            assert 0 <= row["compression"] <= 1
+            assert row["total_s"] > 0
+
+
+class TestRobustness:
+    def test_noise_destroys_compression(self, toy_graphs):
+        from repro.experiments.robustness import run_noise_robustness
+
+        result = run_noise_robustness(
+            fractions=(0.0, 1.0), iterations=5, graph=toy_graphs["toy"]
+        )
+        clean = result.rows[0]["compression"]
+        noisy = result.rows[1]["compression"]
+        assert clean > noisy
+
+    def test_rewire_preserves_edge_scale(self, toy_graphs):
+        from repro.experiments.robustness import rewire
+
+        graph = toy_graphs["toy"]
+        noisy = rewire(graph, 0.5, seed=1)
+        assert abs(noisy.num_edges - graph.num_edges) < graph.num_edges * 0.2
+
+    def test_rewire_zero_is_identity(self, toy_graphs):
+        from repro.experiments.robustness import rewire
+
+        graph = toy_graphs["toy"]
+        assert rewire(graph, 0.0) == graph
+
+    def test_rewire_validated(self, toy_graphs):
+        import pytest as _pytest
+
+        from repro.experiments.robustness import rewire
+
+        with _pytest.raises(ValueError):
+            rewire(toy_graphs["toy"], 1.5)
+
+
+class TestSeedSensitivity:
+    def test_reports_spread(self, toy_graphs):
+        from repro.experiments.robustness import run_seed_sensitivity
+
+        result = run_seed_sensitivity(seeds=(0, 1, 2), iterations=4,
+                                      graph=toy_graphs["toy"])
+        assert len(result.rows) == 3
+        assert any("std" in note for note in result.notes)
+        values = [row["compression"] for row in result.rows]
+        assert max(values) - min(values) < 0.3  # randomized but stable
+
+    def test_empty_seeds_rejected(self, toy_graphs):
+        import pytest as _pytest
+
+        from repro.experiments.robustness import run_seed_sensitivity
+
+        with _pytest.raises(ValueError):
+            run_seed_sensitivity(seeds=(), graph=toy_graphs["toy"])
+
+
+class TestSaveResults:
+    def test_writes_csv_files(self, tmp_path):
+        from repro.experiments.runner import run_all, save_results
+
+        results = run_all(["table1"])
+        paths = save_results(results, tmp_path / "out", "csv")
+        assert len(paths) == 1
+        text = (tmp_path / "out" / "table1.csv").read_text()
+        assert text.splitlines()[0].startswith("Graph,")
+
+    def test_writes_json_files(self, tmp_path):
+        import json
+
+        from repro.experiments.runner import run_all, save_results
+
+        results = run_all(["table1"])
+        save_results(results, tmp_path, "json")
+        payload = json.loads((tmp_path / "table1.json").read_text())
+        assert payload["experiment"] == "table1"
+
+    def test_format_validated(self, tmp_path):
+        from repro.experiments.runner import save_results
+
+        with pytest.raises(ValueError):
+            save_results([], tmp_path, "xml")

@@ -1,0 +1,101 @@
+"""Tests for experiment result reporting."""
+
+from repro.experiments.reporting import (
+    ExperimentResult,
+    format_result,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_alignment_and_header(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_missing_cells_blank(self):
+        rows = [{"a": 1}, {"b": 2}]
+        text = format_table(rows)
+        assert "a" in text and "b" in text
+
+    def test_float_formatting(self):
+        text = format_table([{"v": 0.12345}])
+        assert "0.1235" in text  # four decimals for sub-unit values
+        text = format_table([{"v": 1234.5}])
+        assert "1,234" in text or "1234" in text
+
+    def test_int_thousands_separator(self):
+        assert "1,000,000" in format_table([{"v": 1_000_000}])
+
+    def test_explicit_columns(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+
+class TestExperimentResult:
+    def test_column_names_order(self):
+        result = ExperimentResult("x", "t")
+        result.rows.append({"one": 1, "two": 2})
+        result.rows.append({"three": 3})
+        assert result.column_names() == ["one", "two", "three"]
+
+    def test_series_extraction(self):
+        result = ExperimentResult("x", "t")
+        result.rows = [
+            {"k": 5, "time": 1.0, "algo": "a"},
+            {"k": 10, "time": 0.5, "algo": "a"},
+            {"k": 5, "time": 9.0, "algo": "b"},
+        ]
+        series = result.series("k", "time", where={"algo": "a"})
+        assert series == [(5, 1.0), (10, 0.5)]
+
+    def test_series_no_filter(self):
+        result = ExperimentResult("x", "t")
+        result.rows = [{"k": 1, "v": 2}]
+        assert result.series("k", "v") == [(1, 2)]
+
+    def test_format_result_includes_notes(self):
+        result = ExperimentResult("exp", "title", rows=[{"a": 1}],
+                                  notes=["important"])
+        text = format_result(result)
+        assert "exp" in text
+        assert "note: important" in text
+
+
+class TestExports:
+    def test_csv_roundtrip_columns(self):
+        from repro.experiments.reporting import to_csv
+
+        result = ExperimentResult("x", "t")
+        result.rows = [{"a": 1, "b": 0.5}, {"a": 2, "b": 0.25}]
+        text = to_csv(result)
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,0.5"
+        assert len(lines) == 3
+
+    def test_csv_missing_cells(self):
+        from repro.experiments.reporting import to_csv
+
+        result = ExperimentResult("x", "t")
+        result.rows = [{"a": 1}, {"b": 2}]
+        text = to_csv(result)
+        assert "a,b" in text.splitlines()[0]
+
+    def test_json_contains_metadata(self):
+        import json
+
+        from repro.experiments.reporting import to_json
+
+        result = ExperimentResult("exp", "title", rows=[{"a": 1}],
+                                  notes=["n"])
+        payload = json.loads(to_json(result))
+        assert payload["experiment"] == "exp"
+        assert payload["rows"] == [{"a": 1}]
+        assert payload["notes"] == ["n"]

@@ -1,0 +1,77 @@
+"""Unit tests for GraphBuilder."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+
+
+class TestFixedMode:
+    def test_basic_build(self):
+        g = GraphBuilder(num_nodes=4).add_edge(0, 1).add_edge(1, 2).build()
+        assert g.num_nodes == 4
+        assert g.num_edges == 2
+
+    def test_out_of_range_rejected(self):
+        builder = GraphBuilder(num_nodes=3)
+        with pytest.raises(ValueError):
+            builder.add_edge(0, 3)
+
+    def test_negative_num_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            GraphBuilder(num_nodes=-2)
+
+    def test_labels_unavailable(self):
+        builder = GraphBuilder(num_nodes=3)
+        with pytest.raises(ValueError):
+            builder.labels
+
+    def test_empty_build(self):
+        g = GraphBuilder(num_nodes=3).build()
+        assert g.num_nodes == 3
+        assert g.num_edges == 0
+
+
+class TestLabelMode:
+    def test_string_labels_compact(self):
+        builder = GraphBuilder()
+        builder.add_edge("alice", "bob").add_edge("bob", "carol")
+        g = builder.build()
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+        assert builder.labels == ["alice", "bob", "carol"]
+
+    def test_first_seen_ordering(self):
+        builder = GraphBuilder()
+        builder.add_edge("z", "a")
+        assert builder.labels == ["z", "a"]
+
+    def test_isolated_node_via_add_node(self):
+        builder = GraphBuilder()
+        builder.add_node("lonely")
+        builder.add_edge("a", "b")
+        g = builder.build()
+        assert g.num_nodes == 3
+        assert g.degree(0) == 0  # "lonely" was seen first
+
+    def test_mixed_hashable_labels(self):
+        builder = GraphBuilder()
+        builder.add_edge((1, 2), "x").add_edge("x", 99)
+        assert builder.build().num_edges == 2
+
+
+class TestBookkeeping:
+    def test_self_loops_counted_and_dropped(self):
+        builder = GraphBuilder(num_nodes=3)
+        builder.add_edge(1, 1).add_edge(0, 1)
+        assert builder.self_loops_dropped == 1
+        assert builder.build().num_edges == 1
+
+    def test_num_buffered_edges(self):
+        builder = GraphBuilder(num_nodes=3)
+        builder.add_edges([(0, 1), (0, 1), (1, 2)])
+        assert builder.num_buffered_edges == 3
+        assert builder.build().num_edges == 2  # deduped at build
+
+    def test_add_edges_chains(self):
+        g = GraphBuilder(num_nodes=4).add_edges([(0, 1)]).add_edges([(2, 3)]).build()
+        assert g.num_edges == 2

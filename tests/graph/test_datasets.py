@@ -1,0 +1,49 @@
+"""Tests for the Table 1 dataset surrogate registry."""
+
+import pytest
+
+from repro.graph import datasets
+
+
+class TestRegistry:
+    def test_eight_datasets(self):
+        assert len(datasets.names()) == 8
+
+    def test_paper_order(self):
+        assert datasets.names() == ["CN", "IN", "EU", "H1", "H2", "IC", "UK", "AR"]
+
+    def test_lookup_by_abbrev_and_name(self):
+        assert datasets.DATASETS["CN"] is datasets.DATASETS["cnr-2000"]
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            datasets.load("nope")
+
+    def test_paper_sizes_recorded(self):
+        spec = datasets.DATASETS["AR"]
+        assert spec.paper_nodes == 22_744_080
+        assert spec.paper_edges == 1_116_651_935
+
+
+class TestSurrogates:
+    def test_load_deterministic(self):
+        assert datasets.load("CN") == datasets.load("CN")
+
+    def test_surrogate_sizes_monotone(self):
+        rows = datasets.table1_rows()
+        edges = [row[5] for row in rows]
+        assert edges == sorted(edges)
+
+    def test_cn_is_smallest(self):
+        rows = {row[1]: row for row in datasets.table1_rows()}
+        assert rows["CN"][5] == min(row[5] for row in rows.values())
+
+    def test_surrogates_are_simple_graphs(self):
+        g = datasets.load("CN")
+        assert not g.has_edge(0, 0)
+        assert g.num_edges > 0
+
+    def test_table1_rows_include_paper_and_surrogate(self):
+        row = datasets.table1_rows()[0]
+        assert row[0] == "cnr-2000"
+        assert row[2] > row[4]  # paper size dwarfs surrogate

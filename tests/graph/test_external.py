@@ -1,0 +1,83 @@
+"""Tests for out-of-core edge-list ingestion."""
+
+import pytest
+
+from repro.graph.external import iter_edge_file, read_edge_list_chunked
+from repro.graph.io import read_edge_list, write_edge_list
+
+
+@pytest.fixture
+def edge_file(tmp_path, small_web):
+    path = tmp_path / "graph.txt"
+    write_edge_list(small_web, path)
+    return path, small_web
+
+
+class TestIterEdgeFile:
+    def test_streams_pairs(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n0 1\n2 3\n")
+        assert list(iter_edge_file(path)) == [(0, 1), (2, 3)]
+
+    def test_malformed_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\n")
+        with pytest.raises(ValueError):
+            list(iter_edge_file(path))
+
+    def test_negative_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("-1 0\n")
+        with pytest.raises(ValueError):
+            list(iter_edge_file(path))
+
+
+class TestChunkedReader:
+    def test_matches_in_memory_loader(self, edge_file):
+        path, graph = edge_file
+        chunked = read_edge_list_chunked(path, num_nodes=graph.num_nodes)
+        assert chunked == graph
+
+    def test_tiny_chunks_force_many_runs(self, edge_file):
+        path, graph = edge_file
+        chunked = read_edge_list_chunked(
+            path, num_nodes=graph.num_nodes, chunk_edges=7
+        )
+        assert chunked == graph
+
+    def test_infers_num_nodes(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n5 2\n")
+        g = read_edge_list_chunked(path)
+        assert g.num_nodes == 6
+        assert g.num_edges == 2
+
+    def test_dedup_and_symmetrize(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 0\n0 1\n2 2\n")
+        g = read_edge_list_chunked(path, chunk_edges=2)
+        assert g.num_edges == 1
+        assert not g.has_edge(2, 2)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# nothing\n")
+        assert read_edge_list_chunked(path).num_nodes == 0
+
+    def test_out_of_range_with_explicit_n(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 9\n")
+        with pytest.raises(ValueError, match="exceeds"):
+            read_edge_list_chunked(path, num_nodes=5)
+
+    def test_chunk_edges_validated(self, edge_file):
+        path, _ = edge_file
+        with pytest.raises(ValueError):
+            read_edge_list_chunked(path, chunk_edges=0)
+
+    def test_agrees_with_plain_reader_on_messy_input(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("3 1\n1 3\n0 2\n2 0\n4 4\n1 0\n")
+        chunked = read_edge_list_chunked(path, chunk_edges=2)
+        plain = read_edge_list(path, num_nodes=chunked.num_nodes)
+        assert chunked == plain

@@ -1,0 +1,216 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    barabasi_albert,
+    erdos_renyi,
+    powerlaw_cluster,
+    rmat,
+    stochastic_block_model,
+    web_host_graph,
+)
+
+
+class TestErdosRenyi:
+    def test_p_zero_empty(self):
+        assert erdos_renyi(20, 0.0, seed=0).num_edges == 0
+
+    def test_p_one_complete(self):
+        g = erdos_renyi(10, 1.0, seed=0)
+        assert g.num_edges == 45
+
+    def test_pair_inversion_is_exact(self):
+        # p=1 must produce every pair exactly once — validates the
+        # triangular index inversion arithmetic.
+        g = erdos_renyi(17, 1.0, seed=3)
+        expected = {(u, v) for u in range(17) for v in range(u + 1, 17)}
+        assert set(g.edges()) == expected
+
+    def test_expected_edge_count(self):
+        n, p = 200, 0.1
+        counts = [erdos_renyi(n, p, seed=s).num_edges for s in range(5)]
+        expect = p * n * (n - 1) / 2
+        assert expect * 0.8 < np.mean(counts) < expect * 1.2
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(5, 1.5)
+
+    def test_deterministic_with_seed(self):
+        assert erdos_renyi(30, 0.2, seed=7) == erdos_renyi(30, 0.2, seed=7)
+
+    def test_shared_generator_advances(self):
+        rng = np.random.default_rng(0)
+        a = erdos_renyi(30, 0.2, rng)
+        b = erdos_renyi(30, 0.2, rng)
+        assert a != b
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        g = barabasi_albert(100, m=3, seed=1)
+        # m initial star edges + m per subsequent node
+        assert g.num_edges == 3 + 3 * (100 - 4)
+
+    def test_heavy_tail(self):
+        g = barabasi_albert(400, m=2, seed=1)
+        degs = g.degrees()
+        assert degs.max() > 4 * degs.mean()
+
+    def test_connected(self):
+        from repro.graph.stats import connected_components
+
+        g = barabasi_albert(50, m=1, seed=0)
+        assert len(connected_components(g)) == 1
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(5, m=0)
+        with pytest.raises(ValueError):
+            barabasi_albert(3, m=3)
+
+
+class TestRMAT:
+    def test_node_count_power_of_two(self):
+        g = rmat(scale=6, edge_factor=4, seed=0)
+        assert g.num_nodes == 64
+
+    def test_degree_skew(self):
+        g = rmat(scale=10, edge_factor=8, seed=0)
+        degs = g.degrees()
+        assert degs.max() > 8 * max(1.0, degs.mean())
+
+    def test_quadrant_probabilities_validated(self):
+        with pytest.raises(ValueError):
+            rmat(scale=4, a=0.9, b=0.2, c=0.2)
+
+    def test_scale_validated(self):
+        with pytest.raises(ValueError):
+            rmat(scale=0)
+
+    def test_deterministic(self):
+        assert rmat(scale=7, seed=5) == rmat(scale=7, seed=5)
+
+
+class TestPowerlawCluster:
+    def test_size(self):
+        g = powerlaw_cluster(80, m=2, seed=0)
+        assert g.num_nodes == 80
+        assert g.num_edges >= 2 * (80 - 3)
+
+    def test_triangle_prob_zero_runs(self):
+        g = powerlaw_cluster(40, m=2, triangle_prob=0.0, seed=0)
+        assert g.num_edges > 0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            powerlaw_cluster(10, m=0)
+        with pytest.raises(ValueError):
+            powerlaw_cluster(10, m=2, triangle_prob=2.0)
+
+
+class TestSBM:
+    def test_total_nodes(self):
+        g = stochastic_block_model([10, 20, 30], np.full((3, 3), 0.05), seed=0)
+        assert g.num_nodes == 60
+
+    def test_diagonal_only_keeps_blocks_disconnected(self):
+        probs = [[1.0, 0.0], [0.0, 1.0]]
+        g = stochastic_block_model([5, 5], probs, seed=0)
+        for u in range(5):
+            for v in range(5, 10):
+                assert not g.has_edge(u, v)
+        assert g.num_edges == 2 * 10  # two K5s
+
+    def test_offdiagonal_density(self):
+        probs = [[0.0, 1.0], [1.0, 0.0]]
+        g = stochastic_block_model([4, 6], probs, seed=0)
+        assert g.num_edges == 24  # complete bipartite
+
+    def test_asymmetric_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            stochastic_block_model([3, 3], [[0.1, 0.2], [0.3, 0.1]])
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            stochastic_block_model([3], [[1.5]])
+
+    def test_wrong_matrix_shape_rejected(self):
+        with pytest.raises(ValueError):
+            stochastic_block_model([3, 3], [[0.1]])
+
+    def test_empty_blocks(self):
+        g = stochastic_block_model([0, 0], [[0.5, 0.5], [0.5, 0.5]], seed=0)
+        assert g.num_nodes == 0
+
+
+class TestWebHostGraph:
+    def test_shape(self):
+        g = web_host_graph(num_hosts=5, host_size=10, seed=0)
+        assert g.num_nodes == 50
+        assert g.num_edges > 0
+
+    def test_template_redundancy_exists(self):
+        # The point of this generator: many identical neighbourhoods.
+        g = web_host_graph(num_hosts=8, host_size=20, mutation_prob=0.0, seed=1)
+        seen = {}
+        for v in range(g.num_nodes):
+            key = tuple(g.neighbors(v).tolist())
+            seen[key] = seen.get(key, 0) + 1
+        assert max(seen.values()) >= 3
+
+    def test_host_locality(self):
+        g = web_host_graph(num_hosts=10, host_size=10, inter_edges_per_host=0,
+                           seed=2)
+        src, dst = g.edge_arrays()
+        assert np.all(src // 10 == dst // 10)  # all edges intra-host
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            web_host_graph(num_hosts=0, host_size=5)
+        with pytest.raises(ValueError):
+            web_host_graph(num_hosts=2, host_size=1)
+        with pytest.raises(ValueError):
+            web_host_graph(num_hosts=2, host_size=5, mutation_prob=1.5)
+        with pytest.raises(ValueError):
+            web_host_graph(num_hosts=2, host_size=5, templates_per_host=0)
+
+
+class TestForestFire:
+    def test_connected_and_sized(self):
+        from repro.graph.generators import forest_fire
+        from repro.graph.stats import connected_components
+
+        g = forest_fire(120, forward_prob=0.3, seed=0)
+        assert g.num_nodes == 120
+        assert g.num_edges >= 119  # at least a spanning structure
+        assert len(connected_components(g)) == 1
+
+    def test_higher_prob_denser(self):
+        from repro.graph.generators import forest_fire
+
+        sparse = forest_fire(150, forward_prob=0.1, seed=1)
+        dense = forest_fire(150, forward_prob=0.5, seed=1)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_deterministic(self):
+        from repro.graph.generators import forest_fire
+
+        assert forest_fire(60, seed=4) == forest_fire(60, seed=4)
+
+    def test_validation(self):
+        from repro.graph.generators import forest_fire
+
+        with pytest.raises(ValueError):
+            forest_fire(0)
+        with pytest.raises(ValueError):
+            forest_fire(10, forward_prob=1.0)
+
+    def test_single_node(self):
+        from repro.graph.generators import forest_fire
+
+        g = forest_fire(1, seed=0)
+        assert g.num_nodes == 1
+        assert g.num_edges == 0

@@ -1,0 +1,167 @@
+"""Unit tests for the CSR Graph core."""
+
+import numpy as np
+import pytest
+
+from repro.graph.graph import Graph
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2)])
+        assert g.num_nodes == 4
+        assert g.num_edges == 2
+
+    def test_empty_graph(self):
+        g = Graph.from_edges(5, [])
+        assert g.num_nodes == 5
+        assert g.num_edges == 0
+        assert g.neighbors(0).size == 0
+
+    def test_zero_node_graph(self):
+        g = Graph.from_edges(0, [])
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+
+    def test_self_loops_dropped(self):
+        g = Graph.from_edges(3, [(0, 0), (1, 1), (0, 1)])
+        assert g.num_edges == 1
+        assert not g.has_edge(0, 0)
+
+    def test_duplicate_edges_collapse(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 0), (0, 1), (0, 2)])
+        assert g.num_edges == 2
+
+    def test_symmetrization(self):
+        g = Graph.from_edges(3, [(2, 0)])
+        assert g.has_edge(0, 2)
+        assert g.has_edge(2, 0)
+        assert 2 in g.neighbors(0)
+        assert 0 in g.neighbors(2)
+
+    def test_isolated_nodes_allowed(self):
+        g = Graph.from_edges(10, [(0, 1)])
+        assert g.degree(9) == 0
+
+    def test_out_of_range_endpoint_rejected(self):
+        with pytest.raises(ValueError):
+            Graph.from_edges(2, [(0, 5)])
+
+    def test_negative_endpoint_rejected(self):
+        with pytest.raises(ValueError):
+            Graph.from_edges(3, [(-1, 1)])
+
+    def test_negative_num_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            Graph.from_edges(-1, [])
+
+    def test_malformed_edges_rejected(self):
+        with pytest.raises(ValueError):
+            Graph.from_edges(3, [(0, 1, 2)])
+
+    def test_raw_csr_validation(self):
+        with pytest.raises(ValueError):
+            Graph(np.array([0, 1]), np.array([5]))  # index out of range
+        with pytest.raises(ValueError):
+            Graph(np.array([1, 1]), np.array([], dtype=np.int64))  # bad start
+        with pytest.raises(ValueError):
+            Graph(np.array([0, 2, 1]), np.array([0, 1]))  # decreasing indptr
+
+    def test_from_edge_arrays_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            Graph.from_edge_arrays(3, np.array([0, 1]), np.array([1]))
+
+
+class TestAccessors:
+    def test_neighbors_sorted(self, two_cliques):
+        for v in range(two_cliques.num_nodes):
+            nbrs = two_cliques.neighbors(v)
+            assert np.all(np.diff(nbrs) > 0)
+
+    def test_degree_matches_neighbors(self, two_cliques):
+        for v in range(two_cliques.num_nodes):
+            assert two_cliques.degree(v) == two_cliques.neighbors(v).size
+
+    def test_degrees_vector(self, star):
+        degs = star.degrees()
+        assert degs[0] == 5
+        assert np.all(degs[1:] == 1)
+
+    def test_has_edge(self, path4):
+        assert path4.has_edge(0, 1)
+        assert path4.has_edge(1, 0)
+        assert not path4.has_edge(0, 2)
+        assert not path4.has_edge(0, 0)
+
+    def test_csr_arrays_read_only(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.indices[0] = 99
+        with pytest.raises(ValueError):
+            triangle.indptr[0] = 1
+
+
+class TestEdgesIteration:
+    def test_edges_each_once_ordered(self, two_cliques):
+        edges = list(two_cliques.edges())
+        assert len(edges) == two_cliques.num_edges
+        assert all(u < v for u, v in edges)
+        assert len(set(edges)) == len(edges)
+
+    def test_edge_arrays_matches_edges(self, random_graph):
+        src, dst = random_graph.edge_arrays()
+        assert list(zip(src.tolist(), dst.tolist())) == list(random_graph.edges())
+
+    def test_iter_and_len(self, path4):
+        assert list(path4) == [0, 1, 2, 3]
+        assert len(path4) == 4
+
+
+class TestComparison:
+    def test_equality_same_edges(self):
+        a = Graph.from_edges(3, [(0, 1), (1, 2)])
+        b = Graph.from_edges(3, [(2, 1), (1, 0)])
+        assert a == b
+
+    def test_inequality_different_edges(self):
+        a = Graph.from_edges(3, [(0, 1)])
+        b = Graph.from_edges(3, [(0, 2)])
+        assert a != b
+
+    def test_inequality_different_node_count(self):
+        a = Graph.from_edges(3, [(0, 1)])
+        b = Graph.from_edges(4, [(0, 1)])
+        assert a != b
+
+    def test_eq_non_graph(self, triangle):
+        assert triangle != "not a graph"
+
+    def test_repr(self, triangle):
+        assert "num_nodes=3" in repr(triangle)
+        assert "num_edges=3" in repr(triangle)
+
+
+class TestSubgraph:
+    def test_induced_subgraph(self, two_cliques):
+        sub = two_cliques.subgraph([0, 1, 2, 3])
+        assert sub.num_nodes == 4
+        assert sub.num_edges == 6  # K4
+
+    def test_subgraph_relabels_in_order(self):
+        g = Graph.from_edges(5, [(2, 4)])
+        sub = g.subgraph([4, 2])
+        assert sub.has_edge(0, 1)
+
+    def test_subgraph_rejects_duplicates(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.subgraph([0, 0])
+
+    def test_subgraph_drops_external_edges(self, two_cliques):
+        sub = two_cliques.subgraph([0, 4])
+        assert sub.num_edges == 1  # only the bridge
+
+
+class TestNeighborSets:
+    def test_neighbor_sets_match_csr(self, random_graph):
+        sets = random_graph.neighbor_sets()
+        for v in range(random_graph.num_nodes):
+            assert sets[v] == set(random_graph.neighbors(v).tolist())

@@ -1,0 +1,93 @@
+"""Tests for graph samplers."""
+
+import numpy as np
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.sampling import edge_sample, node_sample, random_walk_sample
+
+
+class TestNodeSample:
+    def test_size_and_mapping(self, small_web):
+        sub, ids = node_sample(small_web, 0.25, seed=0)
+        assert sub.num_nodes == ids.size
+        assert ids.size == round(small_web.num_nodes * 0.25)
+
+    def test_full_fraction_identity(self, two_cliques):
+        sub, ids = node_sample(two_cliques, 1.0, seed=0)
+        assert sub == two_cliques
+
+    def test_induced_edges_preserved(self, two_cliques):
+        sub, ids = node_sample(two_cliques, 0.5, seed=3)
+        lookup = {int(o): i for i, o in enumerate(ids)}
+        for u, v in two_cliques.edges():
+            if u in lookup and v in lookup:
+                assert sub.has_edge(lookup[u], lookup[v])
+
+    def test_fraction_validated(self, triangle):
+        with pytest.raises(ValueError):
+            node_sample(triangle, 0.0)
+        with pytest.raises(ValueError):
+            node_sample(triangle, 1.5)
+
+
+class TestEdgeSample:
+    def test_edge_count(self, small_web):
+        sub, ids = edge_sample(small_web, 0.1, seed=0)
+        assert sub.num_edges == round(small_web.num_edges * 0.1)
+
+    def test_endpoints_collected(self, path4):
+        sub, ids = edge_sample(path4, 1.0, seed=0)
+        assert sorted(ids.tolist()) == [0, 1, 2, 3]
+        assert sub.num_edges == 3
+
+    def test_empty_graph(self):
+        sub, ids = edge_sample(Graph.from_edges(3, []), 0.5, seed=0)
+        assert sub.num_nodes == 0
+        assert ids.size == 0
+
+    def test_fraction_validated(self, triangle):
+        with pytest.raises(ValueError):
+            edge_sample(triangle, -0.1)
+
+
+class TestRandomWalkSample:
+    def test_reaches_target_on_connected_graph(self, two_cliques):
+        sub, ids = random_walk_sample(two_cliques, 6, seed=0)
+        assert ids.size == 6
+        assert sub.num_nodes == 6
+
+    def test_sample_is_induced(self, small_web):
+        sub, ids = random_walk_sample(small_web, 40, seed=1)
+        lookup = {int(o): i for i, o in enumerate(ids)}
+        for u, v in small_web.edges():
+            if u in lookup and v in lookup:
+                assert sub.has_edge(lookup[u], lookup[v])
+
+    def test_target_capped_at_n(self, triangle):
+        sub, ids = random_walk_sample(triangle, 100, seed=0)
+        assert ids.size == 3
+
+    def test_handles_isolated_starts(self):
+        g = Graph.from_edges(6, [(0, 1)])
+        sub, ids = random_walk_sample(g, 3, seed=2)
+        assert 1 <= ids.size <= 3 or ids.size == 3
+
+    def test_walk_keeps_local_structure(self, small_web):
+        # Random-walk samples should be denser than uniform node samples
+        # of the same size (the sampler's selling point).
+        walk_sub, walk_ids = random_walk_sample(small_web, 30, seed=5)
+        node_sub, _ = node_sample(
+            small_web, walk_ids.size / small_web.num_nodes, seed=5
+        )
+        assert walk_sub.num_edges >= node_sub.num_edges
+
+    def test_validation(self, triangle):
+        with pytest.raises(ValueError):
+            random_walk_sample(triangle, 0)
+        with pytest.raises(ValueError):
+            random_walk_sample(triangle, 2, restart_prob=1.0)
+
+    def test_empty_graph(self):
+        sub, ids = random_walk_sample(Graph.from_edges(0, []), 3, seed=0)
+        assert sub.num_nodes == 0

@@ -1,0 +1,136 @@
+"""Tests for graph statistics."""
+
+import numpy as np
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.stats import (
+    connected_components,
+    degree_histogram,
+    graph_stats,
+)
+
+
+class TestGraphStats:
+    def test_star_stats(self, star):
+        stats = graph_stats(star)
+        assert stats.num_nodes == 6
+        assert stats.num_edges == 5
+        assert stats.min_degree == 1
+        assert stats.max_degree == 5
+        assert stats.num_isolated == 0
+        assert stats.num_components == 1
+
+    def test_density_complete(self, triangle):
+        assert graph_stats(triangle).density == 1.0
+
+    def test_isolated_counted(self):
+        g = Graph.from_edges(5, [(0, 1)])
+        stats = graph_stats(g)
+        assert stats.num_isolated == 3
+        assert stats.num_components == 4
+
+    def test_empty_graph(self):
+        stats = graph_stats(Graph.from_edges(0, []))
+        assert stats.num_nodes == 0
+        assert stats.density == 0.0
+
+    def test_as_dict_keys(self, triangle):
+        d = graph_stats(triangle).as_dict()
+        assert {"nodes", "edges", "density", "components"} <= set(d)
+
+
+class TestDegreeHistogram:
+    def test_star_histogram(self, star):
+        hist = degree_histogram(star)
+        assert hist[1] == 5
+        assert hist[5] == 1
+
+    def test_histogram_sums_to_n(self, random_graph):
+        assert degree_histogram(random_graph).sum() == random_graph.num_nodes
+
+    def test_empty(self):
+        hist = degree_histogram(Graph.from_edges(0, []))
+        assert hist.sum() == 0
+
+
+class TestConnectedComponents:
+    def test_single_component(self, two_cliques):
+        comps = connected_components(two_cliques)
+        assert len(comps) == 1
+        assert sorted(comps[0].tolist()) == list(range(8))
+
+    def test_two_components(self):
+        g = Graph.from_edges(6, [(0, 1), (1, 2), (3, 4)])
+        comps = connected_components(g)
+        sizes = sorted(len(c) for c in comps)
+        assert sizes == [1, 2, 3]
+
+    def test_components_partition_nodes(self, random_graph):
+        comps = connected_components(random_graph)
+        all_nodes = np.concatenate(comps)
+        assert sorted(all_nodes.tolist()) == list(range(random_graph.num_nodes))
+
+
+class TestPowerlawMLE:
+    def test_known_distribution(self):
+        # Generate a synthetic degree sequence ~ power law alpha=2.5 via a
+        # BA-like graph and check the estimate lands in a sane band.
+        from repro.graph.generators import barabasi_albert
+        from repro.graph.stats import powerlaw_exponent_mle
+
+        g = barabasi_albert(2000, m=2, seed=0)
+        alpha = powerlaw_exponent_mle(g, xmin=2)
+        assert 1.5 < alpha < 3.5
+
+    def test_regular_graph_degenerate(self, triangle):
+        from repro.graph.stats import powerlaw_exponent_mle
+
+        # All degrees equal: estimator blows up (documented behaviour)
+        # or is very large.
+        alpha = powerlaw_exponent_mle(triangle, xmin=2)
+        assert alpha > 2
+
+    def test_xmin_validated(self, triangle):
+        from repro.graph.stats import powerlaw_exponent_mle
+
+        with pytest.raises(ValueError):
+            powerlaw_exponent_mle(triangle, xmin=0)
+
+    def test_no_tail_rejected(self):
+        from repro.graph.stats import powerlaw_exponent_mle
+
+        g = Graph.from_edges(3, [])
+        with pytest.raises(ValueError):
+            powerlaw_exponent_mle(g, xmin=1)
+
+    def test_surrogates_have_heavy_tails(self):
+        from repro.graph import datasets
+        from repro.graph.stats import powerlaw_exponent_mle
+
+        for name in ("IN", "UK"):  # the R-MAT web surrogates
+            alpha = powerlaw_exponent_mle(datasets.load(name), xmin=2)
+            assert 1.3 < alpha < 4.0, name
+
+
+class TestAssortativity:
+    def test_star_disassortative(self, star):
+        from repro.graph.stats import degree_assortativity
+
+        assert degree_assortativity(star) < 0
+
+    def test_regular_graph_zero(self, triangle):
+        from repro.graph.stats import degree_assortativity
+
+        assert degree_assortativity(triangle) == 0.0
+
+    def test_bounded(self, small_web):
+        from repro.graph.stats import degree_assortativity
+
+        value = degree_assortativity(small_web)
+        assert -1.0 <= value <= 1.0
+
+    def test_tiny_graph(self):
+        from repro.graph.stats import degree_assortativity
+
+        assert degree_assortativity(Graph.from_edges(2, [(0, 1)])) == 0.0

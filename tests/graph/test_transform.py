@@ -1,0 +1,145 @@
+"""Tests for graph transformations."""
+
+import numpy as np
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.transform import (
+    add_edges,
+    compact,
+    difference,
+    filter_min_degree,
+    largest_component,
+    relabel,
+    remove_edges,
+    union,
+)
+
+
+class TestLargestComponent:
+    def test_extracts_giant(self):
+        g = Graph.from_edges(7, [(0, 1), (1, 2), (2, 3), (4, 5)])
+        sub, ids = largest_component(g)
+        assert sub.num_nodes == 4
+        assert sorted(ids.tolist()) == [0, 1, 2, 3]
+        assert sub.num_edges == 3
+
+    def test_whole_graph_connected(self, two_cliques):
+        sub, ids = largest_component(two_cliques)
+        assert sub == two_cliques.subgraph(ids)
+        assert sub.num_nodes == 8
+
+    def test_empty_graph(self):
+        sub, ids = largest_component(Graph.from_edges(0, []))
+        assert sub.num_nodes == 0
+        assert ids.size == 0
+
+
+class TestFilterMinDegree:
+    def test_iterative_peeling(self):
+        # A triangle with a tail: the tail unravels completely at k=2.
+        g = Graph.from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)])
+        sub, ids = filter_min_degree(g, 2)
+        assert sorted(ids.tolist()) == [0, 1, 2]
+        assert sub.num_edges == 3
+
+    def test_zero_keeps_everything(self, random_graph):
+        sub, ids = filter_min_degree(random_graph, 0)
+        assert ids.size == random_graph.num_nodes
+
+    def test_impossible_threshold_empties(self, path4):
+        sub, ids = filter_min_degree(path4, 5)
+        assert ids.size == 0
+
+    def test_negative_rejected(self, path4):
+        with pytest.raises(ValueError):
+            filter_min_degree(path4, -1)
+
+    def test_result_satisfies_threshold(self, small_web):
+        sub, _ = filter_min_degree(small_web, 3)
+        if sub.num_nodes:
+            assert int(sub.degrees().min()) >= 3
+
+
+class TestRelabel:
+    def test_reverse_permutation(self, path4):
+        mapping = {v: 3 - v for v in range(4)}
+        relabelled = relabel(path4, mapping)
+        assert relabelled.has_edge(3, 2)
+        assert relabelled.has_edge(0, 1)
+        assert relabelled.num_edges == 3
+
+    def test_identity(self, triangle):
+        assert relabel(triangle, {v: v for v in range(3)}) == triangle
+
+    def test_incomplete_mapping_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            relabel(triangle, {0: 0, 1: 1})
+
+    def test_non_bijection_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            relabel(triangle, {0: 0, 1: 0, 2: 2})
+
+
+class TestCompact:
+    def test_drops_isolated(self):
+        g = Graph.from_edges(6, [(1, 4)])
+        sub, ids = compact(g)
+        assert sub.num_nodes == 2
+        assert ids.tolist() == [1, 4]
+        assert sub.has_edge(0, 1)
+
+    def test_noop_when_dense(self, triangle):
+        sub, ids = compact(triangle)
+        assert sub == triangle
+
+
+class TestSetOperations:
+    def test_union_combines(self):
+        a = Graph.from_edges(4, [(0, 1)])
+        b = Graph.from_edges(4, [(2, 3)])
+        combined = union(a, b)
+        assert combined.num_edges == 2
+
+    def test_union_different_sizes(self):
+        a = Graph.from_edges(2, [(0, 1)])
+        b = Graph.from_edges(5, [(3, 4)])
+        assert union(a, b).num_nodes == 5
+
+    def test_union_dedupes(self, triangle):
+        assert union(triangle, triangle) == triangle
+
+    def test_difference(self):
+        a = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        b = Graph.from_edges(4, [(1, 2)])
+        diff = difference(a, b)
+        assert diff.num_edges == 2
+        assert not diff.has_edge(1, 2)
+
+    def test_difference_identity(self, triangle):
+        empty = Graph.from_edges(3, [])
+        assert difference(triangle, empty) == triangle
+        assert difference(triangle, triangle).num_edges == 0
+
+
+class TestEdgeEdits:
+    def test_remove_edges(self, triangle):
+        g = remove_edges(triangle, [(0, 1)])
+        assert g.num_edges == 2
+        assert not g.has_edge(0, 1)
+
+    def test_remove_absent_edge_ignored(self, path4):
+        assert remove_edges(path4, [(0, 3)]) == path4
+
+    def test_add_edges(self, path4):
+        g = add_edges(path4, [(0, 3)])
+        assert g.has_edge(0, 3)
+        assert g.num_edges == 4
+
+    def test_add_edges_grows_universe(self):
+        g = Graph.from_edges(2, [(0, 1)])
+        grown = add_edges(g, [(1, 5)])
+        assert grown.num_nodes == 6
+
+    def test_add_nothing(self, triangle):
+        assert add_edges(triangle, []) == triangle

@@ -1,0 +1,131 @@
+"""Tests for traversals, k-core and SlashBurn."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import barabasi_albert, web_host_graph
+from repro.graph.graph import Graph
+from repro.graph.traversal import (
+    bfs_distances,
+    clustering_coefficient,
+    core_numbers,
+    k_core,
+    shortest_path,
+    slashburn,
+)
+
+
+class TestBFS:
+    def test_path_distances(self, path4):
+        assert bfs_distances(path4, 0) == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_unreachable_excluded(self):
+        g = Graph.from_edges(4, [(0, 1)])
+        assert set(bfs_distances(g, 0)) == {0, 1}
+
+    def test_source_validated(self, path4):
+        with pytest.raises(IndexError):
+            bfs_distances(path4, 9)
+
+
+class TestShortestPath:
+    def test_direct_path(self, path4):
+        assert shortest_path(path4, 0, 3) == [0, 1, 2, 3]
+
+    def test_same_node(self, path4):
+        assert shortest_path(path4, 2, 2) == [2]
+
+    def test_unreachable_none(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        assert shortest_path(g, 0, 3) is None
+
+    def test_path_is_shortest(self, two_cliques):
+        path = shortest_path(two_cliques, 1, 5)
+        # 1 → 0 → 4 → 5 is the unique 3-hop route over the bridge.
+        assert len(path) == 4
+        assert path[0] == 1 and path[-1] == 5
+
+    def test_endpoints_validated(self, path4):
+        with pytest.raises(IndexError):
+            shortest_path(path4, 0, 9)
+
+
+class TestCoreNumbers:
+    def test_clique_core(self):
+        g = Graph.from_edges(4, [(u, v) for u in range(4) for v in range(u + 1, 4)])
+        assert np.all(core_numbers(g) == 3)
+
+    def test_star_core(self, star):
+        cores = core_numbers(star)
+        assert np.all(cores == 1)
+
+    def test_path_core(self, path4):
+        assert np.all(core_numbers(path4) == 1)
+
+    def test_clique_with_tail(self):
+        # K4 plus a pendant: clique nodes core 3, pendant core 1.
+        edges = [(u, v) for u in range(4) for v in range(u + 1, 4)] + [(3, 4)]
+        g = Graph.from_edges(5, edges)
+        cores = core_numbers(g)
+        assert cores[4] == 1
+        assert all(cores[v] == 3 for v in range(4))
+
+    def test_isolated_core_zero(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        assert core_numbers(g)[2] == 0
+
+    def test_k_core_extraction(self, two_cliques):
+        core3 = k_core(two_cliques, 3)
+        assert sorted(core3.tolist()) == list(range(8))  # both K4s
+        assert k_core(two_cliques, 4).size == 0
+
+    def test_k_validated(self, path4):
+        with pytest.raises(ValueError):
+            k_core(path4, -1)
+
+
+class TestClusteringCoefficient:
+    def test_triangle_full(self, triangle):
+        assert clustering_coefficient(triangle, 0) == 1.0
+
+    def test_star_hub_zero(self, star):
+        assert clustering_coefficient(star, 0) == 0.0
+
+    def test_degree_one_zero(self, path4):
+        assert clustering_coefficient(path4, 0) == 0.0
+
+    def test_partial(self):
+        # 0 adjacent to 1,2,3; only edge (1,2) among them → 1/3.
+        g = Graph.from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2)])
+        assert clustering_coefficient(g, 0) == pytest.approx(1 / 3)
+
+
+class TestSlashBurn:
+    def test_covers_all_nodes(self):
+        g = web_host_graph(num_hosts=5, host_size=10, seed=1)
+        hubs, spokes = slashburn(g, hub_count=2)
+        covered = set(hubs.tolist())
+        for spoke in spokes:
+            covered.update(spoke.tolist())
+        assert covered == set(range(g.num_nodes))
+
+    def test_hubs_and_spokes_disjoint(self):
+        g = barabasi_albert(60, m=2, seed=0)
+        hubs, spokes = slashburn(g, hub_count=3)
+        hub_set = set(hubs.tolist())
+        for spoke in spokes:
+            assert not hub_set & set(spoke.tolist())
+
+    def test_first_hub_is_max_degree(self, star):
+        hubs, _ = slashburn(star, hub_count=1)
+        assert hubs[0] == 0
+
+    def test_hub_count_validated(self, star):
+        with pytest.raises(ValueError):
+            slashburn(star, hub_count=0)
+
+    def test_star_burns_to_leaves(self, star):
+        hubs, spokes = slashburn(star, hub_count=1)
+        # Removing the hub isolates every leaf into spokes.
+        spoke_nodes = sorted(v for s in spokes for v in s.tolist())
+        assert spoke_nodes == [1, 2, 3, 4, 5]

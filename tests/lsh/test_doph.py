@@ -1,0 +1,229 @@
+"""Tests for Densified One Permutation Hashing (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.lsh.doph import (
+    EMPTY,
+    DOPHHasher,
+    doph_signature,
+    doph_signatures_bulk,
+)
+from repro.lsh.permutation import random_permutation
+from repro.lsh.weighted import weighted_jaccard
+
+
+def _identity_perm(n):
+    return np.arange(n, dtype=np.int64)
+
+
+class TestDophSignatureSemantics:
+    def test_first_nonzero_per_bin(self):
+        # n=12, k=3 → bins of 4. Items 1 and 6 land in bins 0 and 1 with
+        # offsets 1 and 2 under the identity permutation.
+        perm = _identity_perm(12)
+        directions = np.array([1, 1, 1])
+        sig = doph_signature(np.array([1, 6]), perm, 3, directions)
+        assert sig[0] == 1
+        assert sig[1] == 2
+
+    def test_min_offset_wins_within_bin(self):
+        perm = _identity_perm(12)
+        sig = doph_signature(np.array([3, 1, 2]), perm, 3, np.ones(3, dtype=int))
+        assert sig[0] == 1
+
+    def test_densify_right_with_wraparound(self):
+        perm = _identity_perm(12)
+        directions = np.array([1, 1, 1])  # borrow from the right
+        sig = doph_signature(np.array([5]), perm, 3, directions)
+        # Bin 1 populated (offset 1); bins 0 and 2 borrow from the right:
+        # bin 0 → bin 1; bin 2 wraps → bin 1.
+        assert sig.tolist() == [1, 1, 1]
+
+    def test_densify_left_with_wraparound(self):
+        perm = _identity_perm(12)
+        directions = np.array([0, 0, 0])  # borrow from the left
+        sig = doph_signature(np.array([5]), perm, 3, directions)
+        assert sig.tolist() == [1, 1, 1]
+
+    def test_densify_direction_matters(self):
+        perm = _identity_perm(16)
+        # Bins of 4: items 0 (bin 0, offset 0) and 13 (bin 3, offset 1).
+        left = doph_signature(np.array([0, 13]), perm, 4, np.zeros(4, dtype=int))
+        right = doph_signature(np.array([0, 13]), perm, 4, np.ones(4, dtype=int))
+        assert left.tolist() == [0, 0, 0, 1]   # bins 1,2 borrow bin 0
+        assert right.tolist() == [0, 1, 1, 1]  # bins 1,2 borrow bin 3
+
+    def test_empty_vector_all_empty(self):
+        perm = _identity_perm(10)
+        sig = doph_signature(np.array([], dtype=np.int64), perm, 5,
+                             np.ones(5, dtype=int))
+        assert np.all(sig == EMPTY)
+
+    def test_uneven_bins_right_padding(self):
+        # n=10, k=3 → bin size ceil(10/3)=4; item 9 → bin 2, offset 1.
+        perm = _identity_perm(10)
+        sig = doph_signature(np.array([9]), perm, 3, np.ones(3, dtype=int))
+        assert sig[2] == 1
+
+    def test_out_of_range_item_rejected(self):
+        with pytest.raises(ValueError):
+            doph_signature(np.array([10]), _identity_perm(10), 2,
+                           np.ones(2, dtype=int))
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            doph_signature(np.array([0]), _identity_perm(4), 0,
+                           np.ones(0, dtype=int))
+
+    def test_directions_length_checked(self):
+        with pytest.raises(ValueError):
+            doph_signature(np.array([0]), _identity_perm(4), 2,
+                           np.ones(3, dtype=int))
+
+
+class TestBulkEquivalence:
+    @pytest.mark.parametrize("k", [1, 3, 7, 20])
+    def test_bulk_matches_scalar(self, k, rng):
+        n = 53
+        perm = random_permutation(n, rng)
+        directions = rng.integers(0, 2, size=k).astype(np.int64)
+        sets, rows, items = [], [], []
+        for r in range(40):
+            size = int(rng.integers(0, 10))
+            s = rng.choice(n, size=size, replace=False)
+            sets.append(s)
+            rows.extend([r] * size)
+            items.extend(s.tolist())
+        bulk = doph_signatures_bulk(
+            np.asarray(rows), np.asarray(items), 40, perm, k, directions
+        )
+        for r, s in enumerate(sets):
+            expected = doph_signature(s, perm, k, directions)
+            assert np.array_equal(bulk[r], expected), f"row {r}"
+
+    def test_bulk_tolerates_duplicates(self, rng):
+        n, k = 20, 4
+        perm = random_permutation(n, rng)
+        directions = rng.integers(0, 2, size=k).astype(np.int64)
+        once = doph_signatures_bulk(
+            np.array([0, 0]), np.array([3, 7]), 1, perm, k, directions
+        )
+        doubled = doph_signatures_bulk(
+            np.array([0, 0, 0, 0]), np.array([3, 7, 3, 7]), 1, perm, k, directions
+        )
+        assert np.array_equal(once, doubled)
+
+    def test_bulk_empty_input(self):
+        perm = _identity_perm(10)
+        sig = doph_signatures_bulk(
+            np.array([], dtype=np.int64), np.array([], dtype=np.int64),
+            3, perm, 2, np.ones(2, dtype=np.int64)
+        )
+        assert sig.shape == (3, 2)
+        assert np.all(sig == EMPTY)
+
+    def test_bulk_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            doph_signatures_bulk(
+                np.array([0]), np.array([1, 2]), 1, _identity_perm(5), 2,
+                np.ones(2, dtype=np.int64)
+            )
+
+
+class TestCollisionProbability:
+    def test_identical_sets_collide(self):
+        hasher = DOPHHasher(100, k=8, seed=0)
+        s = np.array([4, 9, 33, 70])
+        assert np.array_equal(hasher.signature(s), hasher.signature(s[::-1]))
+
+    def test_collision_rate_tracks_weighted_jaccard(self):
+        # Binary sets: DOPH bin agreement rate ≈ Jaccard (Shrivastava-Li).
+        a = np.arange(0, 40)
+        b = np.arange(20, 60)  # Jaccard 1/3
+        agreements = total = 0
+        for seed in range(60):
+            hasher = DOPHHasher(200, k=4, seed=seed)
+            sa, sb = hasher.signature(a), hasher.signature(b)
+            agreements += int(np.sum(sa == sb))
+            total += 4
+        rate = agreements / total
+        j = weighted_jaccard({i: 1 for i in a}, {i: 1 for i in b})
+        assert rate == pytest.approx(j, abs=0.12)
+
+    def test_disjoint_dense_sets_rarely_collide(self):
+        a = np.arange(0, 50)
+        b = np.arange(50, 100)
+        hasher = DOPHHasher(100, k=10, seed=1)
+        sa, sb = hasher.signature(a), hasher.signature(b)
+        assert not np.array_equal(sa, sb)
+
+    def test_signature_key_hashable(self):
+        hasher = DOPHHasher(50, k=5, seed=0)
+        key = hasher.signature_key(np.array([1, 2, 3]))
+        assert isinstance(key, tuple)
+        assert len(key) == 5
+        assert hash(key) is not None
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            DOPHHasher(0, 4)
+        with pytest.raises(ValueError):
+            DOPHHasher(10, 0)
+
+
+class TestOptimalDensification:
+    def test_fills_every_empty_bin(self):
+        perm = _identity_perm(20)
+        directions = np.ones(5, dtype=np.int64)
+        sig = doph_signature(np.array([7]), perm, 5, directions,
+                             densification="optimal")
+        assert np.all(sig >= 0)
+
+    def test_identical_inputs_identical_signatures(self):
+        perm = _identity_perm(40)
+        directions = np.array([1, 0, 1, 0])
+        a = doph_signature(np.array([3, 9]), perm, 4, directions,
+                           densification="optimal")
+        b = doph_signature(np.array([9, 3]), perm, 4, directions,
+                           densification="optimal")
+        assert np.array_equal(a, b)
+
+    def test_populated_bins_unchanged(self):
+        perm = _identity_perm(12)
+        directions = np.zeros(3, dtype=np.int64)
+        rotation = doph_signature(np.array([1, 5]), perm, 3, directions)
+        optimal = doph_signature(np.array([1, 5]), perm, 3, directions,
+                                 densification="optimal")
+        # Bins 0 and 1 are populated: both schemes must agree there.
+        assert optimal[0] == rotation[0]
+        assert optimal[1] == rotation[1]
+
+    def test_all_empty_stays_empty(self):
+        perm = _identity_perm(10)
+        sig = doph_signature(np.array([], dtype=np.int64), perm, 4,
+                             np.ones(4, dtype=np.int64),
+                             densification="optimal")
+        assert np.all(sig == EMPTY)
+
+    def test_unknown_scheme_rejected(self):
+        perm = _identity_perm(10)
+        with pytest.raises(ValueError, match="densification"):
+            doph_signature(np.array([1]), perm, 3, np.ones(3, dtype=np.int64),
+                           densification="bogus")
+
+    def test_collision_rate_still_tracks_jaccard(self):
+        from repro.lsh.permutation import random_permutation
+
+        a = np.arange(0, 40)
+        b = np.arange(20, 60)  # Jaccard 1/3
+        agreements = total = 0
+        rng = np.random.default_rng(7)
+        for _ in range(60):
+            perm = random_permutation(200, rng)
+            directions = rng.integers(0, 2, size=6).astype(np.int64)
+            sa = doph_signature(a, perm, 6, directions, densification="optimal")
+            sb = doph_signature(b, perm, 6, directions, densification="optimal")
+            agreements += int(np.sum(sa == sb))
+            total += 6
+        assert agreements / total == pytest.approx(1 / 3, abs=0.12)

@@ -1,0 +1,85 @@
+"""Tests for classic MinHash: the collision-probability law and banding."""
+
+import numpy as np
+import pytest
+
+from repro.lsh.minhash import MinHasher, jaccard
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard([1, 2, 3], [3, 2, 1]) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard([1, 2], [3, 4]) == 0.0
+
+    def test_partial(self):
+        assert jaccard([1, 2, 3], [2, 3, 4]) == pytest.approx(0.5)
+
+    def test_both_empty(self):
+        assert jaccard([], []) == 1.0
+
+    def test_one_empty(self):
+        assert jaccard([1], []) == 0.0
+
+
+class TestMinHasher:
+    def test_signature_length(self):
+        h = MinHasher(100, num_hashes=16, seed=0)
+        assert h.signature([1, 5, 7]).shape == (16,)
+
+    def test_identical_sets_identical_signatures(self):
+        h = MinHasher(100, num_hashes=8, seed=0)
+        assert np.array_equal(h.signature([3, 4, 5]), h.signature([5, 4, 3]))
+
+    def test_empty_set_sentinel(self):
+        h = MinHasher(10, num_hashes=4, seed=0)
+        assert np.all(h.signature([]) == -1)
+
+    def test_out_of_universe_rejected(self):
+        h = MinHasher(10, num_hashes=4, seed=0)
+        with pytest.raises(ValueError):
+            h.signature([10])
+
+    def test_collision_probability_tracks_jaccard(self):
+        # Statistical law: E[agreement fraction] = Jaccard similarity.
+        h = MinHasher(500, num_hashes=256, seed=7)
+        a = list(range(0, 60))
+        b = list(range(30, 90))  # Jaccard = 30/90 = 1/3
+        est = MinHasher.estimate_similarity(h.signature(a), h.signature(b))
+        assert est == pytest.approx(1 / 3, abs=0.1)
+
+    def test_estimate_requires_equal_lengths(self):
+        with pytest.raises(ValueError):
+            MinHasher.estimate_similarity(np.zeros(3), np.zeros(4))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MinHasher(0, 4)
+        with pytest.raises(ValueError):
+            MinHasher(10, 0)
+
+
+class TestBanding:
+    def test_band_count_and_width(self):
+        h = MinHasher(50, num_hashes=12, seed=0)
+        keys = h.band_keys(h.signature([1, 2, 3]), bands=4)
+        assert len(keys) == 4
+        assert all(len(key[1]) == 3 for key in keys)
+
+    def test_band_keys_distinguish_band_index(self):
+        h = MinHasher(50, num_hashes=4, seed=0)
+        sig = h.signature([1])
+        keys = h.band_keys(sig, bands=4)
+        assert len({key[0] for key in keys}) == 4
+
+    def test_bands_must_divide(self):
+        h = MinHasher(50, num_hashes=10, seed=0)
+        with pytest.raises(ValueError):
+            h.band_keys(h.signature([1]), bands=3)
+
+    def test_similar_sets_share_some_band(self):
+        h = MinHasher(200, num_hashes=16, seed=3)
+        a = h.band_keys(h.signature(list(range(40))), bands=8)
+        b = h.band_keys(h.signature(list(range(2, 42))), bands=8)
+        assert set(a) & set(b)

@@ -1,0 +1,54 @@
+"""Tests for random bijections."""
+
+import numpy as np
+import pytest
+
+from repro.lsh.permutation import ArithmeticBijection, random_permutation
+
+
+class TestRandomPermutation:
+    def test_is_permutation(self):
+        perm = random_permutation(50, seed=0)
+        assert sorted(perm.tolist()) == list(range(50))
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            random_permutation(20, seed=5), random_permutation(20, seed=5)
+        )
+
+    def test_zero_length(self):
+        assert random_permutation(0).size == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            random_permutation(-1)
+
+
+class TestArithmeticBijection:
+    def test_is_bijection(self):
+        bij = ArithmeticBijection(37, seed=1)
+        values = bij.apply(np.arange(37))
+        assert sorted(values.tolist()) == list(range(37))
+
+    def test_bijection_on_non_prime_domain(self):
+        # 100 is not prime; cycle walking must keep values in range.
+        bij = ArithmeticBijection(100, seed=2)
+        values = bij.apply(np.arange(100))
+        assert sorted(values.tolist()) == list(range(100))
+
+    def test_callable(self):
+        bij = ArithmeticBijection(10, seed=0)
+        assert np.array_equal(bij(np.arange(10)), bij.apply(np.arange(10)))
+
+    def test_deterministic_given_seed(self):
+        a = ArithmeticBijection(64, seed=9).apply(np.arange(64))
+        b = ArithmeticBijection(64, seed=9).apply(np.arange(64))
+        assert np.array_equal(a, b)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            ArithmeticBijection(0)
+
+    def test_tiny_domain(self):
+        bij = ArithmeticBijection(1, seed=0)
+        assert bij.apply(np.array([0])).tolist() == [0]

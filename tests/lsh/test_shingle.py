@@ -1,0 +1,65 @@
+"""Tests for shingle functions (SWeG's divide metric)."""
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.lsh.permutation import random_permutation
+from repro.lsh.shingle import node_shingles, shingle_groups, supernode_shingle
+
+
+class TestNodeShingles:
+    def test_closed_neighborhood_minimum(self, star):
+        perm = np.array([3, 0, 5, 1, 4, 2])
+        shingles = node_shingles(star, perm)
+        # Hub 0 sees everyone: min over all h values = 0.
+        assert shingles[0] == 0
+        # Leaf 1: min(h(1)=0, h(0)=3) = 0.
+        assert shingles[1] == 0
+        # Leaf 3: min(h(3)=1, h(0)=3) = 1.
+        assert shingles[3] == 1
+
+    def test_isolated_node_keeps_own_hash(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        perm = np.array([2, 1, 0])
+        assert node_shingles(g, perm)[2] == 0
+
+    def test_identity_permutation_propagates_minima(self, path4):
+        perm = np.arange(4)
+        shingles = node_shingles(path4, perm)
+        assert shingles.tolist() == [0, 0, 1, 2]
+
+    def test_wrong_perm_length_rejected(self, path4):
+        import pytest
+
+        with pytest.raises(ValueError):
+            node_shingles(path4, np.arange(3))
+
+    def test_shared_neighborhoods_share_shingles(self, star, rng):
+        perm = random_permutation(star.num_nodes, rng)
+        shingles = node_shingles(star, perm)
+        # Every leaf's closed neighbourhood contains the hub, so any two
+        # leaves differ only by their own hash; all values are <= h(hub).
+        assert np.all(shingles <= perm[0])
+
+
+class TestSupernodeShingle:
+    def test_min_over_members(self):
+        shingles = np.array([5, 1, 7])
+        assert supernode_shingle([0, 2], shingles) == 5
+        assert supernode_shingle([0, 1, 2], shingles) == 1
+
+
+class TestShingleGroups:
+    def test_groups_partition_supernodes(self, star, rng):
+        perm = random_permutation(star.num_nodes, rng)
+        shingles = node_shingles(star, perm)
+        members = {v: [v] for v in range(star.num_nodes)}
+        groups = shingle_groups(members, shingles)
+        collected = sorted(sid for group in groups.values() for sid in group)
+        assert collected == list(range(star.num_nodes))
+
+    def test_equal_shingles_grouped_together(self):
+        shingles = np.array([0, 0, 1])
+        groups = shingle_groups({0: [0], 1: [1], 2: [2]}, shingles)
+        assert sorted(groups[0]) == [0, 1]
+        assert groups[1] == [2]

@@ -1,0 +1,82 @@
+"""Tests for weighted Jaccard and ICWS weighted minhash."""
+
+import pytest
+
+from repro.lsh.weighted import ICWSHasher, weighted_jaccard
+
+
+class TestWeightedJaccard:
+    def test_identical_vectors(self):
+        assert weighted_jaccard({1: 2, 2: 5}, {1: 2, 2: 5}) == 1.0
+
+    def test_disjoint_support(self):
+        assert weighted_jaccard({1: 3}, {2: 4}) == 0.0
+
+    def test_known_value(self):
+        # min: 1+2 = 3; max: 3+4 = 7
+        assert weighted_jaccard({1: 1, 2: 4}, {1: 3, 2: 2}) == pytest.approx(3 / 7)
+
+    def test_boolean_vectors_reduce_to_jaccard(self):
+        a = {i: 1 for i in range(4)}
+        b = {i: 1 for i in range(2, 6)}
+        assert weighted_jaccard(a, b) == pytest.approx(2 / 6)
+
+    def test_zero_weights_ignored(self):
+        assert weighted_jaccard({1: 0, 2: 3}, {2: 3}) == 1.0
+
+    def test_both_empty(self):
+        assert weighted_jaccard({}, {}) == 1.0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_jaccard({1: -1}, {1: 2})
+
+    def test_symmetry(self):
+        a = {1: 2, 3: 7, 9: 1}
+        b = {1: 5, 2: 2}
+        assert weighted_jaccard(a, b) == weighted_jaccard(b, a)
+
+
+class TestICWS:
+    def test_identical_vectors_identical_signatures(self):
+        h = ICWSHasher(num_hashes=16, seed=0)
+        x = {1: 2.0, 5: 3.5}
+        assert h.signature(x) == h.signature(dict(reversed(list(x.items()))))
+
+    def test_collision_rate_equals_weighted_jaccard(self):
+        h = ICWSHasher(num_hashes=300, seed=1)
+        x = {1: 4.0, 2: 1.0, 3: 2.0}
+        y = {1: 2.0, 2: 3.0, 4: 1.0}
+        est = ICWSHasher.estimate_similarity(h.signature(x), h.signature(y))
+        truth = weighted_jaccard(x, y)
+        assert est == pytest.approx(truth, abs=0.08)
+
+    def test_scaling_invariance_of_similarity_estimate(self):
+        # J_w(2x, 2y) == J_w(x, y); ICWS estimates should agree closely.
+        h = ICWSHasher(num_hashes=200, seed=3)
+        x = {1: 1.0, 2: 2.0}
+        y = {1: 2.0, 3: 1.0}
+        base = ICWSHasher.estimate_similarity(h.signature(x), h.signature(y))
+        scaled = ICWSHasher.estimate_similarity(
+            h.signature({k: 2 * v for k, v in x.items()}),
+            h.signature({k: 2 * v for k, v in y.items()}),
+        )
+        assert scaled == pytest.approx(base, abs=0.1)
+
+    def test_negative_weight_rejected(self):
+        h = ICWSHasher(num_hashes=4, seed=0)
+        with pytest.raises(ValueError):
+            h.signature({1: -2.0})
+
+    def test_deterministic_given_seed(self):
+        a = ICWSHasher(num_hashes=8, seed=5).signature({1: 1.0, 2: 2.0})
+        b = ICWSHasher(num_hashes=8, seed=5).signature({1: 1.0, 2: 2.0})
+        assert a == b
+
+    def test_mismatched_signature_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ICWSHasher.estimate_similarity([(1, 0)], [(1, 0), (2, 0)])
+
+    def test_invalid_num_hashes(self):
+        with pytest.raises(ValueError):
+            ICWSHasher(num_hashes=0)

@@ -1,0 +1,162 @@
+"""Tests for weighted DOPH via universe expansion."""
+
+import numpy as np
+import pytest
+
+from repro.lsh.weighted import weighted_jaccard
+from repro.lsh.weighted_doph import (
+    WeightedDOPHHasher,
+    expand_weighted,
+    weighted_doph_signatures_bulk,
+)
+
+
+class TestExpansion:
+    def test_explicit_expansion(self):
+        out = expand_weighted(np.array([2, 5]), np.array([2, 1]), weight_cap=3)
+        # index 2 → slots 6, 7; index 5 → slot 15.
+        assert sorted(out.tolist()) == [6, 7, 15]
+
+    def test_saturation_at_cap(self):
+        out = expand_weighted(np.array([1]), np.array([10]), weight_cap=3)
+        assert sorted(out.tolist()) == [3, 4, 5]
+
+    def test_zero_weights_dropped(self):
+        out = expand_weighted(np.array([1, 2]), np.array([0, 1]), weight_cap=2)
+        assert out.tolist() == [4]
+
+    def test_empty(self):
+        out = expand_weighted(np.array([], dtype=np.int64),
+                              np.array([], dtype=np.int64), weight_cap=2)
+        assert out.size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expand_weighted(np.array([1]), np.array([1]), weight_cap=0)
+        with pytest.raises(ValueError):
+            expand_weighted(np.array([1]), np.array([-1]), weight_cap=2)
+        with pytest.raises(ValueError):
+            expand_weighted(np.array([1, 2]), np.array([1]), weight_cap=2)
+
+    def test_expansion_jaccard_equals_weighted_jaccard(self):
+        # The reduction's whole point: plain Jaccard of expansions equals
+        # weighted Jaccard of the originals (below the cap).
+        x = {1: 2, 3: 1, 7: 3}
+        y = {1: 1, 3: 1, 9: 2}
+        cap = 4
+        ex = set(expand_weighted(
+            np.array(list(x)), np.array(list(x.values())), cap).tolist())
+        ey = set(expand_weighted(
+            np.array(list(y)), np.array(list(y.values())), cap).tolist())
+        plain = len(ex & ey) / len(ex | ey)
+        assert plain == pytest.approx(weighted_jaccard(x, y))
+
+
+class TestWeightedHasher:
+    def test_identical_vectors_identical_signatures(self):
+        hasher = WeightedDOPHHasher(50, k=6, weight_cap=3, seed=0)
+        x = {4: 2, 9: 1}
+        assert np.array_equal(hasher.signature(x), hasher.signature(dict(x)))
+
+    def test_empty_vector_sentinel(self):
+        from repro.lsh.doph import EMPTY
+
+        hasher = WeightedDOPHHasher(10, k=4, seed=0)
+        assert np.all(hasher.signature({}) == EMPTY)
+
+    def test_out_of_universe_rejected(self):
+        hasher = WeightedDOPHHasher(10, k=4, seed=0)
+        with pytest.raises(ValueError):
+            hasher.signature({10: 1})
+
+    def test_collision_rate_tracks_weighted_jaccard(self):
+        x = {i: 3 for i in range(0, 20)}
+        y = {i: 1 for i in range(0, 20)}
+        truth = weighted_jaccard(x, y)  # = 1/3 exactly
+        agreements = total = 0
+        for seed in range(50):
+            hasher = WeightedDOPHHasher(100, k=4, weight_cap=4, seed=seed)
+            sx, sy = hasher.signature(x), hasher.signature(y)
+            agreements += int(np.sum(sx == sy))
+            total += 4
+        assert agreements / total == pytest.approx(truth, abs=0.12)
+
+    def test_binary_hasher_would_not_distinguish(self):
+        # Same support, different weights: the binarized view calls them
+        # identical; the weighted view must not (statistically).
+        from repro.lsh.doph import DOPHHasher
+
+        x = {i: 3 for i in range(0, 20)}
+        y = {i: 1 for i in range(0, 20)}
+        support = np.array(list(x))
+        binary = DOPHHasher(100, k=6, seed=1)
+        assert np.array_equal(binary.signature(support),
+                              binary.signature(support))
+        disagreements = 0
+        for seed in range(30):
+            hasher = WeightedDOPHHasher(100, k=6, weight_cap=4, seed=seed)
+            if not np.array_equal(hasher.signature(x), hasher.signature(y)):
+                disagreements += 1
+        assert disagreements > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeightedDOPHHasher(0, 4)
+        with pytest.raises(ValueError):
+            WeightedDOPHHasher(10, 0)
+        with pytest.raises(ValueError):
+            WeightedDOPHHasher(10, 4, weight_cap=0)
+
+
+class TestBulkWeighted:
+    def test_bulk_matches_scalar_hasher(self):
+        rng = np.random.default_rng(3)
+        n, k, cap = 30, 5, 3
+        hasher = WeightedDOPHHasher(n, k=k, weight_cap=cap, seed=7)
+        vectors = []
+        rows, items, weights = [], [], []
+        for r in range(15):
+            size = int(rng.integers(0, 8))
+            idx = rng.choice(n, size=size, replace=False)
+            w = rng.integers(1, 5, size=size)
+            vectors.append(dict(zip(idx.tolist(), w.tolist())))
+            rows.extend([r] * size)
+            items.extend(idx.tolist())
+            weights.extend(w.tolist())
+        bulk = weighted_doph_signatures_bulk(
+            np.asarray(rows), np.asarray(items), np.asarray(weights),
+            15, n, k, cap, hasher.perm, hasher.directions,
+        )
+        for r, vec in enumerate(vectors):
+            assert np.array_equal(bulk[r], hasher.signature(vec)), r
+
+    def test_bulk_validation(self):
+        with pytest.raises(ValueError):
+            weighted_doph_signatures_bulk(
+                np.array([0]), np.array([1, 2]), np.array([1]),
+                1, 5, 2, 2, np.arange(10), np.ones(2, dtype=np.int64),
+            )
+
+
+class TestLDMEIntegration:
+    def test_expanded_divide_lossless(self, small_web):
+        from repro.core.ldme import LDME
+        from repro.core.reconstruct import verify_lossless
+
+        result = LDME(k=5, iterations=5, seed=0,
+                      divide_weights="expanded").summarize(small_web)
+        verify_lossless(small_web, result)
+
+    def test_unknown_weights_rejected(self, small_web):
+        from repro.core.divide import lsh_divide
+        from repro.core.partition import SupernodePartition
+
+        with pytest.raises(ValueError):
+            lsh_divide(small_web, SupernodePartition(small_web.num_nodes),
+                       k=3, weights="bogus")
+
+    def test_ldme_validates_option(self):
+        from repro.core.ldme import LDME
+
+        with pytest.raises(ValueError):
+            LDME(divide_weights="bogus")

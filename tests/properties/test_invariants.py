@@ -1,0 +1,210 @@
+"""Property-based tests (hypothesis) for the package's core invariants.
+
+These are the guarantees a downstream user relies on, exercised over
+arbitrary small graphs:
+
+1. every summarizer is lossless for ε = 0;
+2. the encoder's objective equals the per-pair minimum cost;
+3. DOPH bulk == DOPH scalar for arbitrary inputs;
+4. partitions remain valid under arbitrary merge/extract sequences;
+5. weighted Jaccard is a bounded, symmetric similarity.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.mosso import MoSSo
+from repro.baselines.sags import SAGS
+from repro.baselines.sweg import SWeG
+from repro.core.ldme import LDME
+from repro.core.partition import SupernodePartition
+from repro.core.reconstruct import reconstruct
+from repro.graph.graph import Graph
+from repro.lsh.doph import doph_signature, doph_signatures_bulk
+from repro.lsh.weighted import weighted_jaccard
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graphs(draw, max_nodes=16):
+    """Arbitrary small simple graphs (possibly with isolated nodes)."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), max_size=40, unique=True)
+        if possible
+        else st.just([])
+    )
+    return Graph.from_edges(n, edges)
+
+
+class TestLosslessInvariant:
+    @SETTINGS
+    @given(graph=graphs(), seed=st.integers(0, 10))
+    def test_ldme_lossless(self, graph, seed):
+        result = LDME(k=3, iterations=4, seed=seed).summarize(graph)
+        assert reconstruct(result) == graph
+
+    @SETTINGS
+    @given(graph=graphs(), seed=st.integers(0, 10))
+    def test_sweg_lossless(self, graph, seed):
+        result = SWeG(iterations=3, seed=seed).summarize(graph)
+        assert reconstruct(result) == graph
+
+    @SETTINGS
+    @given(graph=graphs(), seed=st.integers(0, 5))
+    def test_mosso_lossless(self, graph, seed):
+        result = MoSSo(seed=seed, sample_size=5).summarize(graph)
+        assert reconstruct(result) == graph
+
+    @SETTINGS
+    @given(graph=graphs(), seed=st.integers(0, 5))
+    def test_sags_lossless(self, graph, seed):
+        result = SAGS(seed=seed, rounds=1).summarize(graph)
+        assert reconstruct(result) == graph
+
+
+class TestEncodeObjectiveMinimality:
+    @SETTINGS
+    @given(graph=graphs(), seed=st.integers(0, 10))
+    def test_objective_equals_pairwise_minimum(self, graph, seed):
+        from repro.core.encode import encode_sorted
+        from repro.core.saving import GroupAdjacency
+        from repro.core.summary import Summarization
+
+        rng = np.random.default_rng(seed)
+        part = SupernodePartition(graph.num_nodes)
+        for _ in range(int(rng.integers(0, graph.num_nodes))):
+            ids = list(part.supernode_ids())
+            if len(ids) < 2:
+                break
+            a, b = rng.choice(len(ids), size=2, replace=False)
+            part.merge(ids[int(a)], ids[int(b)])
+        ids = list(part.supernode_ids())
+        adjacency = GroupAdjacency(graph, part, ids)
+        expected = sum(adjacency.cost(sid) for sid in ids)
+        # Each non-loop pair is counted twice in the sum of costs.
+        for i, a in enumerate(ids):
+            for b in ids[i + 1:]:
+                e = adjacency.edge_count(a, b)
+                if e:
+                    expected -= min(e, 1 + part.size(a) * part.size(b) - e)
+        result = encode_sorted(graph, part)
+        summary = Summarization(
+            num_nodes=graph.num_nodes,
+            num_edges=graph.num_edges,
+            partition=part,
+            superedges=result.superedges,
+            corrections=result.corrections,
+        )
+        assert summary.objective == expected
+
+
+class TestDophEquivalence:
+    @SETTINGS
+    @given(
+        n=st.integers(4, 60),
+        k=st.integers(1, 12),
+        seed=st.integers(0, 1000),
+        data=st.data(),
+    )
+    def test_bulk_matches_scalar(self, n, k, seed, data):
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(n).astype(np.int64)
+        directions = rng.integers(0, 2, size=k).astype(np.int64)
+        items = data.draw(
+            st.lists(st.integers(0, n - 1), max_size=n, unique=True)
+        )
+        arr = np.asarray(items, dtype=np.int64)
+        scalar = doph_signature(arr, perm, k, directions)
+        bulk = doph_signatures_bulk(
+            np.zeros(arr.size, dtype=np.int64), arr, 1, perm, k, directions
+        )
+        assert np.array_equal(bulk[0], scalar)
+
+
+class TestPartitionInvariant:
+    @SETTINGS
+    @given(
+        n=st.integers(2, 20),
+        ops=st.lists(st.tuples(st.booleans(), st.integers(0, 10**6)),
+                     max_size=30),
+    )
+    def test_valid_under_merge_extract_sequences(self, n, ops):
+        part = SupernodePartition(n)
+        rng = np.random.default_rng(42)
+        for is_merge, raw in ops:
+            if is_merge:
+                ids = list(part.supernode_ids())
+                if len(ids) < 2:
+                    continue
+                a = ids[raw % len(ids)]
+                b = ids[(raw // 7 + 1) % len(ids)]
+                if a != b:
+                    part.merge(a, b)
+            else:
+                part.extract(raw % n)
+        part.validate()
+        assert part.num_supernodes >= 1
+
+
+class TestWeightedJaccardProperties:
+    weight_vectors = st.dictionaries(
+        st.integers(0, 10), st.integers(0, 5), max_size=8
+    )
+
+    @SETTINGS
+    @given(x=weight_vectors, y=weight_vectors)
+    def test_bounded_and_symmetric(self, x, y):
+        value = weighted_jaccard(x, y)
+        assert 0.0 <= value <= 1.0
+        assert value == weighted_jaccard(y, x)
+
+    @SETTINGS
+    @given(x=weight_vectors)
+    def test_identity(self, x):
+        assert weighted_jaccard(x, x) == 1.0
+
+
+class TestSerializationInvariant:
+    @SETTINGS
+    @given(graph=graphs(), seed=st.integers(0, 10))
+    def test_binary_roundtrip_arbitrary_summaries(self, graph, seed, tmp_path_factory):
+        from repro.binaryio import read_summary_binary, write_summary_binary
+
+        summary = LDME(k=3, iterations=3, seed=seed).summarize(graph)
+        path = tmp_path_factory.mktemp("bin") / "s.ldmeb"
+        write_summary_binary(summary, path)
+        loaded = read_summary_binary(path)
+        assert reconstruct(loaded) == graph
+        assert loaded.objective == summary.objective
+
+
+class TestLossyInvariant:
+    @SETTINGS
+    @given(
+        graph=graphs(),
+        seed=st.integers(0, 5),
+        epsilon=st.sampled_from([0.1, 0.5, 1.0]),
+    )
+    def test_drop_respects_error_bound(self, graph, seed, epsilon):
+        from repro.core.drop import verify_error_bound
+
+        summary = LDME(k=3, iterations=3, seed=seed,
+                       epsilon=epsilon).summarize(graph)
+        verify_error_bound(graph, summary, epsilon)
+
+    @SETTINGS
+    @given(graph=graphs(), seed=st.integers(0, 5))
+    def test_drop_never_grows_objective(self, graph, seed):
+        lossless = LDME(k=3, iterations=3, seed=seed).summarize(graph)
+        lossy = LDME(k=3, iterations=3, seed=seed,
+                     epsilon=0.5).summarize(graph)
+        assert lossy.objective <= lossless.objective

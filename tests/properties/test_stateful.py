@@ -1,0 +1,145 @@
+"""Stateful (rule-based) hypothesis tests.
+
+Random interleavings of operations, checked against brute-force oracles:
+
+* MoSSo's :class:`StreamState` — inserts, deletes, merges, extracts — the
+  incremental count table must always equal a from-scratch recount;
+* :class:`SupernodePartition` — merges and extracts keep the partition a
+  partition.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.baselines.mosso import StreamState
+from repro.core.partition import SupernodePartition
+
+NUM_NODES = 12
+
+
+class StreamStateMachine(RuleBasedStateMachine):
+    """Drive StreamState through arbitrary operation sequences."""
+
+    def __init__(self):
+        super().__init__()
+        self.state = StreamState(NUM_NODES)
+
+    @rule(u=st.integers(0, NUM_NODES - 1), v=st.integers(0, NUM_NODES - 1))
+    def insert_edge(self, u, v):
+        if u != v and v not in self.state.adjacency[u]:
+            self.state.add_edge(u, v)
+
+    @rule(u=st.integers(0, NUM_NODES - 1), v=st.integers(0, NUM_NODES - 1))
+    def delete_edge(self, u, v):
+        if u != v and v in self.state.adjacency[u]:
+            self.state.remove_edge(u, v)
+
+    @rule(pick=st.integers(0, 10**6))
+    def merge_supernodes(self, pick):
+        ids = sorted(self.state.partition.supernode_ids())
+        if len(ids) < 2:
+            return
+        a = ids[pick % len(ids)]
+        b = ids[(pick // 13 + 1) % len(ids)]
+        if a != b:
+            self.state.merge(a, b)
+
+    @rule(v=st.integers(0, NUM_NODES - 1))
+    def extract_node(self, v):
+        self.state.extract(v)
+
+    @invariant()
+    def counts_match_recount(self):
+        for sid in self.state.partition.supernode_ids():
+            assert self.state.counts[sid] == self.state.recompute_counts(sid)
+
+    @invariant()
+    def partition_is_valid(self):
+        self.state.partition.validate()
+
+
+class PartitionMachine(RuleBasedStateMachine):
+    """Merges and extracts never break partition invariants."""
+
+    def __init__(self):
+        super().__init__()
+        self.partition = SupernodePartition(NUM_NODES)
+
+    @rule(pick=st.integers(0, 10**6))
+    def merge(self, pick):
+        ids = sorted(self.partition.supernode_ids())
+        if len(ids) < 2:
+            return
+        a = ids[pick % len(ids)]
+        b = ids[(pick // 7 + 1) % len(ids)]
+        if a != b:
+            survivor, absorbed = self.partition.merge(a, b)
+            assert survivor in self.partition
+            assert absorbed not in self.partition
+
+    @rule(v=st.integers(0, NUM_NODES - 1))
+    def extract(self, v):
+        sid = self.partition.extract(v)
+        assert self.partition.supernode_of(v) == sid
+        assert self.partition.members(sid) == [v]
+
+    @invariant()
+    def stays_a_partition(self):
+        self.partition.validate()
+        covered = sum(
+            len(self.partition.members(sid))
+            for sid in self.partition.supernode_ids()
+        )
+        assert covered == NUM_NODES
+
+
+TestStreamState = StreamStateMachine.TestCase
+TestStreamState.settings = settings(max_examples=30, deadline=None,
+                                    stateful_step_count=40)
+TestPartition = PartitionMachine.TestCase
+TestPartition.settings = settings(max_examples=30, deadline=None,
+                                  stateful_step_count=40)
+
+
+class DynamicSummarizerMachine(RuleBasedStateMachine):
+    """DynamicSummarizer against a naive edge-set oracle."""
+
+    def __init__(self):
+        super().__init__()
+        from repro.streaming import DynamicSummarizer
+
+        self.ds = DynamicSummarizer(NUM_NODES, sample_size=4, seed=0)
+        self.oracle = set()
+
+    @rule(u=st.integers(0, NUM_NODES - 1), v=st.integers(0, NUM_NODES - 1))
+    def insert(self, u, v):
+        self.ds.insert(u, v)
+        if u != v:
+            self.oracle.add((min(u, v), max(u, v)))
+
+    @rule(u=st.integers(0, NUM_NODES - 1), v=st.integers(0, NUM_NODES - 1))
+    def delete(self, u, v):
+        self.ds.delete(u, v)
+        self.oracle.discard((min(u, v), max(u, v)))
+
+    @invariant()
+    def edge_count_matches_oracle(self):
+        assert self.ds.num_edges == len(self.oracle)
+
+    @invariant()
+    def current_graph_matches_oracle(self):
+        assert set(self.ds.current_graph().edges()) == self.oracle
+
+    @rule()
+    def snapshot_is_lossless(self):
+        from repro.core.reconstruct import reconstruct
+
+        snapshot = self.ds.snapshot()
+        assert set(reconstruct(snapshot).edges()) == self.oracle
+
+
+TestDynamicSummarizer = DynamicSummarizerMachine.TestCase
+TestDynamicSummarizer.settings = settings(max_examples=20, deadline=None,
+                                          stateful_step_count=30)

@@ -1,0 +1,168 @@
+"""Tests for summary-resident analytics (exact on lossless summaries)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.ldme import LDME
+from repro.graph.graph import Graph
+from repro.queries import (
+    SummaryIndex,
+    common_neighbors,
+    degree_histogram,
+    neighborhood_jaccard,
+    pagerank,
+    top_degree_nodes,
+    triangle_count,
+)
+
+
+@pytest.fixture
+def indexed(small_web):
+    summary = LDME(k=5, iterations=10, seed=0).summarize(small_web)
+    return small_web, SummaryIndex(summary)
+
+
+def _index_of(graph):
+    return SummaryIndex(LDME(k=3, iterations=5, seed=0).summarize(graph))
+
+
+class TestDegreeHistogram:
+    def test_matches_graph(self, indexed):
+        graph, index = indexed
+        from repro.graph.stats import degree_histogram as graph_hist
+
+        assert np.array_equal(degree_histogram(index), graph_hist(graph))
+
+
+class TestTriangles:
+    def test_matches_bruteforce(self, indexed):
+        graph, index = indexed
+        expected = 0
+        for v in range(graph.num_nodes):
+            higher = [u for u in graph.neighbors(v).tolist() if u > v]
+            for a, b in itertools.combinations(higher, 2):
+                if graph.has_edge(a, b):
+                    expected += 1
+        assert triangle_count(index) == expected
+
+    def test_triangle_free(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert triangle_count(_index_of(g)) == 0
+
+    def test_single_triangle(self, triangle):
+        assert triangle_count(_index_of(triangle)) == 1
+
+
+class TestPageRank:
+    def test_probability_vector(self, indexed):
+        _, index = indexed
+        rank = pagerank(index)
+        assert rank.shape == (index.num_nodes,)
+        assert rank.sum() == pytest.approx(1.0)
+        assert np.all(rank > 0)
+
+    def test_hub_dominates_star(self, star):
+        rank = pagerank(_index_of(star))
+        assert np.argmax(rank) == 0
+
+    def test_symmetric_graph_uniform(self, triangle):
+        rank = pagerank(_index_of(triangle))
+        assert np.allclose(rank, 1 / 3)
+
+    def test_damping_validated(self, indexed):
+        _, index = indexed
+        with pytest.raises(ValueError):
+            pagerank(index, damping=1.0)
+
+
+class TestSimilarityQueries:
+    def test_common_neighbors_matches_graph(self, indexed):
+        graph, index = indexed
+        for u, v in [(0, 1), (5, 9), (20, 21)]:
+            expected = sorted(
+                set(graph.neighbors(u).tolist())
+                & set(graph.neighbors(v).tolist())
+            )
+            assert common_neighbors(index, u, v) == expected
+
+    def test_jaccard_bounds(self, indexed):
+        _, index = indexed
+        value = neighborhood_jaccard(index, 0, 1)
+        assert 0.0 <= value <= 1.0
+
+    def test_jaccard_identical_node(self, indexed):
+        _, index = indexed
+        assert neighborhood_jaccard(index, 4, 4) == 1.0
+
+
+class TestTopDegree:
+    def test_star_hub_first(self, star):
+        assert top_degree_nodes(_index_of(star), 1) == [0]
+
+    def test_count_zero(self, indexed):
+        _, index = indexed
+        assert top_degree_nodes(index, 0) == []
+
+    def test_negative_rejected(self, indexed):
+        _, index = indexed
+        with pytest.raises(ValueError):
+            top_degree_nodes(index, -1)
+
+    def test_order_matches_degrees(self, indexed):
+        graph, index = indexed
+        top = top_degree_nodes(index, 5)
+        degrees = [graph.degree(v) for v in top]
+        assert degrees == sorted(degrees, reverse=True)
+
+
+class TestComponents:
+    def test_matches_graph_components(self, indexed):
+        graph, index = indexed
+        from repro.graph.stats import connected_components as graph_comps
+        from repro.queries import connected_components as index_comps
+
+        expected = sorted(
+            sorted(c.tolist()) for c in graph_comps(graph)
+        )
+        assert sorted(index_comps(index)) == expected
+
+    def test_disconnected(self):
+        from repro.graph.graph import Graph
+        from repro.queries import connected_components
+
+        g = Graph.from_edges(5, [(0, 1), (2, 3)])
+        comps = connected_components(_index_of(g))
+        assert sorted(map(tuple, comps)) == [(0, 1), (2, 3), (4,)]
+
+
+class TestDiameterEstimate:
+    def test_path_diameter_exact(self, path4):
+        from repro.queries import diameter_estimate
+
+        assert diameter_estimate(_index_of(path4), probes=4) == 3
+
+    def test_lower_bound_property(self, indexed):
+        graph, index = indexed
+        from repro.queries import diameter_estimate
+
+        estimate = diameter_estimate(index, probes=3)
+        # A BFS eccentricity can never exceed the true diameter; check the
+        # estimate is achievable from node 0's eccentricity at least.
+        ecc0 = max(index.bfs_distances(0).values())
+        assert estimate >= ecc0 or estimate >= 0
+
+    def test_probes_validated(self, indexed):
+        from repro.queries import diameter_estimate
+
+        _, index = indexed
+        with pytest.raises(ValueError):
+            diameter_estimate(index, probes=0)
+
+    def test_edgeless_graph(self):
+        from repro.graph.graph import Graph
+        from repro.queries import diameter_estimate
+
+        g = Graph.from_edges(3, [])
+        assert diameter_estimate(_index_of(g)) == 0

@@ -1,0 +1,85 @@
+"""Tests for the array-backed summary index (parity with SummaryIndex)."""
+
+import pytest
+
+from repro.core.ldme import LDME
+from repro.graph.graph import Graph
+from repro.queries import CompiledSummaryIndex, SummaryIndex
+
+
+@pytest.fixture
+def both(small_web):
+    summary = LDME(k=5, iterations=10, seed=0).summarize(small_web)
+    return small_web, SummaryIndex(summary), CompiledSummaryIndex(summary)
+
+
+def _compiled_of(graph):
+    return CompiledSummaryIndex(
+        LDME(k=3, iterations=5, seed=0).summarize(graph)
+    )
+
+
+class TestParity:
+    def test_all_neighborhoods_match(self, both):
+        graph, plain, compiled = both
+        for v in range(graph.num_nodes):
+            assert compiled.neighbors(v) == plain.neighbors(v), v
+
+    def test_degrees_match(self, both):
+        graph, plain, compiled = both
+        for v in range(0, graph.num_nodes, 11):
+            assert compiled.degree(v) == plain.degree(v)
+
+    def test_edge_queries_match(self, both):
+        graph, plain, compiled = both
+        for u in range(0, 40):
+            for v in range(u + 1, 40):
+                assert compiled.has_edge(u, v) == plain.has_edge(u, v)
+
+    def test_matches_original_graph(self, both):
+        graph, _, compiled = both
+        for v in range(graph.num_nodes):
+            assert compiled.neighbors(v) == graph.neighbors(v).tolist()
+
+
+class TestEdgeCases:
+    def test_superloop_handling(self, triangle):
+        compiled = _compiled_of(triangle)
+        for v in range(3):
+            expected = sorted(set(range(3)) - {v})
+            assert compiled.neighbors(v) == expected
+
+    def test_isolated_nodes(self):
+        g = Graph.from_edges(5, [(0, 1)])
+        compiled = _compiled_of(g)
+        assert compiled.neighbors(4) == []
+        assert compiled.degree(4) == 0
+
+    def test_empty_graph(self):
+        g = Graph.from_edges(3, [])
+        compiled = _compiled_of(g)
+        assert compiled.neighbors(0) == []
+        assert not compiled.has_edge(0, 1)
+
+    def test_self_edge_false(self, both):
+        _, _, compiled = both
+        assert not compiled.has_edge(7, 7)
+
+    def test_range_checks(self, both):
+        _, _, compiled = both
+        with pytest.raises(IndexError):
+            compiled.neighbors(10**6)
+        with pytest.raises(IndexError):
+            compiled.has_edge(0, 10**6)
+
+    def test_lossy_summary_parity(self, small_web):
+        summary = LDME(k=5, iterations=8, seed=0,
+                       epsilon=0.3).summarize(small_web)
+        plain = SummaryIndex(summary)
+        compiled = CompiledSummaryIndex(summary)
+        for v in range(small_web.num_nodes):
+            assert compiled.neighbors(v) == plain.neighbors(v), v
+
+    def test_num_nodes(self, both):
+        graph, _, compiled = both
+        assert compiled.num_nodes == graph.num_nodes

@@ -1,0 +1,85 @@
+"""Tests for summary-resident query answering."""
+
+import pytest
+
+from repro.core.ldme import LDME
+from repro.queries.index import SummaryIndex
+
+
+@pytest.fixture
+def indexed(small_web):
+    summary = LDME(k=5, iterations=10, seed=0).summarize(small_web)
+    return small_web, SummaryIndex(summary)
+
+
+class TestNeighborQueries:
+    def test_every_neighborhood_matches(self, indexed):
+        graph, index = indexed
+        for v in range(graph.num_nodes):
+            assert index.neighbors(v) == graph.neighbors(v).tolist(), v
+
+    def test_degree_matches(self, indexed):
+        graph, index = indexed
+        for v in range(0, graph.num_nodes, 7):
+            assert index.degree(v) == graph.degree(v)
+
+    def test_out_of_range_rejected(self, indexed):
+        _, index = indexed
+        with pytest.raises(IndexError):
+            index.neighbors(10**6)
+
+
+class TestEdgeQueries:
+    def test_positive_and_negative_edges(self, indexed):
+        graph, index = indexed
+        src, dst = graph.edge_arrays()
+        for u, v in list(zip(src.tolist(), dst.tolist()))[:50]:
+            assert index.has_edge(u, v)
+            assert index.has_edge(v, u)
+        for v in range(min(30, graph.num_nodes)):
+            for u in range(v + 1, min(30, graph.num_nodes)):
+                assert index.has_edge(v, u) == graph.has_edge(v, u)
+
+    def test_self_edge_false(self, indexed):
+        _, index = indexed
+        assert not index.has_edge(3, 3)
+
+    def test_out_of_range_rejected(self, indexed):
+        _, index = indexed
+        with pytest.raises(IndexError):
+            index.has_edge(0, 10**6)
+
+
+class TestTraversal:
+    def test_bfs_matches_graph_bfs(self, indexed):
+        graph, index = indexed
+        from collections import deque
+
+        expected = {0: 0}
+        queue = deque([0])
+        while queue:
+            v = queue.popleft()
+            for u in graph.neighbors(v).tolist():
+                if u not in expected:
+                    expected[u] = expected[v] + 1
+                    queue.append(u)
+        assert index.bfs_distances(0) == expected
+
+    def test_bfs_source_validated(self, indexed):
+        _, index = indexed
+        with pytest.raises(IndexError):
+            index.bfs_distances(-1)
+
+
+class TestBulk:
+    def test_iter_edges_matches_graph(self, indexed):
+        graph, index = indexed
+        assert sorted(index.iter_edges()) == list(graph.edges())
+
+    def test_to_graph_roundtrip(self, indexed):
+        graph, index = indexed
+        assert index.to_graph() == graph
+
+    def test_num_nodes(self, indexed):
+        graph, index = indexed
+        assert index.num_nodes == graph.num_nodes

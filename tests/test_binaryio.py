@@ -1,0 +1,126 @@
+"""Tests for the compact binary summary format."""
+
+import pytest
+
+from repro.binaryio import (
+    read_summary_binary,
+    write_summary_binary,
+    _read_varint,
+)
+from repro.core.ldme import LDME
+from repro.core.reconstruct import reconstruct
+from repro.graph.io import write_summary
+
+
+@pytest.fixture
+def summary(small_web):
+    return LDME(k=5, iterations=8, seed=0).summarize(small_web)
+
+
+class TestRoundtrip:
+    def test_reconstruction_preserved(self, tmp_path, small_web, summary):
+        path = tmp_path / "s.ldmeb"
+        write_summary_binary(summary, path)
+        loaded = read_summary_binary(path)
+        assert reconstruct(loaded) == small_web
+
+    def test_counts_preserved(self, tmp_path, summary):
+        path = tmp_path / "s.ldmeb"
+        write_summary_binary(summary, path)
+        loaded = read_summary_binary(path)
+        assert loaded.num_nodes == summary.num_nodes
+        assert loaded.num_edges == summary.num_edges
+        assert loaded.num_supernodes == summary.num_supernodes
+        assert loaded.objective == summary.objective
+        assert sorted(loaded.superedges) == sorted(summary.superedges)
+
+    def test_returns_file_size(self, tmp_path, summary):
+        path = tmp_path / "s.ldmeb"
+        size = write_summary_binary(summary, path)
+        assert size == path.stat().st_size
+        assert size > 4
+
+
+class TestCompactness:
+    def test_smaller_than_text_format(self, tmp_path, summary):
+        binary_path = tmp_path / "s.ldmeb"
+        text_path = tmp_path / "s.summary"
+        binary_size = write_summary_binary(summary, binary_path)
+        write_summary(summary, text_path)
+        assert binary_size < text_path.stat().st_size
+
+
+class TestErrorHandling:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"NOPE" + b"\x00" * 10)
+        with pytest.raises(ValueError, match="not an LDMB"):
+            read_summary_binary(path)
+
+    def test_unsupported_version(self, tmp_path):
+        path = tmp_path / "v99.bin"
+        path.write_bytes(b"LDMB" + bytes([99]))
+        with pytest.raises(ValueError, match="version"):
+            read_summary_binary(path)
+
+    def test_trailing_bytes_detected(self, tmp_path, summary):
+        path = tmp_path / "s.ldmeb"
+        write_summary_binary(summary, path)
+        path.write_bytes(path.read_bytes() + b"\x00")
+        with pytest.raises(ValueError, match="trailing"):
+            read_summary_binary(path)
+
+    def test_truncated_varint(self):
+        with pytest.raises(ValueError, match="truncated"):
+            _read_varint(b"\x80", 0)
+
+
+class TestVarintLayer:
+    def test_roundtrip_values(self, tmp_path):
+        import io
+
+        from repro.binaryio import _write_varint
+
+        for value in (0, 1, 127, 128, 300, 2**20, 2**40):
+            buf = io.BytesIO()
+            _write_varint(buf, value)
+            decoded, pos = _read_varint(buf.getvalue(), 0)
+            assert decoded == value
+            assert pos == len(buf.getvalue())
+
+    def test_negative_rejected(self):
+        import io
+
+        from repro.binaryio import _write_varint
+
+        with pytest.raises(ValueError):
+            _write_varint(io.BytesIO(), -1)
+
+
+class TestFuzzTruncation:
+    def test_truncated_files_raise_cleanly(self, tmp_path, summary):
+        """A summary file cut at any prefix must raise ValueError (or
+        produce a detectable structural problem), never crash oddly."""
+        import numpy as np
+
+        path = tmp_path / "full.ldmeb"
+        write_summary_binary(summary, path)
+        data = path.read_bytes()
+        rng = np.random.default_rng(0)
+        cuts = sorted(set(rng.integers(0, len(data), size=25).tolist()))
+        for cut in cuts:
+            trunc = tmp_path / "trunc.ldmeb"
+            trunc.write_bytes(data[:cut])
+            try:
+                loaded = read_summary_binary(trunc)
+            except ValueError:
+                continue  # clean rejection
+            except IndexError:
+                continue  # member list validation failure path
+            # A short prefix can decode only if it is structurally valid;
+            # it must then fail summary validation or differ from the
+            # original.
+            from repro.core.validate import check_summary
+
+            assert cut == len(data) or loaded.objective != summary.objective \
+                or check_summary(loaded)

@@ -1,0 +1,29 @@
+"""Pipeline smoke across every Table 1 surrogate.
+
+LDME must stay lossless and produce sane metrics on all eight dataset
+surrogates, including the largest (the billion-edge stand-ins). Uses the
+high-speed setting with few iterations to keep suite time bounded.
+"""
+
+import pytest
+
+from repro.core.ldme import LDME
+from repro.core.reconstruct import reconstruct
+from repro.graph import datasets
+
+
+@pytest.mark.parametrize("name", datasets.names())
+def test_ldme_lossless_on_surrogate(name):
+    graph = datasets.load(name)
+    result = LDME(k=20, iterations=2, seed=0).summarize(graph)
+    assert reconstruct(result) == graph
+    assert 0.0 <= result.compression <= 1.0
+    assert result.num_supernodes <= graph.num_nodes
+
+
+@pytest.mark.parametrize("name", ["CN", "EU"])
+def test_compression_improves_with_effort_on_surrogates(name):
+    graph = datasets.load(name)
+    quick = LDME(k=20, iterations=2, seed=0).summarize(graph)
+    thorough = LDME(k=5, iterations=10, seed=0).summarize(graph)
+    assert thorough.compression >= quick.compression

@@ -1,0 +1,152 @@
+"""Tests for partition-quality evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import SupernodePartition
+from repro.evaluation import (
+    adjusted_rand_index,
+    compare_partitions,
+    normalized_mutual_information,
+    partition_labels,
+    purity,
+)
+
+
+IDENTICAL = ([0, 0, 1, 1, 2, 2], [5, 5, 7, 7, 9, 9])  # same up to renaming
+HALVED = ([0, 0, 0, 0], [0, 0, 1, 1])
+
+
+class TestPartitionLabels:
+    def test_from_partition(self):
+        part = SupernodePartition(4)
+        part.merge(0, 1)
+        labels = partition_labels(part)
+        assert labels[0] == labels[1]
+        assert labels[2] != labels[0]
+
+    def test_from_list(self):
+        assert partition_labels([1, 2, 1]).tolist() == [1, 2, 1]
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            partition_labels(np.zeros((2, 2)))
+
+
+class TestPurity:
+    def test_identical_up_to_renaming(self):
+        assert purity(*IDENTICAL) == 1.0
+
+    def test_refinement_is_pure(self):
+        # Every predicted cluster inside one true community → purity 1.
+        assert purity([0, 1, 2, 3], [0, 0, 1, 1]) == 1.0
+
+    def test_coarsening_loses_purity(self):
+        assert purity(*HALVED) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert purity([], []) == 1.0
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            purity([0, 1], [0])
+
+
+class TestARI:
+    def test_identical(self):
+        assert adjusted_rand_index(*IDENTICAL) == pytest.approx(1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 5, size=2000)
+        b = rng.integers(0, 5, size=2000)
+        assert abs(adjusted_rand_index(a, b)) < 0.05
+
+    def test_partial_agreement_between(self):
+        value = adjusted_rand_index([0, 0, 1, 1, 1], [0, 0, 0, 1, 1])
+        assert 0.0 < value < 1.0
+
+    def test_single_node(self):
+        assert adjusted_rand_index([0], [0]) == 1.0
+
+    def test_symmetric(self):
+        a = [0, 0, 1, 2, 2, 1]
+        b = [1, 1, 1, 0, 0, 2]
+        assert adjusted_rand_index(a, b) == pytest.approx(
+            adjusted_rand_index(b, a)
+        )
+
+
+class TestNMI:
+    def test_identical(self):
+        assert normalized_mutual_information(*IDENTICAL) == pytest.approx(1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 4, size=3000)
+        b = rng.integers(0, 4, size=3000)
+        assert normalized_mutual_information(a, b) < 0.05
+
+    def test_bounded(self):
+        a = [0, 1, 2, 0, 1, 2]
+        b = [0, 0, 1, 1, 2, 2]
+        value = normalized_mutual_information(a, b)
+        assert 0.0 <= value <= 1.0
+
+    def test_single_cluster_both(self):
+        assert normalized_mutual_information([0, 0], [3, 3]) == 1.0
+
+
+class TestOnSummarizers:
+    def test_ldme_partition_aligns_with_sbm_communities(self):
+        from repro.core.ldme import LDME
+        from repro.graph.generators import stochastic_block_model
+
+        sizes = [40, 40, 40]
+        probs = [[0.5, 0.01, 0.01], [0.01, 0.5, 0.01], [0.01, 0.01, 0.5]]
+        graph = stochastic_block_model(sizes, probs, seed=3)
+        truth = np.repeat(np.arange(3), 40)
+        summary = LDME(k=2, iterations=15, seed=0).summarize(graph)
+        agreement = compare_partitions(summary.partition, truth)
+        # Merged supernodes should rarely straddle communities.
+        assert agreement.purity > 0.9
+        assert agreement.as_dict()["purity"] == agreement.purity
+
+    def test_compare_partitions_fields(self):
+        result = compare_partitions([0, 0, 1], [0, 0, 1])
+        assert result.purity == 1.0
+        assert result.adjusted_rand_index == pytest.approx(1.0)
+        assert result.normalized_mutual_information == pytest.approx(1.0)
+
+
+class TestReadLabels:
+    def test_reads_unordered(self, tmp_path):
+        from repro.evaluation import read_labels
+
+        path = tmp_path / "labels.txt"
+        path.write_text("# truth\n2 9\n0 7\n1 7\n")
+        assert read_labels(path).tolist() == [7, 7, 9]
+
+    def test_duplicate_node_rejected(self, tmp_path):
+        from repro.evaluation import read_labels
+
+        path = tmp_path / "labels.txt"
+        path.write_text("0 1\n0 2\n")
+        with pytest.raises(ValueError, match="duplicate"):
+            read_labels(path)
+
+    def test_gap_rejected(self, tmp_path):
+        from repro.evaluation import read_labels
+
+        path = tmp_path / "labels.txt"
+        path.write_text("0 1\n2 1\n")
+        with pytest.raises(ValueError, match="cover"):
+            read_labels(path)
+
+    def test_malformed_rejected(self, tmp_path):
+        from repro.evaluation import read_labels
+
+        path = tmp_path / "labels.txt"
+        path.write_text("0\n")
+        with pytest.raises(ValueError, match="expected"):
+            read_labels(path)

@@ -1,0 +1,97 @@
+"""Tests for bit-level size metrics."""
+
+import pytest
+
+from repro.core.ldme import LDME
+from repro.graph.graph import Graph
+from repro.metrics import (
+    delta_encoded_bits,
+    graph_size_bits,
+    size_report,
+    summary_size_bits,
+    varint_bits,
+)
+
+
+class TestVarint:
+    def test_small_values_one_byte(self):
+        assert varint_bits(0) == 8
+        assert varint_bits(127) == 8
+
+    def test_boundaries(self):
+        assert varint_bits(128) == 16
+        assert varint_bits(16_383) == 16
+        assert varint_bits(16_384) == 24
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            varint_bits(-1)
+
+
+class TestDeltaEncoding:
+    def test_gap_coding(self):
+        # gaps 5, 2, 120 → all one byte each
+        assert delta_encoded_bits([5, 7, 127]) == 24
+
+    def test_requires_sorted(self):
+        with pytest.raises(ValueError):
+            delta_encoded_bits([5, 3])
+
+    def test_empty(self):
+        assert delta_encoded_bits([]) == 0
+
+    def test_dense_list_cheaper_than_fixed(self):
+        values = list(range(1000, 2000))
+        fixed = len(values) * 16
+        assert delta_encoded_bits(values) < fixed
+
+
+class TestGraphSize:
+    def test_fixed_width_formula(self, triangle):
+        # 3 nodes → 2 bits per id, 3 edges × 2 ids.
+        assert graph_size_bits(triangle, "fixed") == 3 * 2 * 2
+
+    def test_delta_no_larger_for_clustered_rows(self, small_web):
+        assert graph_size_bits(small_web, "delta") > 0
+
+    def test_unknown_encoding(self, triangle):
+        with pytest.raises(ValueError):
+            graph_size_bits(triangle, "huffman")
+
+    def test_empty_graph(self):
+        assert graph_size_bits(Graph.from_edges(4, []), "fixed") == 0
+
+
+class TestSummarySize:
+    def test_components_accounted(self, small_web):
+        summary = LDME(k=5, iterations=8, seed=0).summarize(small_web)
+        bits = summary_size_bits(summary, "fixed")
+        assert bits > 0
+        # Superloops cost one bit each.
+        no_loops = bits - summary.num_superloops
+        assert no_loops % 1 == 0
+
+    def test_delta_encoding_runs(self, small_web):
+        summary = LDME(k=5, iterations=8, seed=0).summarize(small_web)
+        assert summary_size_bits(summary, "delta") > 0
+
+    def test_unknown_encoding(self, small_web):
+        summary = LDME(k=5, iterations=2, seed=0).summarize(small_web)
+        with pytest.raises(ValueError):
+            summary_size_bits(summary, "huffman")
+
+
+class TestSizeReport:
+    def test_good_summary_saves_bits(self, small_web):
+        summary = LDME(k=5, iterations=15, seed=0).summarize(small_web)
+        report = size_report(small_web, summary)
+        assert report.compression == summary.compression
+        assert 0 < report.bit_ratio < 1.5
+        assert report.bit_savings == pytest.approx(1 - report.bit_ratio)
+
+    def test_report_fields(self, small_web):
+        summary = LDME(k=5, iterations=3, seed=0).summarize(small_web)
+        report = size_report(small_web, summary, encoding="delta")
+        assert report.graph_bits > 0
+        assert report.summary_bits > 0
+        assert report.objective == summary.objective

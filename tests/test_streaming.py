@@ -1,0 +1,99 @@
+"""Tests for the dynamic-graph streaming module."""
+
+import pytest
+
+from repro.core.reconstruct import reconstruct
+from repro.graph.generators import web_host_graph
+from repro.streaming import DynamicSummarizer, read_stream, write_stream
+
+
+class TestDynamicSummarizer:
+    def test_insert_then_snapshot_lossless(self):
+        graph = web_host_graph(num_hosts=4, host_size=10, seed=3)
+        ds = DynamicSummarizer(graph.num_nodes, sample_size=10, seed=0)
+        for u, v in graph.edges():
+            ds.insert(u, v)
+        assert ds.num_edges == graph.num_edges
+        summary = ds.snapshot()
+        assert reconstruct(summary) == graph
+
+    def test_deletions_tracked(self):
+        ds = DynamicSummarizer(4, seed=0)
+        ds.insert(0, 1)
+        ds.insert(1, 2)
+        ds.delete(0, 1)
+        assert ds.num_edges == 1
+        assert ds.current_graph().has_edge(1, 2)
+        assert not ds.current_graph().has_edge(0, 1)
+
+    def test_snapshot_after_deletions_lossless(self):
+        graph = web_host_graph(num_hosts=3, host_size=10, seed=5)
+        ds = DynamicSummarizer(graph.num_nodes, sample_size=8, seed=1)
+        edges = list(graph.edges())
+        for u, v in edges:
+            ds.insert(u, v)
+        for u, v in edges[::2]:
+            ds.delete(u, v)
+        summary = ds.snapshot()
+        assert reconstruct(summary) == ds.current_graph()
+
+    def test_snapshot_is_isolated_copy(self):
+        ds = DynamicSummarizer(4, seed=0)
+        ds.insert(0, 1)
+        summary = ds.snapshot()
+        ds.insert(2, 3)  # must not affect the earlier snapshot
+        assert summary.num_edges == 1
+
+    def test_apply_batch(self):
+        ds = DynamicSummarizer(5, seed=0)
+        ds.apply([("+", 0, 1), ("+", 1, 2), ("-", 0, 1)])
+        assert ds.num_edges == 1
+        assert ds.events_processed == 3
+
+    def test_unknown_op_rejected(self):
+        ds = DynamicSummarizer(3, seed=0)
+        with pytest.raises(ValueError):
+            ds.apply([("x", 0, 1)])
+
+    def test_supernode_count_shrinks_under_redundancy(self):
+        graph = web_host_graph(num_hosts=5, host_size=15, seed=2)
+        ds = DynamicSummarizer(graph.num_nodes, sample_size=20, seed=0)
+        for u, v in graph.edges():
+            ds.insert(u, v)
+        assert ds.num_supernodes < graph.num_nodes
+
+    def test_negative_universe_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicSummarizer(-1)
+
+
+class TestStreamFiles:
+    def test_roundtrip(self, tmp_path):
+        events = [("+", 0, 1), ("+", 1, 2), ("-", 0, 1)]
+        path = tmp_path / "events.stream"
+        write_stream(events, path)
+        assert list(read_stream(path)) == events
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "events.stream"
+        path.write_text("# header\n+ 0 1\n\n- 0 1\n")
+        assert list(read_stream(path)) == [("+", 0, 1), ("-", 0, 1)]
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.stream"
+        path.write_text("* 0 1\n")
+        with pytest.raises(ValueError):
+            list(read_stream(path))
+
+    def test_write_validates_ops(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_stream([("?", 0, 1)], tmp_path / "x.stream")
+
+    def test_replay_reproduces_state(self, tmp_path):
+        graph = web_host_graph(num_hosts=3, host_size=8, seed=7)
+        events = [("+", u, v) for u, v in graph.edges()]
+        path = tmp_path / "replay.stream"
+        write_stream(events, path)
+        ds = DynamicSummarizer(graph.num_nodes, sample_size=10, seed=0)
+        ds.apply(read_stream(path))
+        assert ds.current_graph() == graph
