@@ -69,7 +69,8 @@ from .graph import (
     web_host_graph,
     write_summary,
 )
-from .queries import SummaryIndex
+from .queries import CompiledSummaryIndex, SummaryIndex
+from .serve import ServerConfig, SummaryClient, SummaryServer
 
 __version__ = "1.0.0"
 
@@ -112,6 +113,10 @@ __all__ = [
     "forest_fire",
     # applications / runtime
     "SummaryIndex",
+    "CompiledSummaryIndex",
+    "SummaryServer",
+    "SummaryClient",
+    "ServerConfig",
     "ClusterSpec",
     "DistributedResult",
     "run_distributed",

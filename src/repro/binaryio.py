@@ -32,6 +32,9 @@ VERSION = 1
 
 Edge = Tuple[int, int]
 PathLike = Union[str, "os.PathLike[str]"]
+#: Destination/source: a filesystem path or an open binary file object
+#: (``io.BytesIO``, a socket makefile, a pipe...).
+FileOrPath = Union[PathLike, IO[bytes]]
 
 
 # ----------------------------------------------------------------------
@@ -91,33 +94,58 @@ def _read_pairs(data: bytes, pos: int) -> Tuple[List[Edge], int]:
 # ----------------------------------------------------------------------
 # public API
 # ----------------------------------------------------------------------
-def write_summary_binary(summary: Summarization, path: PathLike) -> int:
-    """Serialize ``summary``; returns the file size in bytes."""
-    with open(os.fspath(path), "wb") as out:
-        out.write(MAGIC)
-        _write_varint(out, VERSION)
-        _write_varint(out, summary.num_nodes)
-        _write_varint(out, summary.num_edges)
-        sids = summary.supernode_ids()
-        _write_varint(out, len(sids))
-        for sid in sids:
-            _write_varint(out, sid)
-            members = sorted(summary.members(sid))
-            _write_varint(out, len(members))
-            previous = 0
-            for member in members:
-                _write_varint(out, member - previous)
-                previous = member
-        _write_pairs(out, list(summary.superedges))
-        _write_pairs(out, list(summary.corrections.additions))
-        _write_pairs(out, list(summary.corrections.deletions))
-    return os.path.getsize(os.fspath(path))
+def _write_payload(summary: Summarization, out: IO[bytes]) -> None:
+    out.write(MAGIC)
+    _write_varint(out, VERSION)
+    _write_varint(out, summary.num_nodes)
+    _write_varint(out, summary.num_edges)
+    sids = summary.supernode_ids()
+    _write_varint(out, len(sids))
+    for sid in sids:
+        _write_varint(out, sid)
+        members = sorted(summary.members(sid))
+        _write_varint(out, len(members))
+        previous = 0
+        for member in members:
+            _write_varint(out, member - previous)
+            previous = member
+    _write_pairs(out, list(summary.superedges))
+    _write_pairs(out, list(summary.corrections.additions))
+    _write_pairs(out, list(summary.corrections.deletions))
 
 
-def read_summary_binary(path: PathLike) -> Summarization:
-    """Deserialize a summary written by :func:`write_summary_binary`."""
-    with open(os.fspath(path), "rb") as fh:
-        data = fh.read()
+def write_summary_binary(summary: Summarization, dest: FileOrPath) -> int:
+    """Serialize ``summary``; returns the number of bytes written.
+
+    ``dest`` may be a path or any open binary file object (which is left
+    open, written from its current position).
+    """
+    if hasattr(dest, "write"):
+        out: IO[bytes] = dest  # type: ignore[assignment]
+        start = out.tell() if out.seekable() else None
+        _write_payload(summary, out)
+        if start is not None:
+            return out.tell() - start
+        return -1           # unseekable sink: size unknown
+    with open(os.fspath(dest), "wb") as out:
+        _write_payload(summary, out)
+    return os.path.getsize(os.fspath(dest))
+
+
+def read_summary_binary(source: FileOrPath) -> Summarization:
+    """Deserialize a summary written by :func:`write_summary_binary`.
+
+    ``source`` may be a path or an open binary file object; a file
+    object is consumed to EOF (the format is self-delimiting only via
+    the trailing-bytes check, matching the path behaviour).
+    """
+    if hasattr(source, "read"):
+        data = source.read()  # type: ignore[union-attr]
+        path: str = getattr(source, "name", "<stream>")
+    else:
+        path = os.fspath(source)
+        with open(path, "rb") as fh:
+            data = fh.read()
     if data[:4] != MAGIC:
         raise ValueError(f"{path}: not an LDMB summary file")
     pos = 4

@@ -8,8 +8,11 @@ workflows::
     ldme stats graph.txt
     ldme experiment fig2 fig4
     ldme datasets
+    ldme serve out.summary --port 7421
+    ldme query neighbors 12 --port 7421
 
 Graphs are plain edge-list files (``u v`` per line, ``#`` comments).
+``python -m repro ...`` works identically without the console script.
 """
 
 from __future__ import annotations
@@ -114,6 +117,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_eval.add_argument("summary", help="summary file (text or .ldmeb)")
     p_eval.add_argument("labels", help="labels file: 'node label' per line")
+
+    p_srv = sub.add_parser(
+        "serve", help="serve summary queries over TCP (see docs/serving.md)"
+    )
+    p_srv.add_argument("summary", help="summary file (text or .ldmeb)")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=7421,
+                       help="listen port (0 = ephemeral)")
+    p_srv.add_argument("--batch-window", type=float, default=0.002,
+                       help="seconds to coalesce queries into one batch")
+    p_srv.add_argument("--max-batch", type=int, default=128)
+    p_srv.add_argument("--cache-size", type=int, default=4096,
+                       help="LRU result-cache entries (0 disables)")
+    p_srv.add_argument("--max-pending", type=int, default=1024,
+                       help="admission-control bound on queued queries")
+    p_srv.add_argument("--request-timeout", type=float, default=5.0)
+    p_srv.add_argument("--log-interval", type=float, default=30.0,
+                       help="metrics heartbeat period (0 disables)")
+    p_srv.add_argument("--allow-reload", action="store_true",
+                       help="permit clients to hot-swap via 'reload'")
+
+    p_qry = sub.add_parser("query", help="query a running summary server")
+    p_qry.add_argument(
+        "op",
+        choices=("neighbors", "degree", "has_edge", "bfs", "stats",
+                 "ping", "reload"),
+    )
+    p_qry.add_argument("args", nargs="*",
+                       help="node id(s), or a summary path for 'reload'")
+    p_qry.add_argument("--host", default="127.0.0.1")
+    p_qry.add_argument("--port", type=int, default=7421)
+    p_qry.add_argument("--timeout", type=float, default=10.0)
     return parser
 
 
@@ -306,6 +341,86 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import logging
+    import signal
+
+    from .serve import ServerConfig, SummaryServer
+
+    logging.basicConfig(
+        level=logging.INFO, format="%(asctime)s %(name)s %(message)s"
+    )
+    summary = _load_any_summary(args.summary)
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        batch_window=args.batch_window,
+        max_batch=args.max_batch,
+        cache_entries=args.cache_size,
+        max_pending=args.max_pending,
+        request_timeout=args.request_timeout,
+        log_interval=args.log_interval,
+        allow_reload=args.allow_reload,
+    )
+    server = SummaryServer(summary, config)
+
+    async def _run() -> None:
+        await server.start()
+        print(
+            f"serving {args.summary} ({summary.num_nodes} nodes) "
+            f"on {config.host}:{server.port} — ctrl-c to drain and stop"
+        )
+        loop = asyncio.get_running_loop()
+        stop_requested = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop_requested.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        await stop_requested.wait()
+        print("draining in-flight requests...")
+        await server.stop()
+
+    asyncio.run(_run())
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json
+
+    from .serve import ServerError, SummaryClient
+
+    client = SummaryClient(args.host, args.port, timeout=args.timeout)
+    positional = args.args
+    try:
+        if args.op == "neighbors":
+            print(" ".join(map(str, client.neighbors(int(positional[0])))))
+        elif args.op == "degree":
+            print(client.degree(int(positional[0])))
+        elif args.op == "has_edge":
+            print(client.has_edge(int(positional[0]), int(positional[1])))
+        elif args.op == "bfs":
+            for node, dist in sorted(client.bfs(int(positional[0])).items()):
+                print(f"{node} {dist}")
+        elif args.op == "stats":
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+        elif args.op == "ping":
+            print("pong" if client.ping() else "no pong")
+        elif args.op == "reload":
+            print(json.dumps(client.reload(positional[0])))
+    except IndexError:
+        print(f"error: op {args.op!r} is missing an argument",
+              file=sys.stderr)
+        return 2
+    except ServerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+    return 0
+
+
 _COMMANDS = {
     "summarize": _cmd_summarize,
     "reconstruct": _cmd_reconstruct,
@@ -316,6 +431,8 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "stream": _cmd_stream,
     "evaluate": _cmd_evaluate,
+    "serve": _cmd_serve,
+    "query": _cmd_query,
 }
 
 

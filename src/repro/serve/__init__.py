@@ -1,0 +1,38 @@
+"""Query-serving layer over graph summaries.
+
+The production-facing half of the reproduction: an asyncio TCP server
+(:class:`SummaryServer`) that answers neighborhood / degree /
+edge-membership / BFS queries from a compiled summary index with request
+batching, an LRU result cache, admission control, per-request timeouts,
+atomic hot-swap of the live summary, and a metrics registry — plus a
+blocking :class:`SummaryClient` with retry/backoff and a thread-based
+load generator (:func:`run_load`).
+
+See ``docs/serving.md`` for the wire protocol and operational semantics.
+"""
+
+from .batching import execute_batch
+from .cache import LRUCache
+from .client import ServerError, SummaryClient
+from .loadgen import DEFAULT_MIX, LoadReport, run_load
+from .metrics import Histogram, MetricsRegistry
+from .protocol import ErrorCode, ProtocolError, RequestError
+from .server import ServerConfig, ServerThread, SummaryServer
+
+__all__ = [
+    "SummaryServer",
+    "ServerConfig",
+    "ServerThread",
+    "SummaryClient",
+    "ServerError",
+    "LRUCache",
+    "MetricsRegistry",
+    "Histogram",
+    "ErrorCode",
+    "ProtocolError",
+    "RequestError",
+    "execute_batch",
+    "LoadReport",
+    "run_load",
+    "DEFAULT_MIX",
+]

@@ -1,0 +1,105 @@
+"""Bounded LRU result cache with hit/miss accounting.
+
+Keys are the canonical query keys produced by the batch executor
+(``("neighbors", v)``, ``("edge", u, v)`` with ``u < v``, ``("bfs", s)``);
+``degree`` shares the ``neighbors`` entry, so a degree query warms the
+cache for a later neighborhood query and vice versa.
+
+The cache is thread-safe: the asyncio control plane reads stats while the
+batch executor thread populates entries. Hot-swapping the index calls
+:meth:`LRUCache.clear`, which also bumps a generation counter surfaced in
+``stats`` so operators can see invalidations.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+__all__ = ["LRUCache"]
+
+_MISS = object()
+
+
+class LRUCache:
+    """A size-bounded least-recently-used mapping.
+
+    Parameters
+    ----------
+    max_entries:
+        Upper bound on resident entries; ``0`` disables caching entirely
+        (every lookup is a miss, nothing is stored).
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries < 0:
+            raise ValueError("max_entries must be non-negative")
+        self._max = max_entries
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._generation = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``; a hit refreshes the entry's recency."""
+        with self._lock:
+            value = self._data.get(key, _MISS)
+            if value is _MISS:
+                self._misses += 1
+                return False, None
+            self._data.move_to_end(key)
+            self._hits += 1
+            return True, value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh an entry, evicting the oldest past the bound."""
+        if self._max == 0:
+            return
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self._max:
+                self._data.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (used on hot-swap); counts a generation."""
+        with self._lock:
+            self._data.clear()
+            self._generation += 1
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    @property
+    def max_entries(self) -> int:
+        """Configured capacity."""
+        return self._max
+
+    @property
+    def hit_rate(self) -> Optional[float]:
+        """Hits over lookups, or ``None`` before the first lookup."""
+        with self._lock:
+            total = self._hits + self._misses
+            return self._hits / total if total else None
+
+    def stats(self) -> Dict[str, Any]:
+        """Snapshot of counters for the metrics registry."""
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "entries": len(self._data),
+                "max_entries": self._max,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "hit_rate": self._hits / total if total else None,
+                "generation": self._generation,
+            }

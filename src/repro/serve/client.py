@@ -1,0 +1,237 @@
+"""Blocking client for the summary query server.
+
+:class:`SummaryClient` speaks the length-prefixed JSON protocol over a
+plain TCP socket — no asyncio required on the caller's side, so it works
+from scripts, notebooks, and thread-based load generators.
+
+Robustness: transport failures (refused/reset connections, truncated
+frames, socket timeouts) and *retryable* server errors (``overloaded``,
+``timeout``) are retried with exponential backoff up to ``retries``
+times; the connection is re-established after any transport fault.
+Non-retryable server errors surface immediately as :class:`ServerError`
+with the typed code from the wire.
+
+:meth:`SummaryClient.neighbors_many` pipelines many requests on one
+connection before reading any response — the natural way to feed the
+server's batching window from a single client.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, Iterable, List, Optional
+
+from .protocol import (
+    MAX_FRAME_BYTES,
+    ErrorCode,
+    ProtocolError,
+    recv_frame,
+    send_frame,
+)
+
+__all__ = ["ServerError", "SummaryClient"]
+
+
+class ServerError(RuntimeError):
+    """A typed error response from the server."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+    @property
+    def retryable(self) -> bool:
+        """Whether a client may retry this failure with backoff."""
+        return self.code in ErrorCode.RETRYABLE
+
+
+class SummaryClient:
+    """Blocking TCP client with retry/backoff.
+
+    Parameters
+    ----------
+    host / port:
+        Server address.
+    timeout:
+        Socket timeout per send/receive (seconds).
+    retries:
+        Additional attempts after the first failure.
+    backoff:
+        Initial sleep before a retry; doubles each attempt.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7421,
+        timeout: float = 10.0,
+        retries: int = 3,
+        backoff: float = 0.05,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.max_frame_bytes = max_frame_bytes
+        self._sock: Optional[socket.socket] = None
+        self._next_id = 0
+        self.retries_used = 0   # total retry sleeps taken (for tests/stats)
+
+    # ------------------------------------------------------------------
+    # connection management
+    # ------------------------------------------------------------------
+    def connect(self) -> None:
+        """Open the connection now (otherwise opened lazily)."""
+        if self._sock is None:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+
+    def close(self) -> None:
+        """Close the connection (reopened automatically on next call)."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "SummaryClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # request plumbing
+    # ------------------------------------------------------------------
+    def _new_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def _sleep_backoff(self, attempt: int) -> None:
+        self.retries_used += 1
+        time.sleep(self.backoff * (2 ** attempt))
+
+    def _roundtrip(self, requests: List[Dict[str, Any]]) -> List[Any]:
+        """Send all requests, then collect all responses (id-matched)."""
+        self.connect()
+        for request in requests:
+            send_frame(self._sock, request, self.max_frame_bytes)
+        outstanding = {request["id"] for request in requests}
+        results: Dict[int, Any] = {}
+        while outstanding:
+            response = recv_frame(self._sock, self.max_frame_bytes)
+            if response is None:
+                raise ProtocolError("server closed mid-conversation")
+            rid = response.get("id")
+            if rid not in outstanding:
+                continue            # stale response from an abandoned call
+            outstanding.discard(rid)
+            results[rid] = response
+        return [results[request["id"]] for request in requests]
+
+    def _call(self, op: str, args: Optional[Dict[str, Any]] = None) -> Any:
+        """One request/response with transport + retryable-error retries."""
+        last_error: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            request = {"id": self._new_id(), "op": op, "args": args or {}}
+            try:
+                response = self._roundtrip([request])[0]
+            except (OSError, ProtocolError) as exc:
+                self.close()
+                last_error = exc
+                if attempt < self.retries:
+                    self._sleep_backoff(attempt)
+                    continue
+                raise ConnectionError(
+                    f"{op} failed after {attempt + 1} attempts: {exc}"
+                ) from exc
+            if response.get("ok"):
+                return response.get("result")
+            error = response.get("error") or {}
+            server_error = ServerError(
+                error.get("code", ErrorCode.INTERNAL),
+                error.get("message", "unknown server error"),
+            )
+            if server_error.retryable and attempt < self.retries:
+                last_error = server_error
+                self._sleep_backoff(attempt)
+                continue
+            raise server_error
+        raise ConnectionError(f"{op} failed: {last_error}")  # unreachable
+
+    # ------------------------------------------------------------------
+    # query API
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        """Liveness probe."""
+        return self._call("ping") == "pong"
+
+    def stats(self) -> Dict[str, Any]:
+        """Server stats: cache, metrics, generation, queue depth."""
+        return self._call("stats")
+
+    def neighbors(self, v: int) -> List[int]:
+        """Sorted neighbour list of ``v``."""
+        return self._call("neighbors", {"v": int(v)})
+
+    def degree(self, v: int) -> int:
+        """Degree of ``v``."""
+        return self._call("degree", {"v": int(v)})
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Edge membership of ``(u, v)``."""
+        return self._call("has_edge", {"u": int(u), "v": int(v)})
+
+    def bfs(self, source: int) -> Dict[int, int]:
+        """Hop distances from ``source`` (unreachable nodes absent)."""
+        pairs = self._call("bfs", {"source": int(source)})
+        return {int(node): int(dist) for node, dist in pairs}
+
+    def reload(self, path: str) -> Dict[str, Any]:
+        """Ask the server to hot-swap to the summary file at ``path``."""
+        return self._call("reload", {"path": str(path)})
+
+    def neighbors_many(self, nodes: Iterable[int]) -> List[List[int]]:
+        """Pipelined neighbour lists for many nodes.
+
+        All requests are written before any response is read, letting the
+        server coalesce them into one batch. Transport faults retry the
+        whole pipeline; a per-node server error raises
+        :class:`ServerError`.
+        """
+        nodes = [int(v) for v in nodes]
+        if not nodes:
+            return []
+        last_error: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            requests = [
+                {"id": self._new_id(), "op": "neighbors", "args": {"v": v}}
+                for v in nodes
+            ]
+            try:
+                responses = self._roundtrip(requests)
+            except (OSError, ProtocolError) as exc:
+                self.close()
+                last_error = exc
+                if attempt < self.retries:
+                    self._sleep_backoff(attempt)
+                    continue
+                raise ConnectionError(
+                    f"pipeline failed after {attempt + 1} attempts: {exc}"
+                ) from exc
+            for response in responses:
+                if not response.get("ok"):
+                    error = response.get("error") or {}
+                    raise ServerError(
+                        error.get("code", ErrorCode.INTERNAL),
+                        error.get("message", "unknown server error"),
+                    )
+            return [response["result"] for response in responses]
+        raise ConnectionError(f"pipeline failed: {last_error}")  # unreachable

@@ -1,0 +1,185 @@
+"""Thread-based load generator for the query server.
+
+Drives a mixed workload (neighbors / degree / has_edge / bfs) through
+:class:`~repro.serve.client.SummaryClient` instances on worker threads
+and reports throughput and client-side latency percentiles. Node
+selection is skewed toward low ids (``v = ⌊n · u^skew⌋`` for uniform
+``u``) so repeated traffic concentrates on hot nodes the way real
+workloads do — which is also what makes the server's cache and
+per-supernode batching earn their keep.
+
+Used by the ``ldme serve-bench`` style benchmark in
+``benchmarks/test_serve_load.py`` and handy from scripts::
+
+    from repro.serve import run_load
+    report = run_load("127.0.0.1", 7421, num_queries=5000, concurrency=8)
+    print(report.format())
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .client import ServerError, SummaryClient
+
+__all__ = ["LoadReport", "run_load", "DEFAULT_MIX"]
+
+#: Default operation mix (weights, normalized internally).
+DEFAULT_MIX: Dict[str, float] = {
+    "neighbors": 0.55,
+    "degree": 0.2,
+    "has_edge": 0.2,
+    "bfs": 0.05,
+}
+
+
+@dataclass
+class LoadReport:
+    """Aggregate result of one load-generation run."""
+
+    num_queries: int
+    errors: int
+    retries: int
+    elapsed_seconds: float
+    concurrency: int
+    op_counts: Dict[str, int] = field(default_factory=dict)
+    latencies_ms: List[float] = field(default_factory=list)
+
+    @property
+    def qps(self) -> float:
+        """Completed queries per wall-clock second."""
+        return self.num_queries / max(self.elapsed_seconds, 1e-9)
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Client-observed latency percentile in milliseconds."""
+        if not self.latencies_ms:
+            return None
+        return float(np.percentile(np.asarray(self.latencies_ms), q))
+
+    def format(self) -> str:
+        """One summary line for logs and benchmark output."""
+        parts = [
+            f"queries={self.num_queries}",
+            f"concurrency={self.concurrency}",
+            f"elapsed={self.elapsed_seconds:.2f}s",
+            f"qps={self.qps:.0f}",
+            f"errors={self.errors}",
+            f"retries={self.retries}",
+        ]
+        if self.latencies_ms:
+            parts.append(
+                "latency_ms p50={:.2f} p95={:.2f} p99={:.2f}".format(
+                    self.percentile(50),
+                    self.percentile(95),
+                    self.percentile(99),
+                )
+            )
+        return "load " + " ".join(parts)
+
+
+def _pick_node(rng: np.random.Generator, num_nodes: int,
+               skew: float) -> int:
+    return min(num_nodes - 1, int(num_nodes * rng.random() ** skew))
+
+
+def run_load(
+    host: str,
+    port: int,
+    num_queries: int = 1000,
+    concurrency: int = 4,
+    mix: Optional[Dict[str, float]] = None,
+    seed: int = 0,
+    skew: float = 2.0,
+    client_timeout: float = 30.0,
+) -> LoadReport:
+    """Fire ``num_queries`` mixed queries from ``concurrency`` threads."""
+    if num_queries < 1:
+        raise ValueError("num_queries must be positive")
+    if concurrency < 1:
+        raise ValueError("concurrency must be positive")
+    weights = dict(mix or DEFAULT_MIX)
+    ops = sorted(weights)
+    probs = np.asarray([max(0.0, weights[op]) for op in ops], dtype=float)
+    if probs.sum() <= 0:
+        raise ValueError("mix weights must sum to a positive value")
+    probs /= probs.sum()
+
+    probe = SummaryClient(host, port, timeout=client_timeout)
+    try:
+        num_nodes = int(probe.stats()["num_nodes"])
+    finally:
+        probe.close()
+    if num_nodes <= 0:
+        raise ValueError("server is serving an empty graph")
+
+    per_worker = [num_queries // concurrency] * concurrency
+    for i in range(num_queries % concurrency):
+        per_worker[i] += 1
+
+    lock = threading.Lock()
+    latencies: List[float] = []
+    op_counts: Dict[str, int] = {op: 0 for op in ops}
+    errors = [0]
+    retries = [0]
+
+    def worker(worker_id: int, quota: int) -> None:
+        rng = np.random.default_rng(seed + worker_id)
+        client = SummaryClient(host, port, timeout=client_timeout)
+        local_lat: List[float] = []
+        local_ops: Dict[str, int] = {op: 0 for op in ops}
+        local_errors = 0
+        try:
+            for _ in range(quota):
+                op = ops[int(rng.choice(len(ops), p=probs))]
+                v = _pick_node(rng, num_nodes, skew)
+                tic = time.perf_counter()
+                try:
+                    if op == "neighbors":
+                        client.neighbors(v)
+                    elif op == "degree":
+                        client.degree(v)
+                    elif op == "has_edge":
+                        client.has_edge(v, _pick_node(rng, num_nodes, skew))
+                    else:
+                        client.bfs(v)
+                except (ServerError, ConnectionError):
+                    local_errors += 1
+                    continue
+                local_lat.append((time.perf_counter() - tic) * 1e3)
+                local_ops[op] += 1
+        finally:
+            client.close()
+            with lock:
+                latencies.extend(local_lat)
+                errors[0] += local_errors
+                retries[0] += client.retries_used
+                for op, count in local_ops.items():
+                    op_counts[op] += count
+
+    threads = [
+        threading.Thread(
+            target=worker, args=(i, quota), name=f"loadgen-{i}", daemon=True
+        )
+        for i, quota in enumerate(per_worker)
+    ]
+    tic = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - tic
+
+    return LoadReport(
+        num_queries=num_queries,
+        errors=errors[0],
+        retries=retries[0],
+        elapsed_seconds=elapsed,
+        concurrency=concurrency,
+        op_counts=op_counts,
+        latencies_ms=latencies,
+    )

@@ -1,0 +1,222 @@
+"""Wire protocol for the summary query server.
+
+Frames are length-prefixed JSON: a 4-byte big-endian unsigned length
+followed by that many bytes of UTF-8 JSON. Requests and responses are
+plain objects so the protocol is trivially inspectable with ``nc`` plus
+a JSON pretty-printer::
+
+    request  = {"id": 7, "op": "neighbors", "args": {"v": 12}}
+    response = {"id": 7, "ok": true, "result": [3, 5, 8]}
+    error    = {"id": 7, "ok": false,
+                "error": {"code": "out_of_range", "message": "..."}}
+
+Responses may arrive out of request order (the server coalesces queries
+into batches); clients match on ``id``. Both sides enforce a maximum
+frame size so a corrupt length prefix cannot allocate unbounded memory.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "OPS",
+    "ErrorCode",
+    "ProtocolError",
+    "RequestError",
+    "encode_frame",
+    "decode_body",
+    "read_frame",
+    "write_frame",
+    "recv_frame",
+    "send_frame",
+    "validate_request",
+    "ok_response",
+    "error_response",
+]
+
+#: Default ceiling on a single frame's body (requests and responses).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+#: Query operations the server understands. ``stats``/``ping``/``reload``
+#: are control-plane ops answered on the event loop; the rest go through
+#: the batch executor.
+OPS = frozenset(
+    {"neighbors", "degree", "has_edge", "bfs", "stats", "ping", "reload"}
+)
+
+
+class ErrorCode:
+    """Typed error codes carried in error responses."""
+
+    BAD_REQUEST = "bad_request"        # malformed frame / unknown op / args
+    OUT_OF_RANGE = "out_of_range"      # node id outside the graph
+    OVERLOADED = "overloaded"          # admission control rejected (retryable)
+    TIMEOUT = "timeout"                # per-request deadline exceeded
+    SHUTTING_DOWN = "shutting_down"    # server is draining
+    FORBIDDEN = "forbidden"            # op disabled by server config
+    INTERNAL = "internal"              # unexpected server-side failure
+
+    #: Codes a client may safely retry with backoff.
+    RETRYABLE = frozenset({"overloaded", "timeout"})
+
+
+class ProtocolError(ValueError):
+    """Raised on malformed frames (bad length, bad JSON, oversize)."""
+
+
+class RequestError(ValueError):
+    """A request-level failure that maps to a typed error response."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def encode_frame(obj: Any, max_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialize ``obj`` to a length-prefixed JSON frame."""
+    body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(body) > max_bytes:
+        raise ProtocolError(f"frame body {len(body)}B exceeds {max_bytes}B")
+    return _LEN.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> Any:
+    """Parse a frame body; raises :class:`ProtocolError` on bad JSON."""
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame body: {exc}") from exc
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, max_bytes: int = MAX_FRAME_BYTES
+) -> Optional[Any]:
+    """Read one frame; returns ``None`` on clean EOF at a frame boundary."""
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-length-prefix") from exc
+    (length,) = _LEN.unpack(header)
+    if length > max_bytes:
+        raise ProtocolError(f"frame length {length}B exceeds {max_bytes}B")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    return decode_body(body)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, obj: Any,
+    max_bytes: int = MAX_FRAME_BYTES,
+) -> None:
+    """Write one frame and drain the transport."""
+    writer.write(encode_frame(obj, max_bytes))
+    await writer.drain()
+
+
+def send_frame(sock: socket.socket, obj: Any,
+               max_bytes: int = MAX_FRAME_BYTES) -> None:
+    """Blocking counterpart of :func:`write_frame` for plain sockets."""
+    sock.sendall(encode_frame(obj, max_bytes))
+
+
+def recv_frame(sock: socket.socket,
+               max_bytes: int = MAX_FRAME_BYTES) -> Optional[Any]:
+    """Blocking counterpart of :func:`read_frame` for plain sockets."""
+    header = _recv_exact(sock, _LEN.size, allow_eof=True)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > max_bytes:
+        raise ProtocolError(f"frame length {length}B exceeds {max_bytes}B")
+    body = _recv_exact(sock, length, allow_eof=False)
+    return decode_body(body)
+
+
+def _recv_exact(sock: socket.socket, count: int,
+                allow_eof: bool) -> Optional[bytes]:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if allow_eof and remaining == count:
+                return None
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# ----------------------------------------------------------------------
+# request / response shapes
+# ----------------------------------------------------------------------
+def _require_node(args: Dict[str, Any], key: str) -> int:
+    value = args.get(key)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise RequestError(
+            ErrorCode.BAD_REQUEST, f"argument {key!r} must be an integer"
+        )
+    return value
+
+
+def validate_request(obj: Any) -> Tuple[int, str, Dict[str, Any]]:
+    """Check shape and types; returns ``(id, op, args)``.
+
+    Raises :class:`RequestError` with ``bad_request`` on any violation so
+    the caller can answer with a typed error instead of dropping the
+    connection.
+    """
+    if not isinstance(obj, dict):
+        raise RequestError(ErrorCode.BAD_REQUEST, "request must be an object")
+    rid = obj.get("id")
+    if isinstance(rid, bool) or not isinstance(rid, int):
+        raise RequestError(ErrorCode.BAD_REQUEST, "request 'id' must be int")
+    op = obj.get("op")
+    if op not in OPS:
+        raise RequestError(ErrorCode.BAD_REQUEST, f"unknown op {op!r}")
+    args = obj.get("args", {})
+    if not isinstance(args, dict):
+        raise RequestError(ErrorCode.BAD_REQUEST, "'args' must be an object")
+    if op in ("neighbors", "degree"):
+        _require_node(args, "v")
+    elif op == "has_edge":
+        _require_node(args, "u")
+        _require_node(args, "v")
+    elif op == "bfs":
+        _require_node(args, "source")
+    elif op == "reload":
+        if not isinstance(args.get("path"), str):
+            raise RequestError(
+                ErrorCode.BAD_REQUEST, "reload needs a string 'path'"
+            )
+    return rid, op, args
+
+
+def ok_response(rid: int, result: Any) -> Dict[str, Any]:
+    """Build a success response envelope."""
+    return {"id": rid, "ok": True, "result": result}
+
+
+def error_response(rid: Optional[int], code: str,
+                   message: str) -> Dict[str, Any]:
+    """Build a typed error response envelope."""
+    return {
+        "id": rid,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }

@@ -1,0 +1,526 @@
+"""Asyncio TCP server answering summary queries.
+
+:class:`SummaryServer` owns a :class:`CompiledSummaryIndex` and serves
+``neighbors`` / ``degree`` / ``has_edge`` / ``bfs`` queries over the
+length-prefixed JSON protocol in :mod:`repro.serve.protocol`. The design
+is a miniature inference server:
+
+* **Batching** — query requests land in a queue; a single batcher task
+  sleeps ``batch_window`` seconds after the first arrival, then drains up
+  to ``max_batch`` items and executes them as one vectorized pass in a
+  worker thread (:func:`repro.serve.batching.execute_batch`). Responses
+  return out of order; clients match on request id.
+* **Caching** — results are memoized in an LRU bounded by
+  ``cache_entries``; a hot-swap invalidates it atomically.
+* **Admission control** — at most ``max_pending`` queries may be queued
+  or executing; excess requests get an immediate ``overloaded`` error so
+  clients back off instead of piling onto a slow server. Each request
+  also carries a ``request_timeout`` deadline (``timeout`` error).
+* **Hot-swap** — :meth:`SummaryServer.swap` atomically replaces the live
+  index from a new :class:`~repro.core.summary.Summarization` without
+  dropping connections; in-flight batches finish against the index they
+  captured. Thread-safe, so a streaming pipeline can push
+  ``DynamicSummarizer.snapshot()`` results from another thread.
+* **Graceful shutdown** — :meth:`SummaryServer.stop` stops admitting,
+  drains queued work, flushes responses, then closes connections.
+* **Metrics** — counters/gauges/latency histograms in a
+  :class:`~repro.serve.metrics.MetricsRegistry`, served via the ``stats``
+  op and logged periodically (``log_interval``).
+
+:class:`ServerThread` runs the whole event loop on a daemon thread so
+blocking code (tests, benchmarks, the CLI's load generator) can stand up
+a real server in-process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import logging
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Optional, Tuple, Union
+
+from ..core.summary import Summarization
+from ..queries.compiled import CompiledSummaryIndex
+from .batching import execute_batch
+from .cache import LRUCache
+from .metrics import MetricsRegistry
+from .protocol import (
+    MAX_FRAME_BYTES,
+    ErrorCode,
+    ProtocolError,
+    RequestError,
+    error_response,
+    ok_response,
+    read_frame,
+    validate_request,
+    write_frame,
+)
+
+__all__ = ["ServerConfig", "SummaryServer", "ServerThread"]
+
+logger = logging.getLogger("repro.serve")
+
+_QUERY_OPS = frozenset({"neighbors", "degree", "has_edge", "bfs"})
+
+
+@dataclass
+class ServerConfig:
+    """Tunables for :class:`SummaryServer`."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                      # 0 = ephemeral, see SummaryServer.port
+    batch_window: float = 0.002        # coalescing window (seconds)
+    max_batch: int = 128               # queries per vectorized pass
+    cache_entries: int = 4096          # LRU bound (0 disables caching)
+    max_pending: int = 1024            # queued+executing admission bound
+    request_timeout: float = 5.0       # per-request deadline (seconds)
+    log_interval: float = 30.0         # heartbeat period (0 disables)
+    allow_reload: bool = False         # permit the 'reload' op
+    max_frame_bytes: int = MAX_FRAME_BYTES
+
+    def __post_init__(self) -> None:
+        if self.batch_window < 0:
+            raise ValueError("batch_window must be non-negative")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        if self.request_timeout <= 0:
+            raise ValueError("request_timeout must be positive")
+
+
+_Item = Tuple[str, Dict[str, Any], "asyncio.Future"]
+
+
+class SummaryServer:
+    """Serve queries over a summarization's compiled index."""
+
+    def __init__(
+        self,
+        summary: Union[Summarization, CompiledSummaryIndex],
+        config: Optional[ServerConfig] = None,
+    ) -> None:
+        self.config = config or ServerConfig()
+        if isinstance(summary, CompiledSummaryIndex):
+            self._index = summary
+        else:
+            self._index = CompiledSummaryIndex(summary)
+        self._swap_lock = threading.Lock()
+        self._generation = 0
+        self.cache = LRUCache(self.config.cache_entries)
+        self.metrics = MetricsRegistry()
+        self._queue: Deque[_Item] = deque()
+        self._pending = 0              # queued + executing queries
+        self._wakeup: Optional[asyncio.Event] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._bound_port: Optional[int] = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-batch"
+        )
+        self._tasks: set = set()
+        self._writers: set = set()
+        self._batcher_task: Optional[asyncio.Task] = None
+        self._log_task: Optional[asyncio.Task] = None
+        self._draining = False
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listening socket and start background tasks."""
+        if self._started:
+            raise RuntimeError("server already started")
+        self._wakeup = asyncio.Event()
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self._bound_port = self._server.sockets[0].getsockname()[1]
+        self._batcher_task = asyncio.create_task(self._batch_loop())
+        if self.config.log_interval > 0:
+            self._log_task = asyncio.create_task(self._log_loop())
+        self._started = True
+        logger.info("serving on %s:%d", self.config.host, self.port)
+
+    @property
+    def port(self) -> int:
+        """Bound port (resolves ephemeral port 0 after :meth:`start`)."""
+        if self._bound_port is None:
+            raise RuntimeError("server not started")
+        return self._bound_port
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`stop` is called (starts if needed)."""
+        if not self._started:
+            await self.start()
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: reject new work, drain, then close."""
+        if not self._started or self._draining:
+            return
+        self._draining = True
+        self._server.close()
+        await self._server.wait_closed()
+        # Drain: every admitted query resolves (the batcher keeps running),
+        # then every response task finishes writing.
+        while self._pending:
+            self._wakeup.set()
+            await asyncio.sleep(0.005)
+        if self._tasks:
+            await asyncio.gather(*tuple(self._tasks), return_exceptions=True)
+        for task in (self._batcher_task, self._log_task):
+            if task is not None:
+                task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await task
+        for writer in tuple(self._writers):
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+        self._executor.shutdown(wait=True)
+        self._stopped.set()
+        logger.info("server stopped after %d requests",
+                    self.metrics.counter("requests_total"))
+
+    async def __aenter__(self) -> "SummaryServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # hot swap
+    # ------------------------------------------------------------------
+    def swap(
+        self, summary: Union[Summarization, CompiledSummaryIndex]
+    ) -> int:
+        """Atomically replace the live index; returns the new generation.
+
+        Safe to call from any thread. In-flight batches keep answering
+        from the index reference they captured; the result cache is
+        invalidated so no stale answer survives the swap.
+        """
+        index = (
+            summary
+            if isinstance(summary, CompiledSummaryIndex)
+            else CompiledSummaryIndex(summary)
+        )
+        with self._swap_lock:
+            self._index = index
+            self._generation += 1
+            generation = self._generation
+        self.cache.clear()
+        self.metrics.inc("swaps_total")
+        logger.info("hot-swapped index (generation %d, %d nodes)",
+                    generation, index.num_nodes)
+        return generation
+
+    @property
+    def generation(self) -> int:
+        """Number of completed hot-swaps."""
+        return self._generation
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """The payload served for a ``stats`` request."""
+        return {
+            "num_nodes": self._index.num_nodes,
+            "generation": self._generation,
+            "draining": self._draining,
+            "pending": self._pending,
+            "connections": len(self._writers),
+            "cache": self.cache.stats(),
+            "metrics": self.metrics.snapshot(),
+        }
+
+    # ------------------------------------------------------------------
+    # connection plane
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        write_lock = asyncio.Lock()
+        self.metrics.inc("connections_total")
+        try:
+            while True:
+                try:
+                    frame = await read_frame(
+                        reader, self.config.max_frame_bytes
+                    )
+                except ProtocolError as exc:
+                    # Framing is broken; answer once, then hang up (there
+                    # is no way to find the next frame boundary).
+                    self.metrics.inc("errors_bad_frame")
+                    with contextlib.suppress(Exception):
+                        await self._respond(
+                            writer, write_lock,
+                            error_response(
+                                None, ErrorCode.BAD_REQUEST, str(exc)
+                            ),
+                        )
+                    break
+                if frame is None:
+                    break
+                task = asyncio.create_task(
+                    self._handle_request(frame, writer, write_lock)
+                )
+                self._tasks.add(task)
+                task.add_done_callback(self._tasks.discard)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        payload: Dict[str, Any],
+    ) -> None:
+        # config.max_frame_bytes bounds what clients may *send*; responses
+        # use the protocol-wide ceiling so a large-but-legitimate result
+        # (or an error reply under a tiny request bound) still goes out.
+        async with write_lock:
+            await write_frame(writer, payload, MAX_FRAME_BYTES)
+
+    # ------------------------------------------------------------------
+    # request plane
+    # ------------------------------------------------------------------
+    async def _handle_request(
+        self,
+        frame: Any,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        started = time.perf_counter()
+        self.metrics.inc("requests_total")
+        rid: Optional[int] = (
+            frame.get("id") if isinstance(frame, dict)
+            and isinstance(frame.get("id"), int)
+            and not isinstance(frame.get("id"), bool) else None
+        )
+        try:
+            rid, op, args = validate_request(frame)
+            if op in _QUERY_OPS:
+                payload = await self._handle_query(rid, op, args)
+            else:
+                payload = await self._handle_control(rid, op, args)
+        except RequestError as exc:
+            self.metrics.inc(f"errors_{exc.code}")
+            payload = error_response(rid, exc.code, str(exc))
+        except Exception as exc:  # noqa: BLE001 - report, don't drop conn
+            logger.exception("internal error handling request %s", rid)
+            self.metrics.inc("errors_internal")
+            payload = error_response(rid, ErrorCode.INTERNAL, repr(exc))
+        try:
+            await self._respond(writer, write_lock, payload)
+        except (ConnectionResetError, BrokenPipeError, ProtocolError):
+            self.metrics.inc("responses_dropped")
+        self.metrics.observe(
+            "request_latency_seconds", time.perf_counter() - started
+        )
+
+    async def _handle_control(
+        self, rid: int, op: str, args: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        if op == "ping":
+            return ok_response(rid, "pong")
+        if op == "stats":
+            return ok_response(rid, self.stats())
+        # reload: load a summary file and hot-swap to it.
+        if not self.config.allow_reload:
+            raise RequestError(
+                ErrorCode.FORBIDDEN,
+                "reload is disabled (start the server with allow_reload)",
+            )
+        loop = asyncio.get_running_loop()
+        try:
+            index = await loop.run_in_executor(
+                None, _load_index, args["path"]
+            )
+        except (OSError, ValueError) as exc:
+            raise RequestError(
+                ErrorCode.BAD_REQUEST, f"reload failed: {exc}"
+            ) from exc
+        generation = self.swap(index)
+        return ok_response(
+            rid, {"generation": generation, "num_nodes": index.num_nodes}
+        )
+
+    async def _handle_query(
+        self, rid: int, op: str, args: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        if self._draining:
+            raise RequestError(
+                ErrorCode.SHUTTING_DOWN, "server is shutting down"
+            )
+        if self._pending >= self.config.max_pending:
+            raise RequestError(
+                ErrorCode.OVERLOADED,
+                f"queue full ({self.config.max_pending} pending)",
+            )
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending += 1
+        self._queue.append((op, args, future))
+        self.metrics.set_gauge("queue_depth", len(self._queue))
+        self._wakeup.set()
+        try:
+            outcome = await asyncio.wait_for(
+                asyncio.shield(future), self.config.request_timeout
+            )
+        except asyncio.TimeoutError:
+            raise RequestError(
+                ErrorCode.TIMEOUT,
+                f"no result within {self.config.request_timeout}s",
+            ) from None
+        if outcome[0] == "ok":
+            return ok_response(rid, outcome[1])
+        _, code, message = outcome
+        raise RequestError(code, message)
+
+    # ------------------------------------------------------------------
+    # batch plane
+    # ------------------------------------------------------------------
+    async def _batch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            await self._wakeup.wait()
+            if not self._queue:
+                self._wakeup.clear()
+                continue
+            if self.config.batch_window > 0:
+                await asyncio.sleep(self.config.batch_window)
+            batch: list = []
+            while self._queue and len(batch) < self.config.max_batch:
+                batch.append(self._queue.popleft())
+            if not self._queue:
+                self._wakeup.clear()
+            self.metrics.set_gauge("queue_depth", len(self._queue))
+            if not batch:
+                continue
+            index = self._index     # capture: immune to concurrent swap
+            queries = [(op, args) for op, args, _ in batch]
+            self.metrics.set_gauge("inflight", len(batch))
+            try:
+                outcomes = await loop.run_in_executor(
+                    self._executor, execute_batch,
+                    index, self.cache, self.metrics, queries,
+                )
+            except Exception as exc:  # noqa: BLE001 - fail the batch only
+                logger.exception("batch execution failed")
+                outcomes = [
+                    ("error", ErrorCode.INTERNAL, repr(exc))
+                ] * len(batch)
+            finally:
+                self.metrics.set_gauge("inflight", 0)
+            for (_, _, future), outcome in zip(batch, outcomes):
+                self._pending -= 1
+                if not future.done():
+                    future.set_result(outcome)
+
+    async def _log_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.log_interval)
+            self.metrics.set_gauge("queue_depth", len(self._queue))
+            logger.info("%s", self.metrics.format_line())
+
+
+def _load_index(path: str) -> CompiledSummaryIndex:
+    """Load a summary file (binary ``.ldmeb`` or text) and compile it."""
+    if str(path).endswith(".ldmeb"):
+        from ..binaryio import read_summary_binary
+
+        summary = read_summary_binary(path)
+    else:
+        from ..graph.io import read_summary
+
+        summary = read_summary(path)
+    return CompiledSummaryIndex(summary)
+
+
+class ServerThread:
+    """Run a :class:`SummaryServer` on a background event-loop thread.
+
+    For blocking callers (tests, benchmarks, notebooks)::
+
+        with ServerThread(summary) as handle:
+            client = SummaryClient("127.0.0.1", handle.port)
+            ...
+
+    ``handle.server.swap(...)`` is safe from the caller's thread.
+    """
+
+    def __init__(
+        self,
+        summary: Union[Summarization, CompiledSummaryIndex],
+        config: Optional[ServerConfig] = None,
+    ) -> None:
+        self.server = SummaryServer(summary, config)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self) -> "ServerThread":
+        """Start the loop thread; blocks until the socket is bound."""
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("server thread failed to start in time")
+        if self._startup_error is not None:
+            raise RuntimeError("server failed to start") \
+                from self._startup_error
+        return self
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        try:
+            await self.server.start()
+        except BaseException as exc:  # noqa: BLE001 - surfaced in start()
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._loop = asyncio.get_running_loop()
+        self._ready.set()
+        await self.server.serve_forever()
+
+    @property
+    def port(self) -> int:
+        """The server's bound port."""
+        return self.server.port
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Gracefully stop the server and join the loop thread."""
+        if self._loop is not None and self._thread.is_alive():
+            future = asyncio.run_coroutine_threadsafe(
+                self.server.stop(), self._loop
+            )
+            future.result(timeout=timeout)
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

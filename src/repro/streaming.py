@@ -134,6 +134,17 @@ class DynamicSummarizer:
             algorithm="DynamicSummarizer",
         )
 
+    def snapshot_compiled(self):
+        """Snapshot straight to a query-ready compiled index.
+
+        Convenience for serving pipelines: the result can be handed to
+        :meth:`repro.serve.SummaryServer.swap` to hot-swap the live index
+        after a burst of stream updates.
+        """
+        from .queries.compiled import CompiledSummaryIndex
+
+        return CompiledSummaryIndex(self.snapshot())
+
 
 # ----------------------------------------------------------------------
 # stream file format: one "+ u v" or "- u v" per line

@@ -1,5 +1,6 @@
 """Tests for the array-backed summary index (parity with SummaryIndex)."""
 
+import numpy as np
 import pytest
 
 from repro.core.ldme import LDME
@@ -83,3 +84,62 @@ class TestEdgeCases:
     def test_num_nodes(self, both):
         graph, _, compiled = both
         assert compiled.num_nodes == graph.num_nodes
+
+
+class TestNeighborsBatch:
+    def test_matches_per_call_loop(self, both):
+        graph, _, compiled = both
+        nodes = np.arange(graph.num_nodes)
+        batch = compiled.neighbors_batch(nodes)
+        assert batch == [compiled.neighbors(v) for v in range(
+            graph.num_nodes)]
+
+    def test_duplicates_and_order_preserved(self, both):
+        _, _, compiled = both
+        nodes = np.asarray([5, 0, 5, 3, 0])
+        batch = compiled.neighbors_batch(nodes)
+        assert batch == [compiled.neighbors(v) for v in (5, 0, 5, 3, 0)]
+
+    def test_accepts_plain_lists(self, both):
+        _, _, compiled = both
+        assert compiled.neighbors_batch([1, 2]) == [
+            compiled.neighbors(1), compiled.neighbors(2)
+        ]
+
+    def test_empty_batch(self, both):
+        _, _, compiled = both
+        assert compiled.neighbors_batch(np.empty(0, dtype=np.int64)) == []
+
+    def test_range_check(self, both):
+        _, _, compiled = both
+        with pytest.raises(IndexError):
+            compiled.neighbors_batch(np.asarray([0, 10**6]))
+        with pytest.raises(IndexError):
+            compiled.neighbors_batch(np.asarray([-1]))
+
+    def test_rejects_2d_input(self, both):
+        _, _, compiled = both
+        with pytest.raises(ValueError):
+            compiled.neighbors_batch(np.zeros((2, 2), dtype=np.int64))
+
+    def test_lossy_summary_batch_parity(self, small_web):
+        summary = LDME(k=5, iterations=8, seed=0,
+                       epsilon=0.3).summarize(small_web)
+        compiled = CompiledSummaryIndex(summary)
+        nodes = np.arange(small_web.num_nodes)
+        assert compiled.neighbors_batch(nodes) == [
+            compiled.neighbors(v) for v in range(small_web.num_nodes)
+        ]
+
+
+class TestBfs:
+    def test_matches_summary_index(self, both):
+        graph, plain, compiled = both
+        for source in range(0, graph.num_nodes, 13):
+            assert compiled.bfs_distances(source) == \
+                plain.bfs_distances(source)
+
+    def test_range_check(self, both):
+        _, _, compiled = both
+        with pytest.raises(IndexError):
+            compiled.bfs_distances(10**6)

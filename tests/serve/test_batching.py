@@ -1,0 +1,117 @@
+"""Tests for the coalesced batch executor."""
+
+import pytest
+
+from repro.core.ldme import LDME
+from repro.queries import CompiledSummaryIndex, SummaryIndex
+from repro.serve.batching import execute_batch
+from repro.serve.cache import LRUCache
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.protocol import ErrorCode
+
+
+@pytest.fixture
+def setup(small_web):
+    summary = LDME(k=5, iterations=8, seed=0).summarize(small_web)
+    index = CompiledSummaryIndex(summary)
+    truth = SummaryIndex(summary)
+    return index, truth
+
+
+def run(index, queries, cache=None, metrics=None):
+    # NB: `cache or ...` would discard an *empty* LRUCache (len 0 is falsy).
+    if cache is None:
+        cache = LRUCache(128)
+    if metrics is None:
+        metrics = MetricsRegistry()
+    return execute_batch(index, cache, metrics, queries)
+
+
+class TestCorrectness:
+    def test_mixed_batch_matches_ground_truth(self, setup):
+        index, truth = setup
+        queries = []
+        expected = []
+        for v in range(0, index.num_nodes, 3):
+            queries.append(("neighbors", {"v": v}))
+            expected.append(truth.neighbors(v))
+            queries.append(("degree", {"v": v}))
+            expected.append(truth.degree(v))
+            queries.append(("has_edge", {"u": v, "v": (v + 5) %
+                                         index.num_nodes}))
+            expected.append(truth.has_edge(v, (v + 5) % index.num_nodes))
+        queries.append(("bfs", {"source": 0}))
+        expected.append(sorted(truth.bfs_distances(0).items()))
+        outcomes = run(index, queries)
+        for outcome, want in zip(outcomes, expected):
+            assert outcome[0] == "ok"
+            got = outcome[1]
+            if isinstance(want, list) and want and isinstance(want[0], tuple):
+                got = [tuple(pair) for pair in got]
+            assert got == want
+
+    def test_duplicate_nodes_share_one_expansion(self, setup):
+        index, truth = setup
+        metrics = MetricsRegistry()
+        outcomes = run(
+            index,
+            [("neighbors", {"v": 4})] * 5 + [("degree", {"v": 4})],
+            metrics=metrics,
+        )
+        assert all(o[0] == "ok" for o in outcomes)
+        assert outcomes[0][1] == truth.neighbors(4)
+        assert outcomes[-1][1] == truth.degree(4)
+        assert metrics.counter("neighbor_expansions_total") == 1
+
+    def test_per_item_errors_do_not_poison_batch(self, setup):
+        index, truth = setup
+        outcomes = run(index, [
+            ("neighbors", {"v": -1}),
+            ("neighbors", {"v": 2}),
+            ("has_edge", {"u": 0, "v": 10 ** 9}),
+            ("bfs", {"source": index.num_nodes}),
+        ])
+        assert outcomes[0][:2] == ("error", ErrorCode.OUT_OF_RANGE)
+        assert outcomes[1] == ("ok", truth.neighbors(2))
+        assert outcomes[2][:2] == ("error", ErrorCode.OUT_OF_RANGE)
+        assert outcomes[3][:2] == ("error", ErrorCode.OUT_OF_RANGE)
+
+
+class TestCacheIntegration:
+    def test_second_batch_hits_cache(self, setup):
+        index, _ = setup
+        cache = LRUCache(128)
+        queries = [("neighbors", {"v": 1}), ("has_edge", {"u": 0, "v": 1}),
+                   ("bfs", {"source": 0})]
+        run(index, queries, cache=cache)
+        before = cache.stats()["hits"]
+        run(index, queries, cache=cache)
+        assert cache.stats()["hits"] == before + 3
+
+    def test_degree_and_neighbors_share_entries(self, setup):
+        index, truth = setup
+        cache = LRUCache(128)
+        run(index, [("degree", {"v": 3})], cache=cache)
+        outcomes = run(index, [("neighbors", {"v": 3})], cache=cache)
+        assert outcomes[0] == ("ok", truth.neighbors(3))
+        assert cache.stats()["hits"] == 1
+
+    def test_edge_key_is_canonical(self, setup):
+        index, _ = setup
+        cache = LRUCache(128)
+        run(index, [("has_edge", {"u": 0, "v": 1})], cache=cache)
+        run(index, [("has_edge", {"u": 1, "v": 0})], cache=cache)
+        assert cache.stats()["hits"] == 1
+
+
+class TestMetricsIntegration:
+    def test_batch_counters(self, setup):
+        index, _ = setup
+        metrics = MetricsRegistry()
+        run(index, [("neighbors", {"v": v}) for v in range(7)],
+            metrics=metrics)
+        assert metrics.counter("batches_total") == 1
+        assert metrics.counter("batched_queries_total") == 7
+        assert metrics.counter("queries_neighbors_total") == 7
+        snap = metrics.snapshot()
+        assert snap["histograms"]["batch_size"]["mean"] == 7

@@ -1,0 +1,89 @@
+"""Tests for the LRU result cache."""
+
+import threading
+
+import pytest
+
+from repro.serve.cache import LRUCache
+
+
+class TestLRU:
+    def test_miss_then_hit(self):
+        cache = LRUCache(4)
+        hit, _ = cache.get("a")
+        assert not hit
+        cache.put("a", 1)
+        hit, value = cache.get("a")
+        assert hit and value == 1
+
+    def test_eviction_order_is_lru(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh 'a'; 'b' is now oldest
+        cache.put("c", 3)
+        assert cache.get("b") == (False, None)
+        assert cache.get("a") == (True, 1)
+        assert cache.get("c") == (True, 3)
+
+    def test_size_bound_holds(self):
+        cache = LRUCache(8)
+        for i in range(100):
+            cache.put(i, i)
+        assert len(cache) == 8
+        assert cache.stats()["evictions"] == 92
+
+    def test_zero_capacity_disables(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert len(cache) == 0
+        assert cache.get("a") == (False, None)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+
+class TestAccounting:
+    def test_hit_rate(self):
+        cache = LRUCache(4)
+        assert cache.hit_rate is None
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.get("missing")
+        assert cache.hit_rate == pytest.approx(2 / 3)
+        stats = cache.stats()
+        assert stats["hits"] == 2
+        assert stats["misses"] == 1
+
+    def test_clear_bumps_generation_keeps_counters(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        stats = cache.stats()
+        assert stats["generation"] == 1
+        assert stats["hits"] == 1       # accounting survives invalidation
+
+    def test_thread_safety_smoke(self):
+        cache = LRUCache(64)
+        errors = []
+
+        def pound(worker):
+            try:
+                for i in range(500):
+                    cache.put((worker, i % 80), i)
+                    cache.get((worker, (i * 7) % 80))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=pound, args=(w,))
+                   for w in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 64

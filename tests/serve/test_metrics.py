@@ -1,0 +1,79 @@
+"""Tests for the serving metrics registry."""
+
+import pytest
+
+from repro.serve.metrics import Histogram, MetricsRegistry
+
+
+class TestHistogram:
+    def test_percentiles(self):
+        hist = Histogram(capacity=1000)
+        for value in range(1, 101):
+            hist.observe(float(value))
+        assert hist.percentile(50) == pytest.approx(50, abs=1)
+        assert hist.percentile(99) == pytest.approx(99, abs=1)
+        assert hist.percentile(0) == 1.0
+        assert hist.percentile(100) == 100.0
+
+    def test_empty(self):
+        hist = Histogram()
+        assert hist.percentile(50) is None
+        assert hist.summary() == {"count": 0}
+
+    def test_reservoir_ages_out_old_samples(self):
+        hist = Histogram(capacity=10)
+        for _ in range(50):
+            hist.observe(1000.0)
+        for _ in range(10):
+            hist.observe(1.0)      # ring wraps; only recent remain
+        assert hist.percentile(99) == 1.0
+        assert hist.count == 60    # exact count still total
+
+    def test_summary_fields(self):
+        hist = Histogram()
+        hist.observe(2.0)
+        hist.observe(4.0)
+        summary = hist.summary()
+        assert summary["count"] == 2
+        assert summary["mean"] == 3.0
+        assert summary["max"] == 4.0
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Histogram(0)
+
+
+class TestRegistry:
+    def test_counters(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") == 0
+        registry.inc("x")
+        registry.inc("x", 4)
+        assert registry.counter("x") == 5
+
+    def test_snapshot_is_json_serializable(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.inc("requests_total", 3)
+        registry.set_gauge("queue_depth", 2)
+        registry.observe("request_latency_seconds", 0.01)
+        snap = registry.snapshot()
+        json.dumps(snap)
+        assert snap["counters"]["requests_total"] == 3
+        assert snap["gauges"]["queue_depth"] == 2
+        assert snap["histograms"]["request_latency_seconds"]["count"] == 1
+        assert snap["uptime_seconds"] >= 0
+
+    def test_format_line(self):
+        registry = MetricsRegistry()
+        registry.inc("requests_total", 10)
+        registry.observe("request_latency_seconds", 0.002)
+        registry.observe("batch_size", 4)
+        registry.set_gauge("cache_hit_rate", 0.5)
+        registry.inc("errors_timeout", 2)
+        line = registry.format_line()
+        assert "requests=10" in line
+        assert "p95" in line
+        assert "errors=2" in line
+        assert "cache_hit_rate=0.50" in line

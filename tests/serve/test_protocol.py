@@ -1,0 +1,86 @@
+"""Tests for the length-prefixed JSON wire protocol."""
+
+import struct
+
+import pytest
+
+from repro.serve.protocol import (
+    ErrorCode,
+    ProtocolError,
+    RequestError,
+    decode_body,
+    encode_frame,
+    error_response,
+    ok_response,
+    validate_request,
+)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        frame = encode_frame({"id": 1, "op": "ping", "args": {}})
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+        assert decode_body(frame[4:]) == {"id": 1, "op": "ping", "args": {}}
+
+    def test_oversize_body_rejected_on_encode(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame({"blob": "x" * 100}, max_bytes=16)
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ProtocolError, match="undecodable"):
+            decode_body(b"{not json")
+
+    def test_bad_utf8_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_body(b"\xff\xfe")
+
+
+class TestValidation:
+    def test_valid_query(self):
+        rid, op, args = validate_request(
+            {"id": 3, "op": "neighbors", "args": {"v": 7}}
+        )
+        assert (rid, op, args) == (3, "neighbors", {"v": 7})
+
+    @pytest.mark.parametrize("bad", [
+        None,
+        [],
+        "neighbors",
+        {"op": "neighbors", "args": {"v": 1}},              # no id
+        {"id": "x", "op": "neighbors", "args": {"v": 1}},   # non-int id
+        {"id": True, "op": "neighbors", "args": {"v": 1}},  # bool id
+        {"id": 1, "op": "frobnicate"},                      # unknown op
+        {"id": 1, "op": "neighbors", "args": {"v": "7"}},   # non-int node
+        {"id": 1, "op": "neighbors", "args": {"v": True}},  # bool node
+        {"id": 1, "op": "neighbors"},                       # missing node
+        {"id": 1, "op": "has_edge", "args": {"u": 1}},      # missing v
+        {"id": 1, "op": "bfs", "args": {}},                 # missing source
+        {"id": 1, "op": "reload", "args": {}},              # missing path
+        {"id": 1, "op": "neighbors", "args": [1]},          # args not dict
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(RequestError) as excinfo:
+            validate_request(bad)
+        assert excinfo.value.code == ErrorCode.BAD_REQUEST
+
+    def test_stats_and_ping_need_no_args(self):
+        for op in ("stats", "ping"):
+            rid, got_op, _ = validate_request({"id": 0, "op": op})
+            assert got_op == op
+
+
+class TestEnvelopes:
+    def test_ok_shape(self):
+        assert ok_response(5, [1, 2]) == {"id": 5, "ok": True,
+                                          "result": [1, 2]}
+
+    def test_error_shape(self):
+        response = error_response(5, ErrorCode.OVERLOADED, "queue full")
+        assert response["ok"] is False
+        assert response["error"]["code"] == "overloaded"
+
+    def test_retryable_codes(self):
+        assert ErrorCode.OVERLOADED in ErrorCode.RETRYABLE
+        assert ErrorCode.TIMEOUT in ErrorCode.RETRYABLE
+        assert ErrorCode.BAD_REQUEST not in ErrorCode.RETRYABLE

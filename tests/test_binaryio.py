@@ -41,6 +41,83 @@ class TestRoundtrip:
         assert size > 4
 
 
+class TestFileObjects:
+    def test_bytesio_roundtrip(self, small_web, summary):
+        import io
+
+        buf = io.BytesIO()
+        size = write_summary_binary(summary, buf)
+        assert size == buf.tell() > 4
+        buf.seek(0)
+        loaded = read_summary_binary(buf)
+        assert reconstruct(loaded) == small_web
+
+    def test_file_object_matches_path_bytes(self, tmp_path, summary):
+        import io
+
+        path = tmp_path / "s.ldmeb"
+        write_summary_binary(summary, path)
+        buf = io.BytesIO()
+        write_summary_binary(summary, buf)
+        assert buf.getvalue() == path.read_bytes()
+
+    def test_write_from_current_position(self, summary):
+        import io
+
+        buf = io.BytesIO()
+        buf.write(b"HDR!")
+        size = write_summary_binary(summary, buf)
+        assert size == buf.tell() - 4
+        buf.seek(4)
+        assert read_summary_binary(buf).num_nodes == summary.num_nodes
+
+    def test_open_file_handles(self, tmp_path, summary):
+        path = tmp_path / "s.ldmeb"
+        with open(path, "wb") as fh:
+            write_summary_binary(summary, fh)
+        with open(path, "rb") as fh:
+            loaded = read_summary_binary(fh)
+        assert loaded.num_edges == summary.num_edges
+
+    def test_stream_errors_name_the_stream(self):
+        import io
+
+        with pytest.raises(ValueError, match="not an LDMB"):
+            read_summary_binary(io.BytesIO(b"NOPE" + b"\x00" * 8))
+
+    def test_empty_summary_roundtrip(self):
+        """The degenerate summary (no nodes at all) survives the format."""
+        import io
+
+        from repro.core.summary import CorrectionSet, Summarization
+
+        empty = Summarization.from_members(
+            num_nodes=0, members={}, superedges=[],
+            corrections=CorrectionSet([], []), num_edges=0,
+        )
+        buf = io.BytesIO()
+        size = write_summary_binary(empty, buf)
+        assert size == buf.tell()
+        buf.seek(0)
+        loaded = read_summary_binary(buf)
+        assert loaded.num_nodes == 0
+        assert loaded.num_edges == 0
+        assert loaded.num_supernodes == 0
+        assert list(loaded.superedges) == []
+        assert loaded.corrections.size == 0
+
+    def test_empty_summary_roundtrip_via_path(self, tmp_path):
+        from repro.core.summary import CorrectionSet, Summarization
+
+        empty = Summarization.from_members(
+            num_nodes=0, members={}, superedges=[],
+            corrections=CorrectionSet([], []), num_edges=0,
+        )
+        path = tmp_path / "empty.ldmeb"
+        write_summary_binary(empty, path)
+        assert read_summary_binary(path).num_nodes == 0
+
+
 class TestCompactness:
     def test_smaller_than_text_format(self, tmp_path, summary):
         binary_path = tmp_path / "s.ldmeb"

@@ -226,3 +226,95 @@ class TestExperimentOutputDir:
                      str(out_dir)]) == 0
         assert (out_dir / "table1.csv").exists()
         assert "saved" in capsys.readouterr().out
+
+
+class TestServeQueryParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "s.ldmeb"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 7421
+        assert args.batch_window == pytest.approx(0.002)
+        assert args.cache_size == 4096
+        assert args.allow_reload is False
+
+    def test_query_defaults(self):
+        args = build_parser().parse_args(["query", "neighbors", "5"])
+        assert args.op == "neighbors"
+        assert args.args == ["5"]
+        assert args.port == 7421
+
+    def test_query_rejects_unknown_op(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "frobnicate"])
+
+
+class TestQueryCommand:
+    @pytest.fixture
+    def server(self, graph_file):
+        from repro.core.ldme import LDME
+        from repro.serve import ServerConfig, ServerThread
+
+        _, graph = graph_file
+        summary = LDME(k=5, iterations=3, seed=0).summarize(graph)
+        with ServerThread(summary, ServerConfig(batch_window=0.001)) \
+                as handle:
+            yield handle, summary
+
+    def test_query_neighbors_matches_index(self, server, capsys):
+        from repro.queries import SummaryIndex
+
+        handle, summary = server
+        code = main(["query", "neighbors", "7", "--port",
+                     str(handle.port)])
+        assert code == 0
+        out = capsys.readouterr().out.split()
+        assert [int(x) for x in out] == SummaryIndex(summary).neighbors(7)
+
+    def test_query_stats_is_json(self, server, capsys):
+        import json
+
+        handle, _ = server
+        assert main(["query", "stats", "--port", str(handle.port)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_nodes"] > 0
+
+    def test_query_ping(self, server, capsys):
+        handle, _ = server
+        assert main(["query", "ping", "--port", str(handle.port)]) == 0
+        assert "pong" in capsys.readouterr().out
+
+    def test_query_bfs_prints_distances(self, server, capsys):
+        handle, _ = server
+        assert main(["query", "bfs", "0", "--port",
+                     str(handle.port)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].split() == ["0", "0"]
+
+    def test_missing_argument_is_exit_2(self, server, capsys):
+        handle, _ = server
+        assert main(["query", "neighbors", "--port",
+                     str(handle.port)]) == 2
+        assert "missing" in capsys.readouterr().err
+
+    def test_connection_refused_is_error(self, capsys):
+        # port 1: nothing listening; retries exhausted -> exit 1
+        assert main(["query", "ping", "--port", "1"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestPythonDashM:
+    def test_module_entry_point(self):
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True, text=True, env=env, timeout=120,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        assert result.returncode == 0
+        assert "serve" in result.stdout
+        assert "query" in result.stdout
