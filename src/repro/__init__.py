@@ -52,6 +52,18 @@ from .evaluation import (
 )
 from .metrics import SizeReport, size_report
 from .binaryio import read_summary_binary, write_summary_binary
+from .errors import (
+    CheckpointError,
+    CorruptCheckpointError,
+    CorruptSummaryError,
+)
+from .ioutil import atomic_write
+from .resilience import (
+    CheckpointManager,
+    FaultInjector,
+    WorkerFault,
+    run_resumable,
+)
 from .streaming import DynamicSummarizer, read_stream, write_stream
 from .graph import (
     Graph,
@@ -133,4 +145,13 @@ __all__ = [
     "DynamicSummarizer",
     "read_stream",
     "write_stream",
+    # resilience
+    "CheckpointManager",
+    "run_resumable",
+    "FaultInjector",
+    "WorkerFault",
+    "atomic_write",
+    "CorruptSummaryError",
+    "CheckpointError",
+    "CorruptCheckpointError",
 ]

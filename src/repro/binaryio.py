@@ -11,24 +11,47 @@ num_supernodes | per supernode: id, member_count, gap-coded sorted members
 num_superedges | gap-coded sorted (a, b) pairs (loops included)
 |C+| | gap-coded sorted pairs
 |C-| | gap-coded sorted pairs
+crc32 (4 bytes LE, over everything above) | magic "LDMZ"     [version >= 2]
 ```
 
 Gap coding: pairs are sorted lexicographically; the first component is
 delta-coded against the previous pair's first component, the second stored
 raw. This keeps real summaries a fraction of the text format's size.
+
+Corruption safety (version 2, the default): the trailing footer carries a
+CRC32 of the entire preceding byte stream, so a truncated download, a
+torn write, or a flipped bit raises a typed
+:class:`~repro.errors.CorruptSummaryError` instead of deserializing
+garbage. Version-1 files (no footer) remain readable. Writes to a path go
+through :func:`repro.ioutil.atomic_write`, so an interrupted write never
+clobbers a previous good file.
 """
 
 from __future__ import annotations
 
 import os
+import struct
+import zlib
 from typing import IO, List, Tuple, Union
 
 from .core.summary import CorrectionSet, Summarization
+from .errors import CorruptSummaryError
+from .ioutil import atomic_write
 
-__all__ = ["write_summary_binary", "read_summary_binary"]
+__all__ = [
+    "write_summary_binary",
+    "read_summary_binary",
+    "CorruptSummaryError",
+]
 
 MAGIC = b"LDMB"
-VERSION = 1
+FOOTER_MAGIC = b"LDMZ"
+VERSION = 2
+#: Versions this reader understands.
+SUPPORTED_VERSIONS = (1, 2)
+
+_CRC = struct.Struct("<I")
+FOOTER_BYTES = _CRC.size + len(FOOTER_MAGIC)
 
 Edge = Tuple[int, int]
 PathLike = Union[str, "os.PathLike[str]"]
@@ -53,12 +76,13 @@ def _write_varint(out: IO[bytes], value: int) -> None:
             return
 
 
-def _read_varint(data: bytes, pos: int) -> Tuple[int, int]:
+def _read_varint(data: bytes, pos: int,
+                 path: str = "<data>") -> Tuple[int, int]:
     result = 0
     shift = 0
     while True:
         if pos >= len(data):
-            raise ValueError("truncated varint")
+            raise CorruptSummaryError(path, "truncated varint")
         byte = data[pos]
         pos += 1
         result |= (byte & 0x7F) << shift
@@ -78,13 +102,14 @@ def _write_pairs(out: IO[bytes], pairs: List[Edge]) -> None:
         previous = a
 
 
-def _read_pairs(data: bytes, pos: int) -> Tuple[List[Edge], int]:
-    count, pos = _read_varint(data, pos)
+def _read_pairs(data: bytes, pos: int,
+                path: str = "<data>") -> Tuple[List[Edge], int]:
+    count, pos = _read_varint(data, pos, path)
     pairs: List[Edge] = []
     previous = 0
     for _ in range(count):
-        gap, pos = _read_varint(data, pos)
-        b, pos = _read_varint(data, pos)
+        gap, pos = _read_varint(data, pos, path)
+        b, pos = _read_varint(data, pos, path)
         a = previous + gap
         pairs.append((a, b))
         previous = a
@@ -94,7 +119,20 @@ def _read_pairs(data: bytes, pos: int) -> Tuple[List[Edge], int]:
 # ----------------------------------------------------------------------
 # public API
 # ----------------------------------------------------------------------
-def _write_payload(summary: Summarization, out: IO[bytes]) -> None:
+class _CrcWriter:
+    """Tiny pass-through sink accumulating the CRC32 of what it writes."""
+
+    def __init__(self, out: IO[bytes]) -> None:
+        self._out = out
+        self.crc = 0
+
+    def write(self, data: bytes) -> int:
+        self.crc = zlib.crc32(data, self.crc)
+        return self._out.write(data)
+
+
+def _write_payload(summary: Summarization, raw: IO[bytes]) -> None:
+    out = _CrcWriter(raw)
     out.write(MAGIC)
     _write_varint(out, VERSION)
     _write_varint(out, summary.num_nodes)
@@ -112,13 +150,17 @@ def _write_payload(summary: Summarization, out: IO[bytes]) -> None:
     _write_pairs(out, list(summary.superedges))
     _write_pairs(out, list(summary.corrections.additions))
     _write_pairs(out, list(summary.corrections.deletions))
+    raw.write(_CRC.pack(out.crc))
+    raw.write(FOOTER_MAGIC)
 
 
 def write_summary_binary(summary: Summarization, dest: FileOrPath) -> int:
     """Serialize ``summary``; returns the number of bytes written.
 
     ``dest`` may be a path or any open binary file object (which is left
-    open, written from its current position).
+    open, written from its current position). Path destinations are
+    written atomically (temp file + fsync + rename), so a crash mid-write
+    leaves any previous file at that path intact.
     """
     if hasattr(dest, "write"):
         out: IO[bytes] = dest  # type: ignore[assignment]
@@ -127,9 +169,30 @@ def write_summary_binary(summary: Summarization, dest: FileOrPath) -> int:
         if start is not None:
             return out.tell() - start
         return -1           # unseekable sink: size unknown
-    with open(os.fspath(dest), "wb") as out:
+    path = os.fspath(dest)
+    with atomic_write(path, "wb") as out:
         _write_payload(summary, out)
-    return os.path.getsize(os.fspath(dest))
+    return os.path.getsize(path)
+
+
+def _check_footer(data: bytes, path: str) -> bytes:
+    """Validate the version-2 footer; returns the payload bytes."""
+    if len(data) < FOOTER_BYTES:
+        raise CorruptSummaryError(path, "file too short for checksum footer")
+    if data[-len(FOOTER_MAGIC):] != FOOTER_MAGIC:
+        raise CorruptSummaryError(
+            path, "missing footer magic (truncated or torn write)"
+        )
+    payload = data[:-FOOTER_BYTES]
+    (stored,) = _CRC.unpack(data[-FOOTER_BYTES:-len(FOOTER_MAGIC)])
+    actual = zlib.crc32(payload)
+    if stored != actual:
+        raise CorruptSummaryError(
+            path,
+            f"checksum mismatch (stored {stored:#010x}, "
+            f"computed {actual:#010x})",
+        )
+    return payload
 
 
 def read_summary_binary(source: FileOrPath) -> Summarization:
@@ -138,6 +201,10 @@ def read_summary_binary(source: FileOrPath) -> Summarization:
     ``source`` may be a path or an open binary file object; a file
     object is consumed to EOF (the format is self-delimiting only via
     the trailing-bytes check, matching the path behaviour).
+
+    Raises :class:`~repro.errors.CorruptSummaryError` (a
+    :class:`ValueError` subclass) on any malformed, truncated, or
+    checksum-failing input.
     """
     if hasattr(source, "read"):
         data = source.read()  # type: ignore[union-attr]
@@ -147,35 +214,47 @@ def read_summary_binary(source: FileOrPath) -> Summarization:
         with open(path, "rb") as fh:
             data = fh.read()
     if data[:4] != MAGIC:
-        raise ValueError(f"{path}: not an LDMB summary file")
+        raise CorruptSummaryError(path, "not an LDMB summary file")
     pos = 4
-    version, pos = _read_varint(data, pos)
-    if version != VERSION:
-        raise ValueError(f"{path}: unsupported version {version}")
-    num_nodes, pos = _read_varint(data, pos)
-    num_edges, pos = _read_varint(data, pos)
-    num_supers, pos = _read_varint(data, pos)
+    version, pos = _read_varint(data, pos, path)
+    if version not in SUPPORTED_VERSIONS:
+        raise CorruptSummaryError(path, f"unsupported version {version}")
+    if version >= 2:
+        payload = _check_footer(data, path)
+    else:
+        payload = data
+    num_nodes, pos = _read_varint(payload, pos, path)
+    num_edges, pos = _read_varint(payload, pos, path)
+    num_supers, pos = _read_varint(payload, pos, path)
     members = {}
     for _ in range(num_supers):
-        sid, pos = _read_varint(data, pos)
-        count, pos = _read_varint(data, pos)
+        sid, pos = _read_varint(payload, pos, path)
+        count, pos = _read_varint(payload, pos, path)
         mem: List[int] = []
         previous = 0
         for _ in range(count):
-            gap, pos = _read_varint(data, pos)
+            gap, pos = _read_varint(payload, pos, path)
             previous += gap
             mem.append(previous)
         members[sid] = mem
-    superedges, pos = _read_pairs(data, pos)
-    additions, pos = _read_pairs(data, pos)
-    deletions, pos = _read_pairs(data, pos)
-    if pos != len(data):
-        raise ValueError(f"{path}: {len(data) - pos} trailing bytes")
-    return Summarization.from_members(
-        num_nodes=num_nodes,
-        members=members,
-        superedges=superedges,
-        corrections=CorrectionSet(additions, deletions),
-        num_edges=num_edges,
-        algorithm="loaded-binary",
-    )
+    superedges, pos = _read_pairs(payload, pos, path)
+    additions, pos = _read_pairs(payload, pos, path)
+    deletions, pos = _read_pairs(payload, pos, path)
+    if pos != len(payload):
+        raise CorruptSummaryError(
+            path, f"{len(payload) - pos} trailing bytes"
+        )
+    try:
+        return Summarization.from_members(
+            num_nodes=num_nodes,
+            members=members,
+            superedges=superedges,
+            corrections=CorrectionSet(additions, deletions),
+            num_edges=num_edges,
+            algorithm="loaded-binary",
+        )
+    except ValueError as exc:
+        # Checksum-valid bytes can still describe an impossible summary
+        # (hand-crafted or version-1 bit rot); keep the error typed.
+        raise CorruptSummaryError(path, f"invalid summary structure: {exc}") \
+            from exc

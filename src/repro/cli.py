@@ -10,6 +10,8 @@ workflows::
     ldme datasets
     ldme serve out.summary --port 7421
     ldme query neighbors 12 --port 7421
+    ldme summarize big.txt --checkpoint-dir ckpts/   # crash-safe resume
+    ldme loadgen --port 7421 --chaos
 
 Graphs are plain edge-list files (``u v`` per line, ``#`` comments).
 ``python -m repro ...`` works identically without the console script.
@@ -54,6 +56,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="warm-start from a partition checkpoint")
     p_sum.add_argument("--checkpoint", metavar="CKPT",
                        help="write the final partition checkpoint here")
+    p_sum.add_argument("--checkpoint-dir", metavar="DIR",
+                       help="checkpoint loop state into DIR every "
+                            "--checkpoint-every iterations; an interrupted "
+                            "run re-launched with the same flags resumes "
+                            "from the last good checkpoint")
+    p_sum.add_argument("--checkpoint-every", type=int, default=1,
+                       metavar="N",
+                       help="iterations between checkpoints (default 1)")
+    p_sum.add_argument("--no-resume", action="store_true",
+                       help="ignore existing checkpoints in "
+                            "--checkpoint-dir and start fresh")
     p_sum.add_argument("--chunked", action="store_true",
                        help="bounded-memory edge-list ingestion")
 
@@ -149,6 +162,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_qry.add_argument("--host", default="127.0.0.1")
     p_qry.add_argument("--port", type=int, default=7421)
     p_qry.add_argument("--timeout", type=float, default=10.0)
+
+    p_load = sub.add_parser(
+        "loadgen", help="drive a mixed query load at a running server"
+    )
+    p_load.add_argument("--host", default="127.0.0.1")
+    p_load.add_argument("--port", type=int, default=7421)
+    p_load.add_argument("--queries", "-n", type=int, default=1000)
+    p_load.add_argument("--concurrency", "-c", type=int, default=4)
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument("--skew", type=float, default=2.0,
+                        help="node-selection skew exponent (hot-key bias)")
+    p_load.add_argument("--timeout", type=float, default=30.0)
+    p_load.add_argument("--chaos", action="store_true",
+                        help="inject deterministic connection chaos: "
+                            "forced reconnects and malformed frames while "
+                            "the load runs")
+    p_load.add_argument("--chaos-drop-every", type=int, default=25,
+                        metavar="N",
+                        help="with --chaos: drop the connection every Nth "
+                             "query per worker (0 disables)")
+    p_load.add_argument("--chaos-junk-every", type=int, default=50,
+                        metavar="N",
+                        help="with --chaos: send a garbage frame every Nth "
+                             "query per worker (0 disables)")
     return parser
 
 
@@ -170,12 +207,30 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
         algo = SWeG(
             iterations=args.iterations, epsilon=args.epsilon, seed=args.seed
         )
-    initial = None
-    if args.resume_from:
-        from .graph.io import read_partition
+    if args.checkpoint_dir:
+        if args.resume_from:
+            print(
+                "error: --resume-from (partition warm-start) and "
+                "--checkpoint-dir (crash-safe resume) are mutually "
+                "exclusive", file=sys.stderr,
+            )
+            return 2
+        from .resilience import run_resumable
 
-        initial = read_partition(args.resume_from)
-    summary = algo.summarize(graph, initial_partition=initial)
+        summary = run_resumable(
+            algo,
+            graph,
+            args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            resume=not args.no_resume,
+        )
+    else:
+        initial = None
+        if args.resume_from:
+            from .graph.io import read_partition
+
+            initial = read_partition(args.resume_from)
+        summary = algo.summarize(graph, initial_partition=initial)
     print(format_table([summary.describe()]))
     if args.output:
         write_summary(summary, args.output)
@@ -421,6 +476,29 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .serve import ChaosConfig, run_load
+
+    chaos = None
+    if args.chaos:
+        chaos = ChaosConfig(
+            drop_every=args.chaos_drop_every,
+            junk_every=args.chaos_junk_every,
+        )
+    report = run_load(
+        args.host,
+        args.port,
+        num_queries=args.queries,
+        concurrency=args.concurrency,
+        seed=args.seed,
+        skew=args.skew,
+        client_timeout=args.timeout,
+        chaos=chaos,
+    )
+    print(report.format())
+    return 1 if report.errors else 0
+
+
 _COMMANDS = {
     "summarize": _cmd_summarize,
     "reconstruct": _cmd_reconstruct,
@@ -433,6 +511,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "serve": _cmd_serve,
     "query": _cmd_query,
+    "loadgen": _cmd_loadgen,
 }
 
 

@@ -9,9 +9,11 @@ need; subclasses provide the divide and merge policies.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from abc import ABC, abstractmethod
-from typing import List, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -23,7 +25,33 @@ from .merge import MergeStats, merge_threshold
 from .partition import SupernodePartition
 from .summary import IterationStats, RunStats, Summarization
 
-__all__ = ["BaseSummarizer"]
+__all__ = ["BaseSummarizer", "ResumeState"]
+
+
+@dataclass
+class ResumeState:
+    """Everything needed to restart the driver loop at an iteration boundary.
+
+    ``partition``, ``rng_state`` and ``stalled`` capture the loop state
+    *after* iteration :attr:`iteration` completed; feeding this back via
+    ``summarize(..., resume_state=...)`` continues the run bit-identically
+    to one that was never interrupted (same seed, same remaining
+    iterations, same merges).
+
+    Instances handed to an ``iteration_hook`` reference the driver's
+    *live* partition and stats — hooks must treat them as read-only and
+    serialize synchronously (see :mod:`repro.resilience.checkpoint`).
+    """
+
+    iteration: int                       # completed iterations so far
+    partition: SupernodePartition
+    rng_state: Optional[dict] = None     # np bit-generator state dict
+    stalled: int = 0                     # consecutive zero-merge rounds
+    stats: Optional[RunStats] = None
+
+
+#: Called after every completed iteration with the live loop state.
+IterationHook = Callable[[ResumeState], None]
 
 
 class BaseSummarizer(ABC):
@@ -94,20 +122,80 @@ class BaseSummarizer(ABC):
     # ------------------------------------------------------------------
     # shared driver
     # ------------------------------------------------------------------
+    def _merge_phase(
+        self,
+        graph: Graph,
+        partition: SupernodePartition,
+        groups: List[List[int]],
+        threshold: float,
+        rng: np.random.Generator,
+        iteration: int,
+        run_stats: RunStats,
+    ) -> MergeStats:
+        """Execute one iteration's merge phase (mutating ``partition``).
+
+        The default is the serial group loop; parallel subclasses
+        (:class:`repro.distributed.MultiprocessLDME`) override this to fan
+        groups out to workers, recording supervision counters on
+        ``run_stats``.
+        """
+        merge_stats = MergeStats()
+        for group in groups:
+            merge_stats += self.merge_one_group(
+                graph, partition, group, threshold, rng
+            )
+        return merge_stats
+
     def summarize(
         self,
         graph: Graph,
         initial_partition: SupernodePartition = None,
+        *,
+        resume_state: Optional[ResumeState] = None,
+        iteration_hook: Optional[IterationHook] = None,
     ) -> Summarization:
         """Run the full pipeline on ``graph`` and return the summarization.
 
         ``initial_partition`` warm-starts from an existing supernode
-        assignment (e.g. a checkpoint or a previous run's partition); the
-        default is the paper's all-singleton initialization. The provided
-        partition is not mutated.
+        assignment (e.g. a previous run's partition); the default is the
+        paper's all-singleton initialization. The provided partition is
+        not mutated.
+
+        ``resume_state`` restarts an interrupted run at an iteration
+        boundary (partition + RNG state + counters); the remainder of the
+        run is bit-identical to the uninterrupted one. ``iteration_hook``
+        is called after every completed iteration with the live loop state
+        — the checkpointing seam used by
+        :func:`repro.resilience.run_resumable`.
         """
         rng = np.random.default_rng(self.seed)
-        if initial_partition is None:
+        stats = RunStats()
+        stalled = 0
+        start_iteration = 1
+        if resume_state is not None:
+            if initial_partition is not None:
+                raise ValueError(
+                    "pass either initial_partition or resume_state, not both"
+                )
+            if resume_state.partition.num_nodes != graph.num_nodes:
+                raise ValueError(
+                    "resume_state covers a different node universe"
+                )
+            partition = resume_state.partition.copy()
+            if resume_state.rng_state is not None:
+                rng.bit_generator.state = resume_state.rng_state
+            if resume_state.stats is not None:
+                stats = dataclasses.replace(
+                    resume_state.stats,
+                    iterations=list(resume_state.stats.iterations),
+                )
+            stalled = resume_state.stalled
+            start_iteration = resume_state.iteration + 1
+            if self.early_stop_rounds and stalled >= self.early_stop_rounds:
+                # The interrupted run had already early-stopped; resume
+                # must go straight to the encode, not iterate further.
+                start_iteration = self.iterations + 1
+        elif initial_partition is None:
             partition = SupernodePartition(graph.num_nodes)
         else:
             if initial_partition.num_nodes != graph.num_nodes:
@@ -115,20 +203,16 @@ class BaseSummarizer(ABC):
                     "initial_partition covers a different node universe"
                 )
             partition = initial_partition.copy()
-        stats = RunStats()
-        stalled = 0
-        for t in range(1, self.iterations + 1):
+        for t in range(start_iteration, self.iterations + 1):
             tic = time.perf_counter()
             groups, divide_stats = self.divide(graph, partition, rng)
             divide_seconds = time.perf_counter() - tic
 
             tic = time.perf_counter()
-            merge_stats = MergeStats()
             threshold = merge_threshold(t)
-            for group in groups:
-                merge_stats += self.merge_one_group(
-                    graph, partition, group, threshold, rng
-                )
+            merge_stats = self._merge_phase(
+                graph, partition, groups, threshold, rng, t, stats
+            )
             merge_seconds = time.perf_counter() - tic
 
             stats.divide_seconds += divide_seconds
@@ -162,8 +246,18 @@ class BaseSummarizer(ABC):
             stats.iterations.append(record)
             if self.early_stop_rounds:
                 stalled = 0 if merge_stats.merges else stalled + 1
-                if stalled >= self.early_stop_rounds:
-                    break
+            if iteration_hook is not None:
+                iteration_hook(
+                    ResumeState(
+                        iteration=t,
+                        partition=partition,
+                        rng_state=rng.bit_generator.state,
+                        stalled=stalled,
+                        stats=stats,
+                    )
+                )
+            if self.early_stop_rounds and stalled >= self.early_stop_rounds:
+                break
         tic = time.perf_counter()
         if self.encoder == "sorted":
             encoded = encode_sorted(graph, partition)

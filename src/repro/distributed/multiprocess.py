@@ -13,6 +13,19 @@ Uses the ``fork`` start method so the graph's CSR arrays are inherited
 copy-on-write instead of pickled per task; on platforms without ``fork``
 (or with ``num_workers=1``) it degrades to the serial loop.
 
+The pool runs under a :class:`~repro.resilience.supervisor.BatchSupervisor`:
+a crashed or hung worker batch is detected via a per-batch deadline,
+retried on a fresh pool with the *same* derived seed (planning is a pure
+function, so the retry's plan is identical), and after ``max_batch_retries``
+rounds the remaining batches are planned serially in the parent. A dying
+pool therefore costs throughput, never correctness. Supervision counters
+land on :class:`~repro.core.summary.RunStats`.
+
+Only :meth:`~repro.core.base.BaseSummarizer._merge_phase` is overridden, so
+the class inherits the shared driver — including checkpoint/resume via
+:func:`repro.resilience.run_resumable`, early stopping, compression
+tracking, and lossy dropping.
+
 On the scaled surrogate graphs in this repo the process-pool overhead often
 exceeds the merge work — this class exists for API completeness and for
 larger inputs, and its tests assert *correctness* (lossless output,
@@ -22,17 +35,17 @@ valid partitions), not speedups.
 from __future__ import annotations
 
 import multiprocessing
-import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.encode import encode_sorted
 from ..core.ldme import LDME
-from ..core.merge import MergeStats, merge_group_exact, merge_threshold
+from ..core.merge import MergeStats, merge_group_exact
 from ..core.partition import SupernodePartition
-from ..core.summary import IterationStats, RunStats, Summarization
+from ..core.summary import RunStats
 from ..graph.graph import Graph
+from ..resilience.faults import FaultInjector
+from ..resilience.supervisor import BatchSupervisor, SupervisionPolicy
 
 __all__ = ["MultiprocessLDME", "plan_group_merges"]
 
@@ -102,7 +115,10 @@ def plan_group_merges(
     """Plan the merges for one group against a partition snapshot.
 
     Returns the ordered (a, b) merge pairs plus the candidate-scoring count.
-    Pure function of its inputs — usable directly (tests) or from workers.
+    Pure function of its inputs — usable directly (tests), from workers,
+    and as the serial fallback when the pool dies (a retried or
+    fallen-back batch reproduces the exact plan a healthy worker would
+    have returned).
     """
     snapshot = _SnapshotPartition(node2super, sizes, group_members)
     stats = merge_group_exact(
@@ -116,15 +132,19 @@ def plan_group_merges(
     return snapshot.merge_log, stats.candidates_scored
 
 
-def _worker(task) -> Tuple[List[Tuple[int, int]], int]:
-    """Pool worker: plan merges for one batch of groups."""
-    batches, threshold, seed, cost_model = task
-    graph = _SHARED["graph"]
-    node2super = _SHARED["node2super"]
-    sizes = _SHARED["sizes"]
+def _plan_batch(
+    graph: Graph,
+    node2super: np.ndarray,
+    sizes: np.ndarray,
+    batch: Sequence[Dict[int, List[int]]],
+    threshold: float,
+    seed: int,
+    cost_model: str,
+) -> Tuple[List[Tuple[int, int]], int]:
+    """Plan one batch of groups (seeded ``seed + offset`` per group)."""
     log: List[Tuple[int, int]] = []
     scored = 0
-    for offset, group_members in enumerate(batches):
+    for offset, group_members in enumerate(batch):
         merges, count = plan_group_merges(
             graph, node2super, sizes, group_members,
             threshold, seed + offset, cost_model,
@@ -134,81 +154,83 @@ def _worker(task) -> Tuple[List[Tuple[int, int]], int]:
     return log, scored
 
 
-class MultiprocessLDME(LDME):
-    """LDME with a process-parallel merge phase.
+def _worker(task) -> Tuple[List[Tuple[int, int]], int]:
+    """Pool worker: plan merges for one batch of groups.
 
-    Parameters are those of :class:`~repro.core.ldme.LDME` plus
-    ``num_workers`` (defaults to the CPU count, capped at 8).
+    The fault hook fires before any planning so an injected crash models
+    a worker dying mid-iteration with no partial results delivered.
+    """
+    batch, threshold, seed, cost_model, iteration, batch_index, attempt = task
+    faults: Optional[FaultInjector] = _SHARED.get("faults")
+    if faults is not None:
+        faults.on_worker_batch(iteration, batch_index, attempt)
+    return _plan_batch(
+        _SHARED["graph"], _SHARED["node2super"], _SHARED["sizes"],
+        batch, threshold, seed, cost_model,
+    )
+
+
+class MultiprocessLDME(LDME):
+    """LDME with a supervised process-parallel merge phase.
+
+    Parameters are those of :class:`~repro.core.ldme.LDME` plus:
+
+    num_workers:
+        Pool size (defaults to the CPU count, capped at 8). ``1`` runs
+        the serial merge loop in-process.
+    batch_timeout:
+        Per-batch result deadline in seconds (also the crash-detection
+        latency); ``None`` disables supervision timeouts.
+    max_batch_retries:
+        Fresh-pool retry rounds for failed batches before the parent
+        plans them serially.
+    fault_injector:
+        Optional :class:`~repro.resilience.FaultInjector` consulted by
+        workers — test/chaos hook, never needed in production.
     """
 
-    def __init__(self, num_workers: Optional[int] = None, **kwargs) -> None:
+    def __init__(
+        self,
+        num_workers: Optional[int] = None,
+        batch_timeout: Optional[float] = 300.0,
+        max_batch_retries: int = 2,
+        fault_injector: Optional[FaultInjector] = None,
+        **kwargs,
+    ) -> None:
         super().__init__(**kwargs)
         if num_workers is not None and num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self.num_workers = num_workers or min(8, multiprocessing.cpu_count())
+        self.batch_timeout = batch_timeout
+        self.max_batch_retries = max_batch_retries
+        self.fault_injector = fault_injector
         self.name = f"{self.name}-mp{self.num_workers}"
 
     # ------------------------------------------------------------------
-    def summarize(self, graph: Graph) -> Summarization:
-        if self.num_workers == 1 or not _fork_available():
-            return super().summarize(graph)
-        rng = np.random.default_rng(self.seed)
-        partition = SupernodePartition(graph.num_nodes)
-        stats = RunStats()
-        for t in range(1, self.iterations + 1):
-            tic = time.perf_counter()
-            groups, divide_stats = self.divide(graph, partition, rng)
-            divide_seconds = time.perf_counter() - tic
-
-            tic = time.perf_counter()
-            threshold = merge_threshold(t)
-            merge_stats = MergeStats()
-            plans = self._plan_parallel(graph, partition, groups, threshold, t)
-            for log, scored in plans:
-                merge_stats.candidates_scored += scored
-                for a, b in log:
-                    partition.merge(a, b)
-                    merge_stats.merges += 1
-            merge_seconds = time.perf_counter() - tic
-
-            stats.divide_seconds += divide_seconds
-            stats.merge_seconds += merge_seconds
-            stats.iterations.append(
-                IterationStats(
-                    iteration=t,
-                    divide_seconds=divide_seconds,
-                    merge_seconds=merge_seconds,
-                    num_groups=divide_stats.num_groups,
-                    max_group_size=divide_stats.max_group_size,
-                    num_supernodes=partition.num_supernodes,
-                    merges=merge_stats.merges,
-                )
-            )
-        tic = time.perf_counter()
-        encoded = encode_sorted(graph, partition)
-        stats.encode_seconds = time.perf_counter() - tic
-        return Summarization(
-            num_nodes=graph.num_nodes,
-            num_edges=graph.num_edges,
-            partition=partition,
-            superedges=encoded.superedges,
-            corrections=encoded.corrections,
-            stats=stats,
-            algorithm=self.name,
-        )
-
-    # ------------------------------------------------------------------
-    def _plan_parallel(
+    def _merge_phase(
         self,
         graph: Graph,
         partition: SupernodePartition,
-        groups: Sequence[List[int]],
+        groups: List[List[int]],
         threshold: float,
+        rng: np.random.Generator,
         iteration: int,
-    ):
-        """Fan the groups out over a fork pool and collect merge plans."""
+        run_stats: RunStats,
+    ) -> MergeStats:
+        """Fan groups out over a supervised fork pool and apply the plans.
+
+        Seeds are derived from (self.seed, iteration, batch index), never
+        drawn from ``rng``, so the parallel run is deterministic and a
+        retried batch replays identically. The parent ``rng`` is consumed
+        only by the divide phase, exactly as in the serial driver.
+        """
+        if self.num_workers == 1 or not _fork_available():
+            return super()._merge_phase(
+                graph, partition, groups, threshold, rng, iteration, run_stats
+            )
+        merge_stats = MergeStats()
         if not groups:
-            return []
+            return merge_stats
         node2super = partition.node2super.copy()
         sizes = np.bincount(node2super, minlength=graph.num_nodes).astype(
             np.int64
@@ -221,20 +243,62 @@ class MultiprocessLDME(LDME):
                 {sid: list(partition.members(sid)) for sid in group}
             )
         base_seed = self.seed * 100_003 + iteration
-        tasks = [
-            (batch, threshold, base_seed + 10_000 * w, self.cost_model)
+        # (batch index, batch, derived seed) descriptors; round-robin
+        # filling means the non-empty batches form a prefix, so the index
+        # equals the original worker slot (stable fault coordinates and
+        # seeds across retries).
+        descriptors = [
+            (w, batch, base_seed + 10_000 * w)
             for w, batch in enumerate(batches)
             if batch
         ]
+
+        def build_task(descriptor, attempt):
+            batch_index, batch, seed = descriptor
+            return (
+                batch, threshold, seed, self.cost_model,
+                iteration, batch_index, attempt,
+            )
+
+        def plan_serially(descriptor):
+            # In-process fallback: bypasses _SHARED and the fault
+            # injector entirely — degraded mode must be fault-free.
+            _, batch, seed = descriptor
+            return _plan_batch(
+                graph, node2super, sizes, batch,
+                threshold, seed, self.cost_model,
+            )
+
+        def make_pool(num_tasks):
+            ctx = multiprocessing.get_context("fork")
+            return ctx.Pool(processes=min(self.num_workers, num_tasks))
+
+        supervisor = BatchSupervisor(
+            worker_fn=_worker,
+            task_builder=build_task,
+            serial_fn=plan_serially,
+            pool_factory=make_pool,
+            policy=SupervisionPolicy(
+                batch_timeout=self.batch_timeout,
+                max_retries=self.max_batch_retries,
+            ),
+        )
         _SHARED["graph"] = graph
         _SHARED["node2super"] = node2super
         _SHARED["sizes"] = sizes
+        if self.fault_injector is not None:
+            _SHARED["faults"] = self.fault_injector
         try:
-            ctx = multiprocessing.get_context("fork")
-            with ctx.Pool(processes=min(self.num_workers, len(tasks))) as pool:
-                return pool.map(_worker, tasks)
+            plans, report = supervisor.run(descriptors)
         finally:
             _SHARED.clear()
+        report.merge_into(run_stats)
+        for log, scored in plans:
+            merge_stats.candidates_scored += scored
+            for a, b in log:
+                partition.merge(a, b)
+                merge_stats.merges += 1
+        return merge_stats
 
 
 def _fork_available() -> bool:

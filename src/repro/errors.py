@@ -1,0 +1,58 @@
+"""Typed exception hierarchy for corruption-safe I/O and checkpointing.
+
+These live in a leaf module (no intra-package imports) so every layer —
+``binaryio``, ``graph.io``, ``streaming``, ``resilience``, ``serve`` — can
+raise and catch them without import cycles. All of them subclass
+:class:`ValueError`, so code written against the old untyped errors (the
+CLI's top-level handler, the serve layer's reload path) keeps working
+while new code can catch the precise failure.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CorruptSummaryError",
+    "CheckpointError",
+    "CorruptCheckpointError",
+]
+
+
+class CorruptSummaryError(ValueError):
+    """A summary artifact failed validation while being read.
+
+    Raised for bad magic bytes, unsupported versions, truncated payloads,
+    checksum mismatches and structurally impossible contents — anything
+    where continuing to parse would hand the caller garbage.
+
+    Attributes
+    ----------
+    path:
+        Where the artifact came from (a filesystem path, or a placeholder
+        like ``"<stream>"`` for file objects).
+    """
+
+    def __init__(self, path: str, message: str) -> None:
+        super().__init__(f"{path}: {message}")
+        self.path = str(path)
+
+
+class CheckpointError(ValueError):
+    """A checkpoint could not be saved, located, or safely resumed from.
+
+    Also raised when a checkpoint exists but was produced by a different
+    algorithm configuration or a different graph (fingerprint mismatch) —
+    resuming from it would silently produce a wrong summary.
+    """
+
+
+class CorruptCheckpointError(CheckpointError):
+    """One specific checkpoint file failed its integrity check.
+
+    :meth:`repro.resilience.CheckpointManager.load_latest` catches this
+    internally and falls back to the next older checkpoint; it only
+    escapes when a caller loads one checkpoint explicitly.
+    """
+
+    def __init__(self, path: str, message: str) -> None:
+        super().__init__(f"{path}: {message}")
+        self.path = str(path)

@@ -16,6 +16,8 @@ from typing import IO, List, Tuple, Union
 
 import numpy as np
 
+from ..errors import CorruptSummaryError
+from ..ioutil import atomic_write
 from .builder import GraphBuilder
 from .graph import Graph
 
@@ -43,6 +45,22 @@ def _open_text(path: PathLike, mode: str) -> IO[str]:
     if path.endswith(".gz"):
         return io.TextIOWrapper(gzip.open(path, mode + "b"))  # type: ignore[arg-type]
     return open(path, mode, encoding="utf-8")
+
+
+def _atomic_text(path: PathLike):
+    """Atomic-write counterpart of ``_open_text(path, "w")``.
+
+    Every text writer in this module goes through here so an interrupted
+    write (crash, SIGKILL, full disk) never clobbers a previous good file
+    — the temp file is simply abandoned and unlinked.
+    """
+    path = os.fspath(path)
+    if path.endswith(".gz"):
+        return atomic_write(
+            path,
+            open_fn=lambda tmp: io.TextIOWrapper(gzip.open(tmp, "wb")),
+        )
+    return atomic_write(path, "w", encoding="utf-8")
 
 
 # ----------------------------------------------------------------------
@@ -81,7 +99,7 @@ def read_edge_list(path: PathLike, num_nodes: int = None) -> Graph:
 def write_edge_list(graph: Graph, path: PathLike) -> None:
     """Write each undirected edge once as ``u v`` (with ``u < v``)."""
     src, dst = graph.edge_arrays()
-    with _open_text(path, "w") as fh:
+    with _atomic_text(path) as fh:
         fh.write(f"# nodes {graph.num_nodes} edges {graph.num_edges}\n")
         for u, v in zip(src.tolist(), dst.tolist()):
             fh.write(f"{u} {v}\n")
@@ -120,7 +138,7 @@ def read_adjacency(path: PathLike) -> Graph:
 
 def write_adjacency(graph: Graph, path: PathLike) -> None:
     """Write each node's full adjacency row, one node per line."""
-    with _open_text(path, "w") as fh:
+    with _atomic_text(path) as fh:
         for v in range(graph.num_nodes):
             row = " ".join(str(u) for u in graph.neighbors(v).tolist())
             fh.write(f"{v}: {row}\n")
@@ -130,10 +148,9 @@ def write_adjacency(graph: Graph, path: PathLike) -> None:
 # binary CSR format (.npz): zero-parse loading for large graphs
 # ----------------------------------------------------------------------
 def write_graph_binary(graph: Graph, path: PathLike) -> None:
-    """Store the CSR arrays directly (compressed ``.npz``)."""
-    np.savez_compressed(
-        os.fspath(path), indptr=graph.indptr, indices=graph.indices
-    )
+    """Store the CSR arrays directly (compressed ``.npz``), atomically."""
+    with atomic_write(os.fspath(path), "wb") as fh:
+        np.savez_compressed(fh, indptr=graph.indptr, indices=graph.indices)
 
 
 def read_graph_binary(path: PathLike) -> Graph:
@@ -179,7 +196,7 @@ def write_partition(partition, path: PathLike) -> None:
     :meth:`repro.core.base.BaseSummarizer.summarize`: a long run can be
     checkpointed and resumed in another process.
     """
-    with _open_text(path, "w") as fh:
+    with _atomic_text(path) as fh:
         fh.write(f"#ldme-partition num_nodes={partition.num_nodes}\n")
         for sid in sorted(partition.supernode_ids()):
             members = " ".join(map(str, sorted(partition.members(sid))))
@@ -222,7 +239,7 @@ def write_summary(summarization, path: PathLike) -> None:
     edges). The original node count is recorded so the graph can be rebuilt
     without external information.
     """
-    with _open_text(path, "w") as fh:
+    with _atomic_text(path) as fh:
         fh.write(f"#ldme-summary num_nodes={summarization.num_nodes}\n")
         fh.write("S\n")
         for sid in summarization.supernode_ids():
@@ -240,7 +257,12 @@ def write_summary(summarization, path: PathLike) -> None:
 
 
 def read_summary(path: PathLike):
-    """Deserialize a summary written by :func:`write_summary`."""
+    """Deserialize a summary written by :func:`write_summary`.
+
+    Malformed files raise :class:`~repro.errors.CorruptSummaryError` (a
+    :class:`ValueError` subclass) naming the offending line, instead of
+    crashing deep inside parsing or returning a half-read summary.
+    """
     from ..core.summary import CorrectionSet, Summarization
 
     num_nodes = None
@@ -262,7 +284,17 @@ def read_summary(path: PathLike):
             if line in ("S", "P", "C+", "C-"):
                 section = line
                 continue
-            parts = [int(tok) for tok in line.split()]
+            try:
+                parts = [int(tok) for tok in line.split()]
+            except ValueError:
+                raise CorruptSummaryError(
+                    str(path), f"line {lineno}: non-integer token in {line!r}"
+                ) from None
+            if section != "S" and len(parts) != 2:
+                raise CorruptSummaryError(
+                    str(path),
+                    f"line {lineno}: expected an edge pair, got {line!r}",
+                )
             if section == "S":
                 members[parts[0]] = parts[1:]
             elif section == "P":
@@ -272,12 +304,22 @@ def read_summary(path: PathLike):
             elif section == "C-":
                 deletions.append((parts[0], parts[1]))
             else:
-                raise ValueError(f"{path}:{lineno}: data before section header")
+                raise CorruptSummaryError(
+                    str(path), f"line {lineno}: data before section header"
+                )
     if num_nodes is None:
-        raise ValueError(f"{path}: missing '#ldme-summary' header")
-    return Summarization.from_members(
-        num_nodes=num_nodes,
-        members=members,
-        superedges=superedges,
-        corrections=CorrectionSet(additions=additions, deletions=deletions),
-    )
+        raise CorruptSummaryError(
+            str(path), "missing '#ldme-summary' header"
+        )
+    try:
+        return Summarization.from_members(
+            num_nodes=num_nodes,
+            members=members,
+            superedges=superedges,
+            corrections=CorrectionSet(additions=additions,
+                                      deletions=deletions),
+        )
+    except ValueError as exc:
+        raise CorruptSummaryError(
+            str(path), f"invalid summary structure: {exc}"
+        ) from exc

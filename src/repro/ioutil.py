@@ -1,0 +1,107 @@
+"""Crash-safe filesystem primitives shared by every writer in the package.
+
+The invariant all writers need: *an interrupted write never clobbers a
+previous good artifact*. :func:`atomic_write` provides it the classic way
+— write to a temporary file in the destination directory, flush + fsync,
+then :func:`os.replace` over the target (atomic on POSIX within one
+filesystem). A crash at any point leaves either the old file or the new
+file, never a torn mix.
+
+This is a leaf module (stdlib only) so ``graph.io``, ``binaryio``,
+``streaming`` and ``resilience`` can all use it without import cycles.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import tempfile
+import zlib
+from typing import IO, Callable, Iterator, Optional, Union
+
+__all__ = ["atomic_write", "fsync_directory", "file_crc32"]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def fsync_directory(path: PathLike) -> None:
+    """fsync a directory so a completed rename survives power loss.
+
+    Best-effort: some platforms/filesystems refuse to open directories
+    (or to fsync them); those errors are swallowed because the rename
+    itself is still atomic — only its durability window changes.
+    """
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+@contextlib.contextmanager
+def atomic_write(
+    dest: PathLike,
+    mode: str = "wb",
+    encoding: Optional[str] = None,
+    open_fn: Optional[Callable[[str], IO]] = None,
+) -> Iterator[IO]:
+    """Context manager yielding a handle whose contents replace ``dest``
+    atomically on success and vanish on failure.
+
+    Parameters
+    ----------
+    dest:
+        Final path. The temporary file is created in the same directory so
+        the final :func:`os.replace` never crosses filesystems.
+    mode / encoding:
+        Passed to :func:`open` for the temporary file (``"wb"`` or ``"w"``).
+    open_fn:
+        Alternative opener called with the temporary path — lets callers
+        layer gzip or other wrappers on top while keeping atomicity.
+
+    The handle is closed *before* the rename (finalizing any wrapper
+    stream, e.g. the gzip trailer), the raw bytes are fsynced, and the
+    containing directory is fsynced after the rename.
+    """
+    dest = os.fspath(dest)
+    directory = os.path.dirname(dest) or "."
+    fd, tmp = tempfile.mkstemp(
+        prefix=os.path.basename(dest) + ".", suffix=".tmp", dir=directory
+    )
+    os.close(fd)
+    handle: Optional[IO] = None
+    try:
+        handle = (
+            open_fn(tmp) if open_fn is not None
+            else open(tmp, mode, encoding=encoding)
+        )
+        yield handle
+        handle.close()        # finalize wrapper streams (gzip trailer etc.)
+        handle = None
+        with open(tmp, "rb") as raw:
+            os.fsync(raw.fileno())
+        os.replace(tmp, dest)
+        fsync_directory(directory)
+    except BaseException:
+        if handle is not None:
+            with contextlib.suppress(Exception):
+                handle.close()
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
+
+
+def file_crc32(path: PathLike, chunk_size: int = 1 << 20) -> int:
+    """CRC32 of a file's contents (streamed, constant memory)."""
+    crc = 0
+    with open(os.fspath(path), "rb") as fh:
+        while True:
+            chunk = fh.read(chunk_size)
+            if not chunk:
+                return crc
+            crc = zlib.crc32(chunk, crc)

@@ -1,0 +1,75 @@
+"""Fault tolerance for long summarization runs (``repro.resilience``).
+
+Four pillars, each usable on its own:
+
+* :class:`CheckpointManager` / :func:`run_resumable` — atomic,
+  checksummed iteration-boundary checkpoints; a killed run resumes
+  bit-identical to an uninterrupted one.
+* :class:`~repro.resilience.supervisor.BatchSupervisor` — retry,
+  timeout, and serial-fallback supervision for the parallel merge
+  (wired into :class:`repro.distributed.MultiprocessLDME`).
+* :class:`FaultInjector` and friends — deterministic worker crashes,
+  hangs, and file corruption for chaos testing.
+* Corruption-safe I/O primitives re-exported from :mod:`repro.ioutil`
+  and :mod:`repro.errors` (the binary formats themselves live in
+  :mod:`repro.binaryio`).
+"""
+
+from ..errors import (
+    CheckpointError,
+    CorruptCheckpointError,
+    CorruptSummaryError,
+)
+from ..ioutil import atomic_write, file_crc32
+from .checkpoint import CheckpointInfo, CheckpointManager, LoadedCheckpoint
+from .faults import (
+    CRASH_EXIT_CODE,
+    FaultInjector,
+    WorkerFault,
+    WorkerFaultError,
+    flip_bit,
+    partial_write,
+    truncate_file,
+)
+from .resumable import (
+    payload_to_state,
+    run_fingerprint,
+    run_resumable,
+    state_to_payload,
+)
+from .supervisor import (
+    BatchSupervisor,
+    SupervisionPolicy,
+    SupervisionReport,
+    WorkerPoolError,
+)
+
+__all__ = [
+    # checkpointing
+    "CheckpointManager",
+    "CheckpointInfo",
+    "LoadedCheckpoint",
+    "run_resumable",
+    "run_fingerprint",
+    "state_to_payload",
+    "payload_to_state",
+    # supervision
+    "BatchSupervisor",
+    "SupervisionPolicy",
+    "SupervisionReport",
+    "WorkerPoolError",
+    # fault injection
+    "FaultInjector",
+    "WorkerFault",
+    "WorkerFaultError",
+    "CRASH_EXIT_CODE",
+    "flip_bit",
+    "truncate_file",
+    "partial_write",
+    # errors + safe I/O
+    "CheckpointError",
+    "CorruptCheckpointError",
+    "CorruptSummaryError",
+    "atomic_write",
+    "file_crc32",
+]

@@ -1,0 +1,319 @@
+"""Atomic, checksummed, self-healing checkpoint storage.
+
+A :class:`CheckpointManager` owns one directory of checkpoints plus a
+manifest. Guarantees:
+
+* **Atomicity** — checkpoint files and the manifest are written via
+  temp-file + fsync + rename (:func:`repro.ioutil.atomic_write`); a crash
+  mid-save leaves the previous state fully intact.
+* **Integrity** — every checkpoint file is self-verifying: a one-line
+  JSON header records the CRC32 and byte count of the body, checked on
+  load. The manifest records the same, so either artifact alone can
+  detect damage.
+* **Recovery** — :meth:`load_latest` walks checkpoints newest→oldest and
+  silently skips corrupt/missing ones, returning the most recent *good*
+  state. A corrupt or missing manifest is rebuilt from the directory.
+* **Bounded footprint** — only the newest ``keep`` checkpoints are
+  retained; older files are pruned after each successful save.
+
+File layout::
+
+    <dir>/MANIFEST.json          # {"version":1,"entries":[...]}
+    <dir>/ckpt_00000003.json     # header line + body JSON
+
+The payload is an arbitrary JSON-serializable dict; the schemas for LDME
+runs and dynamic-stream state live in :mod:`repro.resilience.resumable`
+and :mod:`repro.streaming`.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import re
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Union
+
+from ..errors import CheckpointError, CorruptCheckpointError
+from ..ioutil import atomic_write
+
+__all__ = ["CheckpointManager", "CheckpointInfo", "LoadedCheckpoint"]
+
+logger = logging.getLogger("repro.resilience")
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+MANIFEST_NAME = "MANIFEST.json"
+CHECKPOINT_FORMAT = "ldme-checkpoint"
+CHECKPOINT_VERSION = 1
+_FILE_RE = re.compile(r"^ckpt_(\d{8})\.json$")
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """One manifest entry."""
+
+    file: str            # basename within the checkpoint directory
+    iteration: int
+    crc32: int
+    bytes: int
+
+
+@dataclass
+class LoadedCheckpoint:
+    """Result of :meth:`CheckpointManager.load_latest`."""
+
+    iteration: int
+    payload: Dict[str, Any]
+    path: str
+    skipped: List[str]   # corrupt/missing checkpoints passed over
+
+
+class CheckpointManager:
+    """Manage one directory of atomic, checksummed checkpoints.
+
+    Parameters
+    ----------
+    directory:
+        Created on demand. One manager per logical run; sharing a
+        directory between unrelated runs is guarded by the payload
+        fingerprint (see :func:`repro.resilience.run_resumable`).
+    keep:
+        How many recent checkpoints to retain (older ones are pruned).
+        Keeping more than one is what makes corruption recoverable: if
+        the newest file is damaged, the previous one still loads.
+    """
+
+    def __init__(self, directory: PathLike, keep: int = 3) -> None:
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.directory = os.fspath(directory)
+        self.keep = keep
+        os.makedirs(self.directory, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # save path
+    # ------------------------------------------------------------------
+    def save(self, iteration: int, payload: Dict[str, Any]) -> str:
+        """Persist one checkpoint; returns its absolute path.
+
+        The checkpoint file lands atomically first, then the manifest is
+        rewritten (also atomically) and old checkpoints are pruned. A
+        crash between the two steps is safe: the orphan checkpoint is
+        rediscovered by the manifest rebuild on the next load.
+        """
+        if iteration < 0:
+            raise ValueError("iteration must be non-negative")
+        body = json.dumps(
+            {
+                "format": CHECKPOINT_FORMAT,
+                "version": CHECKPOINT_VERSION,
+                "iteration": iteration,
+                "payload": payload,
+            },
+            separators=(",", ":"),
+        ).encode("utf-8")
+        header = json.dumps(
+            {"crc32": zlib.crc32(body), "bytes": len(body)},
+            separators=(",", ":"),
+        ).encode("utf-8")
+        name = f"ckpt_{iteration:08d}.json"
+        path = os.path.join(self.directory, name)
+        with atomic_write(path, "wb") as fh:
+            fh.write(header)
+            fh.write(b"\n")
+            fh.write(body)
+        entries = [e for e in self._manifest_entries() if e.file != name]
+        entries.append(
+            CheckpointInfo(
+                file=name, iteration=iteration,
+                crc32=zlib.crc32(body), bytes=len(body),
+            )
+        )
+        entries.sort(key=lambda e: e.iteration)
+        pruned = entries[:-self.keep]
+        entries = entries[-self.keep:]
+        self._write_manifest(entries)
+        for stale in pruned:
+            try:
+                os.unlink(os.path.join(self.directory, stale.file))
+            except OSError:
+                pass
+        return path
+
+    def _write_manifest(self, entries: List[CheckpointInfo]) -> None:
+        doc = {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "entries": [vars(e) for e in entries],
+        }
+        with atomic_write(
+            os.path.join(self.directory, MANIFEST_NAME), "w",
+            encoding="utf-8",
+        ) as fh:
+            json.dump(doc, fh, indent=1)
+
+    # ------------------------------------------------------------------
+    # load path
+    # ------------------------------------------------------------------
+    def _manifest_entries(self) -> List[CheckpointInfo]:
+        """Manifest entries (ascending iteration), rebuilt if damaged."""
+        path = os.path.join(self.directory, MANIFEST_NAME)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+            entries = [
+                CheckpointInfo(
+                    file=str(e["file"]), iteration=int(e["iteration"]),
+                    crc32=int(e["crc32"]), bytes=int(e["bytes"]),
+                )
+                for e in doc["entries"]
+            ]
+        except FileNotFoundError:
+            return self._rebuild_entries()
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            logger.warning(
+                "manifest %s unreadable (%s); rebuilding from directory",
+                path, exc,
+            )
+            return self._rebuild_entries()
+        return sorted(entries, key=lambda e: e.iteration)
+
+    def _rebuild_entries(self) -> List[CheckpointInfo]:
+        """Recover manifest entries by scanning ``ckpt_*.json`` files."""
+        entries: List[CheckpointInfo] = []
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return entries
+        for name in names:
+            match = _FILE_RE.match(name)
+            if not match:
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                body = _read_verified_body(path)
+                doc = json.loads(body)
+                entries.append(
+                    CheckpointInfo(
+                        file=name, iteration=int(doc["iteration"]),
+                        crc32=zlib.crc32(body), bytes=len(body),
+                    )
+                )
+            except (OSError, ValueError, KeyError, TypeError,
+                    CorruptCheckpointError):
+                continue        # damaged stragglers are simply not listed
+        return sorted(entries, key=lambda e: e.iteration)
+
+    def entries(self) -> List[CheckpointInfo]:
+        """Known checkpoints, ascending by iteration."""
+        return self._manifest_entries()
+
+    def load(self, entry: Union[CheckpointInfo, str]) -> Dict[str, Any]:
+        """Load and verify one checkpoint; returns its payload dict.
+
+        Raises :class:`~repro.errors.CorruptCheckpointError` if the file
+        is damaged, or :class:`~repro.errors.CheckpointError` if missing.
+        """
+        name = entry.file if isinstance(entry, CheckpointInfo) else entry
+        path = os.path.join(self.directory, os.path.basename(name))
+        try:
+            body = _read_verified_body(path)
+        except FileNotFoundError:
+            raise CheckpointError(f"{path}: checkpoint file missing") \
+                from None
+        doc = _parse_body(path, body)
+        if isinstance(entry, CheckpointInfo):
+            if zlib.crc32(body) != entry.crc32:
+                raise CorruptCheckpointError(
+                    path, "body does not match manifest checksum"
+                )
+        return doc["payload"]
+
+    def load_latest(self) -> Optional[LoadedCheckpoint]:
+        """The newest checkpoint that verifies, or ``None`` if none do.
+
+        Corrupt or missing checkpoints are skipped (and reported in
+        :attr:`LoadedCheckpoint.skipped`) — this is the crash-recovery
+        entry point, so it must make progress whenever *any* good
+        checkpoint survives.
+        """
+        skipped: List[str] = []
+        for entry in reversed(self._manifest_entries()):
+            path = os.path.join(self.directory, entry.file)
+            try:
+                body = _read_verified_body(path)
+                doc = _parse_body(path, body)
+            except (CheckpointError, OSError) as exc:
+                logger.warning("skipping checkpoint %s: %s", path, exc)
+                skipped.append(entry.file)
+                continue
+            return LoadedCheckpoint(
+                iteration=int(doc["iteration"]),
+                payload=doc["payload"],
+                path=path,
+                skipped=skipped,
+            )
+        return None
+
+    def clear(self) -> None:
+        """Delete every checkpoint and the manifest."""
+        for entry in self._manifest_entries():
+            try:
+                os.unlink(os.path.join(self.directory, entry.file))
+            except OSError:
+                pass
+        try:
+            os.unlink(os.path.join(self.directory, MANIFEST_NAME))
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# file-level verification
+# ----------------------------------------------------------------------
+def _read_verified_body(path: str) -> bytes:
+    """Read a checkpoint file and verify its self-checksum header."""
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    newline = raw.find(b"\n")
+    if newline < 0:
+        raise CorruptCheckpointError(path, "missing header line")
+    try:
+        header = json.loads(raw[:newline])
+        crc = int(header["crc32"])
+        size = int(header["bytes"])
+    except (ValueError, KeyError, TypeError) as exc:
+        raise CorruptCheckpointError(path, f"unreadable header: {exc}") \
+            from exc
+    body = raw[newline + 1:]
+    if len(body) != size:
+        raise CorruptCheckpointError(
+            path, f"body is {len(body)}B, header promises {size}B"
+        )
+    if zlib.crc32(body) != crc:
+        raise CorruptCheckpointError(path, "body checksum mismatch")
+    return body
+
+
+def _parse_body(path: str, body: bytes) -> Dict[str, Any]:
+    try:
+        doc = json.loads(body)
+    except ValueError as exc:
+        raise CorruptCheckpointError(path, f"undecodable body: {exc}") \
+            from exc
+    if (
+        not isinstance(doc, dict)
+        or doc.get("format") != CHECKPOINT_FORMAT
+        or "payload" not in doc
+        or "iteration" not in doc
+    ):
+        raise CorruptCheckpointError(path, "not an ldme-checkpoint document")
+    if int(doc.get("version", -1)) > CHECKPOINT_VERSION:
+        raise CorruptCheckpointError(
+            path, f"checkpoint version {doc['version']} is newer than "
+                  f"this reader ({CHECKPOINT_VERSION})"
+        )
+    return doc

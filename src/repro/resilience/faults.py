@@ -1,0 +1,197 @@
+"""Deterministic fault injection for resilience testing.
+
+Everything here is *scheduled*, not random: a fault fires for an exact
+``(iteration, batch_index, attempt)`` coordinate or an exact byte offset,
+so chaos tests are reproducible run-to-run. Three fault families:
+
+* **Worker faults** — :class:`FaultInjector` is installed into
+  :class:`repro.distributed.MultiprocessLDME`; forked pool workers call
+  :meth:`FaultInjector.on_worker_batch` at the start of each batch and
+  hard-crash (``os._exit``), sleep, or raise according to the plan.
+  Keying on ``attempt`` lets a schedule crash a batch once and let its
+  retry succeed.
+* **File corruption** — :func:`flip_bit` / :func:`truncate_file` /
+  :func:`partial_write` damage artifacts on disk the way real storage
+  does (bit rot, torn writes, interrupted copies), for exercising the
+  checksummed readers.
+* **Serve chaos** — the schedule helpers are reused by the load
+  generator's chaos mode (:mod:`repro.serve.loadgen`).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+__all__ = [
+    "WorkerFault",
+    "FaultInjector",
+    "WorkerFaultError",
+    "flip_bit",
+    "truncate_file",
+    "partial_write",
+    "CRASH_EXIT_CODE",
+]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+#: Exit code used by injected worker crashes (recognizable in waitpid logs).
+CRASH_EXIT_CODE = 23
+
+_KINDS = ("crash", "slow", "exception")
+
+
+class WorkerFaultError(RuntimeError):
+    """The exception an ``exception``-kind worker fault raises."""
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """One scheduled fault inside a parallel merge worker.
+
+    Parameters
+    ----------
+    iteration:
+        LDME iteration (1-based) the fault fires in.
+    batch_index:
+        Worker-batch index within that iteration (0-based).
+    attempt:
+        Which submission attempt to hit (0 = first run, 1 = first retry,
+        ...). Crashing at ``attempt=0`` only is the canonical
+        "transient crash, retry succeeds" scenario.
+    kind:
+        ``"crash"`` (``os._exit`` — simulates SIGKILL/OOM),
+        ``"slow"`` (sleep ``delay`` seconds — simulates a hung batch), or
+        ``"exception"`` (raise :class:`WorkerFaultError` — simulates a
+        poison-pill input).
+    delay:
+        Sleep duration for ``"slow"`` faults.
+    """
+
+    iteration: int
+    batch_index: int
+    attempt: int = 0
+    kind: str = "crash"
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+        if self.kind == "slow" and self.delay <= 0:
+            raise ValueError("slow faults need a positive delay")
+
+
+@dataclass
+class FaultInjector:
+    """A deterministic schedule of :class:`WorkerFault` entries.
+
+    The injector is inherited by forked pool workers, so each child sees
+    the full schedule; a fault fires in whichever process evaluates its
+    coordinate. The parent-side ``triggered`` log only records faults
+    evaluated in the parent (serial fallback never consults the injector,
+    by design — fallback must be fault-free).
+    """
+
+    faults: List[WorkerFault] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._by_key: Dict[Tuple[int, int, int], WorkerFault] = {}
+        for fault in self.faults:
+            key = (fault.iteration, fault.batch_index, fault.attempt)
+            if key in self._by_key:
+                raise ValueError(f"duplicate fault for coordinate {key}")
+            self._by_key[key] = fault
+        self.triggered: List[Tuple[int, int, int]] = []
+
+    def planned(self, iteration: int, batch_index: int,
+                attempt: int) -> Optional[WorkerFault]:
+        """The fault scheduled for a coordinate, if any (no side effects)."""
+        return self._by_key.get((iteration, batch_index, attempt))
+
+    def on_worker_batch(self, iteration: int, batch_index: int,
+                        attempt: int) -> None:
+        """Fire the fault scheduled for this coordinate, if any.
+
+        Called at the top of every worker batch. ``crash`` faults
+        terminate the *process* immediately (bypassing ``finally`` blocks
+        and pool bookkeeping — exactly what a SIGKILL does).
+        """
+        fault = self._by_key.get((iteration, batch_index, attempt))
+        if fault is None:
+            return
+        self.triggered.append((iteration, batch_index, attempt))
+        if fault.kind == "crash":
+            os._exit(CRASH_EXIT_CODE)
+        elif fault.kind == "slow":
+            time.sleep(fault.delay)
+        else:
+            raise WorkerFaultError(
+                f"injected fault at iteration {iteration}, "
+                f"batch {batch_index}, attempt {attempt}"
+            )
+
+
+# ----------------------------------------------------------------------
+# on-disk corruption
+# ----------------------------------------------------------------------
+def flip_bit(path: PathLike, byte_offset: Optional[int] = None,
+             bit: int = 0) -> int:
+    """Flip one bit of the file in place; returns the byte offset used.
+
+    With ``byte_offset=None`` the middle byte is flipped — deterministic
+    and safely inside the payload of any non-trivial artifact.
+    """
+    if not 0 <= bit <= 7:
+        raise ValueError("bit must be in [0, 7]")
+    path = os.fspath(path)
+    size = os.path.getsize(path)
+    if size == 0:
+        raise ValueError(f"{path}: cannot flip a bit in an empty file")
+    offset = size // 2 if byte_offset is None else byte_offset
+    if not 0 <= offset < size:
+        raise ValueError(f"byte_offset {offset} outside file of {size}B")
+    with open(path, "r+b") as fh:
+        fh.seek(offset)
+        original = fh.read(1)[0]
+        fh.seek(offset)
+        fh.write(bytes([original ^ (1 << bit)]))
+    return offset
+
+
+def truncate_file(path: PathLike, keep_fraction: float = 0.5) -> int:
+    """Truncate the file to a fraction of its size; returns bytes kept.
+
+    Simulates an interrupted copy or a partially-flushed non-atomic
+    write.
+    """
+    if not 0.0 <= keep_fraction < 1.0:
+        raise ValueError("keep_fraction must be in [0, 1)")
+    path = os.fspath(path)
+    keep = int(os.path.getsize(path) * keep_fraction)
+    with open(path, "r+b") as fh:
+        fh.truncate(keep)
+    return keep
+
+
+def partial_write(path: PathLike, data: bytes,
+                  write_fraction: float = 0.5) -> int:
+    """Write only a prefix of ``data`` to ``path`` (a torn write).
+
+    This is the failure mode :func:`repro.ioutil.atomic_write` exists to
+    prevent; tests use it to show what *non*-atomic writers would have
+    left behind. Returns the number of bytes written.
+    """
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ValueError("write_fraction must be in [0, 1]")
+    count = int(len(data) * write_fraction)
+    with open(os.fspath(path), "wb") as fh:
+        fh.write(data[:count])
+    return count
+
+
+def checksum_bytes(data: bytes) -> int:
+    """CRC32 helper mirroring what the checkpoint/binary formats store."""
+    return zlib.crc32(data)

@@ -1,0 +1,191 @@
+"""Worker supervision for process-pool batch execution.
+
+:class:`BatchSupervisor` runs a set of independent, idempotent batch
+tasks on a process pool and survives the three classic failure modes:
+
+* **crash** — a worker hard-exits (OOM kill, segfault, injected
+  ``os._exit``). The pool silently replaces the process but the task's
+  result never arrives, so the per-batch deadline converts the loss into
+  a timeout and the batch is retried on a fresh pool.
+* **hang** — a worker stalls; the deadline fires, the pool is torn down
+  (``terminate`` kills the stuck process), and the batch is retried.
+* **poison pill** — a worker raises; the exception is counted and the
+  batch retried (a deterministic failure will exhaust retries and fall
+  back).
+
+Batches that still fail after ``max_retries`` fresh-pool attempts are
+executed serially in the parent (*graceful degradation*), so a dying pool
+degrades throughput, never correctness. Retries are safe because batch
+planning is a pure function of its inputs — a retried batch produces the
+identical plan a healthy worker would have.
+
+Counters end up on :class:`~repro.core.summary.RunStats` so operators can
+see how rough the run was.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "SupervisionPolicy",
+    "SupervisionReport",
+    "BatchSupervisor",
+    "WorkerPoolError",
+]
+
+logger = logging.getLogger("repro.resilience")
+
+
+class WorkerPoolError(RuntimeError):
+    """Batches kept failing and serial fallback was disabled."""
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """Tunables for :class:`BatchSupervisor`."""
+
+    #: Per-batch result deadline in seconds. Also the crash-detection
+    #: latency: a killed worker's batch surfaces as a timeout. ``None``
+    #: disables the deadline (crashes then hang forever — only sensible
+    #: when an outer watchdog exists).
+    batch_timeout: Optional[float] = 300.0
+    #: Fresh-pool retry rounds before falling back to serial execution.
+    max_retries: int = 2
+    #: Plan failed batches in-process once retries are exhausted.
+    serial_fallback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.batch_timeout is not None and self.batch_timeout <= 0:
+            raise ValueError("batch_timeout must be positive or None")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+
+
+@dataclass
+class SupervisionReport:
+    """What happened during one supervised run (summed into RunStats)."""
+
+    worker_failures: int = 0     # batches whose worker raised
+    batch_timeouts: int = 0      # batches lost to deadline (incl. crashes)
+    batch_retries: int = 0       # batch re-submissions to a fresh pool
+    serial_fallbacks: int = 0    # batches executed in-process
+
+    def merge_into(self, stats) -> None:
+        """Accumulate onto a :class:`~repro.core.summary.RunStats`."""
+        stats.worker_failures += self.worker_failures
+        stats.batch_timeouts += self.batch_timeouts
+        stats.batch_retries += self.batch_retries
+        stats.serial_fallbacks += self.serial_fallbacks
+
+
+class BatchSupervisor:
+    """Run independent batch tasks with retry and serial fallback.
+
+    Parameters
+    ----------
+    worker_fn:
+        Picklable top-level function executed in pool workers; called
+        with one argument (the built task).
+    task_builder:
+        ``task_builder(descriptor, attempt)`` → the argument handed to
+        ``worker_fn``. The attempt number is part of the task so
+        deterministic fault schedules can target "first try only".
+    serial_fn:
+        In-process fallback: ``serial_fn(descriptor)`` → result. Must
+        produce the same result a healthy worker would (pure planning).
+    pool_factory:
+        ``pool_factory(num_tasks)`` → a ``multiprocessing`` pool sized
+        for the outstanding tasks, or ``None`` when no pool can be
+        created (fork unavailable, resource exhaustion) — the supervisor
+        then degrades to serial immediately.
+    """
+
+    def __init__(
+        self,
+        worker_fn: Callable[[Any], Any],
+        task_builder: Callable[[Any, int], Any],
+        serial_fn: Callable[[Any], Any],
+        pool_factory: Callable[[int], Optional[Any]],
+        policy: Optional[SupervisionPolicy] = None,
+    ) -> None:
+        self.worker_fn = worker_fn
+        self.task_builder = task_builder
+        self.serial_fn = serial_fn
+        self.pool_factory = pool_factory
+        self.policy = policy or SupervisionPolicy()
+
+    # ------------------------------------------------------------------
+    def run(
+        self, descriptors: Sequence[Any]
+    ) -> Tuple[List[Any], SupervisionReport]:
+        """Execute every descriptor; returns (ordered results, report)."""
+        report = SupervisionReport()
+        results: List[Any] = [None] * len(descriptors)
+        outstanding = dict(enumerate(descriptors))
+        attempt = 0
+        while outstanding and attempt <= self.policy.max_retries:
+            pool = self._make_pool(len(outstanding))
+            if pool is None:
+                break                        # pool is dead: degrade now
+            try:
+                handles = {
+                    index: pool.apply_async(
+                        self.worker_fn,
+                        (self.task_builder(descriptor, attempt),),
+                    )
+                    for index, descriptor in outstanding.items()
+                }
+                failed = {}
+                for index, handle in handles.items():
+                    try:
+                        results[index] = handle.get(self.policy.batch_timeout)
+                    except multiprocessing.TimeoutError:
+                        # Crashed workers never deliver a result either,
+                        # so crash and hang both land here.
+                        report.batch_timeouts += 1
+                        failed[index] = outstanding[index]
+                        logger.warning(
+                            "batch %d timed out after %.1fs (attempt %d)",
+                            index, self.policy.batch_timeout, attempt,
+                        )
+                    except Exception as exc:  # noqa: BLE001 - any worker error
+                        report.worker_failures += 1
+                        failed[index] = outstanding[index]
+                        logger.warning(
+                            "batch %d failed in worker (attempt %d): %r",
+                            index, attempt, exc,
+                        )
+            finally:
+                # terminate (not close): a hung/crashed worker would make
+                # close+join wait forever.
+                pool.terminate()
+                pool.join()
+            outstanding = failed
+            attempt += 1
+            if outstanding and attempt <= self.policy.max_retries:
+                report.batch_retries += len(outstanding)
+        if outstanding:
+            if not self.policy.serial_fallback:
+                raise WorkerPoolError(
+                    f"{len(outstanding)} batches failed after "
+                    f"{self.policy.max_retries} retries"
+                )
+            for index, descriptor in outstanding.items():
+                results[index] = self.serial_fn(descriptor)
+                report.serial_fallbacks += 1
+            logger.warning(
+                "planned %d batches serially after pool failure",
+                len(outstanding),
+            )
+        return results, report
+
+    def _make_pool(self, num_tasks: int) -> Optional[Any]:
+        try:
+            return self.pool_factory(num_tasks)
+        except OSError as exc:
+            logger.warning("worker pool unavailable (%s); degrading", exc)
+            return None

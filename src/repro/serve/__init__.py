@@ -14,7 +14,7 @@ See ``docs/serving.md`` for the wire protocol and operational semantics.
 from .batching import execute_batch
 from .cache import LRUCache
 from .client import ServerError, SummaryClient
-from .loadgen import DEFAULT_MIX, LoadReport, run_load
+from .loadgen import DEFAULT_MIX, ChaosConfig, LoadReport, run_load
 from .metrics import Histogram, MetricsRegistry
 from .protocol import ErrorCode, ProtocolError, RequestError
 from .server import ServerConfig, ServerThread, SummaryServer
@@ -35,4 +35,5 @@ __all__ = [
     "LoadReport",
     "run_load",
     "DEFAULT_MIX",
+    "ChaosConfig",
 ]

@@ -18,6 +18,7 @@ Used by the ``ldme serve-bench`` style benchmark in
 
 from __future__ import annotations
 
+import socket
 import threading
 import time
 from dataclasses import dataclass, field
@@ -27,7 +28,7 @@ import numpy as np
 
 from .client import ServerError, SummaryClient
 
-__all__ = ["LoadReport", "run_load", "DEFAULT_MIX"]
+__all__ = ["LoadReport", "run_load", "DEFAULT_MIX", "ChaosConfig"]
 
 #: Default operation mix (weights, normalized internally).
 DEFAULT_MIX: Dict[str, float] = {
@@ -36,6 +37,57 @@ DEFAULT_MIX: Dict[str, float] = {
     "has_edge": 0.2,
     "bfs": 0.05,
 }
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Deterministic connection chaos for load runs (``--chaos``).
+
+    Both knobs key off the per-worker query counter, so a chaos run is
+    reproducible: the same faults hit the same query indices every time.
+
+    drop_every:
+        Every Nth query, the worker abruptly closes its connection first
+        and lets the client transparently reconnect (exercises the
+        reconnect path under load). 0 disables.
+    junk_every:
+        Every Nth query, a throwaway socket sends a garbage frame — an
+        absurd length prefix followed by non-JSON — to verify the server
+        drops that connection without disturbing well-behaved clients.
+        0 disables.
+    """
+
+    drop_every: int = 0
+    junk_every: int = 0
+
+    def __post_init__(self) -> None:
+        if self.drop_every < 0 or self.junk_every < 0:
+            raise ValueError("chaos intervals must be non-negative")
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.drop_every or self.junk_every)
+
+
+#: Deliberately malformed wire bytes: huge length prefix + non-JSON body.
+_JUNK_FRAME = b"\xff\xff\xff\xf0not-json-at-all"
+
+
+def _send_junk(host: str, port: int, timeout: float) -> bool:
+    """Fire one garbage frame at the server on a throwaway connection."""
+    try:
+        with socket.create_connection((host, port), timeout=timeout) as sock:
+            sock.sendall(_JUNK_FRAME)
+            # Read whatever the server says (error frame or EOF) so the
+            # teardown is observed, not raced.
+            sock.settimeout(timeout)
+            try:
+                sock.recv(4096)
+            except OSError:
+                pass
+        return True
+    except OSError:
+        return False
 
 
 @dataclass
@@ -49,6 +101,8 @@ class LoadReport:
     concurrency: int
     op_counts: Dict[str, int] = field(default_factory=dict)
     latencies_ms: List[float] = field(default_factory=list)
+    chaos_drops: int = 0     # forced client reconnects
+    chaos_junk: int = 0      # garbage frames delivered to the server
 
     @property
     def qps(self) -> float:
@@ -71,6 +125,10 @@ class LoadReport:
             f"errors={self.errors}",
             f"retries={self.retries}",
         ]
+        if self.chaos_drops or self.chaos_junk:
+            parts.append(
+                f"chaos drops={self.chaos_drops} junk={self.chaos_junk}"
+            )
         if self.latencies_ms:
             parts.append(
                 "latency_ms p50={:.2f} p95={:.2f} p99={:.2f}".format(
@@ -96,8 +154,14 @@ def run_load(
     seed: int = 0,
     skew: float = 2.0,
     client_timeout: float = 30.0,
+    chaos: Optional[ChaosConfig] = None,
 ) -> LoadReport:
-    """Fire ``num_queries`` mixed queries from ``concurrency`` threads."""
+    """Fire ``num_queries`` mixed queries from ``concurrency`` threads.
+
+    With ``chaos`` set, workers deterministically drop their own
+    connections and/or lob malformed frames at the server while the load
+    runs (see :class:`ChaosConfig`) — queries must still all complete.
+    """
     if num_queries < 1:
         raise ValueError("num_queries must be positive")
     if concurrency < 1:
@@ -126,6 +190,8 @@ def run_load(
     op_counts: Dict[str, int] = {op: 0 for op in ops}
     errors = [0]
     retries = [0]
+    chaos_drops = [0]
+    chaos_junk = [0]
 
     def worker(worker_id: int, quota: int) -> None:
         rng = np.random.default_rng(seed + worker_id)
@@ -133,8 +199,17 @@ def run_load(
         local_lat: List[float] = []
         local_ops: Dict[str, int] = {op: 0 for op in ops}
         local_errors = 0
+        local_drops = 0
+        local_junk = 0
         try:
-            for _ in range(quota):
+            for q in range(1, quota + 1):
+                if chaos is not None and chaos.enabled:
+                    if chaos.drop_every and q % chaos.drop_every == 0:
+                        client.close()      # reconnects on the next call
+                        local_drops += 1
+                    if chaos.junk_every and q % chaos.junk_every == 0:
+                        if _send_junk(host, port, client_timeout):
+                            local_junk += 1
                 op = ops[int(rng.choice(len(ops), p=probs))]
                 v = _pick_node(rng, num_nodes, skew)
                 tic = time.perf_counter()
@@ -158,6 +233,8 @@ def run_load(
                 latencies.extend(local_lat)
                 errors[0] += local_errors
                 retries[0] += client.retries_used
+                chaos_drops[0] += local_drops
+                chaos_junk[0] += local_junk
                 for op, count in local_ops.items():
                     op_counts[op] += count
 
@@ -182,4 +259,6 @@ def run_load(
         concurrency=concurrency,
         op_counts=op_counts,
         latencies_ms=latencies,
+        chaos_drops=chaos_drops[0],
+        chaos_junk=chaos_junk[0],
     )

@@ -354,6 +354,10 @@ class SummaryServer:
                 None, _load_index, args["path"]
             )
         except (OSError, ValueError) as exc:
+            # Covers CorruptSummaryError (a ValueError): a damaged file is
+            # rejected here, before swap — the live index is untouched.
+            self.metrics.inc("reload_rejected_total")
+            logger.warning("rejected reload of %s: %s", args.get("path"), exc)
             raise RequestError(
                 ErrorCode.BAD_REQUEST, f"reload failed: {exc}"
             ) from exc

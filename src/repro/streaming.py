@@ -10,23 +10,30 @@ point. Also provides a tiny line-oriented stream file format (``+ u v`` /
 from __future__ import annotations
 
 import os
-from typing import Iterable, Iterator, Tuple, Union
+from typing import Any, Dict, Iterable, Iterator, Tuple, Union
 
 import numpy as np
 
 from .baselines.mosso import MoSSo, StreamState
 from .core.encode import encode_sorted
+from .core.partition import SupernodePartition
 from .core.summary import Summarization
+from .errors import CheckpointError
 from .graph.graph import Graph
+from .ioutil import atomic_write
 
 __all__ = [
     "DynamicSummarizer",
     "read_stream",
     "write_stream",
+    "STREAM_PAYLOAD_KIND",
 ]
 
 Event = Tuple[str, int, int]        # ("+"|"-", u, v)
 PathLike = Union[str, "os.PathLike[str]"]
+
+#: ``kind`` tag on DynamicSummarizer checkpoint payloads.
+STREAM_PAYLOAD_KIND = "mosso-stream"
 
 
 class DynamicSummarizer:
@@ -60,6 +67,12 @@ class DynamicSummarizer:
         self._engine = MoSSo(
             escape_prob=escape_prob, sample_size=sample_size, seed=seed
         )
+        self._params = {
+            "num_nodes": int(num_nodes),
+            "escape_prob": float(escape_prob),
+            "sample_size": int(sample_size),
+            "seed": int(seed),
+        }
         self._state = StreamState(num_nodes)
         self._rng = np.random.default_rng(seed)
         self._events = 0
@@ -145,13 +158,100 @@ class DynamicSummarizer:
 
         return CompiledSummaryIndex(self.snapshot())
 
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Full JSON-serializable state for checkpointing.
+
+        Captures the stream offset (:attr:`events_processed`), MoSSo
+        parameters, RNG state, adjacency, partition (member order
+        preserved), and the incremental count table (row order preserved —
+        Saving evaluations sum rows in iteration order, so preserving it
+        keeps restored decisions deterministic). Suitable as a
+        :class:`~repro.resilience.CheckpointManager` payload; restore with
+        :meth:`from_state` and replay the stream file from
+        ``events_processed`` onward.
+        """
+        return {
+            "kind": STREAM_PAYLOAD_KIND,
+            "params": dict(self._params),
+            "events_processed": self._events,
+            "rng_state": self._rng.bit_generator.state,
+            "adjacency": [
+                [int(x) for x in adj] for adj in self._state.adjacency
+            ],
+            "partition": {
+                str(sid): [int(x) for x in mem]
+                for sid, mem in self._state.partition.members_map().items()
+            },
+            "counts": {
+                str(sid): {str(c): int(n) for c, n in row.items()}
+                for sid, row in self._state.counts.items()
+            },
+        }
+
+    @classmethod
+    def from_state(cls, payload: Dict[str, Any]) -> "DynamicSummarizer":
+        """Rebuild a summarizer from a :meth:`state_dict` payload.
+
+        Raises :class:`~repro.errors.CheckpointError` when the payload is
+        not a ``mosso-stream`` checkpoint.
+        """
+        if not isinstance(payload, dict) \
+                or payload.get("kind") != STREAM_PAYLOAD_KIND:
+            raise CheckpointError(
+                f"not a {STREAM_PAYLOAD_KIND!r} checkpoint payload "
+                f"(found kind={payload.get('kind') if isinstance(payload, dict) else payload!r})"
+            )
+        try:
+            params = payload["params"]
+            ds = cls(
+                num_nodes=int(params["num_nodes"]),
+                escape_prob=float(params["escape_prob"]),
+                sample_size=int(params["sample_size"]),
+                seed=int(params["seed"]),
+            )
+            ds._events = int(payload["events_processed"])
+            if payload.get("rng_state") is not None:
+                ds._rng.bit_generator.state = payload["rng_state"]
+            state = ds._state
+            adjacency = payload["adjacency"]
+            if len(adjacency) != ds.num_nodes:
+                raise ValueError(
+                    f"adjacency covers {len(adjacency)} nodes, "
+                    f"expected {ds.num_nodes}"
+                )
+            for u, neighbors in enumerate(adjacency):
+                state.adjacency[u] = set(int(x) for x in neighbors)
+            members = {
+                int(sid): [int(x) for x in mem]
+                for sid, mem in payload["partition"].items()
+            }
+            state.partition = SupernodePartition.from_members(
+                ds.num_nodes, members
+            )
+            state.counts = {
+                int(sid): {int(c): int(n) for c, n in row.items()}
+                for sid, row in payload["counts"].items()
+            }
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"malformed {STREAM_PAYLOAD_KIND} payload: {exc}"
+            ) from exc
+        return ds
+
 
 # ----------------------------------------------------------------------
 # stream file format: one "+ u v" or "- u v" per line
 # ----------------------------------------------------------------------
 def write_stream(events: Iterable[Event], path: PathLike) -> None:
-    """Write events to a replayable stream file."""
-    with open(os.fspath(path), "w", encoding="utf-8") as fh:
+    """Write events to a replayable stream file (atomically).
+
+    The file appears complete or not at all — a crash mid-write leaves
+    any previous recording intact rather than a torn half-stream.
+    """
+    with atomic_write(os.fspath(path), "w", encoding="utf-8") as fh:
         for op, u, v in events:
             if op not in ("+", "-"):
                 raise ValueError(f"unknown stream op {op!r}")
@@ -159,7 +259,13 @@ def write_stream(events: Iterable[Event], path: PathLike) -> None:
 
 
 def read_stream(path: PathLike) -> Iterator[Event]:
-    """Yield ``(op, u, v)`` events from a stream file."""
+    """Yield ``(op, u, v)`` events from a stream file.
+
+    Blank lines and ``#`` comments are skipped. Any malformed line —
+    wrong field count, unknown op, non-integer or negative endpoint —
+    raises :class:`ValueError` naming the file and line number, instead
+    of half-applying a corrupt stream.
+    """
     with open(os.fspath(path), "r", encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
@@ -170,4 +276,14 @@ def read_stream(path: PathLike) -> Iterator[Event]:
                 raise ValueError(
                     f"{path}:{lineno}: expected '+/- u v', got {line!r}"
                 )
-            yield parts[0], int(parts[1]), int(parts[2])
+            try:
+                u, v = int(parts[1]), int(parts[2])
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{lineno}: non-integer endpoint in {line!r}"
+                ) from None
+            if u < 0 or v < 0:
+                raise ValueError(
+                    f"{path}:{lineno}: negative node id in {line!r}"
+                )
+            yield parts[0], u, v

@@ -1,0 +1,119 @@
+"""Atomic write primitives and the writers that use them.
+
+The invariant under test: after any failed or interrupted write, the
+destination path either holds the complete previous artifact or does not
+exist — never a torn half-file — and no temp litter is left behind.
+"""
+
+import gzip
+import os
+import zlib
+
+import pytest
+
+from repro.core.ldme import LDME
+from repro.graph.generators import web_host_graph
+from repro.graph.io import (
+    load_graph,
+    read_summary,
+    save_graph,
+    write_summary,
+)
+from repro.ioutil import atomic_write, file_crc32
+
+
+class Boom(Exception):
+    pass
+
+
+class TestAtomicWrite:
+    def test_success_writes_content(self, tmp_path):
+        path = tmp_path / "out.txt"
+        with atomic_write(path, "w", encoding="utf-8") as fh:
+            fh.write("hello")
+        assert path.read_text() == "hello"
+
+    def test_failure_preserves_previous(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("previous")
+        with pytest.raises(Boom):
+            with atomic_write(path, "w", encoding="utf-8") as fh:
+                fh.write("partial new conten")
+                raise Boom()
+        assert path.read_text() == "previous"
+
+    def test_failure_with_no_previous_leaves_nothing(self, tmp_path):
+        path = tmp_path / "fresh.txt"
+        with pytest.raises(Boom):
+            with atomic_write(path, "w", encoding="utf-8") as fh:
+                fh.write("x")
+                raise Boom()
+        assert not path.exists()
+
+    def test_no_temp_litter(self, tmp_path):
+        path = tmp_path / "out.bin"
+        with atomic_write(path, "wb") as fh:
+            fh.write(b"data")
+        with pytest.raises(Boom):
+            with atomic_write(path, "wb") as fh:
+                raise Boom()
+        assert os.listdir(tmp_path) == ["out.bin"]
+
+    def test_binary_mode(self, tmp_path):
+        path = tmp_path / "out.bin"
+        with atomic_write(path, "wb") as fh:
+            fh.write(b"\x00\x01\x02")
+        assert path.read_bytes() == b"\x00\x01\x02"
+
+    def test_open_fn_gzip(self, tmp_path):
+        path = tmp_path / "out.gz"
+        with atomic_write(
+            path, open_fn=lambda tmp: gzip.open(tmp, "wt")
+        ) as fh:
+            fh.write("zipped")
+        with gzip.open(path, "rt") as fh:
+            assert fh.read() == "zipped"
+
+    def test_file_crc32(self, tmp_path):
+        path = tmp_path / "f.bin"
+        data = bytes(range(256)) * 10
+        path.write_bytes(data)
+        assert file_crc32(path) == zlib.crc32(data)
+
+
+class TestAtomicGraphWriters:
+    @pytest.fixture
+    def graph(self):
+        return web_host_graph(num_hosts=3, host_size=6, seed=1)
+
+    def test_edge_list_roundtrip(self, tmp_path, graph):
+        path = tmp_path / "g.txt"
+        save_graph(graph, path)
+        assert load_graph(path) == graph
+
+    def test_gzip_edge_list_roundtrip(self, tmp_path, graph):
+        path = tmp_path / "g.txt.gz"
+        save_graph(graph, path)
+        assert load_graph(path) == graph
+
+    def test_summary_roundtrip(self, tmp_path, graph):
+        summary = LDME(k=4, iterations=3, seed=0).summarize(graph)
+        path = tmp_path / "s.summary"
+        write_summary(summary, path)
+        loaded = read_summary(path)
+        assert loaded.superedges == summary.superedges
+
+    def test_summary_gzip_roundtrip(self, tmp_path, graph):
+        summary = LDME(k=4, iterations=3, seed=0).summarize(graph)
+        path = tmp_path / "s.summary.gz"
+        write_summary(summary, path)
+        loaded = read_summary(path)
+        assert loaded.superedges == summary.superedges
+
+    def test_no_temp_litter_after_writes(self, tmp_path, graph):
+        save_graph(graph, tmp_path / "g.txt")
+        save_graph(graph, tmp_path / "g.txt.gz")
+        summary = LDME(k=4, iterations=3, seed=0).summarize(graph)
+        write_summary(summary, tmp_path / "s.summary")
+        names = sorted(os.listdir(tmp_path))
+        assert names == ["g.txt", "g.txt.gz", "s.summary"]

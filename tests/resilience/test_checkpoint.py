@@ -1,0 +1,150 @@
+"""CheckpointManager: atomicity, integrity, recovery, retention."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import CheckpointError, CorruptCheckpointError
+from repro.resilience import CheckpointManager, flip_bit, truncate_file
+from repro.resilience.checkpoint import MANIFEST_NAME
+
+
+@pytest.fixture
+def manager(tmp_path):
+    return CheckpointManager(tmp_path / "ckpts", keep=3)
+
+
+def payload(i):
+    return {"kind": "test", "value": i, "blob": list(range(i * 3))}
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, manager):
+        manager.save(1, payload(1))
+        loaded = manager.load_latest()
+        assert loaded is not None
+        assert loaded.iteration == 1
+        assert loaded.payload == payload(1)
+        assert loaded.skipped == []
+
+    def test_latest_wins(self, manager):
+        for i in range(1, 4):
+            manager.save(i, payload(i))
+        loaded = manager.load_latest()
+        assert loaded.iteration == 3
+        assert loaded.payload == payload(3)
+
+    def test_load_by_entry(self, manager):
+        manager.save(1, payload(1))
+        manager.save(2, payload(2))
+        entries = manager.entries()
+        assert [e.iteration for e in entries] == [1, 2]
+        assert manager.load(entries[0]) == payload(1)
+
+    def test_empty_directory(self, manager):
+        assert manager.load_latest() is None
+        assert manager.entries() == []
+
+    def test_same_iteration_overwrites(self, manager):
+        manager.save(1, payload(1))
+        manager.save(1, {"kind": "test", "value": 99})
+        assert manager.load_latest().payload["value"] == 99
+        assert len(manager.entries()) == 1
+
+    def test_missing_file_raises(self, manager):
+        with pytest.raises(CheckpointError, match="missing"):
+            manager.load("ckpt_00000042.json")
+
+    def test_keep_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointManager(tmp_path, keep=0)
+
+    def test_negative_iteration_rejected(self, manager):
+        with pytest.raises(ValueError):
+            manager.save(-1, payload(0))
+
+
+class TestRetention:
+    def test_pruned_to_keep(self, manager):
+        for i in range(1, 8):
+            manager.save(i, payload(i))
+        entries = manager.entries()
+        assert [e.iteration for e in entries] == [5, 6, 7]
+        names = set(os.listdir(manager.directory))
+        assert names == {MANIFEST_NAME} | {e.file for e in entries}
+
+
+class TestCorruptionRecovery:
+    def test_bitflip_newest_falls_back(self, manager):
+        manager.save(1, payload(1))
+        manager.save(2, payload(2))
+        flip_bit(os.path.join(manager.directory, "ckpt_00000002.json"))
+        loaded = manager.load_latest()
+        assert loaded.iteration == 1
+        assert loaded.payload == payload(1)
+        assert loaded.skipped == ["ckpt_00000002.json"]
+
+    def test_truncated_newest_falls_back(self, manager):
+        manager.save(1, payload(1))
+        manager.save(2, payload(2))
+        truncate_file(os.path.join(manager.directory, "ckpt_00000002.json"))
+        assert manager.load_latest().iteration == 1
+
+    def test_all_corrupt_returns_none(self, manager):
+        manager.save(1, payload(1))
+        flip_bit(os.path.join(manager.directory, "ckpt_00000001.json"))
+        assert manager.load_latest() is None
+
+    def test_corrupt_file_typed_error(self, manager):
+        manager.save(1, payload(1))
+        path = os.path.join(manager.directory, "ckpt_00000001.json")
+        flip_bit(path)
+        with pytest.raises(CorruptCheckpointError) as excinfo:
+            manager.load("ckpt_00000001.json")
+        assert excinfo.value.path == path
+
+    def test_manifest_deleted_rebuilt(self, manager):
+        manager.save(1, payload(1))
+        manager.save(2, payload(2))
+        os.unlink(os.path.join(manager.directory, MANIFEST_NAME))
+        assert [e.iteration for e in manager.entries()] == [1, 2]
+        assert manager.load_latest().iteration == 2
+
+    def test_manifest_corrupt_rebuilt(self, manager):
+        manager.save(1, payload(1))
+        with open(os.path.join(manager.directory, MANIFEST_NAME), "w") as fh:
+            fh.write("{ not json")
+        assert manager.load_latest().iteration == 1
+
+    def test_rebuild_skips_damaged_files(self, manager):
+        manager.save(1, payload(1))
+        manager.save(2, payload(2))
+        flip_bit(os.path.join(manager.directory, "ckpt_00000002.json"))
+        os.unlink(os.path.join(manager.directory, MANIFEST_NAME))
+        assert [e.iteration for e in manager.entries()] == [1]
+
+    def test_deleted_checkpoint_skipped(self, manager):
+        manager.save(1, payload(1))
+        manager.save(2, payload(2))
+        os.unlink(os.path.join(manager.directory, "ckpt_00000002.json"))
+        loaded = manager.load_latest()
+        assert loaded.iteration == 1
+
+    def test_header_is_json_line(self, manager):
+        # The self-verifying layout: header line then body.
+        manager.save(1, payload(1))
+        raw = open(
+            os.path.join(manager.directory, "ckpt_00000001.json"), "rb"
+        ).read()
+        header, body = raw.split(b"\n", 1)
+        doc = json.loads(header)
+        assert doc["bytes"] == len(body)
+
+
+class TestClear:
+    def test_clear_removes_everything(self, manager):
+        manager.save(1, payload(1))
+        manager.clear()
+        assert manager.load_latest() is None
+        assert os.listdir(manager.directory) == []

@@ -1,0 +1,151 @@
+"""Stream-file hardening and DynamicSummarizer checkpoint/restore."""
+
+import numpy as np
+import pytest
+
+from repro.core.reconstruct import verify_lossless
+from repro.errors import CheckpointError
+from repro.resilience import CheckpointManager
+from repro.streaming import (
+    STREAM_PAYLOAD_KIND,
+    DynamicSummarizer,
+    read_stream,
+    write_stream,
+)
+
+
+def sample_events(num_nodes=24, count=200, seed=7):
+    rng = np.random.default_rng(seed)
+    events = []
+    live = set()
+    for _ in range(count):
+        u, v = int(rng.integers(num_nodes)), int(rng.integers(num_nodes))
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key in live and rng.random() < 0.3:
+            events.append(("-", u, v))
+            live.discard(key)
+        else:
+            events.append(("+", u, v))
+            live.add(key)
+    return events
+
+
+class TestReadStreamValidation:
+    def write_lines(self, tmp_path, text):
+        path = tmp_path / "s.stream"
+        path.write_text(text)
+        return path
+
+    def test_roundtrip(self, tmp_path):
+        events = sample_events()
+        path = tmp_path / "s.stream"
+        write_stream(events, path)
+        assert list(read_stream(path)) == events
+
+    def test_blank_and_comment_lines_skipped(self, tmp_path):
+        path = self.write_lines(
+            tmp_path, "# header\n\n+ 0 1\n   \n- 0 1\n"
+        )
+        assert list(read_stream(path)) == [("+", 0, 1), ("-", 0, 1)]
+
+    def test_bad_op_reports_line(self, tmp_path):
+        path = self.write_lines(tmp_path, "+ 0 1\n* 2 3\n")
+        with pytest.raises(ValueError, match=r":2: expected"):
+            list(read_stream(path))
+
+    def test_wrong_field_count_reports_line(self, tmp_path):
+        path = self.write_lines(tmp_path, "+ 0 1\n+ 2\n")
+        with pytest.raises(ValueError, match=r":2: expected"):
+            list(read_stream(path))
+
+    def test_non_integer_reports_line(self, tmp_path):
+        path = self.write_lines(tmp_path, "+ 0 1\n+ a 3\n")
+        with pytest.raises(ValueError, match=r":2: non-integer"):
+            list(read_stream(path))
+
+    def test_negative_id_reports_line(self, tmp_path):
+        path = self.write_lines(tmp_path, "+ 0 1\n+ -2 3\n")
+        with pytest.raises(ValueError, match=r":2: negative"):
+            list(read_stream(path))
+
+    def test_write_stream_rejects_bad_op(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown stream op"):
+            write_stream([("x", 0, 1)], tmp_path / "bad.stream")
+
+    def test_failed_write_leaves_no_torn_file(self, tmp_path):
+        path = tmp_path / "s.stream"
+        write_stream([("+", 0, 1)], path)
+        with pytest.raises(ValueError):
+            write_stream([("+", 0, 1), ("x", 2, 3)], path)
+        # Previous complete recording survives the failed overwrite.
+        assert list(read_stream(path)) == [("+", 0, 1)]
+
+
+class TestDynamicStateDict:
+    def build(self, events):
+        ds = DynamicSummarizer(num_nodes=24, seed=5)
+        ds.apply(events)
+        return ds
+
+    def test_roundtrip_preserves_snapshot(self):
+        ds = self.build(sample_events())
+        restored = DynamicSummarizer.from_state(ds.state_dict())
+        assert restored.num_nodes == ds.num_nodes
+        assert restored.num_edges == ds.num_edges
+        assert restored.events_processed == ds.events_processed
+        a, b = ds.snapshot(), restored.snapshot()
+        assert a.partition.members_map() == b.partition.members_map()
+        assert a.superedges == b.superedges
+
+    def test_restored_counts_match_oracle(self):
+        ds = self.build(sample_events())
+        restored = DynamicSummarizer.from_state(ds.state_dict())
+        state = restored._state
+        for sid in state.partition.supernode_ids():
+            assert state.counts[sid] == state.recompute_counts(sid)
+
+    def test_continue_after_restore_stays_lossless(self):
+        events = sample_events(count=300)
+        prefix, suffix = events[:150], events[150:]
+        ds = self.build(prefix)
+        restored = DynamicSummarizer.from_state(ds.state_dict())
+        restored.apply(suffix)
+        summary = restored.snapshot()
+        verify_lossless(restored.current_graph(), summary)
+        assert restored.events_processed == len(prefix) + len(suffix)
+
+    def test_restore_determinism(self):
+        # Restoring the same checkpoint twice and replaying the same
+        # suffix gives identical results (resume is reproducible).
+        events = sample_events(count=300)
+        ds = self.build(events[:150])
+        payload = ds.state_dict()
+        results = []
+        for _ in range(2):
+            restored = DynamicSummarizer.from_state(payload)
+            restored.apply(events[150:])
+            results.append(restored.snapshot())
+        assert results[0].partition.members_map() == \
+            results[1].partition.members_map()
+        assert results[0].superedges == results[1].superedges
+
+    def test_payload_is_json_safe_via_checkpoint_manager(self, tmp_path):
+        ds = self.build(sample_events())
+        manager = CheckpointManager(tmp_path / "c")
+        manager.save(ds.events_processed, ds.state_dict())
+        loaded = manager.load_latest()
+        assert loaded.payload["kind"] == STREAM_PAYLOAD_KIND
+        restored = DynamicSummarizer.from_state(loaded.payload)
+        assert restored.num_edges == ds.num_edges
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(CheckpointError, match=STREAM_PAYLOAD_KIND):
+            DynamicSummarizer.from_state({"kind": "ldme-run"})
+
+    def test_malformed_payload_rejected(self):
+        payload = self.build(sample_events()[:20]).state_dict()
+        del payload["partition"]
+        with pytest.raises(CheckpointError, match="malformed"):
+            DynamicSummarizer.from_state(payload)

@@ -1,0 +1,288 @@
+"""Worker supervision: retries, timeouts, serial fallback, lossless output.
+
+Two layers: :class:`BatchSupervisor` unit tests against a fake in-process
+pool (fast, exhaustive), and end-to-end :class:`MultiprocessLDME` runs
+with injected crashes/hangs/exceptions that must still produce output
+identical to a fault-free run.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.core.ldme import LDME
+from repro.core.reconstruct import verify_lossless
+from repro.distributed.multiprocess import MultiprocessLDME, _fork_available
+from repro.graph.generators import web_host_graph
+from repro.resilience import FaultInjector, WorkerFault
+from repro.resilience.supervisor import (
+    BatchSupervisor,
+    SupervisionPolicy,
+    SupervisionReport,
+    WorkerPoolError,
+)
+
+needs_fork = pytest.mark.skipif(
+    not _fork_available(), reason="fork start method unavailable"
+)
+
+
+# ----------------------------------------------------------------------
+# fake-pool unit tests
+# ----------------------------------------------------------------------
+class _FakeHandle:
+    def __init__(self, fn, task):
+        self._fn = fn
+        self._task = task
+
+    def get(self, timeout=None):
+        return self._fn(self._task)
+
+
+class _FakePool:
+    """Runs tasks lazily in-process; records lifecycle calls."""
+
+    created = 0
+
+    def __init__(self):
+        _FakePool.created += 1
+        self.terminated = False
+
+    def apply_async(self, fn, args):
+        return _FakeHandle(fn, args[0])
+
+    def terminate(self):
+        self.terminated = True
+
+    def join(self):
+        pass
+
+
+def make_supervisor(worker_fn, policy=None, pool_factory=None):
+    return BatchSupervisor(
+        worker_fn=worker_fn,
+        task_builder=lambda descriptor, attempt: (descriptor, attempt),
+        serial_fn=lambda descriptor: f"serial:{descriptor}",
+        pool_factory=pool_factory or (lambda n: _FakePool()),
+        policy=policy or SupervisionPolicy(batch_timeout=5.0, max_retries=2),
+    )
+
+
+class TestBatchSupervisor:
+    def test_all_succeed(self):
+        sup = make_supervisor(lambda task: f"ok:{task[0]}")
+        results, report = sup.run(["a", "b", "c"])
+        assert results == ["ok:a", "ok:b", "ok:c"]
+        assert report == SupervisionReport()
+
+    def test_transient_failure_retried(self):
+        def flaky(task):
+            descriptor, attempt = task
+            if descriptor == "b" and attempt == 0:
+                raise RuntimeError("transient")
+            return f"ok:{descriptor}:{attempt}"
+
+        results, report = sup_run(flaky)
+        assert results == ["ok:a:0", "ok:b:1", "ok:c:0"]
+        assert report.worker_failures == 1
+        assert report.batch_retries == 1
+        assert report.serial_fallbacks == 0
+
+    def test_timeout_retried(self):
+        def hang_once(task):
+            descriptor, attempt = task
+            if descriptor == "a" and attempt == 0:
+                raise multiprocessing.TimeoutError()
+            return f"ok:{descriptor}:{attempt}"
+
+        results, report = sup_run(hang_once)
+        assert results[0] == "ok:a:1"
+        assert report.batch_timeouts == 1
+        assert report.batch_retries == 1
+
+    def test_persistent_failure_falls_back_serial(self):
+        def always_fails(task):
+            descriptor, _ = task
+            if descriptor == "b":
+                raise RuntimeError("poison")
+            return f"ok:{descriptor}"
+
+        results, report = sup_run(always_fails)
+        assert results == ["ok:a", "serial:b", "ok:c"]
+        assert report.worker_failures == 3      # attempts 0, 1, 2
+        assert report.serial_fallbacks == 1
+
+    def test_fallback_disabled_raises(self):
+        sup = make_supervisor(
+            lambda task: (_ for _ in ()).throw(RuntimeError("no")),
+            policy=SupervisionPolicy(
+                batch_timeout=5.0, max_retries=1, serial_fallback=False
+            ),
+        )
+        with pytest.raises(WorkerPoolError, match="failed after"):
+            sup.run(["a"])
+
+    def test_no_pool_degrades_to_serial(self):
+        sup = make_supervisor(
+            lambda task: "never", pool_factory=lambda n: None
+        )
+        results, report = sup.run(["a", "b"])
+        assert results == ["serial:a", "serial:b"]
+        assert report.serial_fallbacks == 2
+        assert report.batch_retries == 0
+
+    def test_pool_factory_oserror_degrades(self):
+        def broken_factory(n):
+            raise OSError("fork failed")
+
+        sup = make_supervisor(lambda task: "never",
+                              pool_factory=broken_factory)
+        results, report = sup.run(["a"])
+        assert results == ["serial:a"]
+        assert report.serial_fallbacks == 1
+
+    def test_empty_task_list(self):
+        sup = make_supervisor(lambda task: "x")
+        results, report = sup.run([])
+        assert results == []
+        assert report == SupervisionReport()
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            SupervisionPolicy(batch_timeout=0)
+        with pytest.raises(ValueError):
+            SupervisionPolicy(max_retries=-1)
+
+    def test_report_merges_into_stats(self):
+        from repro.core.summary import RunStats
+
+        stats = RunStats()
+        report = SupervisionReport(
+            worker_failures=2, batch_timeouts=1,
+            batch_retries=3, serial_fallbacks=1,
+        )
+        report.merge_into(stats)
+        report.merge_into(stats)
+        assert stats.worker_failures == 4
+        assert stats.batch_timeouts == 2
+        assert stats.batch_retries == 6
+        assert stats.serial_fallbacks == 2
+
+
+def sup_run(worker_fn):
+    return make_supervisor(worker_fn).run(["a", "b", "c"])
+
+
+# ----------------------------------------------------------------------
+# end-to-end: MultiprocessLDME under injected faults
+# ----------------------------------------------------------------------
+def small_graph():
+    return web_host_graph(num_hosts=4, host_size=8, seed=1)
+
+
+def mp_algo(fault_injector=None, batch_timeout=60.0, **kwargs):
+    kwargs.setdefault("k", 4)
+    kwargs.setdefault("iterations", 3)
+    kwargs.setdefault("seed", 3)
+    return MultiprocessLDME(
+        num_workers=2,
+        batch_timeout=batch_timeout,
+        fault_injector=fault_injector,
+        **kwargs,
+    )
+
+
+def assert_identical(a, b):
+    assert a.partition.members_map() == b.partition.members_map()
+    assert a.superedges == b.superedges
+    assert a.corrections.additions == b.corrections.additions
+    assert a.corrections.deletions == b.corrections.deletions
+
+
+@needs_fork
+class TestMultiprocessSupervision:
+    def test_clean_run_records_no_incidents(self):
+        graph = small_graph()
+        result = mp_algo().summarize(graph)
+        stats = result.stats
+        assert stats.worker_failures == 0
+        assert stats.batch_timeouts == 0
+        assert stats.batch_retries == 0
+        assert stats.serial_fallbacks == 0
+
+    def test_worker_crash_retried_lossless(self):
+        """A hard-killed worker (os._exit) surfaces as a timeout, the
+        batch retries on a fresh pool, and the output is identical."""
+        graph = small_graph()
+        baseline = mp_algo().summarize(graph)
+        injector = FaultInjector(
+            [WorkerFault(iteration=1, batch_index=0, kind="crash")]
+        )
+        result = mp_algo(
+            fault_injector=injector, batch_timeout=3.0
+        ).summarize(graph)
+        assert_identical(result, baseline)
+        verify_lossless(graph, result)
+        assert result.stats.batch_timeouts >= 1
+        assert result.stats.batch_retries >= 1
+        assert result.stats.serial_fallbacks == 0
+
+    def test_worker_exception_retried_lossless(self):
+        graph = small_graph()
+        baseline = mp_algo().summarize(graph)
+        injector = FaultInjector(
+            [WorkerFault(iteration=2, batch_index=1, kind="exception")]
+        )
+        result = mp_algo(fault_injector=injector).summarize(graph)
+        assert_identical(result, baseline)
+        assert result.stats.worker_failures == 1
+        assert result.stats.batch_retries == 1
+
+    def test_hung_worker_times_out_and_retries(self):
+        graph = small_graph()
+        baseline = mp_algo().summarize(graph)
+        injector = FaultInjector(
+            [WorkerFault(iteration=1, batch_index=0, kind="slow", delay=30.0)]
+        )
+        result = mp_algo(
+            fault_injector=injector, batch_timeout=1.0
+        ).summarize(graph)
+        assert_identical(result, baseline)
+        assert result.stats.batch_timeouts >= 1
+
+    def test_persistent_faults_fall_back_serial_lossless(self):
+        """A batch that fails on every attempt is planned serially in the
+        parent — graceful degradation with identical output."""
+        graph = small_graph()
+        baseline = mp_algo().summarize(graph)
+        injector = FaultInjector(
+            [
+                WorkerFault(1, 0, attempt=a, kind="exception")
+                for a in range(3)       # attempts 0..2 = initial + retries
+            ]
+        )
+        result = mp_algo(fault_injector=injector).summarize(graph)
+        assert_identical(result, baseline)
+        verify_lossless(graph, result)
+        assert result.stats.worker_failures == 3
+        assert result.stats.serial_fallbacks >= 1
+
+    def test_resumable_mp_run(self, tmp_path):
+        """Supervision composes with checkpoint/resume."""
+        from repro.resilience import run_resumable
+
+        class Interrupt(Exception):
+            pass
+
+        graph = small_graph()
+        baseline = mp_algo().summarize(graph)
+
+        def boom(state):
+            if state.iteration == 2:
+                raise Interrupt()
+
+        with pytest.raises(Interrupt):
+            run_resumable(mp_algo(), graph, tmp_path / "c",
+                          iteration_hook=boom)
+        resumed = run_resumable(mp_algo(), graph, tmp_path / "c")
+        assert_identical(resumed, baseline)

@@ -1,0 +1,161 @@
+"""SummaryClient retry/backoff against a misbehaving server.
+
+A tiny scripted TCP server drops connections at nasty moments — before
+responding, mid-frame, after a partial length prefix — and the client
+must transparently reconnect, retry with backoff, and still deliver the
+answer. Complements the integration tests in ``test_server.py``, which
+only exercise the happy transport path.
+"""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.serve.client import SummaryClient
+from repro.serve.protocol import encode_frame, recv_frame, send_frame
+
+
+class FlakyServer:
+    """Accepts connections and runs a per-connection behavior script.
+
+    ``script`` is a list of behavior names, one per accepted connection
+    (the last entry repeats forever):
+
+    * ``"drop_before_response"`` — read the request, close without replying.
+    * ``"drop_mid_frame"``      — reply with half a frame, then close.
+    * ``"drop_mid_prefix"``     — send 2 of the 4 length-prefix bytes.
+    * ``"serve"``               — answer requests properly until EOF.
+    """
+
+    def __init__(self, script):
+        self.script = script
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self._listener.settimeout(10.0)
+        self.port = self._listener.getsockname()[1]
+        self.connections = 0
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._stop = threading.Event()
+
+    def __enter__(self):
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc):
+        self._stop.set()
+        self._listener.close()
+        self._thread.join(timeout=5)
+
+    def _serve(self):
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except (OSError, socket.timeout):
+                return
+            behavior = self.script[min(self.connections,
+                                       len(self.script) - 1)]
+            self.connections += 1
+            try:
+                self._run_behavior(conn, behavior)
+            except OSError:
+                pass
+            finally:
+                conn.close()
+
+    def _run_behavior(self, conn, behavior):
+        conn.settimeout(10.0)
+        if behavior == "serve":
+            while True:
+                request = recv_frame(conn)
+                if request is None:
+                    return
+                send_frame(
+                    conn,
+                    {"id": request["id"], "ok": True, "result": "pong"},
+                )
+            return
+        request = recv_frame(conn)     # read the doomed request
+        if request is None:
+            return
+        if behavior == "drop_before_response":
+            return                     # close() in the caller = RST/EOF
+        response = encode_frame(
+            {"id": request["id"], "ok": True, "result": "pong"}
+        )
+        if behavior == "drop_mid_frame":
+            conn.sendall(response[: len(response) // 2])
+        elif behavior == "drop_mid_prefix":
+            conn.sendall(struct.pack(">I", 64)[:2])
+        else:  # pragma: no cover - script typo guard
+            raise AssertionError(f"unknown behavior {behavior!r}")
+
+
+def make_client(port, retries=3):
+    return SummaryClient(
+        "127.0.0.1", port, timeout=5.0, retries=retries, backoff=0.01
+    )
+
+
+class TestClientRetry:
+    def test_drop_before_response_then_recover(self):
+        with FlakyServer(["drop_before_response", "serve"]) as server:
+            client = make_client(server.port)
+            try:
+                assert client.ping() is True
+                assert client.retries_used >= 1
+            finally:
+                client.close()
+            assert server.connections >= 2
+
+    def test_drop_mid_frame_then_recover(self):
+        """Connection dies halfway through the response bytes."""
+        with FlakyServer(["drop_mid_frame", "serve"]) as server:
+            client = make_client(server.port)
+            try:
+                assert client.ping() is True
+                assert client.retries_used >= 1
+            finally:
+                client.close()
+
+    def test_drop_mid_prefix_then_recover(self):
+        with FlakyServer(["drop_mid_prefix", "serve"]) as server:
+            client = make_client(server.port)
+            try:
+                assert client.ping() is True
+            finally:
+                client.close()
+
+    def test_repeated_drops_exhaust_retries(self):
+        with FlakyServer(["drop_before_response"]) as server:
+            client = make_client(server.port, retries=2)
+            try:
+                with pytest.raises(ConnectionError, match="after 3 attempts"):
+                    client.ping()
+                assert client.retries_used == 2
+            finally:
+                client.close()
+
+    def test_two_consecutive_drops_then_recover(self):
+        with FlakyServer(
+            ["drop_before_response", "drop_mid_frame", "serve"]
+        ) as server:
+            client = make_client(server.port)
+            try:
+                assert client.ping() is True
+                assert client.retries_used >= 2
+            finally:
+                client.close()
+
+    def test_pipeline_retries_after_drop(self):
+        with FlakyServer(["drop_before_response", "serve"]) as server:
+            client = make_client(server.port)
+            try:
+                # neighbors_many uses the pipelined path; the fake server
+                # answers "pong" for any op, which is fine — we only care
+                # that the transport retry succeeds end-to-end.
+                results = client.neighbors_many([1, 2])
+                assert results == ["pong", "pong"]
+                assert client.retries_used >= 1
+            finally:
+                client.close()
