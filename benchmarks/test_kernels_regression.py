@@ -1,0 +1,192 @@
+"""Kernel benchmark-regression harness (see docs/performance.md).
+
+Times the three vectorized hot-path kernels against their pure-Python
+references on G(n, p) graphs of ~10^4, 10^5 and 10^6 edges:
+
+* ``w_build`` — group-local ``W`` construction (Algorithm 4's hashtable):
+  :class:`~repro.core.saving.GroupAdjacency` over fixed-size chunks of
+  supernodes. Chunks rather than a real LSH divide: G(n, p) graphs have no
+  cluster structure, so a divide yields almost no collision groups and the
+  phase would time an empty loop. Chunking touches every edge exactly once
+  per backend — the same total work a merge iteration's W builds do.
+* ``doph_bulk`` — bulk DOPH signatures for all supernodes (Algorithm 2),
+  the divide step's dominant cost.
+* ``encode`` — sort-based output encoding (Algorithm 5).
+
+Each phase runs ``REPEATS`` times per backend and the minimum wall time is
+kept (:meth:`PhaseTimer.best_seconds`). Results land in
+``BENCH_kernels.json`` at the repo root — the machine-readable perf
+trajectory future PRs regress against. The in-test gate is deliberately
+loose (numpy must simply not lose to python on the 10^5-edge graph) so CI
+stays robust to noisy shared runners; the committed JSON records the real
+speedups from a quiet machine.
+
+Run with ``-s`` to see the per-phase table::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_kernels_regression.py -s
+"""
+
+import platform
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.encode import encode_sorted
+from repro.core.partition import SupernodePartition
+from repro.core.saving import GroupAdjacency
+from repro.graph.generators import erdos_renyi
+from repro.lsh.doph import doph_signatures_bulk
+from repro.lsh.permutation import random_permutation
+from repro.metrics import PhaseTimer, write_bench
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+BACKENDS = ("python", "numpy")
+PHASES = ("w_build", "doph_bulk", "encode")
+REPEATS = 3
+K = 8
+SEED = 7
+GROUP_SIZE = 64
+SUPER_SIZE = 32
+
+#: The 10^4–10^6 edge ladder: label -> (num_nodes, target_edges).
+GRAPH_SIZES = {
+    "1e4": (2_000, 10_000),
+    "1e5": (6_000, 100_000),
+    "1e6": (20_000, 1_000_000),
+}
+
+
+def _make_graph(num_nodes: int, target_edges: int):
+    p = target_edges / (num_nodes * (num_nodes - 1) / 2)
+    return erdos_renyi(num_nodes, p, seed=SEED)
+
+
+def _coarse_partition(num_nodes: int) -> SupernodePartition:
+    """A merged partition (``SUPER_SIZE`` nodes per supernode), no LDME run.
+
+    Models the late-merge regime the W kernel is built for: supernodes with
+    many members whose neighbour lists collapse onto few neighbouring
+    supernodes, so ``W`` aggregation does real duplicate-counting work.
+    Deterministic and cheap to set up at the 10^6-edge scale.
+    """
+    partition = SupernodePartition(num_nodes)
+    for start in range(0, num_nodes, SUPER_SIZE):
+        sid = start
+        for v in range(start + 1, min(start + SUPER_SIZE, num_nodes)):
+            sid, _ = partition.merge(sid, v)
+    return partition
+
+
+def _paired_partition(num_nodes: int) -> SupernodePartition:
+    """Pair-sized supernodes — a typical *final* partition granularity."""
+    partition = SupernodePartition(num_nodes)
+    for base in range(0, num_nodes - 1, 2):
+        partition.merge(base, base + 1)
+    return partition
+
+
+def _time_phases(timer: PhaseTimer, label: str, graph) -> None:
+    """Record all phase x backend timings for one benchmark graph.
+
+    Each kernel is timed in the partition regime where it dominates a real
+    run: DOPH at the singleton partition (the first divide hashes one row
+    per node — the iteration's biggest signature job), ``W`` construction
+    at the coarse partition (the late-merge regime, where duplicate
+    aggregation is the work), and encode at a pair-granularity partition
+    (the typical final-summary shape on the bundled datasets).
+    """
+    n = graph.num_nodes
+    rng = np.random.default_rng(SEED)
+    perm = random_permutation(n, rng)
+    directions = rng.integers(0, 2, size=K).astype(np.int64)
+
+    # Singleton-partition supervector layout: row i = node i's neighbours.
+    heads = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.indptr))
+    sids, rows = np.unique(heads, return_inverse=True)
+
+    coarse = _coarse_partition(n)
+    ids = np.fromiter(coarse.supernode_ids(), dtype=np.int64)
+    ids.sort()
+    groups = [
+        ids[i:i + GROUP_SIZE].tolist()
+        for i in range(0, ids.size, GROUP_SIZE)
+    ]
+    paired = _paired_partition(n)
+
+    for _ in range(REPEATS):
+        for backend in BACKENDS:
+            with timer.phase("doph_bulk", graph=label, backend=backend):
+                doph_signatures_bulk(
+                    rows, graph.indices, int(sids.size), perm, K,
+                    directions, backend=backend,
+                )
+            with timer.phase("w_build", graph=label, backend=backend):
+                for group in groups:
+                    GroupAdjacency(graph, coarse, group, kernels=backend)
+            with timer.phase("encode", graph=label, backend=backend):
+                encode_sorted(graph, paired, backend=backend)
+
+
+def _speedups(timer: PhaseTimer):
+    """python_best / numpy_best per (graph, phase)."""
+    table = {}
+    for label in GRAPH_SIZES:
+        for name in PHASES:
+            py = timer.best_seconds(name, graph=label, backend="python")
+            np_ = timer.best_seconds(name, graph=label, backend="numpy")
+            if py is not None and np_ is not None and np_ > 0:
+                table[f"{label}/{name}"] = round(py / np_, 2)
+    return table
+
+
+def test_kernels_regression():
+    timer = PhaseTimer()
+    graph_meta = {}
+    for label, (num_nodes, target_edges) in GRAPH_SIZES.items():
+        graph = _make_graph(num_nodes, target_edges)
+        graph_meta[label] = {
+            "num_nodes": graph.num_nodes,
+            "num_edges": graph.num_edges,
+            "target_edges": target_edges,
+        }
+        _time_phases(timer, label, graph)
+
+    speedups = _speedups(timer)
+    write_bench(
+        str(BENCH_PATH),
+        timer,
+        meta={
+            "benchmark": "kernels",
+            "repeats": REPEATS,
+            "k": K,
+            "seed": SEED,
+            "graphs": graph_meta,
+            "speedups_python_over_numpy": speedups,
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+    )
+
+    print(f"\nkernel speedups (python_best / numpy_best), k={K}:")
+    print(f"{'graph':>6} {'phase':>10} {'python':>10} {'numpy':>10} "
+          f"{'speedup':>8}")
+    for label in GRAPH_SIZES:
+        for name in PHASES:
+            py = timer.best_seconds(name, graph=label, backend="python")
+            nx = timer.best_seconds(name, graph=label, backend="numpy")
+            print(f"{label:>6} {name:>10} {py:>10.4f} {nx:>10.4f} "
+                  f"{py / nx:>7.1f}x")
+
+    assert BENCH_PATH.exists()
+    # CI smoke gate: the vectorized backend must not lose to the reference
+    # on the 10^5-edge graph (the acceptance graph; see ISSUE/ROADMAP).
+    for name in ("w_build", "doph_bulk"):
+        py = timer.best_seconds(name, graph="1e5", backend="python")
+        nx = timer.best_seconds(name, graph="1e5", backend="numpy")
+        assert py is not None and nx is not None
+        assert nx <= py, (
+            f"numpy {name} slower than python on 1e5 graph: {nx:.4f}s "
+            f"vs {py:.4f}s"
+        )

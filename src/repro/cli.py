@@ -51,6 +51,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sum.add_argument("--epsilon", type=float, default=0.0,
                        help="lossy error bound (0 = lossless)")
     p_sum.add_argument("--seed", type=int, default=0)
+    p_sum.add_argument("--kernels", choices=("numpy", "python"),
+                       default="numpy",
+                       help="hot-path backend for LDME: vectorized numpy "
+                            "kernels (default) or the pure-Python reference "
+                            "(bit-identical output; see docs/performance.md)")
     p_sum.add_argument("--output", "-o", help="write the summary to this path")
     p_sum.add_argument("--resume-from", metavar="CKPT",
                        help="warm-start from a partition checkpoint")
@@ -202,6 +207,7 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
             iterations=args.iterations,
             epsilon=args.epsilon,
             seed=args.seed,
+            kernels=args.kernels,
         )
     else:
         algo = SWeG(

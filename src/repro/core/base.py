@@ -75,6 +75,7 @@ class BaseSummarizer(ABC):
         cost_model: str = "exact",
         early_stop_rounds: int = 0,
         track_compression: bool = False,
+        kernels: str = "numpy",
     ) -> None:
         if iterations < 1:
             raise ValueError("iterations must be >= 1")
@@ -84,11 +85,16 @@ class BaseSummarizer(ABC):
             raise ValueError("encoder must be 'sorted' or 'per-supernode'")
         if early_stop_rounds < 0:
             raise ValueError("early_stop_rounds must be non-negative")
+        if kernels not in ("python", "numpy"):
+            raise ValueError("kernels must be 'python' or 'numpy'")
         self.iterations = iterations
         self.epsilon = epsilon
         self.seed = seed
         self.encoder = encoder
         self.cost_model = cost_model
+        # Hot-path backend for W construction, bulk DOPH and the sorted
+        # encode; "python" keeps the differential-testing reference.
+        self.kernels = kernels
         # Extension beyond the paper: stop once this many consecutive
         # iterations produced zero merges (0 disables the check).
         self.early_stop_rounds = early_stop_rounds
@@ -229,7 +235,7 @@ class BaseSummarizer(ABC):
             if self.track_compression:
                 tic = time.perf_counter()
                 snapshot = (
-                    encode_sorted(graph, partition)
+                    encode_sorted(graph, partition, backend=self.kernels)
                     if self.encoder == "sorted"
                     else encode_per_supernode(graph, partition)
                 )
@@ -260,7 +266,7 @@ class BaseSummarizer(ABC):
                 break
         tic = time.perf_counter()
         if self.encoder == "sorted":
-            encoded = encode_sorted(graph, partition)
+            encoded = encode_sorted(graph, partition, backend=self.kernels)
         else:
             encoded = encode_per_supernode(graph, partition)
         stats.encode_seconds = time.perf_counter() - tic

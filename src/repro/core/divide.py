@@ -64,6 +64,7 @@ def lsh_divide(
     seed: SeedLike = None,
     weights: str = "binary",
     weight_cap: int = 4,
+    kernels: str = "numpy",
 ) -> Tuple[List[List[int]], DivideStats]:
     """Weighted-LSH divide (Algorithm 3), fully vectorized.
 
@@ -78,6 +79,11 @@ def lsh_divide(
     binarized supervector) or ``"expanded"`` (the Shrivastava 2016
     weight-expansion — true ``w(A, ·)`` weights up to ``weight_cap``; see
     :mod:`repro.lsh.weighted_doph`).
+
+    ``kernels`` picks the signature backend on the binary path:
+    ``"numpy"`` (the bulk scatter kernel) or ``"python"`` (the per-node
+    scalar reference loop). The groups are identical either way; the
+    expanded-weights path is always bulk.
     """
     if k < 1:
         raise ValueError("k must be >= 1")
@@ -92,7 +98,8 @@ def lsh_divide(
     if weights == "binary":
         perm = random_permutation(max(1, n), rng)
         signatures = doph_signatures_bulk(
-            rows, graph.indices, sids.size, perm, k, directions
+            rows, graph.indices, sids.size, perm, k, directions,
+            backend=kernels,
         )
     else:
         from ..lsh.weighted_doph import weighted_doph_signatures_bulk

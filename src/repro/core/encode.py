@@ -96,13 +96,24 @@ def _encode_pair(
                 deletions.append(key)
 
 
-def encode_sorted(graph: Graph, partition: SupernodePartition) -> EncodeResult:
+def encode_sorted(
+    graph: Graph, partition: SupernodePartition, backend: str = "python"
+) -> EncodeResult:
     """LDME's sort-based encoder (Algorithm 5).
 
     Builds the candidate-superedge key for every original edge with two
     vectorized gathers, lexsorts, and scans runs — no per-supernode
-    adjacency materialization.
+    adjacency materialization. ``backend="numpy"`` swaps in the
+    array-native kernel (:func:`repro.kernels.encode.encode_sorted_numpy`),
+    which produces element- and order-identical output without per-edge
+    Python tuples; ``"python"`` (default) runs the reference scan below.
     """
+    if backend == "numpy":
+        from ..kernels.encode import encode_sorted_numpy
+
+        return encode_sorted_numpy(graph, partition)
+    if backend != "python":
+        raise ValueError("backend must be 'python' or 'numpy'")
     superedges: List[Edge] = []
     additions: List[Edge] = []
     deletions: List[Edge] = []

@@ -51,6 +51,7 @@ class LDME(BaseSummarizer):
         early_stop_rounds: int = 0,
         divide_weights: str = "binary",
         track_compression: bool = False,
+        kernels: str = "numpy",
         config: Optional[LDMEConfig] = None,
     ) -> None:
         if config is not None:
@@ -60,6 +61,7 @@ class LDME(BaseSummarizer):
             seed = config.seed
             cost_model = config.cost_model
             encoder = config.encoder
+            kernels = config.kernels
         super().__init__(
             iterations=iterations,
             epsilon=epsilon,
@@ -68,6 +70,7 @@ class LDME(BaseSummarizer):
             cost_model=cost_model,
             early_stop_rounds=early_stop_rounds,
             track_compression=track_compression,
+            kernels=kernels,
         )
         if k < 1:
             raise ValueError("k must be >= 1")
@@ -89,7 +92,8 @@ class LDME(BaseSummarizer):
     ) -> Tuple[List[List[int]], DivideStats]:
         """Weighted-LSH divide with a fresh DOPH hasher per iteration."""
         return lsh_divide(
-            graph, partition, self.k, rng, weights=self.divide_weights
+            graph, partition, self.k, rng, weights=self.divide_weights,
+            kernels=self.kernels,
         )
 
     def merge_one_group(
@@ -112,7 +116,8 @@ class LDME(BaseSummarizer):
             else merge_group_superjaccard
         )
         return merge_fn(
-            graph, partition, group, threshold, rng, cost_model=self.cost_model
+            graph, partition, group, threshold, rng,
+            cost_model=self.cost_model, kernels=self.kernels,
         )
 
 

@@ -65,16 +65,22 @@ def merge_group_exact(
     threshold: float,
     seed: SeedLike = None,
     cost_model: str = "exact",
+    kernels: str = "python",
 ) -> MergeStats:
     """LDME merge loop: candidates scored by exact Saving via ``W``.
 
     Mutates ``partition`` in place and returns merge statistics.
+    ``kernels`` picks the ``W``-construction backend (see
+    :class:`~repro.core.saving.GroupAdjacency`); the merge decisions are
+    identical under either backend.
     """
     rng = _rng(seed)
     stats = MergeStats()
     if len(group) < 2:
         return stats
-    adjacency = GroupAdjacency(graph, partition, group, cost_model=cost_model)
+    adjacency = GroupAdjacency(
+        graph, partition, group, cost_model=cost_model, kernels=kernels
+    )
     temp = list(group)
     while temp:
         pick = int(rng.integers(len(temp)))
@@ -111,6 +117,7 @@ def merge_group_superjaccard(
     threshold: float,
     seed: SeedLike = None,
     cost_model: str = "exact",
+    kernels: str = "python",
 ) -> MergeStats:
     """SWeG merge loop: candidates ranked by SuperJaccard, Saving checked once.
 
@@ -122,7 +129,9 @@ def merge_group_superjaccard(
     stats = MergeStats()
     if len(group) < 2:
         return stats
-    adjacency = GroupAdjacency(graph, partition, group, cost_model=cost_model)
+    adjacency = GroupAdjacency(
+        graph, partition, group, cost_model=cost_model, kernels=kernels
+    )
     vectors: Dict[int, Dict[int, int]] = {
         sid: partition.supervector(graph, sid) for sid in group
     }

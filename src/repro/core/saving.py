@@ -38,6 +38,11 @@ class GroupAdjacency:
         entries, but second-level keys may reference any adjacent supernode.
     cost_model:
         ``"exact"`` or ``"paper"`` (see :mod:`repro.core.cost`).
+    kernels:
+        ``"python"`` builds ``W`` with the reference dict loop; ``"numpy"``
+        uses the vectorized kernel (:func:`repro.kernels.wtable.
+        build_group_w`). The tables are equal either way — the differential
+        suite under ``tests/kernels/`` machine-checks it.
     """
 
     def __init__(
@@ -46,17 +51,25 @@ class GroupAdjacency:
         partition: SupernodePartition,
         group_ids: Iterable[int],
         cost_model: str = "exact",
+        kernels: str = "python",
     ) -> None:
         self._partition = partition
         self._pair_cost, self._loop_cost = get_cost_model(cost_model)
         self._cost_cache: Dict[int, float] = {}
+        if kernels == "numpy":
+            from ..kernels.wtable import build_group_w
+
+            self.w = build_group_w(graph, partition, group_ids)
+            return
+        if kernels != "python":
+            raise ValueError("kernels must be 'python' or 'numpy'")
         self.w: Dict[int, Dict[int, int]] = {}
         node2super = partition.node2super
         for sid in group_ids:
             counts: Dict[int, int] = {}
             for v in partition.members(sid):
-                for u in graph.neighbors(v).tolist():
-                    c = int(node2super[u])
+                # One gather per member row; no per-neighbour id round-trips.
+                for c in node2super[graph.neighbors(v)].tolist():
                     counts[c] = counts.get(c, 0) + 1
             internal = counts.pop(sid, 0)
             if internal:

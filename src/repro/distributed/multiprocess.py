@@ -111,6 +111,7 @@ def plan_group_merges(
     threshold: float,
     seed: int,
     cost_model: str = "exact",
+    kernels: str = "python",
 ) -> Tuple[List[Tuple[int, int]], int]:
     """Plan the merges for one group against a partition snapshot.
 
@@ -128,6 +129,7 @@ def plan_group_merges(
         threshold,
         seed=np.random.default_rng(seed),
         cost_model=cost_model,
+        kernels=kernels,
     )
     return snapshot.merge_log, stats.candidates_scored
 
@@ -140,6 +142,7 @@ def _plan_batch(
     threshold: float,
     seed: int,
     cost_model: str,
+    kernels: str = "python",
 ) -> Tuple[List[Tuple[int, int]], int]:
     """Plan one batch of groups (seeded ``seed + offset`` per group)."""
     log: List[Tuple[int, int]] = []
@@ -147,7 +150,7 @@ def _plan_batch(
     for offset, group_members in enumerate(batch):
         merges, count = plan_group_merges(
             graph, node2super, sizes, group_members,
-            threshold, seed + offset, cost_model,
+            threshold, seed + offset, cost_model, kernels,
         )
         log.extend(merges)
         scored += count
@@ -160,13 +163,14 @@ def _worker(task) -> Tuple[List[Tuple[int, int]], int]:
     The fault hook fires before any planning so an injected crash models
     a worker dying mid-iteration with no partial results delivered.
     """
-    batch, threshold, seed, cost_model, iteration, batch_index, attempt = task
+    (batch, threshold, seed, cost_model, kernels,
+     iteration, batch_index, attempt) = task
     faults: Optional[FaultInjector] = _SHARED.get("faults")
     if faults is not None:
         faults.on_worker_batch(iteration, batch_index, attempt)
     return _plan_batch(
         _SHARED["graph"], _SHARED["node2super"], _SHARED["sizes"],
-        batch, threshold, seed, cost_model,
+        batch, threshold, seed, cost_model, kernels,
     )
 
 
@@ -256,7 +260,7 @@ class MultiprocessLDME(LDME):
         def build_task(descriptor, attempt):
             batch_index, batch, seed = descriptor
             return (
-                batch, threshold, seed, self.cost_model,
+                batch, threshold, seed, self.cost_model, self.kernels,
                 iteration, batch_index, attempt,
             )
 
@@ -266,7 +270,7 @@ class MultiprocessLDME(LDME):
             _, batch, seed = descriptor
             return _plan_batch(
                 graph, node2super, sizes, batch,
-                threshold, seed, self.cost_model,
+                threshold, seed, self.cost_model, self.kernels,
             )
 
         def make_pool(num_tasks):

@@ -1,0 +1,108 @@
+"""Vectorized group-local ``W`` construction (Algorithm 4's hashtable).
+
+The reference implementation (:class:`repro.core.saving.GroupAdjacency`
+with ``kernels="python"``) walks every member node's CSR row in Python and
+increments a dict per neighbouring supernode. This kernel does the same
+work in four array passes:
+
+1. gather all member rows out of the CSR in one shot (repeat/arange
+   slicing — no per-node ``tolist`` round-trips),
+2. map the gathered neighbour ids to supernode ids with one fancy-index,
+3. aggregate ``(group row, neighbour supernode)`` keys with ``np.unique``
+   (equivalent to a ``bincount`` over factorized keys),
+4. materialize the per-supernode dicts from the aggregated runs.
+
+Step 4 is the only Python loop left and it runs over *distinct* ``W``
+entries — supernode-level work, not edge-level work. The resulting tables
+are **equal as dicts** to the reference (the internal self-entry is halved
+and re-inserted exactly like the reference does), so the merge loop's
+post-merge fold update (:meth:`GroupAdjacency.apply_merge`) is shared
+unchanged between backends.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+__all__ = ["build_group_w", "gather_rows"]
+
+
+def gather_rows(
+    indptr: np.ndarray, indices: np.ndarray, nodes: np.ndarray
+) -> tuple:
+    """Concatenate CSR rows for ``nodes`` without a Python loop.
+
+    Returns ``(values, lengths)``: the concatenated neighbour ids of each
+    requested row (in row order) and each row's length.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    starts = indptr[nodes]
+    lengths = indptr[nodes + 1] - starts
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), lengths
+    # offsets[i] = position where row i starts in the output
+    offsets = np.concatenate([[0], np.cumsum(lengths)[:-1]])
+    gather = np.repeat(starts - offsets, lengths) + np.arange(
+        total, dtype=np.int64
+    )
+    return indices[gather], lengths
+
+
+def build_group_w(
+    graph,
+    partition,
+    group_ids: Iterable[int],
+) -> Dict[int, Dict[int, int]]:
+    """Build the ``W`` hashtable-of-hashtables for one merge group.
+
+    Bit-identical to the pure-Python construction in
+    :class:`repro.core.saving.GroupAdjacency`: ``W[A][C]`` counts original
+    edges between supernodes A and C, internal edges land under the self
+    key ``W[A][A]`` halved (each internal undirected edge is seen from both
+    endpoints). ``partition`` only needs ``members(sid)`` and
+    ``node2super`` — snapshot partitions used by the multiprocess planner
+    work too.
+    """
+    sids: List[int] = [int(s) for s in group_ids]
+    w: Dict[int, Dict[int, int]] = {}
+    if not sids:
+        return w
+    node2super = partition.node2super
+    members_per_sid = [
+        np.asarray(partition.members(sid), dtype=np.int64) for sid in sids
+    ]
+    member_counts = np.array([m.size for m in members_per_sid], dtype=np.int64)
+    all_members = (
+        np.concatenate(members_per_sid)
+        if member_counts.sum()
+        else np.empty(0, dtype=np.int64)
+    )
+    neighbours, row_lengths = gather_rows(
+        graph.indptr, graph.indices, all_members
+    )
+    # row index (position of the sid in the group) for every gathered entry
+    row_of_member = np.repeat(
+        np.arange(len(sids), dtype=np.int64), member_counts
+    )
+    rows = np.repeat(row_of_member, row_lengths)
+    cols = node2super[neighbours]
+    n = np.int64(max(1, int(node2super.size)))
+    keys, counts = np.unique(rows * n + cols, return_counts=True)
+    key_rows = keys // n
+    key_cols = keys % n
+    # np.unique returns keys sorted, so rows form sorted runs: slice per sid.
+    bounds = np.searchsorted(key_rows, np.arange(len(sids) + 1))
+    for i, sid in enumerate(sids):
+        lo, hi = int(bounds[i]), int(bounds[i + 1])
+        table = dict(
+            zip(key_cols[lo:hi].tolist(), counts[lo:hi].tolist())
+        )
+        internal = table.pop(sid, 0)
+        if internal:
+            # Each internal undirected edge was seen from both endpoints.
+            table[sid] = internal // 2
+        w[sid] = table
+    return w

@@ -108,6 +108,9 @@ def doph_signature(
     if densification == "optimal":
         # Universal-hash probing: each empty bin walks a pseudo-random
         # (but input-independent) probe sequence until a populated bin.
+        # After k hashed probes the walk degrades to a linear scan from the
+        # hashed start, which bounds termination at 2k attempts even when
+        # the hash step shares a factor with k (69_069 ≡ 0 mod 3).
         seed_base = int.from_bytes(
             directions.astype(np.uint8).tobytes()[:8].ljust(8, b"\0"),
             "little",
@@ -115,13 +118,25 @@ def doph_signature(
         for i in np.flatnonzero(~populated):
             attempt = 0
             while True:
-                probe = (1_000_003 * (i + 1) + 69_069 * attempt + seed_base) % k
+                probe = _optimal_probe(int(i), attempt, seed_base, k)
                 if populated[probe]:
                     sig[i] = sig[probe]
                     break
                 attempt += 1
         return sig
     raise ValueError("densification must be 'rotation' or 'optimal'")
+
+
+def _optimal_probe(i: int, attempt: int, seed_base: int, k: int) -> int:
+    """Probe target for empty bin ``i`` at the given attempt number.
+
+    Shared with the vectorized kernel
+    (:func:`repro.kernels.doph.doph_signatures_bulk_numpy`) so both paths
+    walk bit-identical probe sequences.
+    """
+    if attempt < k:
+        return (1_000_003 * (i + 1) + 69_069 * attempt + seed_base) % k
+    return (1_000_003 * (i + 1) + seed_base + attempt) % k
 
 
 def doph_signatures_bulk(
@@ -131,55 +146,38 @@ def doph_signatures_bulk(
     perm: np.ndarray,
     k: int,
     directions: np.ndarray,
+    densification: str = "rotation",
+    backend: str = "numpy",
 ) -> np.ndarray:
-    """DOPH signatures for many binary vectors at once (vectorized).
+    """DOPH signatures for many binary vectors at once.
 
     ``(row_ids[i], item_ids[i])`` pairs list the 1-bits of ``num_rows``
     binary vectors (duplicates are harmless — the signature is a minimum).
     Returns an ``(num_rows, k)`` int64 matrix whose rows equal
     :func:`doph_signature` of the corresponding vector; all-zero rows are
-    all ``EMPTY``. This is the production path of LDME's divide step: one
-    ``minimum.at`` scatter plus vectorized densification, no per-supernode
-    Python work.
+    all ``EMPTY``.
+
+    ``backend="numpy"`` (the production path of LDME's divide step) runs
+    one ``minimum.at`` scatter plus vectorized densification with no
+    per-supernode Python work; ``backend="python"`` loops the scalar
+    signature per row and is kept as the differential-testing reference.
+    Both live in :mod:`repro.kernels.doph` and are bit-identical.
     """
-    n = perm.shape[0]
-    if k < 1:
-        raise ValueError("k must be >= 1")
-    if directions.shape != (k,):
-        raise ValueError("directions must have length k")
-    row_ids = np.asarray(row_ids, dtype=np.int64)
-    item_ids = np.asarray(item_ids, dtype=np.int64)
-    if row_ids.shape != item_ids.shape:
-        raise ValueError("row_ids and item_ids must have equal length")
-    bin_size = -(-n // k)
-    sentinel = np.iinfo(np.int64).max
-    filled = np.full((num_rows, k), sentinel, dtype=np.int64)
-    if item_ids.size:
-        permuted = perm[item_ids]
-        bins = permuted // bin_size
-        offsets = permuted % bin_size
-        np.minimum.at(filled, (row_ids, bins), offsets)
-    populated = filled != sentinel
-    sig = np.where(populated, filled, np.int64(EMPTY))
-    needs_fill = ~populated.all(axis=1) & populated.any(axis=1)
-    if np.any(needs_fill):
-        sub_pop = populated[needs_fill]
-        cols = np.arange(k, dtype=np.int64)
-        # Nearest populated column <= j (or -1), then wrap to the row's last.
-        left = np.maximum.accumulate(np.where(sub_pop, cols, -1), axis=1)
-        last_pop = (k - 1) - np.argmax(sub_pop[:, ::-1], axis=1)
-        left = np.where(left < 0, last_pop[:, None], left)
-        # Nearest populated column >= j (or k), then wrap to the row's first.
-        right_rev = np.maximum.accumulate(
-            np.where(sub_pop[:, ::-1], cols, -1), axis=1
-        )[:, ::-1]
-        right = np.where(right_rev < 0, -1, (k - 1) - right_rev)
-        first_pop = np.argmax(sub_pop, axis=1)
-        right = np.where(right < 0, first_pop[:, None], right)
-        source = np.where(directions[None, :] == 1, right, left)
-        sub_sig = sig[needs_fill]
-        sig[needs_fill] = np.take_along_axis(sub_sig, source, axis=1)
-    return sig
+    from ..kernels.doph import (
+        doph_signatures_bulk_numpy,
+        doph_signatures_bulk_python,
+    )
+
+    if backend == "numpy":
+        impl = doph_signatures_bulk_numpy
+    elif backend == "python":
+        impl = doph_signatures_bulk_python
+    else:
+        raise ValueError("backend must be 'python' or 'numpy'")
+    return impl(
+        row_ids, item_ids, num_rows, perm, k, directions,
+        densification=densification,
+    )
 
 
 class DOPHHasher:

@@ -1,4 +1,4 @@
-"""Output-size metrics beyond the paper's edge-count objective.
+"""Output-size metrics and the kernel phase-timer hook.
 
 The paper's objective (Eq. 1) counts superedges + correction edges. For a
 storage-oriented view this module adds a bit-level size model: node and
@@ -6,13 +6,22 @@ supernode ids cost ``ceil(log2 n)`` bits, and edge lists can alternatively
 be priced with delta-varint coding (the standard trick in graph storage
 systems like WebGraph). These metrics power the ``ldme compare`` command
 and the size-accounting tests; they do not affect the algorithms.
+
+This module also owns :class:`PhaseTimer`, the wall-clock recorder behind
+``BENCH_kernels.json`` (see ``benchmarks/test_kernels_regression.py`` and
+``docs/performance.md``): every timed phase lands as one labelled record,
+and :func:`write_bench` emits the machine-readable perf trajectory that
+future PRs regress against.
 """
 
 from __future__ import annotations
 
+import json
 import math
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterable, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from .core.summary import Summarization
 from .graph.graph import Graph
@@ -24,9 +33,74 @@ __all__ = [
     "size_report",
     "varint_bits",
     "delta_encoded_bits",
+    "PhaseTimer",
+    "write_bench",
 ]
 
 Edge = Tuple[int, int]
+
+
+class PhaseTimer:
+    """Accumulates labelled wall-clock phase timings for benchmark output.
+
+    Usage::
+
+        timer = PhaseTimer()
+        with timer.phase("w_build", graph="1e5", backend="numpy"):
+            GroupAdjacency(graph, partition, group, kernels="numpy")
+        timer.records  # [{"phase": "w_build", "seconds": ..., ...}]
+
+    Records are plain dicts so they serialize straight into
+    ``BENCH_kernels.json`` via :func:`write_bench`. ``best_seconds`` picks
+    the fastest repeat of a labelled phase — benchmark files time each
+    kernel several times and report the minimum, the usual defence against
+    scheduler noise.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, object]] = []
+
+    @contextmanager
+    def phase(self, name: str, **labels: object):
+        """Time one ``with`` block and append a record for it."""
+        tic = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.records.append(
+                {"phase": name, "seconds": time.perf_counter() - tic, **labels}
+            )
+
+    def add(self, name: str, seconds: float, **labels: object) -> None:
+        """Append an externally measured timing (e.g. from ``RunStats``)."""
+        self.records.append({"phase": name, "seconds": seconds, **labels})
+
+    def best_seconds(self, name: str, **labels: object) -> Optional[float]:
+        """Fastest recorded time for a phase matching all given labels."""
+        times = [
+            float(r["seconds"])
+            for r in self.records
+            if r["phase"] == name
+            and all(r.get(key) == val for key, val in labels.items())
+        ]
+        return min(times) if times else None
+
+
+def write_bench(
+    path: str,
+    timer: PhaseTimer,
+    meta: Optional[Dict[str, object]] = None,
+) -> None:
+    """Write a ``BENCH_*.json`` file from a timer's records.
+
+    The layout is intentionally flat — ``{"meta": ..., "records": [...]}``
+    — so downstream regression checks can filter on any label without
+    schema knowledge. See docs/performance.md for how to read the file.
+    """
+    payload = {"meta": meta or {}, "records": timer.records}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 def varint_bits(value: int) -> int:

@@ -1,0 +1,87 @@
+"""Golden end-to-end fixtures guarding determinism across the kernels knob.
+
+Summary shapes for fixed seeds on the bundled Table 1 surrogates, pinned
+once and asserted under **both** kernel backends and under
+``MultiprocessLDME``. A change to any hot-path kernel that shifts a single
+merge decision, superedge or correction edge fails here.
+
+The serial and multiprocess pins differ (the multiprocess planner works
+against an iteration-start snapshot — the paper's Spark staleness
+semantics), but each must be identical across ``kernels="python"`` and
+``kernels="numpy"`` and stable across runs.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.core.ldme import LDME
+from repro.core.reconstruct import verify_lossless
+from repro.distributed.multiprocess import MultiprocessLDME
+from repro.graph import datasets
+
+BACKENDS = ("python", "numpy")
+
+#: (dataset, k, iterations, seed) → pinned
+#: (objective, supernodes, superedges, additions, deletions)
+SERIAL_GOLDEN = {
+    ("CN", 5, 5, 7): (4449, 791, 3245, 1048, 258),
+    ("IN", 20, 4, 3): (12572, 1894, 12551, 21, 0),
+}
+
+MULTIPROCESS_GOLDEN = {
+    ("CN", 5, 5, 7): (4292, 771, 3000, 1050, 330),
+    ("IN", 20, 4, 3): (12572, 1895, 12555, 17, 0),
+}
+
+fork_available = "fork" in multiprocessing.get_all_start_methods()
+
+
+def _shape(summary):
+    return (
+        summary.objective,
+        summary.num_supernodes,
+        len(summary.superedges),
+        len(summary.corrections.additions),
+        len(summary.corrections.deletions),
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("case", sorted(SERIAL_GOLDEN))
+def test_serial_golden(dataset_cache, case, backend):
+    name, k, iterations, seed = case
+    graph = dataset_cache(name)
+    summary = LDME(
+        k=k, iterations=iterations, seed=seed, kernels=backend
+    ).summarize(graph)
+    assert _shape(summary) == SERIAL_GOLDEN[case]
+    verify_lossless(graph, summary)
+
+
+@pytest.mark.skipif(not fork_available, reason="fork start method required")
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("case", sorted(MULTIPROCESS_GOLDEN))
+def test_multiprocess_golden(dataset_cache, case, backend):
+    name, k, iterations, seed = case
+    graph = dataset_cache(name)
+    summary = MultiprocessLDME(
+        num_workers=2, k=k, iterations=iterations, seed=seed, kernels=backend
+    ).summarize(graph)
+    assert _shape(summary) == MULTIPROCESS_GOLDEN[case]
+    verify_lossless(graph, summary)
+
+
+@pytest.mark.parametrize("case", sorted(SERIAL_GOLDEN))
+def test_backends_bit_identical_end_to_end(dataset_cache, case):
+    """Beyond the pinned shape: the full outputs must match element-wise."""
+    name, k, iterations, seed = case
+    graph = dataset_cache(name)
+    ref = LDME(k=k, iterations=iterations, seed=seed,
+               kernels="python").summarize(graph)
+    ker = LDME(k=k, iterations=iterations, seed=seed,
+               kernels="numpy").summarize(graph)
+    assert ref.superedges == ker.superedges
+    assert ref.corrections.additions == ker.corrections.additions
+    assert ref.corrections.deletions == ker.corrections.deletions
+    assert ref.partition.members_map() == ker.partition.members_map()
