@@ -1,0 +1,165 @@
+"""Observability overhead gate (see docs/observability.md).
+
+The tracer/metrics/profiler hooks are compiled into the pipeline
+unconditionally and turned on by installing an active instance; the
+promise is that the *disabled* path is free. This harness measures
+``LDME.summarize`` three ways:
+
+* ``baseline`` — the obs seam functions monkeypatched to bare
+  passthroughs, i.e. the cheapest conceivable instrumentation. The
+  call sites (argument packing included) cannot be removed without
+  shipping a second copy of the pipeline, so this is the honest floor.
+* ``disabled`` — the shipped default: no tracer/registry/profiler
+  installed, every hook short-circuits on an ``is None`` test.
+* ``enabled`` — tracer + metrics registry + kernel profiler all live
+  (informational; not gated).
+
+Rounds are interleaved (baseline, disabled, enabled, repeat) so clock
+drift hits all variants equally, and the minimum over ``REPEATS`` rounds
+is compared: *disabled must be within 5% of baseline*. A per-call
+microbenchmark of the disabled span hook is recorded alongside. Results
+land in ``BENCH_obs.json`` at the repo root.
+
+Run with ``-s`` to see the table::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_obs_overhead.py -s
+"""
+
+import platform
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.ldme import LDME
+from repro.graph.generators import web_host_graph
+from repro.metrics import PhaseTimer, write_bench
+from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import KernelProfiler
+from repro.obs.trace import Tracer
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+REPEATS = 5
+SEED = 11
+ITERATIONS = 5
+#: Disabled-mode wall time must stay within 5% of the passthrough floor.
+OVERHEAD_BUDGET = 1.05
+
+
+def _graph():
+    return web_host_graph(num_hosts=40, host_size=32, seed=1)
+
+
+def _summarize(graph):
+    return LDME(k=4, iterations=ITERATIONS, seed=SEED).summarize(graph)
+
+
+@contextmanager
+def passthrough_seams():
+    """Monkeypatch the obs seams to the cheapest possible stubs."""
+    noop_span = obs_trace._NOOP_SPAN
+
+    def stub_span(*args, **kwargs):
+        return noop_span
+
+    def stub_none(*args, **kwargs):
+        return None
+
+    saved = (
+        obs_trace.span, obs_metrics.inc, obs_metrics.observe,
+        obs_metrics.set_gauge,
+    )
+    obs_trace.span = stub_span
+    obs_metrics.inc = stub_none
+    obs_metrics.observe = stub_none
+    obs_metrics.set_gauge = stub_none
+    try:
+        yield
+    finally:
+        (obs_trace.span, obs_metrics.inc, obs_metrics.observe,
+         obs_metrics.set_gauge) = saved
+
+
+def _time_once(graph):
+    tic = time.perf_counter()
+    _summarize(graph)
+    return time.perf_counter() - tic
+
+
+def _span_hook_nanos(calls: int = 100_000) -> float:
+    """Per-call cost of a disabled ``obs_trace.span`` invocation."""
+    assert obs_trace.active() is None
+    tic = time.perf_counter()
+    for _ in range(calls):
+        with obs_trace.span("bench", key=0, n=1):
+            pass
+    return (time.perf_counter() - tic) / calls * 1e9
+
+
+@pytest.mark.slow
+def test_disabled_tracing_overhead(capsys):
+    graph = _graph()
+    timer = PhaseTimer()
+    _summarize(graph)        # warm caches/JIT-ish paths before timing
+
+    span_count = 0
+    for _ in range(REPEATS):
+        with passthrough_seams():
+            with timer.phase("summarize", mode="baseline"):
+                _summarize(graph)
+        with timer.phase("summarize", mode="disabled"):
+            _summarize(graph)
+        tracer = Tracer(seed=SEED)
+        with obs_trace.use(tracer), \
+                obs_metrics.use(MetricsRegistry()), \
+                obs_profile.use(KernelProfiler()):
+            with timer.phase("summarize", mode="enabled"):
+                _summarize(graph)
+        span_count = len(tracer.spans)
+
+    baseline = timer.best_seconds("summarize", mode="baseline")
+    disabled = timer.best_seconds("summarize", mode="disabled")
+    enabled = timer.best_seconds("summarize", mode="enabled")
+    ratio = disabled / baseline
+    hook_ns = _span_hook_nanos()
+
+    meta = {
+        "benchmark": "obs_overhead",
+        "graph": {
+            "num_nodes": graph.num_nodes,
+            "num_edges": graph.num_edges,
+        },
+        "iterations": ITERATIONS,
+        "repeats": REPEATS,
+        "seed": SEED,
+        "overhead_budget": OVERHEAD_BUDGET,
+        "disabled_over_baseline": round(ratio, 4),
+        "enabled_over_baseline": round(enabled / baseline, 4),
+        "spans_per_traced_run": span_count,
+        "disabled_span_hook_ns": round(hook_ns, 1),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+    write_bench(str(BENCH_PATH), timer, meta=meta)
+
+    with capsys.disabled():
+        print()
+        print(f"{'mode':<10}  {'best_s':>10}  {'vs baseline':>11}")
+        for mode, best in (("baseline", baseline),
+                           ("disabled", disabled),
+                           ("enabled", enabled)):
+            print(f"{mode:<10}  {best:>10.4f}  {best / baseline:>10.3f}x")
+        print(f"disabled span hook: {hook_ns:.0f} ns/call, "
+              f"{span_count} spans per traced run")
+
+    assert ratio <= OVERHEAD_BUDGET, (
+        f"disabled-mode summarize is {ratio:.3f}x the passthrough "
+        f"baseline (budget {OVERHEAD_BUDGET}x); the 'free when off' "
+        "contract is broken"
+    )

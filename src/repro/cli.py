@@ -69,6 +69,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sum.add_argument("--checkpoint-every", type=int, default=1,
                        metavar="N",
                        help="iterations between checkpoints (default 1)")
+    p_sum.add_argument("--trace", metavar="PATH",
+                       help="record a span trace of the run and export it "
+                            "as JSONL to PATH")
+    p_sum.add_argument("--profile", action="store_true",
+                       help="print per-kernel self-time attribution after "
+                            "the run (numpy kernels)")
     p_sum.add_argument("--no-resume", action="store_true",
                        help="ignore existing checkpoints in "
                             "--checkpoint-dir and start fresh")
@@ -153,6 +159,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--request-timeout", type=float, default=5.0)
     p_srv.add_argument("--log-interval", type=float, default=30.0,
                        help="metrics heartbeat period (0 disables)")
+    p_srv.add_argument("--metrics-port", type=int, default=None,
+                       help="also serve Prometheus text metrics over HTTP "
+                            "on this port (GET /metrics; 0 = ephemeral)")
+    p_srv.add_argument("--trace", metavar="PATH",
+                       help="record batch-execution spans and export them "
+                            "as JSONL to PATH on shutdown")
+    p_srv.add_argument("--profile", action="store_true",
+                       help="sample the event-loop thread and print a "
+                            "profile on shutdown")
     p_srv.add_argument("--allow-reload", action="store_true",
                        help="permit clients to hot-swap via 'reload'")
 
@@ -187,6 +202,12 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="N",
                         help="with --chaos: drop the connection every Nth "
                              "query per worker (0 disables)")
+    p_load.add_argument("--trace", metavar="PATH",
+                        help="record load-run spans and export them as "
+                             "JSONL to PATH")
+    p_load.add_argument("--profile", action="store_true",
+                        help="sample all threads during the run and print "
+                             "a profile")
     p_load.add_argument("--chaos-junk-every", type=int, default=50,
                         metavar="N",
                         help="with --chaos: send a garbage frame every Nth "
@@ -213,30 +234,47 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
         algo = SWeG(
             iterations=args.iterations, epsilon=args.epsilon, seed=args.seed
         )
-    if args.checkpoint_dir:
-        if args.resume_from:
-            print(
-                "error: --resume-from (partition warm-start) and "
-                "--checkpoint-dir (crash-safe resume) are mutually "
-                "exclusive", file=sys.stderr,
+    import contextlib
+
+    from .obs import profile as obs_profile
+    from .obs import trace as obs_trace
+
+    tracer = obs_trace.Tracer(seed=args.seed) if args.trace else None
+    profiler = obs_profile.KernelProfiler() if args.profile else None
+    with contextlib.ExitStack() as stack:
+        if tracer is not None:
+            stack.enter_context(obs_trace.use(tracer))
+        if profiler is not None:
+            stack.enter_context(obs_profile.use(profiler))
+        if args.checkpoint_dir:
+            if args.resume_from:
+                print(
+                    "error: --resume-from (partition warm-start) and "
+                    "--checkpoint-dir (crash-safe resume) are mutually "
+                    "exclusive", file=sys.stderr,
+                )
+                return 2
+            from .resilience import run_resumable
+
+            summary = run_resumable(
+                algo,
+                graph,
+                args.checkpoint_dir,
+                checkpoint_every=args.checkpoint_every,
+                resume=not args.no_resume,
             )
-            return 2
-        from .resilience import run_resumable
+        else:
+            initial = None
+            if args.resume_from:
+                from .graph.io import read_partition
 
-        summary = run_resumable(
-            algo,
-            graph,
-            args.checkpoint_dir,
-            checkpoint_every=args.checkpoint_every,
-            resume=not args.no_resume,
-        )
-    else:
-        initial = None
-        if args.resume_from:
-            from .graph.io import read_partition
-
-            initial = read_partition(args.resume_from)
-        summary = algo.summarize(graph, initial_partition=initial)
+                initial = read_partition(args.resume_from)
+            summary = algo.summarize(graph, initial_partition=initial)
+    if tracer is not None:
+        written = tracer.export_jsonl(args.trace)
+        print(f"trace: {written} spans written to {args.trace}")
+    if profiler is not None:
+        print(profiler.format_table())
     print(format_table([summary.describe()]))
     if args.output:
         write_summary(summary, args.output)
@@ -404,9 +442,12 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import contextlib
     import logging
     import signal
 
+    from .obs import profile as obs_profile
+    from .obs import trace as obs_trace
     from .serve import ServerConfig, SummaryServer
 
     logging.basicConfig(
@@ -423,8 +464,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         request_timeout=args.request_timeout,
         log_interval=args.log_interval,
         allow_reload=args.allow_reload,
+        metrics_port=args.metrics_port,
     )
     server = SummaryServer(summary, config)
+    tracer = obs_trace.Tracer() if args.trace else None
 
     async def _run() -> None:
         await server.start()
@@ -432,6 +475,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"serving {args.summary} ({summary.num_nodes} nodes) "
             f"on {config.host}:{server.port} — ctrl-c to drain and stop"
         )
+        if args.metrics_port is not None:
+            print(
+                "metrics on http://"
+                f"{config.host}:{server.metrics_http_port}/metrics"
+            )
         loop = asyncio.get_running_loop()
         stop_requested = asyncio.Event()
         for sig in (signal.SIGINT, signal.SIGTERM):
@@ -443,7 +491,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("draining in-flight requests...")
         await server.stop()
 
-    asyncio.run(_run())
+    profiler = (
+        obs_profile.SamplingProfiler() if args.profile else None
+    )
+    with contextlib.ExitStack() as stack:
+        if tracer is not None:
+            stack.enter_context(obs_trace.use(tracer))
+        if profiler is not None:
+            # asyncio.run drives the loop on this thread, so sampling
+            # the calling thread profiles the event loop.
+            stack.enter_context(profiler)
+        asyncio.run(_run())
+    if tracer is not None:
+        written = tracer.export_jsonl(args.trace)
+        print(f"trace: {written} spans written to {args.trace}")
+    if profiler is not None:
+        print(profiler.format_table())
     return 0
 
 
@@ -483,6 +546,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import contextlib
+
+    from .obs import profile as obs_profile
+    from .obs import trace as obs_trace
     from .serve import ChaosConfig, run_load
 
     chaos = None
@@ -491,16 +558,31 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             drop_every=args.chaos_drop_every,
             junk_every=args.chaos_junk_every,
         )
-    report = run_load(
-        args.host,
-        args.port,
-        num_queries=args.queries,
-        concurrency=args.concurrency,
-        seed=args.seed,
-        skew=args.skew,
-        client_timeout=args.timeout,
-        chaos=chaos,
+    tracer = obs_trace.Tracer(seed=args.seed) if args.trace else None
+    profiler = (
+        obs_profile.SamplingProfiler(all_threads=True)
+        if args.profile else None
     )
+    with contextlib.ExitStack() as stack:
+        if tracer is not None:
+            stack.enter_context(obs_trace.use(tracer))
+        if profiler is not None:
+            stack.enter_context(profiler)
+        report = run_load(
+            args.host,
+            args.port,
+            num_queries=args.queries,
+            concurrency=args.concurrency,
+            seed=args.seed,
+            skew=args.skew,
+            client_timeout=args.timeout,
+            chaos=chaos,
+        )
+    if tracer is not None:
+        written = tracer.export_jsonl(args.trace)
+        print(f"trace: {written} spans written to {args.trace}")
+    if profiler is not None:
+        print(profiler.format_table())
     print(report.format())
     return 1 if report.errors else 0
 

@@ -18,6 +18,8 @@ from typing import Callable, List, Optional, Tuple
 import numpy as np
 
 from ..graph.graph import Graph
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .divide import DivideStats
 from .drop import drop_edges
 from .encode import encode_per_supernode, encode_sorted
@@ -146,9 +148,19 @@ class BaseSummarizer(ABC):
         ``run_stats``.
         """
         merge_stats = MergeStats()
-        for group in groups:
-            merge_stats += self.merge_one_group(
-                graph, partition, group, threshold, rng
+        # One batch span for the whole serial pass keeps the span tree
+        # shape-compatible with the multiprocess driver (which emits one
+        # group_batch per worker batch).
+        with obs_trace.span(
+            "group_batch", key=0, groups=len(groups)
+        ) as batch_span:
+            for group in groups:
+                merge_stats += self.merge_one_group(
+                    graph, partition, group, threshold, rng
+                )
+            batch_span.set_attribute("merges", merge_stats.merges)
+            batch_span.set_attribute(
+                "candidates_scored", merge_stats.candidates_scored
             )
         return merge_stats
 
@@ -209,79 +221,178 @@ class BaseSummarizer(ABC):
                     "initial_partition covers a different node universe"
                 )
             partition = initial_partition.copy()
-        for t in range(start_iteration, self.iterations + 1):
-            tic = time.perf_counter()
-            groups, divide_stats = self.divide(graph, partition, rng)
-            divide_seconds = time.perf_counter() - tic
-
-            tic = time.perf_counter()
-            threshold = merge_threshold(t)
-            merge_stats = self._merge_phase(
-                graph, partition, groups, threshold, rng, t, stats
-            )
-            merge_seconds = time.perf_counter() - tic
-
-            stats.divide_seconds += divide_seconds
-            stats.merge_seconds += merge_seconds
-            record = IterationStats(
-                iteration=t,
-                divide_seconds=divide_seconds,
-                merge_seconds=merge_seconds,
-                num_groups=divide_stats.num_groups,
-                max_group_size=divide_stats.max_group_size,
-                num_supernodes=partition.num_supernodes,
-                merges=merge_stats.merges,
-            )
-            if self.track_compression:
-                tic = time.perf_counter()
-                snapshot = (
-                    encode_sorted(graph, partition, backend=self.kernels)
-                    if self.encoder == "sorted"
-                    else encode_per_supernode(graph, partition)
-                )
-                record.encode_seconds = time.perf_counter() - tic
-                tracked = Summarization(
-                    num_nodes=graph.num_nodes,
-                    num_edges=graph.num_edges,
-                    partition=partition,
-                    superedges=snapshot.superedges,
-                    corrections=snapshot.corrections,
-                )
-                record.objective = tracked.objective
-                record.compression = tracked.compression
-            stats.iterations.append(record)
-            if self.early_stop_rounds:
-                stalled = 0 if merge_stats.merges else stalled + 1
-            if iteration_hook is not None:
-                iteration_hook(
-                    ResumeState(
-                        iteration=t,
-                        partition=partition,
-                        rng_state=rng.bit_generator.state,
-                        stalled=stalled,
-                        stats=stats,
-                    )
-                )
-            if self.early_stop_rounds and stalled >= self.early_stop_rounds:
-                break
-        tic = time.perf_counter()
-        if self.encoder == "sorted":
-            encoded = encode_sorted(graph, partition, backend=self.kernels)
-        else:
-            encoded = encode_per_supernode(graph, partition)
-        stats.encode_seconds = time.perf_counter() - tic
-
-        result = Summarization(
+        # Span ids derive from (seed, algorithm) and structural keys, so
+        # a resumed run re-creates the run span (same id) and emits
+        # exactly the post-checkpoint spans the uninterrupted run would
+        # have — the property pinned by tests/obs/test_golden_trace.py.
+        # The attributes here are deliberately resume-invariant.
+        with obs_trace.span(
+            "run",
+            key=f"{self.name}/{self.seed}",
+            algorithm=self.name,
+            seed=self.seed,
+            kernels=self.kernels,
+            iterations=self.iterations,
             num_nodes=graph.num_nodes,
             num_edges=graph.num_edges,
-            partition=partition,
-            superedges=encoded.superedges,
-            corrections=encoded.corrections,
-            stats=stats,
-            algorithm=self.name,
-        )
-        if self.epsilon > 0:
-            tic = time.perf_counter()
-            result = drop_edges(graph, result, self.epsilon)
-            result.stats.drop_seconds = time.perf_counter() - tic
+        ) as run_span:
+            for t in range(start_iteration, self.iterations + 1):
+                with obs_trace.span("iteration", key=t) as iter_span:
+                    with obs_trace.span(
+                        "divide", key=t, backend=self.kernels
+                    ) as divide_span:
+                        tic = time.perf_counter()
+                        groups, divide_stats = self.divide(
+                            graph, partition, rng
+                        )
+                        divide_seconds = time.perf_counter() - tic
+                        divide_span.set_attribute(
+                            "num_groups", divide_stats.num_groups
+                        )
+                        divide_span.set_attribute(
+                            "num_mergeable", divide_stats.num_mergeable
+                        )
+                        divide_span.set_attribute(
+                            "max_group_size", divide_stats.max_group_size
+                        )
+
+                    with obs_trace.span("merge", key=t) as merge_span:
+                        tic = time.perf_counter()
+                        threshold = merge_threshold(t)
+                        merge_stats = self._merge_phase(
+                            graph, partition, groups, threshold, rng, t,
+                            stats,
+                        )
+                        merge_seconds = time.perf_counter() - tic
+                        merge_span.set_attribute(
+                            "merges", merge_stats.merges
+                        )
+                        merge_span.set_attribute(
+                            "candidates_scored",
+                            merge_stats.candidates_scored,
+                        )
+
+                    obs_metrics.inc(
+                        "ldme_merges_accepted_total", merge_stats.merges
+                    )
+                    obs_metrics.inc(
+                        "ldme_merge_candidates_scored_total",
+                        merge_stats.candidates_scored,
+                    )
+                    obs_metrics.observe(
+                        "ldme_divide_seconds", divide_seconds,
+                        labels={"backend": self.kernels},
+                    )
+                    obs_metrics.observe(
+                        "ldme_merge_seconds", merge_seconds,
+                        labels={"backend": self.kernels},
+                    )
+
+                    stats.divide_seconds += divide_seconds
+                    stats.merge_seconds += merge_seconds
+                    record = IterationStats(
+                        iteration=t,
+                        divide_seconds=divide_seconds,
+                        merge_seconds=merge_seconds,
+                        num_groups=divide_stats.num_groups,
+                        max_group_size=divide_stats.max_group_size,
+                        num_supernodes=partition.num_supernodes,
+                        merges=merge_stats.merges,
+                    )
+                    if self.track_compression:
+                        with obs_trace.span("encode", key=t):
+                            tic = time.perf_counter()
+                            snapshot = (
+                                encode_sorted(
+                                    graph, partition, backend=self.kernels
+                                )
+                                if self.encoder == "sorted"
+                                else encode_per_supernode(graph, partition)
+                            )
+                            record.encode_seconds = (
+                                time.perf_counter() - tic
+                            )
+                        tracked = Summarization(
+                            num_nodes=graph.num_nodes,
+                            num_edges=graph.num_edges,
+                            partition=partition,
+                            superedges=snapshot.superedges,
+                            corrections=snapshot.corrections,
+                        )
+                        record.objective = tracked.objective
+                        record.compression = tracked.compression
+                    stats.iterations.append(record)
+                    iter_span.set_attribute(
+                        "num_supernodes", partition.num_supernodes
+                    )
+                    iter_span.set_attribute("merges", merge_stats.merges)
+                    if self.early_stop_rounds:
+                        stalled = 0 if merge_stats.merges else stalled + 1
+                    if iteration_hook is not None:
+                        iteration_hook(
+                            ResumeState(
+                                iteration=t,
+                                partition=partition,
+                                rng_state=rng.bit_generator.state,
+                                stalled=stalled,
+                                stats=stats,
+                            )
+                        )
+                if self.early_stop_rounds and stalled >= self.early_stop_rounds:
+                    break
+            with obs_trace.span(
+                "encode", key="final", backend=self.kernels,
+                encoder=self.encoder,
+            ) as encode_span:
+                tic = time.perf_counter()
+                if self.encoder == "sorted":
+                    encoded = encode_sorted(
+                        graph, partition, backend=self.kernels
+                    )
+                else:
+                    encoded = encode_per_supernode(graph, partition)
+                stats.encode_seconds = time.perf_counter() - tic
+                encode_span.set_attribute(
+                    "superedges", len(encoded.superedges)
+                )
+                encode_span.set_attribute(
+                    "additions", len(encoded.corrections.additions)
+                )
+                encode_span.set_attribute(
+                    "deletions", len(encoded.corrections.deletions)
+                )
+            obs_metrics.inc(
+                "ldme_superedges_total", len(encoded.superedges)
+            )
+            obs_metrics.inc(
+                "ldme_correction_additions_total",
+                len(encoded.corrections.additions),
+            )
+            obs_metrics.inc(
+                "ldme_correction_deletions_total",
+                len(encoded.corrections.deletions),
+            )
+            obs_metrics.observe(
+                "ldme_encode_seconds", stats.encode_seconds,
+                labels={"backend": self.kernels},
+            )
+
+            result = Summarization(
+                num_nodes=graph.num_nodes,
+                num_edges=graph.num_edges,
+                partition=partition,
+                superedges=encoded.superedges,
+                corrections=encoded.corrections,
+                stats=stats,
+                algorithm=self.name,
+            )
+            if self.epsilon > 0:
+                with obs_trace.span("drop", epsilon=self.epsilon):
+                    tic = time.perf_counter()
+                    result = drop_edges(graph, result, self.epsilon)
+                    result.stats.drop_seconds = time.perf_counter() - tic
+            run_span.set_attribute(
+                "num_supernodes", result.num_supernodes
+            )
+            run_span.set_attribute("objective", result.objective)
         return result

@@ -44,6 +44,8 @@ from ..core.merge import MergeStats, merge_group_exact
 from ..core.partition import SupernodePartition
 from ..core.summary import RunStats
 from ..graph.graph import Graph
+from ..obs import trace as obs_trace
+from ..obs.trace import Tracer
 from ..resilience.faults import FaultInjector
 from ..resilience.supervisor import BatchSupervisor, SupervisionPolicy
 
@@ -157,21 +159,41 @@ def _plan_batch(
     return log, scored
 
 
-def _worker(task) -> Tuple[List[Tuple[int, int]], int]:
+def _worker(task) -> Tuple[List[Tuple[int, int]], int, List[dict]]:
     """Pool worker: plan merges for one batch of groups.
 
     The fault hook fires before any planning so an injected crash models
     a worker dying mid-iteration with no partial results delivered.
+
+    When the parent propagates a trace context, the worker rebuilds a
+    child tracer from it, wraps its planning in a ``group_batch`` span
+    parented at the parent's ``merge`` span, and ships the serialized
+    span records back with the plan. Span ids are deterministic, so a
+    retried batch re-emits the *same* span and the stitched tree is
+    identical to a single-process run's.
     """
     (batch, threshold, seed, cost_model, kernels,
-     iteration, batch_index, attempt) = task
+     iteration, batch_index, attempt, trace_ctx) = task
     faults: Optional[FaultInjector] = _SHARED.get("faults")
     if faults is not None:
         faults.on_worker_batch(iteration, batch_index, attempt)
-    return _plan_batch(
-        _SHARED["graph"], _SHARED["node2super"], _SHARED["sizes"],
-        batch, threshold, seed, cost_model, kernels,
-    )
+    if trace_ctx is None:
+        log, scored = _plan_batch(
+            _SHARED["graph"], _SHARED["node2super"], _SHARED["sizes"],
+            batch, threshold, seed, cost_model, kernels,
+        )
+        return log, scored, []
+    tracer = Tracer.from_context(trace_ctx)
+    with tracer.span(
+        "group_batch", key=batch_index, groups=len(batch)
+    ) as batch_span:
+        log, scored = _plan_batch(
+            _SHARED["graph"], _SHARED["node2super"], _SHARED["sizes"],
+            batch, threshold, seed, cost_model, kernels,
+        )
+        batch_span.set_attribute("merges", len(log))
+        batch_span.set_attribute("candidates_scored", scored)
+    return log, scored, tracer.records()
 
 
 class MultiprocessLDME(LDME):
@@ -257,21 +279,32 @@ class MultiprocessLDME(LDME):
             if batch
         ]
 
+        trace_ctx = obs_trace.context()   # None when tracing is off
+
         def build_task(descriptor, attempt):
             batch_index, batch, seed = descriptor
             return (
                 batch, threshold, seed, self.cost_model, self.kernels,
-                iteration, batch_index, attempt,
+                iteration, batch_index, attempt, trace_ctx,
             )
 
         def plan_serially(descriptor):
             # In-process fallback: bypasses _SHARED and the fault
-            # injector entirely — degraded mode must be fault-free.
-            _, batch, seed = descriptor
-            return _plan_batch(
-                graph, node2super, sizes, batch,
-                threshold, seed, self.cost_model, self.kernels,
-            )
+            # injector entirely — degraded mode must be fault-free. It
+            # runs under the parent's live merge span, so its
+            # group_batch span (same deterministic id the worker would
+            # have produced) lands directly on the active tracer.
+            batch_index, batch, seed = descriptor
+            with obs_trace.span(
+                "group_batch", key=batch_index, groups=len(batch)
+            ) as batch_span:
+                log, scored = _plan_batch(
+                    graph, node2super, sizes, batch,
+                    threshold, seed, self.cost_model, self.kernels,
+                )
+                batch_span.set_attribute("merges", len(log))
+                batch_span.set_attribute("candidates_scored", scored)
+            return log, scored, []
 
         def make_pool(num_tasks):
             ctx = multiprocessing.get_context("fork")
@@ -297,7 +330,10 @@ class MultiprocessLDME(LDME):
         finally:
             _SHARED.clear()
         report.merge_into(run_stats)
-        for log, scored in plans:
+        tracer = obs_trace.active()
+        for log, scored, span_records in plans:
+            if tracer is not None and span_records:
+                tracer.ingest(span_records)
             merge_stats.candidates_scored += scored
             for a, b in log:
                 partition.merge(a, b)

@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..lsh.doph import EMPTY, doph_signature
+from ..obs import profile
 
 __all__ = ["doph_signatures_bulk_numpy", "doph_signatures_bulk_python"]
 
@@ -69,6 +70,7 @@ def doph_signatures_bulk_python(
     return sig
 
 
+@profile.profiled("doph_bulk")
 def doph_signatures_bulk_numpy(
     row_ids: np.ndarray,
     item_ids: np.ndarray,

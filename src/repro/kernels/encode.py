@@ -27,12 +27,14 @@ import numpy as np
 
 from ..core.encode import EncodeResult
 from ..core.summary import CorrectionSet
+from ..obs import profile
 
 __all__ = ["encode_sorted_numpy"]
 
 Edge = Tuple[int, int]
 
 
+@profile.profiled("encode_sorted")
 def encode_sorted_numpy(graph, partition) -> EncodeResult:
     """Vectorized Algorithm 5; bit-identical to the pure-Python reference."""
     superedges: List[Edge] = []

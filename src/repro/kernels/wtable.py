@@ -26,6 +26,8 @@ from typing import Dict, Iterable, List
 
 import numpy as np
 
+from ..obs import profile
+
 __all__ = ["build_group_w", "gather_rows"]
 
 
@@ -51,6 +53,7 @@ def gather_rows(
     return indices[gather], lengths
 
 
+@profile.profiled("wtable")
 def build_group_w(
     graph,
     partition,

@@ -25,6 +25,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from .core.summary import Summarization
 from .graph.graph import Graph
+from .obs import metrics as obs_metrics
 
 __all__ = [
     "SizeReport",
@@ -55,6 +56,14 @@ class PhaseTimer:
     the fastest repeat of a labelled phase — benchmark files time each
     kernel several times and report the minimum, the usual defence against
     scheduler noise.
+
+    Every record is also forwarded to the process's active unified
+    registry (:func:`repro.obs.metrics.observe`, metric
+    ``phase_seconds`` labelled by phase name) — so when a run installs a
+    :class:`~repro.obs.metrics.MetricsRegistry`, benchmark phase timings
+    show up in the same Prometheus exposition as the serving and
+    summarization counters. Without an active registry the forward is a
+    no-op.
     """
 
     def __init__(self) -> None:
@@ -67,13 +76,14 @@ class PhaseTimer:
         try:
             yield self
         finally:
-            self.records.append(
-                {"phase": name, "seconds": time.perf_counter() - tic, **labels}
-            )
+            self.add(name, time.perf_counter() - tic, **labels)
 
     def add(self, name: str, seconds: float, **labels: object) -> None:
         """Append an externally measured timing (e.g. from ``RunStats``)."""
         self.records.append({"phase": name, "seconds": seconds, **labels})
+        obs_metrics.observe(
+            "phase_seconds", seconds, labels={"phase": name}
+        )
 
     def best_seconds(self, name: str, **labels: object) -> Optional[float]:
         """Fastest recorded time for a phase matching all given labels."""

@@ -1,0 +1,35 @@
+"""repro.obs — end-to-end observability for the summarization stack.
+
+Three cooperating layers, all opt-in and all no-ops (sub-microsecond)
+when disabled:
+
+* :mod:`repro.obs.trace` — hierarchical spans over the pipeline
+  (``run → iteration → divide/merge/encode → group_batch``) with span
+  ids derived deterministically from the run seed, so a fixed-seed run
+  produces a *pinnable* span tree (the golden-trace regression oracle in
+  ``tests/obs/test_golden_trace.py``) and a checkpoint-resumed run emits
+  exactly the spans the uninterrupted run would have.
+* :mod:`repro.obs.metrics` — the unified counters/gauges/histograms
+  registry shared by the pipeline and the query server (it absorbed
+  ``repro.serve.metrics``), with a Prometheus text-format exporter and
+  the serve scrape endpoint.
+* :mod:`repro.obs.profile` — per-kernel self-time hooks around the
+  numpy hot-path kernels plus a stack-sampling profiler, powering the
+  attribution columns in ``BENCH_obs.json``.
+
+See ``docs/observability.md`` for the span model and metric name
+tables.
+"""
+
+from .metrics import Histogram, MetricsRegistry
+from .profile import KernelProfiler, SamplingProfiler
+from .trace import Span, Tracer
+
+__all__ = [
+    "Histogram",
+    "KernelProfiler",
+    "MetricsRegistry",
+    "SamplingProfiler",
+    "Span",
+    "Tracer",
+]

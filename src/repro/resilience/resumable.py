@@ -30,6 +30,7 @@ from ..core.partition import SupernodePartition
 from ..core.summary import IterationStats, RunStats, Summarization
 from ..errors import CheckpointError
 from ..graph.graph import Graph
+from ..obs import trace as obs_trace
 from .checkpoint import CheckpointManager
 
 __all__ = [
@@ -208,9 +209,18 @@ def run_resumable(
     def _hook(state: ResumeState) -> None:
         final = state.iteration >= algo.iterations
         if final or state.iteration % checkpoint_every == 0:
-            manager.save(
-                state.iteration, state_to_payload(state, fingerprint)
-            )
+            # The hook runs inside the driver's live iteration span, so
+            # checkpoint persistence shows up as a child span keyed by
+            # the iteration — and, because the key is explicit, a
+            # resumed run emits identical checkpoint spans for the
+            # iterations it actually executes.
+            with obs_trace.span(
+                "checkpoint", key=state.iteration,
+                num_supernodes=state.partition.num_supernodes,
+            ):
+                manager.save(
+                    state.iteration, state_to_payload(state, fingerprint)
+                )
         if iteration_hook is not None:
             iteration_hook(state)
 

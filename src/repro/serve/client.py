@@ -177,6 +177,10 @@ class SummaryClient:
         """Server stats: cache, metrics, generation, queue depth."""
         return self._call("stats")
 
+    def metrics_text(self) -> str:
+        """The server's metrics in Prometheus text exposition format."""
+        return self._call("metrics")
+
     def neighbors(self, v: int) -> List[int]:
         """Sorted neighbour list of ``v``."""
         return self._call("neighbors", {"v": int(v)})

@@ -26,6 +26,8 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .client import ServerError, SummaryClient
 
 __all__ = ["LoadReport", "run_load", "DEFAULT_MIX", "ChaosConfig"]
@@ -193,6 +195,14 @@ def run_load(
     chaos_drops = [0]
     chaos_junk = [0]
 
+    # The run span lives on this thread; workers parent their spans on it
+    # explicitly (span stacks are thread-local, so a worker thread cannot
+    # inherit the ambient parent).
+    run_span = obs_trace.span(
+        "load_run", key=f"{num_queries}/{concurrency}/{seed}",
+        num_queries=num_queries, concurrency=concurrency, skew=skew,
+    )
+
     def worker(worker_id: int, quota: int) -> None:
         rng = np.random.default_rng(seed + worker_id)
         client = SummaryClient(host, port, timeout=client_timeout)
@@ -201,6 +211,10 @@ def run_load(
         local_errors = 0
         local_drops = 0
         local_junk = 0
+        worker_span = obs_trace.span(
+            "load_worker", key=worker_id, parent=run_span, quota=quota,
+        )
+        worker_span.__enter__()
         try:
             for q in range(1, quota + 1):
                 if chaos is not None and chaos.enabled:
@@ -229,6 +243,9 @@ def run_load(
                 local_ops[op] += 1
         finally:
             client.close()
+            worker_span.set_attribute("errors", local_errors)
+            worker_span.set_attribute("retries", client.retries_used)
+            worker_span.__exit__(None, None, None)
             with lock:
                 latencies.extend(local_lat)
                 errors[0] += local_errors
@@ -237,6 +254,13 @@ def run_load(
                 chaos_junk[0] += local_junk
                 for op, count in local_ops.items():
                     op_counts[op] += count
+                    if count:
+                        obs_metrics.inc(
+                            "loadgen_queries_total", count,
+                            labels={"op": op},
+                        )
+                if local_errors:
+                    obs_metrics.inc("loadgen_errors_total", local_errors)
 
     threads = [
         threading.Thread(
@@ -245,11 +269,17 @@ def run_load(
         for i, quota in enumerate(per_worker)
     ]
     tic = time.perf_counter()
-    for thread in threads:
-        thread.start()
-    for thread in threads:
-        thread.join()
-    elapsed = time.perf_counter() - tic
+    run_span.__enter__()
+    try:
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    finally:
+        elapsed = time.perf_counter() - tic
+        run_span.set_attribute("errors", errors[0])
+        run_span.set_attribute("retries", retries[0])
+        run_span.__exit__(None, None, None)
 
     return LoadReport(
         num_queries=num_queries,

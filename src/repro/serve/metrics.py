@@ -1,159 +1,18 @@
-"""Serving metrics: counters, gauges, and percentile histograms.
+"""Serving metrics — re-exported from the unified observability registry.
 
-A deliberately small registry in the Prometheus spirit — counters only go
-up, gauges are set, histograms keep a bounded reservoir from which
-percentiles are computed on snapshot. Everything is thread-safe because
-observations come from both the event loop and the batch-executor thread.
-
-The server exposes :meth:`MetricsRegistry.snapshot` through the ``stats``
-request and prints :meth:`MetricsRegistry.format_line` periodically.
+Historically this module owned its own ``Histogram`` and
+``MetricsRegistry`` while the pipeline used a separate ``PhaseTimer``;
+the duplicated implementations now live once in
+:mod:`repro.obs.metrics`, which adds labels and the Prometheus text
+exporter behind the server's ``metrics`` op and optional HTTP scrape
+endpoint. This shim keeps the long-standing import path
+(``repro.serve.metrics``) working: the classes here *are* the unified
+ones (identity, not copies), so isinstance checks and monkeypatching
+hit the single implementation.
 """
 
 from __future__ import annotations
 
-import threading
-import time
-from typing import Any, Dict, List, Optional
+from ..obs.metrics import Histogram, MetricsRegistry
 
 __all__ = ["Histogram", "MetricsRegistry"]
-
-
-class Histogram:
-    """Bounded-reservoir histogram with exact count/sum.
-
-    Keeps the most recent ``capacity`` observations (a ring buffer), which
-    is the standard trade-off for sliding-window latency percentiles: old
-    samples age out instead of dominating forever.
-    """
-
-    def __init__(self, capacity: int = 2048) -> None:
-        if capacity <= 0:
-            raise ValueError("capacity must be positive")
-        self._capacity = capacity
-        self._ring: List[float] = []
-        self._next = 0
-        self.count = 0
-        self.total = 0.0
-
-    def observe(self, value: float) -> None:
-        """Record one observation."""
-        self.count += 1
-        self.total += value
-        if len(self._ring) < self._capacity:
-            self._ring.append(value)
-        else:
-            self._ring[self._next] = value
-            self._next = (self._next + 1) % self._capacity
-
-    def percentile(self, q: float) -> Optional[float]:
-        """Nearest-rank percentile over the reservoir (``q`` in [0, 100])."""
-        if not self._ring:
-            return None
-        ordered = sorted(self._ring)
-        rank = max(0, min(len(ordered) - 1,
-                          int(round(q / 100.0 * (len(ordered) - 1)))))
-        return ordered[rank]
-
-    def summary(self) -> Dict[str, Any]:
-        """count/mean/p50/p95/p99/max over the current reservoir."""
-        if not self.count:
-            return {"count": 0}
-        return {
-            "count": self.count,
-            "mean": self.total / self.count,
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
-            "p99": self.percentile(99),
-            "max": max(self._ring) if self._ring else None,
-        }
-
-
-class MetricsRegistry:
-    """Named counters, gauges, and histograms behind one lock."""
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counters: Dict[str, int] = {}
-        self._gauges: Dict[str, float] = {}
-        self._histograms: Dict[str, Histogram] = {}
-        self._started = time.monotonic()
-
-    # ------------------------------------------------------------------
-    def inc(self, name: str, amount: int = 1) -> None:
-        """Increment counter ``name`` (created at zero on first use)."""
-        with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + amount
-
-    def counter(self, name: str) -> int:
-        """Current value of a counter (0 if never incremented)."""
-        with self._lock:
-            return self._counters.get(name, 0)
-
-    def set_gauge(self, name: str, value: float) -> None:
-        """Set gauge ``name`` to ``value``."""
-        with self._lock:
-            self._gauges[name] = value
-
-    def observe(self, name: str, value: float) -> None:
-        """Record ``value`` into histogram ``name``."""
-        with self._lock:
-            hist = self._histograms.get(name)
-            if hist is None:
-                hist = self._histograms[name] = Histogram()
-            hist.observe(value)
-
-    # ------------------------------------------------------------------
-    @property
-    def uptime_seconds(self) -> float:
-        """Seconds since the registry was created."""
-        return time.monotonic() - self._started
-
-    def snapshot(self) -> Dict[str, Any]:
-        """JSON-serializable dump of every metric."""
-        with self._lock:
-            return {
-                "uptime_seconds": self.uptime_seconds,
-                "counters": dict(self._counters),
-                "gauges": dict(self._gauges),
-                "histograms": {
-                    name: hist.summary()
-                    for name, hist in self._histograms.items()
-                },
-            }
-
-    def format_line(self) -> str:
-        """One human-readable log line (the periodic server heartbeat)."""
-        snap = self.snapshot()
-        uptime = max(snap["uptime_seconds"], 1e-9)
-        requests = snap["counters"].get("requests_total", 0)
-        parts = [
-            f"uptime={uptime:.0f}s",
-            f"requests={requests}",
-            f"qps={requests / uptime:.1f}",
-        ]
-        latency = snap["histograms"].get("request_latency_seconds")
-        if latency and latency.get("count"):
-            parts.append(
-                "latency_ms p50={:.2f} p95={:.2f} p99={:.2f}".format(
-                    latency["p50"] * 1e3,
-                    latency["p95"] * 1e3,
-                    latency["p99"] * 1e3,
-                )
-            )
-        batch = snap["histograms"].get("batch_size")
-        if batch and batch.get("count"):
-            parts.append(f"batch_mean={batch['mean']:.1f}")
-        for name in ("cache_hit_rate", "queue_depth", "inflight"):
-            if name in snap["gauges"]:
-                value = snap["gauges"][name]
-                parts.append(
-                    f"{name}={value:.2f}"
-                    if isinstance(value, float) and name == "cache_hit_rate"
-                    else f"{name}={value:g}"
-                )
-        errors = sum(
-            count for name, count in snap["counters"].items()
-            if name.startswith("errors_")
-        )
-        parts.append(f"errors={errors}")
-        return "serve " + " ".join(parts)

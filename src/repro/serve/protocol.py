@@ -45,11 +45,12 @@ MAX_FRAME_BYTES = 16 * 1024 * 1024
 
 _LEN = struct.Struct(">I")
 
-#: Query operations the server understands. ``stats``/``ping``/``reload``
-#: are control-plane ops answered on the event loop; the rest go through
-#: the batch executor.
+#: Query operations the server understands.
+#: ``stats``/``ping``/``reload``/``metrics`` are control-plane ops
+#: answered on the event loop; the rest go through the batch executor.
 OPS = frozenset(
-    {"neighbors", "degree", "has_edge", "bfs", "stats", "ping", "reload"}
+    {"neighbors", "degree", "has_edge", "bfs",
+     "stats", "ping", "reload", "metrics"}
 )
 
 

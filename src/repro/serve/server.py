@@ -23,9 +23,11 @@ is a miniature inference server:
   ``DynamicSummarizer.snapshot()`` results from another thread.
 * **Graceful shutdown** — :meth:`SummaryServer.stop` stops admitting,
   drains queued work, flushes responses, then closes connections.
-* **Metrics** — counters/gauges/latency histograms in a
-  :class:`~repro.serve.metrics.MetricsRegistry`, served via the ``stats``
-  op and logged periodically (``log_interval``).
+* **Metrics** — counters/gauges/latency histograms in the unified
+  :class:`~repro.obs.metrics.MetricsRegistry`, served via the ``stats``
+  op (structured), the ``metrics`` op (Prometheus text exposition), an
+  optional HTTP scrape endpoint (``metrics_port``), and logged
+  periodically (``log_interval``).
 
 :class:`ServerThread` runs the whole event loop on a daemon thread so
 blocking code (tests, benchmarks, the CLI's load generator) can stand up
@@ -45,6 +47,7 @@ from dataclasses import dataclass
 from typing import Any, Deque, Dict, Optional, Tuple, Union
 
 from ..core.summary import Summarization
+from ..obs import trace as obs_trace
 from ..queries.compiled import CompiledSummaryIndex
 from .batching import execute_batch
 from .cache import LRUCache
@@ -82,6 +85,8 @@ class ServerConfig:
     log_interval: float = 30.0         # heartbeat period (0 disables)
     allow_reload: bool = False         # permit the 'reload' op
     max_frame_bytes: int = MAX_FRAME_BYTES
+    metrics_port: Optional[int] = None  # HTTP scrape port (None disables,
+                                        # 0 = ephemeral)
 
     def __post_init__(self) -> None:
         if self.batch_window < 0:
@@ -119,7 +124,9 @@ class SummaryServer:
         self._wakeup: Optional[asyncio.Event] = None
         self._stopped: Optional[asyncio.Event] = None
         self._server: Optional[asyncio.AbstractServer] = None
+        self._metrics_server: Optional[asyncio.AbstractServer] = None
         self._bound_port: Optional[int] = None
+        self._metrics_bound_port: Optional[int] = None
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-serve-batch"
         )
@@ -143,6 +150,14 @@ class SummaryServer:
             self._handle_connection, self.config.host, self.config.port
         )
         self._bound_port = self._server.sockets[0].getsockname()[1]
+        if self.config.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._handle_scrape, self.config.host,
+                self.config.metrics_port,
+            )
+            self._metrics_bound_port = (
+                self._metrics_server.sockets[0].getsockname()[1]
+            )
         self._batcher_task = asyncio.create_task(self._batch_loop())
         if self.config.log_interval > 0:
             self._log_task = asyncio.create_task(self._log_loop())
@@ -155,6 +170,13 @@ class SummaryServer:
         if self._bound_port is None:
             raise RuntimeError("server not started")
         return self._bound_port
+
+    @property
+    def metrics_http_port(self) -> int:
+        """Bound HTTP scrape port (requires ``metrics_port`` configured)."""
+        if self._metrics_bound_port is None:
+            raise RuntimeError("metrics endpoint not enabled/started")
+        return self._metrics_bound_port
 
     async def serve_forever(self) -> None:
         """Run until :meth:`stop` is called (starts if needed)."""
@@ -169,6 +191,9 @@ class SummaryServer:
         self._draining = True
         self._server.close()
         await self._server.wait_closed()
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
         # Drain: every admitted query resolves (the batcher keeps running),
         # then every response task finishes writing.
         while self._pending:
@@ -243,6 +268,25 @@ class SummaryServer:
             "cache": self.cache.stats(),
             "metrics": self.metrics.snapshot(),
         }
+
+    def prometheus(self) -> str:
+        """Prometheus text exposition of the server's metrics.
+
+        Gauges that live outside the registry (queue depth, connection
+        count, generation) are refreshed into it first, so a scrape is
+        self-contained.
+        """
+        self.metrics.set_gauge("queue_depth", len(self._queue))
+        self.metrics.set_gauge("connections", len(self._writers))
+        self.metrics.set_gauge("generation", self._generation)
+        self.metrics.set_gauge("pending", self._pending)
+        cache = self.cache.stats()
+        for key, value in cache.items():
+            if isinstance(value, (int, float)) and not isinstance(
+                value, bool
+            ):
+                self.metrics.set_gauge(f"cache_{key}", value)
+        return self.metrics.to_prometheus(prefix="repro_serve_")
 
     # ------------------------------------------------------------------
     # connection plane
@@ -342,6 +386,8 @@ class SummaryServer:
             return ok_response(rid, "pong")
         if op == "stats":
             return ok_response(rid, self.stats())
+        if op == "metrics":
+            return ok_response(rid, self.prometheus())
         # reload: load a summary file and hot-swap to it.
         if not self.config.allow_reload:
             raise RequestError(
@@ -421,18 +467,21 @@ class SummaryServer:
             index = self._index     # capture: immune to concurrent swap
             queries = [(op, args) for op, args, _ in batch]
             self.metrics.set_gauge("inflight", len(batch))
-            try:
-                outcomes = await loop.run_in_executor(
-                    self._executor, execute_batch,
-                    index, self.cache, self.metrics, queries,
-                )
-            except Exception as exc:  # noqa: BLE001 - fail the batch only
-                logger.exception("batch execution failed")
-                outcomes = [
-                    ("error", ErrorCode.INTERNAL, repr(exc))
-                ] * len(batch)
-            finally:
-                self.metrics.set_gauge("inflight", 0)
+            # A no-op unless a tracer is installed (the --trace CLI knob);
+            # batch spans key on their per-parent occurrence index.
+            with obs_trace.span("serve_batch", size=len(batch)):
+                try:
+                    outcomes = await loop.run_in_executor(
+                        self._executor, execute_batch,
+                        index, self.cache, self.metrics, queries,
+                    )
+                except Exception as exc:  # noqa: BLE001 - fail batch only
+                    logger.exception("batch execution failed")
+                    outcomes = [
+                        ("error", ErrorCode.INTERNAL, repr(exc))
+                    ] * len(batch)
+                finally:
+                    self.metrics.set_gauge("inflight", 0)
             for (_, _, future), outcome in zip(batch, outcomes):
                 self._pending -= 1
                 if not future.done():
@@ -443,6 +492,56 @@ class SummaryServer:
             await asyncio.sleep(self.config.log_interval)
             self.metrics.set_gauge("queue_depth", len(self._queue))
             logger.info("%s", self.metrics.format_line())
+
+    # ------------------------------------------------------------------
+    # metrics scrape plane
+    # ------------------------------------------------------------------
+    async def _handle_scrape(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Answer one plain-HTTP scrape (``GET /metrics``) and hang up.
+
+        Deliberately minimal: no keep-alive, no chunking — exactly what a
+        Prometheus scraper (or ``curl``) needs, with no new dependency.
+        """
+        try:
+            request_line = await asyncio.wait_for(
+                reader.readline(), timeout=5.0
+            )
+            # Drain headers until the blank line; scrapers send few.
+            while True:
+                line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            if len(parts) >= 2 and parts[0] == "GET" and (
+                parts[1] == "/metrics" or parts[1] == "/"
+            ):
+                body = self.prometheus().encode("utf-8")
+                head = (
+                    "HTTP/1.1 200 OK\r\n"
+                    "Content-Type: text/plain; version=0.0.4; "
+                    "charset=utf-8\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n\r\n"
+                )
+            else:
+                body = b"not found\n"
+                head = (
+                    "HTTP/1.1 404 Not Found\r\n"
+                    "Content-Type: text/plain; charset=utf-8\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n\r\n"
+                )
+            writer.write(head.encode("latin-1") + body)
+            await writer.drain()
+        except (asyncio.TimeoutError, ConnectionResetError,
+                BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
 
 
 def _load_index(path: str) -> CompiledSummaryIndex:

@@ -218,3 +218,85 @@ class TestEndToEndDifferential:
             GroupAdjacency(graph, SupernodePartition(3), [0], kernels="jax")
         with pytest.raises(ValueError, match="backend"):
             encode_sorted(graph, SupernodePartition(3), backend="jax")
+
+
+# ---------------------------------------------------------------------------
+# Observability differential: identical traces and counters
+# ---------------------------------------------------------------------------
+
+
+class TestObservabilityDifferential:
+    """The two backends must be *observably* identical, not just in their
+    outputs: same span tree (same span ids — the run span key is
+    deliberately backend-free) and the same pipeline counter values.
+    Instrumentation drift between backends would poison the golden-trace
+    oracle, so it is checked with the same Hypothesis inputs as the
+    output differential above."""
+
+    @staticmethod
+    def _run_observed(graph, k, seed, kernels):
+        from repro.obs import metrics as obs_metrics
+        from repro.obs import trace as obs_trace
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer(seed=seed)
+        registry = MetricsRegistry()
+        with obs_trace.use(tracer), obs_metrics.use(registry):
+            LDME(k=k, iterations=3, seed=seed,
+                 kernels=kernels).summarize(graph)
+        return tracer, registry
+
+    COUNTERS = (
+        "ldme_merges_accepted_total",
+        "ldme_merge_candidates_scored_total",
+        "ldme_superedges_total",
+        "ldme_correction_additions_total",
+        "ldme_correction_deletions_total",
+    )
+
+    @given(graphs(max_nodes=20, max_edges=50),
+           st.integers(min_value=1, max_value=6),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_span_structure_and_ids_identical(self, graph, k, seed):
+        ref_trace, _ = self._run_observed(graph, k, seed, "python")
+        ker_trace, _ = self._run_observed(graph, k, seed, "numpy")
+
+        def facts(tracer):
+            return {
+                (s.name, s.key, s.span_id, s.parent_id)
+                for s in tracer.spans
+            }
+
+        assert facts(ref_trace) == facts(ker_trace)
+
+    @given(graphs(max_nodes=20, max_edges=50),
+           st.integers(min_value=1, max_value=6),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_counters_identical(self, graph, k, seed):
+        _, ref_metrics = self._run_observed(graph, k, seed, "python")
+        _, ker_metrics = self._run_observed(graph, k, seed, "numpy")
+        for name in self.COUNTERS:
+            assert ref_metrics.counter(name) == ker_metrics.counter(name), name
+
+    @given(graphs(max_nodes=20, max_edges=50),
+           st.integers(min_value=1, max_value=6),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_span_attributes_differ_only_in_backend(self, graph, k, seed):
+        ref_trace, _ = self._run_observed(graph, k, seed, "python")
+        ker_trace, _ = self._run_observed(graph, k, seed, "numpy")
+
+        def normalized(tracer):
+            spans = {}
+            for s in tracer.spans:
+                attrs = {
+                    key: value for key, value in s.attributes.items()
+                    if key not in ("backend", "kernels")
+                }
+                spans[s.span_id] = (s.name, s.key, attrs)
+            return spans
+
+        assert normalized(ref_trace) == normalized(ker_trace)

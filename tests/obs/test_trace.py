@@ -1,0 +1,248 @@
+"""Unit tests for the deterministic tracer (repro.obs.trace).
+
+The tracer's contract — deterministic span ids, thread-local nesting,
+cross-process context propagation, canonical trees, and a free no-op
+mode — is what the golden-trace suite builds on, so each piece is pinned
+here in isolation first.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import trace as obs_trace
+from repro.obs.trace import Span, Tracer, _NOOP_SPAN
+
+
+class TestDeterministicIds:
+    def test_same_structure_same_ids(self):
+        def build(tracer):
+            with tracer.span("run", key="r"):
+                with tracer.span("iteration", key=1):
+                    with tracer.span("divide", key=1):
+                        pass
+
+        a, b = Tracer(seed=7), Tracer(seed=7)
+        build(a)
+        build(b)
+        assert [s.span_id for s in a.spans] == [s.span_id for s in b.spans]
+        assert a.trace_id == b.trace_id
+
+    def test_seed_changes_trace_id_not_span_ids(self):
+        # Span ids hash the *structural path*, whose root is the trace
+        # id — so a different seed shifts every id.
+        a, b = Tracer(seed=0), Tracer(seed=1)
+        with a.span("run", key="x"):
+            pass
+        with b.span("run", key="x"):
+            pass
+        assert a.trace_id != b.trace_id
+        assert a.spans[0].span_id != b.spans[0].span_id
+
+    def test_key_disambiguates_siblings(self):
+        tracer = Tracer()
+        with tracer.span("run", key="r"):
+            with tracer.span("iteration", key=1):
+                pass
+            with tracer.span("iteration", key=2):
+                pass
+        it1, it2 = tracer.find("iteration")
+        assert it1.span_id != it2.span_id
+
+    def test_default_key_is_occurrence_index(self):
+        tracer = Tracer()
+        with tracer.span("run", key="r"):
+            with tracer.span("batch"):
+                pass
+            with tracer.span("batch"):
+                pass
+        assert [s.key for s in tracer.find("batch")] == [0, 1]
+
+    def test_completion_order_does_not_change_ids(self):
+        # Two same-keyed structures entered in different orders still get
+        # identical ids (ids derive from position, not sequence).
+        a, b = Tracer(), Tracer()
+        with a.span("run", key="r"):
+            with a.span("divide", key=1):
+                pass
+            with a.span("merge", key=1):
+                pass
+        with b.span("run", key="r"):
+            with b.span("merge", key=1):
+                pass
+            with b.span("divide", key=1):
+                pass
+        ids = lambda t: {(s.name, s.span_id) for s in t.spans}  # noqa: E731
+        assert ids(a) == ids(b)
+
+
+class TestSpanLifecycle:
+    def test_nesting_parents_follow_stack(self):
+        tracer = Tracer()
+        with tracer.span("run", key="r") as run:
+            with tracer.span("iteration", key=1) as it:
+                assert it.parent_id == run.span_id
+            with tracer.span("iteration", key=2) as it2:
+                assert it2.parent_id == run.span_id
+        assert run.parent_id == tracer.trace_id
+
+    def test_explicit_parent_overrides_stack(self):
+        tracer = Tracer()
+        with tracer.span("run", key="r") as run:
+            with tracer.span("iteration", key=1):
+                detached = tracer.span("side", key=0, parent=run)
+                with detached:
+                    pass
+        assert detached.parent_id == run.span_id
+
+    def test_parent_accepts_context_dict(self):
+        tracer = Tracer()
+        with tracer.span("run", key="r") as run:
+            ctx = tracer.context()
+        with tracer.span("child", key=0, parent=ctx) as child:
+            pass
+        assert child.parent_id == run.span_id
+
+    def test_exception_marks_error_status(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom", key=0):
+                raise ValueError("nope")
+        (span,) = tracer.spans
+        assert span.status == "error"
+        assert span.attributes["error"] == "ValueError"
+
+    def test_attributes_coerced_jsonable(self):
+        import numpy as np
+
+        tracer = Tracer()
+        with tracer.span("a", key=0, n=np.int64(3)) as span:
+            span.set_attribute("f", np.float64(0.5))
+            span.set_attribute("obj", object())
+        doc = tracer.spans[0].record()
+        json.dumps(doc)     # everything serializes
+        assert doc["attributes"]["n"] == 3
+        assert doc["attributes"]["f"] == 0.5
+
+    def test_max_spans_drops_beyond_cap(self):
+        tracer = Tracer(max_spans=2)
+        for i in range(5):
+            with tracer.span("s", key=i):
+                pass
+        assert len(tracer.spans) == 2
+        assert tracer.dropped == 3
+
+
+class TestThreads:
+    def test_stacks_are_thread_local(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+        parents = {}
+
+        def work(name):
+            with tracer.span(name, key=0) as outer:
+                barrier.wait()
+                with tracer.span(f"{name}_inner", key=0) as inner:
+                    parents[name] = (outer.span_id, inner.parent_id)
+
+        threads = [
+            threading.Thread(target=work, args=(n,)) for n in ("a", "b")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Each inner span is parented at its own thread's outer span,
+        # even though both pairs were open concurrently.
+        for outer_id, inner_parent in parents.values():
+            assert inner_parent == outer_id
+
+
+class TestContextPropagation:
+    def test_worker_roundtrip_matches_inline(self):
+        # Spans recorded in a "worker" tracer rebuilt from a context and
+        # ingested back are identical to spans recorded inline.
+        inline = Tracer(seed=5)
+        with inline.span("merge", key=1):
+            with inline.span("group_batch", key=2, groups=3):
+                pass
+
+        parent = Tracer(seed=5)
+        with parent.span("merge", key=1):
+            ctx = parent.context()
+        worker = Tracer.from_context(ctx)
+        with worker.span("group_batch", key=2, groups=3):
+            pass
+        parent.ingest(worker.records())
+
+        assert {s.span_id for s in inline.spans} == {
+            s.span_id for s in parent.spans
+        }
+        assert inline.tree() == parent.tree()
+
+    def test_context_without_open_span_points_at_root(self):
+        tracer = Tracer()
+        assert tracer.context()["span_id"] == tracer.trace_id
+
+
+class TestTreeAndExport:
+    def test_tree_sorts_children_canonically(self):
+        tracer = Tracer()
+        with tracer.span("run", key="r"):
+            for key in (3, 1, 2):
+                with tracer.span("iteration", key=key):
+                    pass
+        (root,) = tracer.tree(include_attributes=False)
+        assert [c["key"] for c in root["children"]] == [1, 2, 3]
+
+    def test_tree_omits_durations(self):
+        tracer = Tracer()
+        with tracer.span("run", key="r", n=1):
+            pass
+        (root,) = tracer.tree()
+        assert set(root) == {"name", "key", "attributes", "children"}
+
+    def test_export_jsonl_roundtrip(self, tmp_path):
+        tracer = Tracer(seed=9)
+        with tracer.span("run", key="r"):
+            with tracer.span("iteration", key=1):
+                pass
+        path = tmp_path / "trace.jsonl"
+        assert tracer.export_jsonl(str(path)) == 2
+        docs = [json.loads(line) for line in path.read_text().splitlines()]
+        replay = Tracer(seed=9)
+        replay.ingest(docs)
+        assert replay.tree() == tracer.tree()
+
+
+class TestModuleSeam:
+    def test_disabled_returns_shared_noop(self):
+        assert obs_trace.active() is None
+        span = obs_trace.span("anything", key=1, attr="x")
+        assert span is _NOOP_SPAN
+        with span as inner:
+            inner.set_attribute("still", "noop")
+        assert obs_trace.context() is None
+
+    def test_use_installs_and_restores(self):
+        tracer = Tracer()
+        with obs_trace.use(tracer) as installed:
+            assert installed is tracer
+            assert obs_trace.active() is tracer
+            with obs_trace.span("s", key=0):
+                pass
+        assert obs_trace.active() is None
+        assert len(tracer.spans) == 1
+
+    def test_use_nests(self):
+        outer, inner = Tracer(), Tracer()
+        with obs_trace.use(outer):
+            with obs_trace.use(inner):
+                assert obs_trace.active() is inner
+            assert obs_trace.active() is outer
+
+    def test_span_type_dispatch(self):
+        tracer = Tracer()
+        with obs_trace.use(tracer):
+            assert isinstance(obs_trace.span("s", key=0), Span)

@@ -210,6 +210,7 @@ class TestMultiprocessSupervision:
         assert stats.batch_retries == 0
         assert stats.serial_fallbacks == 0
 
+    @pytest.mark.slow
     def test_worker_crash_retried_lossless(self):
         """A hard-killed worker (os._exit) surfaces as a timeout, the
         batch retries on a fresh pool, and the output is identical."""
@@ -238,6 +239,7 @@ class TestMultiprocessSupervision:
         assert result.stats.worker_failures == 1
         assert result.stats.batch_retries == 1
 
+    @pytest.mark.slow
     def test_hung_worker_times_out_and_retries(self):
         graph = small_graph()
         baseline = mp_algo().summarize(graph)

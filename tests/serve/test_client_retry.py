@@ -98,6 +98,7 @@ def make_client(port, retries=3):
 
 
 class TestClientRetry:
+    @pytest.mark.slow
     def test_drop_before_response_then_recover(self):
         with FlakyServer(["drop_before_response", "serve"]) as server:
             client = make_client(server.port)
@@ -108,6 +109,7 @@ class TestClientRetry:
                 client.close()
             assert server.connections >= 2
 
+    @pytest.mark.slow
     def test_drop_mid_frame_then_recover(self):
         """Connection dies halfway through the response bytes."""
         with FlakyServer(["drop_mid_frame", "serve"]) as server:
@@ -126,6 +128,7 @@ class TestClientRetry:
             finally:
                 client.close()
 
+    @pytest.mark.slow
     def test_repeated_drops_exhaust_retries(self):
         with FlakyServer(["drop_before_response"]) as server:
             client = make_client(server.port, retries=2)

@@ -157,6 +157,7 @@ class TestRobustness:
             assert excinfo.value.retryable
             client.close()
 
+    @pytest.mark.slow
     def test_request_timeout_is_typed_error(self, summary):
         config = ServerConfig(batch_window=2.0, request_timeout=0.05)
         with ServerThread(summary, config) as handle:
