@@ -171,6 +171,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--allow-reload", action="store_true",
                        help="permit clients to hot-swap via 'reload'")
 
+    p_clu = sub.add_parser(
+        "serve-cluster",
+        help="serve a replica set with degraded-mode failover "
+             "(see docs/serving.md, 'Running a replica set')",
+    )
+    p_clu.add_argument("summary", help="summary file (text or .ldmeb)")
+    p_clu.add_argument("--replicas", type=int, default=3)
+    p_clu.add_argument("--host", default="127.0.0.1")
+    p_clu.add_argument("--port-base", type=int, default=0,
+                       help="first replica port; replica i listens on "
+                            "port-base+i (0 = all ephemeral)")
+    p_clu.add_argument("--cache-size", type=int, default=4096)
+    p_clu.add_argument("--max-pending", type=int, default=1024)
+    p_clu.add_argument("--request-timeout", type=float, default=5.0)
+    p_clu.add_argument("--shed-fraction", type=float, default=0.9,
+                       help="fraction of max-pending at which best-effort "
+                            "(priority>=2) queries are shed")
+    p_clu.add_argument("--no-degraded", action="store_true",
+                       help="disable degraded mode (error instead of "
+                            "serving flagged stale cached answers)")
+
     p_qry = sub.add_parser("query", help="query a running summary server")
     p_qry.add_argument(
         "op",
@@ -182,6 +203,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_qry.add_argument("--host", default="127.0.0.1")
     p_qry.add_argument("--port", type=int, default=7421)
     p_qry.add_argument("--timeout", type=float, default=10.0)
+    p_qry.add_argument("--cluster", metavar="HOST:PORT,...",
+                       help="query a replica set through the failover "
+                            "client instead of one server")
+    p_qry.add_argument("--deadline", type=float, default=None,
+                       help="end-to-end deadline in seconds, propagated "
+                            "to the server queue")
+    p_qry.add_argument("--priority", type=int, default=None,
+                       help="0=critical 1=normal 2+=best-effort "
+                            "(shed first under load)")
 
     p_load = sub.add_parser(
         "loadgen", help="drive a mixed query load at a running server"
@@ -212,7 +242,30 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="N",
                         help="with --chaos: send a garbage frame every Nth "
                              "query per worker (0 disables)")
+    p_load.add_argument("--cluster", metavar="HOST:PORT,...",
+                        help="drive the load through a shared failover "
+                             "client over these replicas")
+    p_load.add_argument("--hedge-delay", type=float, default=None,
+                        help="with --cluster: hedge queries to a second "
+                             "replica after this many seconds")
     return parser
+
+
+def _parse_addresses(spec: str) -> List[tuple]:
+    """Parse ``host:port,host:port`` into ``[(host, port), ...]``."""
+    addresses = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        host, _, port = part.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(f"bad replica address {part!r} "
+                             "(expected host:port)")
+        addresses.append((host, int(port)))
+    if not addresses:
+        raise ValueError("no replica addresses given")
+    return addresses
 
 
 def _cmd_summarize(args: argparse.Namespace) -> int:
@@ -510,38 +563,104 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_cluster(args: argparse.Namespace) -> int:
+    import logging
+    import time as _time
+
+    from .serve import ServerConfig, SummaryCluster
+
+    logging.basicConfig(
+        level=logging.INFO, format="%(asctime)s %(name)s %(message)s"
+    )
+    summary = _load_any_summary(args.summary)
+    template = ServerConfig(
+        cache_entries=args.cache_size,
+        max_pending=args.max_pending,
+        request_timeout=args.request_timeout,
+        shed_fraction=args.shed_fraction,
+        degraded_enabled=not args.no_degraded,
+    )
+    cluster = SummaryCluster(
+        summary,
+        replicas=args.replicas,
+        config=template,
+        host=args.host,
+        port_base=args.port_base,
+    )
+    cluster.start()
+    addresses = ",".join(f"{h}:{p}" for h, p in cluster.addresses)
+    print(
+        f"cluster of {args.replicas} replicas serving {args.summary} "
+        f"({summary.num_nodes} nodes) on {addresses} — ctrl-c to stop"
+    )
+    print(f"query with: ldme query ping --cluster {addresses}")
+    try:
+        while True:
+            _time.sleep(3600)
+    except KeyboardInterrupt:
+        print("stopping replicas...")
+    finally:
+        cluster.stop()
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     import json
 
     from .serve import ServerError, SummaryClient
 
-    client = SummaryClient(args.host, args.port, timeout=args.timeout)
+    if args.cluster:
+        from .serve import ClusterClient
+
+        client = ClusterClient(
+            _parse_addresses(args.cluster),
+            timeout=args.timeout,
+            deadline=args.deadline,
+        )
+    else:
+        client = SummaryClient(args.host, args.port, timeout=args.timeout)
+    kw = {}
+    if args.cluster:
+        if args.deadline is not None:
+            kw["deadline"] = args.deadline
+        if args.priority is not None:
+            kw["priority"] = args.priority
     positional = args.args
     try:
         if args.op == "neighbors":
-            print(" ".join(map(str, client.neighbors(int(positional[0])))))
+            print(" ".join(map(str,
+                               client.neighbors(int(positional[0]), **kw))))
         elif args.op == "degree":
-            print(client.degree(int(positional[0])))
+            print(client.degree(int(positional[0]), **kw))
         elif args.op == "has_edge":
-            print(client.has_edge(int(positional[0]), int(positional[1])))
+            print(client.has_edge(int(positional[0]), int(positional[1]),
+                                  **kw))
         elif args.op == "bfs":
-            for node, dist in sorted(client.bfs(int(positional[0])).items()):
+            for node, dist in sorted(client.bfs(int(positional[0]),
+                                                **kw).items()):
                 print(f"{node} {dist}")
         elif args.op == "stats":
             print(json.dumps(client.stats(), indent=2, sort_keys=True))
         elif args.op == "ping":
             print("pong" if client.ping() else "no pong")
         elif args.op == "reload":
+            if args.cluster:
+                print("error: use a rolling swap for replica sets, not "
+                      "'reload' (see docs/serving.md)", file=sys.stderr)
+                return 2
             print(json.dumps(client.reload(positional[0])))
     except IndexError:
         print(f"error: op {args.op!r} is missing an argument",
               file=sys.stderr)
         return 2
-    except ServerError as exc:
+    except (ServerError, ConnectionError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     finally:
-        client.close()
+        if args.cluster:
+            client.shutdown()
+        else:
+            client.close()
     return 0
 
 
@@ -563,21 +682,42 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         obs_profile.SamplingProfiler(all_threads=True)
         if args.profile else None
     )
-    with contextlib.ExitStack() as stack:
-        if tracer is not None:
-            stack.enter_context(obs_trace.use(tracer))
-        if profiler is not None:
-            stack.enter_context(profiler)
-        report = run_load(
-            args.host,
-            args.port,
-            num_queries=args.queries,
-            concurrency=args.concurrency,
-            seed=args.seed,
-            skew=args.skew,
-            client_timeout=args.timeout,
-            chaos=chaos,
+    cluster_client = None
+    client_factory = None
+    host, port = args.host, args.port
+    if args.cluster:
+        from .serve import ClusterClient
+
+        addresses = _parse_addresses(args.cluster)
+        cluster_client = ClusterClient(
+            addresses,
+            timeout=args.timeout,
+            hedge_delay=args.hedge_delay,
         )
+        cluster_client.start_health_checks()
+        client_factory = lambda: cluster_client  # noqa: E731 - shared
+        host, port = addresses[0]
+    try:
+        with contextlib.ExitStack() as stack:
+            if tracer is not None:
+                stack.enter_context(obs_trace.use(tracer))
+            if profiler is not None:
+                stack.enter_context(profiler)
+            report = run_load(
+                host,
+                port,
+                num_queries=args.queries,
+                concurrency=args.concurrency,
+                seed=args.seed,
+                skew=args.skew,
+                client_timeout=args.timeout,
+                chaos=chaos,
+                client_factory=client_factory,
+            )
+    finally:
+        if cluster_client is not None:
+            print("breakers:", cluster_client.breaker_states())
+            cluster_client.shutdown()
     if tracer is not None:
         written = tracer.export_jsonl(args.trace)
         print(f"trace: {written} spans written to {args.trace}")
@@ -598,6 +738,7 @@ _COMMANDS = {
     "stream": _cmd_stream,
     "evaluate": _cmd_evaluate,
     "serve": _cmd_serve,
+    "serve-cluster": _cmd_serve_cluster,
     "query": _cmd_query,
     "loadgen": _cmd_loadgen,
 }

@@ -24,7 +24,9 @@ from ..ioutil import atomic_write, file_crc32
 from .checkpoint import CheckpointInfo, CheckpointManager, LoadedCheckpoint
 from .faults import (
     CRASH_EXIT_CODE,
+    ClusterFaultPlan,
     FaultInjector,
+    ReplicaFault,
     WorkerFault,
     WorkerFaultError,
     flip_bit,
@@ -62,6 +64,8 @@ __all__ = [
     "FaultInjector",
     "WorkerFault",
     "WorkerFaultError",
+    "ReplicaFault",
+    "ClusterFaultPlan",
     "CRASH_EXIT_CODE",
     "flip_bit",
     "truncate_file",

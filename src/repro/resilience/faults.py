@@ -15,12 +15,18 @@ so chaos tests are reproducible run-to-run. Three fault families:
   does (bit rot, torn writes, interrupted copies), for exercising the
   checksummed readers.
 * **Serve chaos** — the schedule helpers are reused by the load
-  generator's chaos mode (:mod:`repro.serve.loadgen`).
+  generator's chaos mode (:mod:`repro.serve.loadgen`), and
+  :class:`ClusterFaultPlan` schedules replica-level faults (kill /
+  restart / corrupt-swap) against a
+  :class:`~repro.serve.cluster.SummaryCluster` at exact query-progress
+  marks, so a cluster chaos run replays the identical fault sequence
+  every time.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
 import zlib
 from dataclasses import dataclass, field
@@ -30,6 +36,8 @@ __all__ = [
     "WorkerFault",
     "FaultInjector",
     "WorkerFaultError",
+    "ReplicaFault",
+    "ClusterFaultPlan",
     "flip_bit",
     "truncate_file",
     "partial_write",
@@ -132,6 +140,118 @@ class FaultInjector:
                 f"injected fault at iteration {iteration}, "
                 f"batch {batch_index}, attempt {attempt}"
             )
+
+
+_REPLICA_ACTIONS = ("kill", "restart", "swap", "corrupt_swap")
+
+
+@dataclass(frozen=True)
+class ReplicaFault:
+    """One scheduled fault against a serving replica set.
+
+    Parameters
+    ----------
+    at_progress:
+        Fire when the load generator's completed-query counter reaches
+        this value (progress marks, not wall-clock — reproducible).
+    replica:
+        Target replica index (ignored by swap actions, which roll the
+        whole fleet).
+    action:
+        ``"kill"`` (abrupt replica death — connections reset, no drain),
+        ``"restart"`` (bring a killed replica back on its port),
+        ``"swap"`` (rolling hot-swap to the summary at ``path``), or
+        ``"corrupt_swap"`` (flip a bit in ``path`` first, then attempt
+        the rolling swap — the checksummed loader must reject it before
+        any replica is touched).
+    path:
+        Summary file for the swap actions.
+    """
+
+    at_progress: int
+    replica: int = 0
+    action: str = "kill"
+    path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.at_progress < 0:
+            raise ValueError("at_progress must be non-negative")
+        if self.action not in _REPLICA_ACTIONS:
+            raise ValueError(
+                f"action must be one of {_REPLICA_ACTIONS}, "
+                f"got {self.action!r}"
+            )
+        if self.action in ("swap", "corrupt_swap") and not self.path:
+            raise ValueError(f"{self.action} faults need a summary path")
+
+
+class ClusterFaultPlan:
+    """A deterministic schedule of :class:`ReplicaFault` entries.
+
+    Bound to a :class:`~repro.serve.cluster.SummaryCluster` (duck-typed:
+    anything with ``kill`` / ``restart`` / ``rolling_swap``) and fed to
+    :func:`repro.serve.loadgen.run_load` as its ``on_progress`` callback::
+
+        plan = ClusterFaultPlan(cluster, [
+            ReplicaFault(at_progress=100, replica=1, action="kill"),
+            ReplicaFault(at_progress=300, replica=2,
+                         action="corrupt_swap", path=str(bad)),
+            ReplicaFault(at_progress=500, replica=1, action="restart"),
+        ])
+        report = run_load(..., on_progress=plan.on_progress)
+
+    Each fault fires exactly once, in ``at_progress`` order, from
+    whichever worker thread crosses the mark; firing is serialized so
+    two workers never race the same fault. ``triggered`` records the
+    sequence; ``swap_reports`` collects the outcome of swap actions;
+    ``errors`` collects exceptions raised by fault actions (a fault that
+    cannot fire must not take the load run down with it).
+    """
+
+    def __init__(self, cluster: object,
+                 faults: List[ReplicaFault]) -> None:
+        self.cluster = cluster
+        self.faults = sorted(faults, key=lambda f: f.at_progress)
+        self.triggered: List[Tuple[int, str, int]] = []
+        self.swap_reports: List[object] = []
+        self.errors: List[Exception] = []
+        self._next = 0
+        self._lock = threading.Lock()
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every scheduled fault has fired."""
+        with self._lock:
+            return self._next >= len(self.faults)
+
+    def on_progress(self, done: int) -> None:
+        """Fire every not-yet-fired fault whose mark has been reached."""
+        while True:
+            with self._lock:
+                if self._next >= len(self.faults):
+                    return
+                fault = self.faults[self._next]
+                if done < fault.at_progress:
+                    return
+                self._next += 1
+                self.triggered.append(
+                    (fault.at_progress, fault.action, fault.replica)
+                )
+            self._fire(fault)
+
+    def _fire(self, fault: ReplicaFault) -> None:
+        try:
+            if fault.action == "kill":
+                self.cluster.kill(fault.replica)
+            elif fault.action == "restart":
+                self.cluster.restart(fault.replica)
+            else:
+                if fault.action == "corrupt_swap":
+                    flip_bit(fault.path)
+                report = self.cluster.rolling_swap(str(fault.path))
+                self.swap_reports.append(report)
+        except Exception as exc:  # noqa: BLE001 - recorded, not raised
+            self.errors.append(exc)
 
 
 # ----------------------------------------------------------------------

@@ -4,16 +4,32 @@ The production-facing half of the reproduction: an asyncio TCP server
 (:class:`SummaryServer`) that answers neighborhood / degree /
 edge-membership / BFS queries from a compiled summary index with request
 batching, an LRU result cache, admission control, per-request timeouts,
-atomic hot-swap of the live summary, and a metrics registry — plus a
-blocking :class:`SummaryClient` with retry/backoff and a thread-based
-load generator (:func:`run_load`).
+priority-aware load shedding, deadline propagation, a degraded mode that
+serves flagged stale answers under stress, atomic hot-swap of the live
+summary, and a metrics registry — plus a blocking :class:`SummaryClient`
+with retry/backoff, a replicated-serving layer
+(:class:`SummaryCluster` / :class:`ClusterClient` with per-replica
+circuit breakers, health checks, hedged reads, and a global retry
+budget), and a thread-based load generator (:func:`run_load`).
 
 See ``docs/serving.md`` for the wire protocol and operational semantics.
 """
 
 from .batching import execute_batch
+from .breaker import (
+    BreakerOpenError,
+    CircuitBreaker,
+    RetryBudget,
+    failure_trips_breaker,
+)
 from .cache import LRUCache
 from .client import ServerError, SummaryClient
+from .cluster import (
+    ClusterClient,
+    ClusterHealthChecker,
+    SummaryCluster,
+    SwapReport,
+)
 from .loadgen import DEFAULT_MIX, ChaosConfig, LoadReport, run_load
 from .metrics import Histogram, MetricsRegistry
 from .protocol import ErrorCode, ProtocolError, RequestError
@@ -25,6 +41,14 @@ __all__ = [
     "ServerThread",
     "SummaryClient",
     "ServerError",
+    "SummaryCluster",
+    "ClusterClient",
+    "ClusterHealthChecker",
+    "SwapReport",
+    "CircuitBreaker",
+    "RetryBudget",
+    "BreakerOpenError",
+    "failure_trips_breaker",
     "LRUCache",
     "MetricsRegistry",
     "Histogram",

@@ -19,7 +19,7 @@ thread, and tests drive it synchronously.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -27,12 +27,34 @@ from .cache import LRUCache
 from .metrics import MetricsRegistry
 from .protocol import ErrorCode
 
-__all__ = ["Outcome", "execute_batch"]
+__all__ = ["Outcome", "execute_batch", "cache_key", "from_cached"]
 
 #: ``("ok", result)`` or ``("error", code, message)`` per query.
 Outcome = Tuple[Any, ...]
 
 Query = Tuple[str, Dict[str, Any]]
+
+
+def cache_key(op: str, args: Dict[str, Any]) -> Optional[Tuple[Any, ...]]:
+    """Canonical cache key for a query, or ``None`` for uncacheable ops.
+
+    Shared by the batch executor (population) and the server's degraded
+    mode (stale lookup) so both agree on aliasing: ``degree`` reads the
+    ``neighbors`` entry, ``has_edge`` is symmetric in ``(u, v)``.
+    """
+    if op in ("neighbors", "degree"):
+        return ("neighbors", args["v"])
+    if op == "has_edge":
+        u, v = args["u"], args["v"]
+        return ("edge", min(u, v), max(u, v))
+    if op == "bfs":
+        return ("bfs", args["source"])
+    return None
+
+
+def from_cached(op: str, value: Any) -> Any:
+    """Project a cached value onto a query result (``degree`` = len)."""
+    return len(value) if op == "degree" else value
 
 
 def _ok(result: Any) -> Outcome:

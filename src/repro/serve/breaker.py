@@ -1,0 +1,257 @@
+"""Circuit breakers and retry budgets for the replicated serving layer.
+
+Two small, deterministic state machines that :class:`~repro.serve.cluster.
+ClusterClient` composes into production failover semantics:
+
+* :class:`CircuitBreaker` — per-replica closed / open / half-open
+  breaker. Consecutive failures trip it open; after ``recovery_time``
+  it admits a bounded number of half-open probes, and one success
+  closes it again. The clock is injectable so tests drive the state
+  machine with a fake monotonic counter instead of sleeping.
+* :class:`RetryBudget` — a token bucket that caps cluster-wide retries
+  as a *fraction of live traffic* (the classic anti-retry-storm
+  budget): every first attempt deposits ``ratio`` tokens, every retry
+  withdraws one, and when the bucket is empty retries fail fast
+  instead of amplifying an outage.
+
+Which server error codes count as breaker failures is a single shared
+predicate, :func:`failure_trips_breaker`, kept deliberately equal to
+:attr:`repro.serve.protocol.ErrorCode.RETRYABLE` — a failure a client
+may retry is exactly a failure that should count against the replica;
+a ``bad_request`` or ``out_of_range`` answer is proof the replica is
+healthy. ``tests/serve/test_client_retry.py`` pins this equivalence
+code-by-code.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from .protocol import ErrorCode
+
+__all__ = [
+    "BreakerOpenError",
+    "CircuitBreaker",
+    "RetryBudget",
+    "failure_trips_breaker",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+]
+
+#: Breaker states (string-valued for readable metrics/labels).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: Numeric encoding for gauges: closed=0, half_open=1, open=2.
+STATE_GAUGE = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class BreakerOpenError(ConnectionError):
+    """Raised when every candidate replica's breaker refuses the call."""
+
+
+def failure_trips_breaker(code: Optional[str]) -> bool:
+    """Whether a server error ``code`` counts against a replica's breaker.
+
+    ``None`` means a transport fault (refused/reset/truncated) — always a
+    breaker failure. Typed server errors count exactly when they are
+    retryable: a replica that *answered* with ``bad_request`` or
+    ``out_of_range`` is alive and healthy; one that answered
+    ``overloaded``/``timeout``/``shutting_down`` is in trouble.
+    """
+    return code is None or code in ErrorCode.RETRYABLE
+
+
+class CircuitBreaker:
+    """A closed / open / half-open circuit breaker for one replica.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that trip the breaker open.
+    recovery_time:
+        Seconds the breaker stays open before admitting probes.
+    half_open_max:
+        Concurrent probe calls admitted while half-open.
+    clock:
+        Monotonic time source; injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        recovery_time: float = 1.0,
+        half_open_max: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if recovery_time <= 0:
+            raise ValueError("recovery_time must be positive")
+        if half_open_max < 1:
+            raise ValueError("half_open_max must be at least 1")
+        self.failure_threshold = failure_threshold
+        self.recovery_time = recovery_time
+        self.half_open_max = half_open_max
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probes_in_flight = 0
+        # lifetime accounting (drives metrics)
+        self.trips = 0
+        self.failures_total = 0
+        self.successes_total = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state, advancing ``open -> half_open`` when due."""
+        with self._lock:
+            self._advance_locked()
+            return self._state
+
+    def _advance_locked(self) -> None:
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.recovery_time
+        ):
+            self._state = HALF_OPEN
+            self._probes_in_flight = 0
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """Whether a call may be sent to this replica right now.
+
+        While half-open, at most ``half_open_max`` probes are admitted
+        concurrently; each admission must be answered with
+        :meth:`record_success` or :meth:`record_failure`.
+        """
+        with self._lock:
+            self._advance_locked()
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                return False
+            if self._probes_in_flight < self.half_open_max:
+                self._probes_in_flight += 1
+                return True
+            return False
+
+    def release(self) -> None:
+        """Return a half-open probe slot that was admitted but never used.
+
+        Callers that :meth:`allow` a probe and then decide not to send it
+        (retry budget denied, say) must release the slot — otherwise the
+        replica would stay half-open with its only probe slot leaked and
+        never be retried.
+        """
+        with self._lock:
+            if self._state == HALF_OPEN and self._probes_in_flight > 0:
+                self._probes_in_flight -= 1
+
+    def record_success(self) -> None:
+        """A call to the replica succeeded (or failed non-retryably).
+
+        Any success closes the breaker: the replica demonstrably
+        answered, so there is nothing left to protect against.
+        """
+        with self._lock:
+            self.successes_total += 1
+            self._consecutive_failures = 0
+            self._state = CLOSED
+            self._probes_in_flight = 0
+            self._opened_at = None
+
+    def record_failure(self) -> None:
+        """A call to the replica failed retryably (or at the transport)."""
+        with self._lock:
+            self.failures_total += 1
+            self._consecutive_failures += 1
+            if self._state == HALF_OPEN or (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._probes_in_flight = 0
+                self.trips += 1
+
+    def record_outcome(self, code: Optional[str]) -> None:
+        """Classify a typed server error (``None`` = transport fault)."""
+        if failure_trips_breaker(code):
+            self.record_failure()
+        else:
+            self.record_success()
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, float]:
+        """State + lifetime counters (for stats/metrics surfaces)."""
+        with self._lock:
+            self._advance_locked()
+            return {
+                "state": self._state,
+                "state_code": STATE_GAUGE[self._state],
+                "consecutive_failures": self._consecutive_failures,
+                "failures_total": self.failures_total,
+                "successes_total": self.successes_total,
+                "trips": self.trips,
+            }
+
+
+class RetryBudget:
+    """Token bucket bounding retries to a fraction of live traffic.
+
+    Every first attempt deposits ``ratio`` tokens (capped at
+    ``max_tokens``); every retry withdraws one whole token. When the
+    bucket cannot cover a withdrawal the retry is denied and the caller
+    fails fast — so even a total outage generates at most
+    ``1 + ratio`` attempts per request on average, instead of
+    ``1 + retries``.
+
+    The bucket starts at ``initial`` tokens so isolated early failures
+    (before much traffic has accrued budget) can still retry.
+    """
+
+    def __init__(
+        self,
+        ratio: float = 0.2,
+        max_tokens: float = 64.0,
+        initial: float = 8.0,
+    ) -> None:
+        if ratio < 0:
+            raise ValueError("ratio must be non-negative")
+        if max_tokens <= 0:
+            raise ValueError("max_tokens must be positive")
+        self.ratio = ratio
+        self.max_tokens = max_tokens
+        self._lock = threading.Lock()
+        self._tokens = min(float(initial), float(max_tokens))
+        self.denied_total = 0
+        self.spent_total = 0
+
+    @property
+    def tokens(self) -> float:
+        """Current balance (for tests and stats)."""
+        with self._lock:
+            return self._tokens
+
+    def deposit(self) -> None:
+        """Account one first attempt (accrues ``ratio`` tokens)."""
+        with self._lock:
+            self._tokens = min(self.max_tokens, self._tokens + self.ratio)
+
+    def try_spend(self) -> bool:
+        """Withdraw one token for a retry; ``False`` denies the retry."""
+        with self._lock:
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                self.spent_total += 1
+                return True
+            self.denied_total += 1
+            return False

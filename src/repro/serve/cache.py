@@ -73,6 +73,16 @@ class LRUCache:
             self._data.clear()
             self._generation += 1
 
+    def snapshot_items(self) -> Dict[Hashable, Any]:
+        """Shallow copy of the resident entries (degraded-mode snapshot).
+
+        Taken by the server just before a hot-swap clears the cache, so
+        degraded mode can keep answering from the previous generation's
+        results while flagging them stale.
+        """
+        with self._lock:
+            return dict(self._data)
+
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         with self._lock:

@@ -18,6 +18,7 @@ server's batching window from a single client.
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 from typing import Any, Dict, Iterable, List, Optional
@@ -58,7 +59,13 @@ class SummaryClient:
     retries:
         Additional attempts after the first failure.
     backoff:
-        Initial sleep before a retry; doubles each attempt.
+        Backoff *cap base*: a retry sleeps a uniform random duration in
+        ``[0, backoff * 2**attempt]`` (full jitter). Deterministic
+        exponential backoff synchronizes retry storms — every client that
+        failed together retries together; the jitter decorrelates them.
+    rng:
+        Randomness source for the jitter (injectable for deterministic
+        tests). Defaults to a private :class:`random.Random`.
     """
 
     def __init__(
@@ -69,6 +76,7 @@ class SummaryClient:
         retries: int = 3,
         backoff: float = 0.05,
         max_frame_bytes: int = MAX_FRAME_BYTES,
+        rng: Optional[random.Random] = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -76,9 +84,11 @@ class SummaryClient:
         self.retries = retries
         self.backoff = backoff
         self.max_frame_bytes = max_frame_bytes
+        self._rng = rng if rng is not None else random.Random()
         self._sock: Optional[socket.socket] = None
         self._next_id = 0
         self.retries_used = 0   # total retry sleeps taken (for tests/stats)
+        self.stale_served = 0   # responses flagged stale (degraded mode)
 
     # ------------------------------------------------------------------
     # connection management
@@ -115,8 +125,9 @@ class SummaryClient:
         return self._next_id
 
     def _sleep_backoff(self, attempt: int) -> None:
+        # Full jitter: uniform in [0, cap], cap doubling per attempt.
         self.retries_used += 1
-        time.sleep(self.backoff * (2 ** attempt))
+        time.sleep(self._rng.uniform(0.0, self.backoff * (2 ** attempt)))
 
     def _roundtrip(self, requests: List[Dict[str, Any]]) -> List[Any]:
         """Send all requests, then collect all responses (id-matched)."""
@@ -136,11 +147,34 @@ class SummaryClient:
             results[rid] = response
         return [results[request["id"]] for request in requests]
 
-    def _call(self, op: str, args: Optional[Dict[str, Any]] = None) -> Any:
+    def _build_request(
+        self,
+        op: str,
+        args: Optional[Dict[str, Any]],
+        deadline_ms: Optional[float],
+        priority: Optional[int],
+    ) -> Dict[str, Any]:
+        request: Dict[str, Any] = {
+            "id": self._new_id(), "op": op, "args": args or {},
+        }
+        if deadline_ms is not None:
+            request["deadline_ms"] = float(deadline_ms)
+        if priority is not None:
+            request["priority"] = int(priority)
+        return request
+
+    def _call(
+        self,
+        op: str,
+        args: Optional[Dict[str, Any]] = None,
+        *,
+        deadline_ms: Optional[float] = None,
+        priority: Optional[int] = None,
+    ) -> Any:
         """One request/response with transport + retryable-error retries."""
         last_error: Optional[Exception] = None
         for attempt in range(self.retries + 1):
-            request = {"id": self._new_id(), "op": op, "args": args or {}}
+            request = self._build_request(op, args, deadline_ms, priority)
             try:
                 response = self._roundtrip([request])[0]
             except (OSError, ProtocolError) as exc:
@@ -153,6 +187,8 @@ class SummaryClient:
                     f"{op} failed after {attempt + 1} attempts: {exc}"
                 ) from exc
             if response.get("ok"):
+                if response.get("stale"):
+                    self.stale_served += 1
                 return response.get("result")
             error = response.get("error") or {}
             server_error = ServerError(
@@ -166,12 +202,44 @@ class SummaryClient:
             raise server_error
         raise ConnectionError(f"{op} failed: {last_error}")  # unreachable
 
+    def call(
+        self,
+        op: str,
+        args: Optional[Dict[str, Any]] = None,
+        *,
+        deadline_ms: Optional[float] = None,
+        priority: Optional[int] = None,
+    ) -> Any:
+        """Issue one raw operation with optional deadline and priority.
+
+        ``deadline_ms`` is the remaining time budget the server is told
+        about (it rejects the query with ``deadline_exceeded`` instead of
+        executing it once that budget is spent in its queue);
+        ``priority`` feeds the server's load shedding (0 = critical,
+        1 = normal, 2+ = best-effort, shed first).
+        :class:`~repro.serve.cluster.ClusterClient` drives this method
+        with ``retries=0`` and does its own failover.
+        """
+        return self._call(
+            op, args, deadline_ms=deadline_ms, priority=priority
+        )
+
     # ------------------------------------------------------------------
     # query API
     # ------------------------------------------------------------------
-    def ping(self) -> bool:
-        """Liveness probe."""
-        return self._call("ping") == "pong"
+    def ping(self) -> Dict[str, Any]:
+        """Cheap health probe: generation, queue depth, draining/degraded.
+
+        Returns the server's health dict — light enough for a 1-second
+        probe loop (``stats`` snapshots every metric; this does not). The
+        dict is truthy, so ``if client.ping():`` still reads naturally;
+        a legacy server answering the bare string ``"pong"`` is
+        normalized to ``{"pong": True}``.
+        """
+        result = self._call("ping")
+        if result == "pong":
+            return {"pong": True}
+        return result
 
     def stats(self) -> Dict[str, Any]:
         """Server stats: cache, metrics, generation, queue depth."""
@@ -237,5 +305,7 @@ class SummaryClient:
                         error.get("code", ErrorCode.INTERNAL),
                         error.get("message", "unknown server error"),
                     )
+                if response.get("stale"):
+                    self.stale_served += 1
             return [response["result"] for response in responses]
         raise ConnectionError(f"pipeline failed: {last_error}")  # unreachable

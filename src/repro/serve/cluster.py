@@ -1,0 +1,923 @@
+"""Replicated serving: a health-checked failover cluster over summaries.
+
+Two halves, mirroring a real deployment:
+
+* :class:`SummaryCluster` — the *server* side. Runs N
+  :class:`~repro.serve.server.SummaryServer` replicas (via
+  :class:`~repro.serve.server.ServerThread`) over one shared compiled
+  index, and owns fleet operations: abrupt :meth:`~SummaryCluster.kill`
+  and :meth:`~SummaryCluster.restart` of a replica (chaos tests), and
+  :meth:`~SummaryCluster.rolling_swap` — a generation-tracked rolling
+  hot-swap that verifies each replica after swapping and rolls every
+  replica back to the previous index if verification fails, so a bad
+  summary never takes the fleet down. While a replica is mid-swap it is
+  held in degraded mode (cached answers served immediately, stale ones
+  flagged) instead of erroring.
+
+* :class:`ClusterClient` — the *client* side, replacing raw
+  :class:`~repro.serve.client.SummaryClient` failover with production
+  semantics:
+
+  - **per-replica circuit breakers** (closed/open/half-open,
+    deterministic clocks for tests) fed both passively by request
+    outcomes and actively by the optional background health checker
+    (:meth:`ClusterClient.start_health_checks`, built on the cheap
+    ``ping`` health op);
+  - **a global retry budget** (token bucket) so retries are bounded by
+    a fraction of live traffic and cannot amplify an outage;
+  - **hedged reads** — after ``hedge_delay`` seconds without an answer,
+    the same idempotent query is fired at a second replica and the
+    first success wins, cutting tail latency when one replica stalls;
+  - **deadline propagation** — a per-call deadline is enforced locally
+    *and* shipped on the wire (``deadline_ms``), so the server rejects
+    work whose deadline expired in its queue instead of executing it.
+
+Everything is observable: breaker state gauges, failover / hedge /
+stale / budget counters land in the client's
+:class:`~repro.obs.metrics.MetricsRegistry` (Prometheus-renderable via
+:meth:`ClusterClient.prometheus`) and are mirrored to the module-level
+:mod:`repro.obs.metrics` seam when a registry is installed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor
+from concurrent.futures import wait as futures_wait
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..core.summary import Summarization
+from ..obs import metrics as obs_metrics
+from ..queries.compiled import CompiledSummaryIndex
+from .breaker import (
+    BreakerOpenError,
+    CircuitBreaker,
+    RetryBudget,
+    failure_trips_breaker,
+)
+from .client import ServerError, SummaryClient
+from .metrics import MetricsRegistry
+from .protocol import ErrorCode, ProtocolError
+from .server import ServerConfig, ServerThread, _load_index
+
+__all__ = [
+    "Address",
+    "ClusterClient",
+    "ClusterHealthChecker",
+    "SummaryCluster",
+    "SwapReport",
+]
+
+logger = logging.getLogger("repro.serve.cluster")
+
+#: A replica address.
+Address = Tuple[str, int]
+
+#: Idempotent query ops that may be hedged (control ops never are).
+_HEDGEABLE = frozenset({"neighbors", "degree", "has_edge", "bfs"})
+
+
+def _addr_label(address: Address) -> str:
+    return f"{address[0]}:{address[1]}"
+
+
+class _Attempt(Exception):
+    """Internal wrapper: a failed attempt that may fail over.
+
+    ``code`` is the typed server error code, or ``None`` for transport
+    faults; ``cause`` is the underlying exception to re-raise if no
+    replica can answer.
+    """
+
+    def __init__(self, cause: Exception, code: Optional[str]) -> None:
+        super().__init__(str(cause))
+        self.cause = cause
+        self.code = code
+
+
+# ----------------------------------------------------------------------
+# client side
+# ----------------------------------------------------------------------
+class ClusterClient:
+    """Blocking failover client over a set of summary-server replicas.
+
+    Thread-safe: loadgen workers share one instance (and thereby one set
+    of breakers and one retry budget — that sharing *is* the feature).
+    Each thread gets its own per-replica TCP connections.
+
+    Parameters
+    ----------
+    replicas:
+        ``(host, port)`` addresses of the replica set.
+    timeout:
+        Socket timeout per attempt (seconds).
+    deadline:
+        Default per-call deadline in seconds (``None`` = no deadline).
+        Propagated to the server as ``deadline_ms`` remaining budget.
+    hedge_delay:
+        Seconds to wait for the first replica before hedging the query
+        to a second one (``None`` disables hedging).
+    retry_budget:
+        Shared :class:`~repro.serve.breaker.RetryBudget`; defaults to a
+        fresh one (ratio 0.2).
+    breaker_failures / breaker_recovery:
+        Per-replica breaker tuning (consecutive failures to trip, open
+        seconds before half-open probes).
+    clock:
+        Monotonic time source, injectable for deterministic tests
+        (drives deadlines and breaker recovery).
+    """
+
+    def __init__(
+        self,
+        replicas: Sequence[Address],
+        *,
+        timeout: float = 5.0,
+        deadline: Optional[float] = None,
+        hedge_delay: Optional[float] = None,
+        retry_budget: Optional[RetryBudget] = None,
+        breaker_failures: int = 3,
+        breaker_recovery: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not replicas:
+            raise ValueError("ClusterClient needs at least one replica")
+        self.replicas: List[Address] = [
+            (str(host), int(port)) for host, port in replicas
+        ]
+        self.timeout = timeout
+        self.default_deadline = deadline
+        self.hedge_delay = hedge_delay
+        self.retry_budget = retry_budget or RetryBudget()
+        self._clock = clock
+        self.breakers: List[CircuitBreaker] = [
+            CircuitBreaker(
+                failure_threshold=breaker_failures,
+                recovery_time=breaker_recovery,
+                clock=clock,
+            )
+            for _ in self.replicas
+        ]
+        self.metrics = MetricsRegistry()
+        self._tl = threading.local()
+        self._rr = 0                      # round-robin cursor (racy is fine)
+        self._rr_lock = threading.Lock()
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor_lock = threading.Lock()
+        self._checker: Optional["ClusterHealthChecker"] = None
+        self.retries_used = 0             # failover attempts beyond the first
+        self.stale_served = 0             # stale-flagged answers observed
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _client_for(self, idx: int) -> SummaryClient:
+        clients = getattr(self._tl, "clients", None)
+        if clients is None:
+            clients = self._tl.clients = {}
+        client = clients.get(idx)
+        if client is None:
+            host, port = self.replicas[idx]
+            # retries=0: failover policy lives here, not in the leaf client.
+            client = clients[idx] = SummaryClient(
+                host, port, timeout=self.timeout, retries=0
+            )
+        return client
+
+    def _ordered(self) -> List[int]:
+        """Replica indices, round-robin rotated for load spreading."""
+        with self._rr_lock:
+            start = self._rr
+            self._rr = (self._rr + 1) % len(self.replicas)
+        n = len(self.replicas)
+        return [(start + i) % n for i in range(n)]
+
+    def _inc(self, name: str, *, labels: Optional[Dict[str, object]] = None,
+             amount: float = 1) -> None:
+        self.metrics.inc(name, amount, labels=labels)
+        obs_metrics.inc(name, amount, labels=labels)
+
+    def _record(self, idx: int, *, ok: bool,
+                code: Optional[str] = None) -> None:
+        """Feed one attempt outcome into the replica's breaker + metrics.
+
+        ``ok=True`` is an answered request (always a breaker success).
+        ``ok=False`` classifies by ``code``: ``None`` is a transport
+        fault; typed codes count as failures exactly when retryable
+        (:func:`failure_trips_breaker`).
+        """
+        breaker = self.breakers[idx]
+        label = {"replica": _addr_label(self.replicas[idx])}
+        if ok or not failure_trips_breaker(code):
+            breaker.record_success()
+        else:
+            breaker.record_failure()
+            self._inc("cluster_attempt_failures_total", labels=label)
+        self.metrics.set_gauge(
+            "cluster_breaker_state",
+            breaker.snapshot()["state_code"],
+            labels=label,
+        )
+
+    def _attempt(
+        self,
+        idx: int,
+        op: str,
+        args: Optional[Dict[str, Any]],
+        deadline_at: Optional[float],
+        priority: Optional[int],
+    ) -> Any:
+        """One attempt against one replica; breaker fed on every outcome.
+
+        Raises :class:`_Attempt` on failures eligible for failover, the
+        original :class:`ServerError` for non-retryable typed errors.
+        """
+        deadline_ms: Optional[float] = None
+        if deadline_at is not None:
+            remaining = deadline_at - self._clock()
+            if remaining <= 0:
+                raise ServerError(
+                    ErrorCode.DEADLINE_EXCEEDED,
+                    "deadline expired before the request was sent",
+                )
+            deadline_ms = remaining * 1000.0
+        client = self._client_for(idx)
+        stale_before = client.stale_served
+        try:
+            result = client.call(
+                op, args, deadline_ms=deadline_ms, priority=priority
+            )
+        except ServerError as exc:
+            self._record(idx, ok=False, code=exc.code)
+            if exc.retryable:
+                raise _Attempt(exc, exc.code) from exc
+            raise
+        except (OSError, ProtocolError) as exc:
+            self._record(idx, ok=False, code=None)
+            raise _Attempt(exc, None) from exc
+        self._record(idx, ok=True)
+        stale_delta = client.stale_served - stale_before
+        if stale_delta:
+            self.stale_served += stale_delta
+            self._inc(
+                "cluster_stale_total",
+                labels={"replica": _addr_label(self.replicas[idx])},
+                amount=stale_delta,
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # call path
+    # ------------------------------------------------------------------
+    def call(
+        self,
+        op: str,
+        args: Optional[Dict[str, Any]] = None,
+        *,
+        deadline: Optional[float] = None,
+        priority: Optional[int] = None,
+        hedge: Optional[bool] = None,
+    ) -> Any:
+        """Issue ``op`` with failover, breakers, budget, and deadline.
+
+        ``deadline`` (seconds from now) overrides the client default;
+        ``hedge`` forces hedging on/off for this call (default: hedge
+        query ops when ``hedge_delay`` is configured).
+        """
+        if deadline is None:
+            deadline = self.default_deadline
+        deadline_at = (
+            self._clock() + deadline if deadline is not None else None
+        )
+        self.retry_budget.deposit()
+        self._inc("cluster_requests_total", labels={"op": op})
+        use_hedge = (
+            self.hedge_delay is not None and op in _HEDGEABLE
+            if hedge is None else hedge
+        )
+        order = self._ordered()
+        if use_hedge:
+            return self._call_hedged(
+                order, op, args, deadline_at, priority
+            )
+        return self._call_failover(order, op, args, deadline_at, priority)
+
+    def _check_deadline(self, deadline_at: Optional[float]) -> None:
+        if deadline_at is not None and self._clock() >= deadline_at:
+            self._inc("cluster_deadline_exceeded_total")
+            raise ServerError(
+                ErrorCode.DEADLINE_EXCEEDED,
+                "cluster call deadline expired",
+            )
+
+    def _call_failover(
+        self,
+        order: Sequence[int],
+        op: str,
+        args: Optional[Dict[str, Any]],
+        deadline_at: Optional[float],
+        priority: Optional[int],
+    ) -> Any:
+        last: Optional[_Attempt] = None
+        attempts = 0
+        for idx in order:
+            self._check_deadline(deadline_at)
+            if not self.breakers[idx].allow():
+                continue
+            if attempts > 0:
+                # Failover = retry: it must fit in the global budget so a
+                # cluster-wide outage cannot multiply its own traffic.
+                if not self.retry_budget.try_spend():
+                    self.breakers[idx].release()
+                    self._inc("cluster_retry_budget_exhausted_total")
+                    break
+                self.retries_used += 1
+                self._inc("cluster_failovers_total", labels={"op": op})
+            attempts += 1
+            try:
+                return self._attempt(idx, op, args, deadline_at, priority)
+            except _Attempt as exc:
+                last = exc
+                continue
+        if last is not None:
+            raise ConnectionError(
+                f"{op} failed on {attempts} replica(s): {last.cause}"
+            ) from last.cause
+        raise BreakerOpenError(
+            f"{op}: no replica available (all breakers open)"
+        )
+
+    def _call_hedged(
+        self,
+        order: Sequence[int],
+        op: str,
+        args: Optional[Dict[str, Any]],
+        deadline_at: Optional[float],
+        priority: Optional[int],
+    ) -> Any:
+        """Primary attempt + a hedge fired after ``hedge_delay`` seconds.
+
+        Falls back to sequential failover over the untried replicas when
+        both hedged attempts fail retryably. The losing attempt is not
+        cancelled (blocking sockets cannot be); its result is discarded
+        when it eventually lands, on its own per-thread connection.
+        """
+        # allow() is consumed lazily — a half-open breaker's probe slot
+        # must only be taken by an attempt that actually happens.
+        primary = next(
+            (i for i in order if self.breakers[i].allow()), None
+        )
+        if primary is None:
+            raise BreakerOpenError(
+                f"{op}: no replica available (all breakers open)"
+            )
+        executor = self._ensure_executor()
+        pending: Dict[Future, int] = {}
+        tried: List[int] = [primary]
+        pending[executor.submit(
+            self._attempt, primary, op, args, deadline_at, priority
+        )] = primary
+        hedged = False
+        last: Optional[BaseException] = None
+        while pending:
+            timeout = None
+            if not hedged:
+                timeout = self.hedge_delay
+            if deadline_at is not None:
+                remaining = deadline_at - self._clock()
+                if remaining <= 0:
+                    self._check_deadline(deadline_at)  # raises
+                timeout = (
+                    remaining if timeout is None else min(timeout, remaining)
+                )
+            done, _ = futures_wait(
+                pending, timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            for future in done:
+                pending.pop(future)
+                try:
+                    return future.result()
+                except _Attempt as exc:
+                    last = exc.cause
+                except ServerError:
+                    raise           # non-retryable: surface immediately
+            if not done and not hedged:
+                # Primary is slow: fire the hedge at the next allowed
+                # replica (budgeted — a hedge is a speculative retry).
+                hedged = True
+                hedge_idx = next(
+                    (i for i in order
+                     if i not in tried and self.breakers[i].allow()),
+                    None,
+                )
+                if hedge_idx is not None:
+                    if self.retry_budget.try_spend():
+                        tried.append(hedge_idx)
+                        self._inc("cluster_hedges_total", labels={"op": op})
+                        pending[executor.submit(
+                            self._attempt, hedge_idx, op, args,
+                            deadline_at, priority,
+                        )] = hedge_idx
+                    else:
+                        self.breakers[hedge_idx].release()
+                        self._inc("cluster_retry_budget_exhausted_total")
+        # Both hedged attempts failed retryably: sequential failover over
+        # whatever replicas remain.
+        remaining_order = [i for i in order if i not in tried]
+        if remaining_order:
+            try:
+                return self._call_failover(
+                    remaining_order, op, args, deadline_at, priority
+                )
+            except BreakerOpenError:
+                pass
+        raise ConnectionError(
+            f"{op} failed on {len(tried)} hedged replica(s): {last}"
+        ) from last
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=max(4, 2 * len(self.replicas)),
+                    thread_name_prefix="repro-cluster-hedge",
+                )
+            return self._executor
+
+    # ------------------------------------------------------------------
+    # query API (mirrors SummaryClient)
+    # ------------------------------------------------------------------
+    def ping(self) -> Dict[str, Any]:
+        """Health of the first replica that answers."""
+        return self.call("ping", hedge=False)
+
+    def stats(self) -> Dict[str, Any]:
+        """Stats from the first replica that answers."""
+        return self.call("stats", hedge=False)
+
+    def neighbors(self, v: int, **kw: Any) -> List[int]:
+        """Sorted neighbour list of ``v``."""
+        return self.call("neighbors", {"v": int(v)}, **kw)
+
+    def degree(self, v: int, **kw: Any) -> int:
+        """Degree of ``v``."""
+        return self.call("degree", {"v": int(v)}, **kw)
+
+    def has_edge(self, u: int, v: int, **kw: Any) -> bool:
+        """Edge membership of ``(u, v)``."""
+        return self.call("has_edge", {"u": int(u), "v": int(v)}, **kw)
+
+    def bfs(self, source: int, **kw: Any) -> Dict[int, int]:
+        """Hop distances from ``source``."""
+        pairs = self.call("bfs", {"source": int(source)}, **kw)
+        return {int(node): int(dist) for node, dist in pairs}
+
+    # ------------------------------------------------------------------
+    # health / introspection
+    # ------------------------------------------------------------------
+    def start_health_checks(
+        self, interval: float = 1.0, probe_timeout: float = 0.5
+    ) -> "ClusterHealthChecker":
+        """Start the background health checker (idempotent)."""
+        if self._checker is None or not self._checker.is_alive():
+            self._checker = ClusterHealthChecker(
+                self, interval=interval, probe_timeout=probe_timeout
+            )
+            self._checker.start()
+        return self._checker
+
+    def breaker_states(self) -> Dict[str, str]:
+        """``{"host:port": "closed" | "open" | "half_open"}``."""
+        return {
+            _addr_label(addr): breaker.state
+            for addr, breaker in zip(self.replicas, self.breakers)
+        }
+
+    def status(self) -> Dict[str, Any]:
+        """Structured cluster-side view: breakers, budget, last health."""
+        checker = self._checker
+        return {
+            "replicas": [_addr_label(a) for a in self.replicas],
+            "breakers": {
+                _addr_label(a): b.snapshot()
+                for a, b in zip(self.replicas, self.breakers)
+            },
+            "retry_budget": {
+                "tokens": self.retry_budget.tokens,
+                "spent_total": self.retry_budget.spent_total,
+                "denied_total": self.retry_budget.denied_total,
+            },
+            "health": dict(checker.last_health) if checker else {},
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def prometheus(self) -> str:
+        """Client-side metrics (breakers, hedges, failovers) as text.
+
+        Same exposition format as the servers' scrape endpoints, so one
+        scraper config covers both sides of the cluster.
+        """
+        for addr, breaker in zip(self.replicas, self.breakers):
+            self.metrics.set_gauge(
+                "cluster_breaker_state",
+                breaker.snapshot()["state_code"],
+                labels={"replica": _addr_label(addr)},
+            )
+        self.metrics.set_gauge(
+            "cluster_retry_budget_tokens", self.retry_budget.tokens
+        )
+        return self.metrics.to_prometheus(prefix="repro_")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the *calling thread's* connections (client stays usable).
+
+        Loadgen workers each call this on exit; shared state (breakers,
+        budget, metrics) is untouched. Use :meth:`shutdown` for full
+        teardown.
+        """
+        clients = getattr(self._tl, "clients", None)
+        if clients:
+            for client in clients.values():
+                client.close()
+            clients.clear()
+
+    def shutdown(self) -> None:
+        """Full teardown: health checker, hedge executor, connections."""
+        if self._checker is not None:
+            self._checker.stop()
+            self._checker = None
+        with self._executor_lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=False)
+                self._executor = None
+        self.close()
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+
+class ClusterHealthChecker(threading.Thread):
+    """Active health prober feeding a :class:`ClusterClient`'s breakers.
+
+    Every ``interval`` seconds each replica whose breaker admits a call
+    is probed with the cheap ``ping`` health op on a short-timeout,
+    throwaway connection. Successes close breakers (recovering replicas
+    return to rotation without waiting for live traffic to gamble on
+    them); failures trip them. The last health payload per replica is
+    kept for :meth:`ClusterClient.status`.
+    """
+
+    def __init__(
+        self,
+        client: ClusterClient,
+        interval: float = 1.0,
+        probe_timeout: float = 0.5,
+    ) -> None:
+        super().__init__(name="repro-cluster-health", daemon=True)
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.client = client
+        self.interval = interval
+        self.probe_timeout = probe_timeout
+        self.last_health: Dict[str, Dict[str, Any]] = {}
+        self.probes_total = 0
+        self._stop_event = threading.Event()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop probing and join the thread."""
+        self._stop_event.set()
+        if self.is_alive():
+            self.join(timeout=timeout)
+
+    def probe_all(self) -> None:
+        """One probe round (also callable synchronously from tests)."""
+        for idx, address in enumerate(self.client.replicas):
+            breaker = self.client.breakers[idx]
+            if not breaker.allow():
+                continue
+            label = _addr_label(address)
+            probe = SummaryClient(
+                address[0], address[1],
+                timeout=self.probe_timeout, retries=0,
+            )
+            self.probes_total += 1
+            try:
+                health = probe.ping()
+            except Exception:  # noqa: BLE001 - any probe failure counts
+                breaker.record_failure()
+                self.client.metrics.inc(
+                    "cluster_probe_failures_total",
+                    labels={"replica": label},
+                )
+                self.last_health.pop(label, None)
+            else:
+                breaker.record_success()
+                self.last_health[label] = health
+                self.client.metrics.set_gauge(
+                    "cluster_replica_generation",
+                    health.get("generation", -1),
+                    labels={"replica": label},
+                )
+                self.client.metrics.set_gauge(
+                    "cluster_replica_queue_depth",
+                    health.get("queue_depth", -1),
+                    labels={"replica": label},
+                )
+            finally:
+                probe.close()
+            self.client.metrics.set_gauge(
+                "cluster_breaker_state",
+                breaker.snapshot()["state_code"],
+                labels={"replica": label},
+            )
+
+    def run(self) -> None:
+        while not self._stop_event.wait(self.interval):
+            try:
+                self.probe_all()
+            except Exception:  # noqa: BLE001 - keep probing
+                logger.exception("health probe round failed")
+
+
+# ----------------------------------------------------------------------
+# server side
+# ----------------------------------------------------------------------
+@dataclass
+class SwapReport:
+    """Outcome of a :meth:`SummaryCluster.rolling_swap`."""
+
+    ok: bool
+    generations: List[int] = field(default_factory=list)
+    swapped: List[int] = field(default_factory=list)
+    rolled_back: bool = False
+    error: Optional[str] = None
+
+
+class SummaryCluster:
+    """N in-process summary-server replicas behind one fleet API.
+
+    All replicas serve the same compiled index (compiled once, shared —
+    indexes are immutable). Ports are ephemeral by default; pass
+    ``port_base`` to pin ``port_base .. port_base+n-1``.
+
+    ``config`` is the per-replica :class:`ServerConfig` template; its
+    ``degraded_enabled`` flag defaults to True here (a replica set
+    exists to degrade gracefully) unless a template is supplied.
+    """
+
+    def __init__(
+        self,
+        summary: Union[Summarization, CompiledSummaryIndex],
+        replicas: int = 3,
+        config: Optional[ServerConfig] = None,
+        host: str = "127.0.0.1",
+        port_base: int = 0,
+    ) -> None:
+        if replicas < 1:
+            raise ValueError("a cluster needs at least one replica")
+        self._index = (
+            summary
+            if isinstance(summary, CompiledSummaryIndex)
+            else CompiledSummaryIndex(summary)
+        )
+        self._previous_index: Optional[CompiledSummaryIndex] = None
+        template = config or ServerConfig(degraded_enabled=True)
+        self._configs: List[ServerConfig] = [
+            dataclasses.replace(
+                template,
+                host=host,
+                port=(port_base + i) if port_base else 0,
+            )
+            for i in range(replicas)
+        ]
+        self._handles: List[Optional[ServerThread]] = [None] * replicas
+        self._started = False
+
+    # ------------------------------------------------------------------
+    @property
+    def num_replicas(self) -> int:
+        return len(self._configs)
+
+    @property
+    def index(self) -> CompiledSummaryIndex:
+        """The index currently rolled out to (live) replicas."""
+        return self._index
+
+    def start(self) -> "SummaryCluster":
+        """Start every replica; blocks until all sockets are bound."""
+        if self._started:
+            raise RuntimeError("cluster already started")
+        for i in range(self.num_replicas):
+            self._start_replica(i)
+        self._started = True
+        logger.info(
+            "cluster up: %d replicas on %s",
+            self.num_replicas,
+            ", ".join(_addr_label(a) for a in self.addresses),
+        )
+        return self
+
+    def _start_replica(self, i: int) -> None:
+        handle = ServerThread(self._index, self._configs[i]).start()
+        # Pin the resolved ephemeral port so a restart rebinds the same
+        # address and clients keep a stable replica list.
+        self._configs[i] = dataclasses.replace(
+            self._configs[i], port=handle.port
+        )
+        self._handles[i] = handle
+
+    @property
+    def addresses(self) -> List[Address]:
+        """Replica addresses (stable across kill/restart)."""
+        return [
+            (config.host, config.port) for config in self._configs
+        ]
+
+    def handle(self, i: int) -> ServerThread:
+        """The i-th replica's server thread (raises if killed)."""
+        handle = self._handles[i]
+        if handle is None:
+            raise RuntimeError(f"replica {i} is not running")
+        return handle
+
+    def alive(self, i: int) -> bool:
+        """Whether replica ``i`` is currently running."""
+        handle = self._handles[i]
+        return handle is not None and handle._thread is not None \
+            and handle._thread.is_alive()
+
+    # ------------------------------------------------------------------
+    # fleet operations
+    # ------------------------------------------------------------------
+    def kill(self, i: int) -> None:
+        """Abruptly kill replica ``i`` (no drain — chaos semantics)."""
+        handle = self._handles[i]
+        if handle is not None:
+            handle.kill()
+            self._handles[i] = None
+            logger.info("killed replica %d", i)
+
+    def restart(self, i: int) -> None:
+        """Restart a killed replica on its original port, current index."""
+        if self._handles[i] is not None:
+            raise RuntimeError(f"replica {i} is still running")
+        self._start_replica(i)
+        logger.info("restarted replica %d on port %d",
+                    i, self._configs[i].port)
+
+    def client(self, **kwargs: Any) -> ClusterClient:
+        """A :class:`ClusterClient` over this cluster's addresses."""
+        return ClusterClient(self.addresses, **kwargs)
+
+    def generations(self) -> List[Optional[int]]:
+        """Per-replica generation (``None`` for killed replicas)."""
+        return [
+            handle.server.generation if handle is not None else None
+            for handle in self._handles
+        ]
+
+    # ------------------------------------------------------------------
+    # rolling swap
+    # ------------------------------------------------------------------
+    def rolling_swap(
+        self,
+        target: Union[Summarization, CompiledSummaryIndex, str],
+        drain_seconds: float = 0.0,
+        verify: Optional[Callable[[int, ServerThread], bool]] = None,
+    ) -> SwapReport:
+        """Roll a new summary across the replica set, one replica at a
+        time, with verification and automatic rollback.
+
+        ``target`` may be a summary file path — corruption is caught at
+        load time (checksummed readers), before any replica is touched.
+        Each replica is held in degraded mode while it swaps (cached
+        answers flow, stale ones flagged), then verified (``verify``
+        callback, or a live ``ping`` showing the advanced generation).
+        Any failure rolls every already-swapped replica back to the
+        previous index; the fleet never ends up split across summaries.
+        """
+        try:
+            if isinstance(target, str):
+                index = _load_index(target)
+            elif isinstance(target, CompiledSummaryIndex):
+                index = target
+            else:
+                index = CompiledSummaryIndex(target)
+        except (OSError, ValueError) as exc:
+            logger.warning("rolling swap rejected at load: %s", exc)
+            return SwapReport(
+                ok=False, generations=self._live_generations(),
+                error=f"load failed: {exc}",
+            )
+        previous = self._index
+        swapped: List[int] = []
+        for i, handle in enumerate(self._handles):
+            if handle is None:
+                continue            # killed replicas pick the index up
+                                    # on restart (self._index below)
+            server = handle.server
+            server.set_degraded(True)
+            try:
+                server.swap(index)
+                if drain_seconds > 0:
+                    time.sleep(drain_seconds)
+                ok = (
+                    verify(i, handle) if verify is not None
+                    else self._verify_replica(i)
+                )
+                if not ok:
+                    raise RuntimeError(
+                        f"replica {i} failed post-swap verification"
+                    )
+                swapped.append(i)
+            except Exception as exc:  # noqa: BLE001 - roll back on anything
+                server.set_degraded(False)
+                self._rollback(swapped + [i], previous)
+                logger.warning(
+                    "rolling swap aborted at replica %d (%s); "
+                    "rolled back %d replica(s)", i, exc, len(swapped) + 1,
+                )
+                return SwapReport(
+                    ok=False, generations=self._live_generations(),
+                    swapped=[], rolled_back=True, error=str(exc),
+                )
+            finally:
+                if server.degraded:
+                    server.set_degraded(False)
+        self._previous_index = previous
+        self._index = index
+        return SwapReport(
+            ok=True, generations=self._live_generations(), swapped=swapped,
+        )
+
+    def rollback(self) -> SwapReport:
+        """Re-roll the previous index across the fleet (post-swap regret)."""
+        if self._previous_index is None:
+            return SwapReport(
+                ok=False, generations=self._live_generations(),
+                error="nothing to roll back to",
+            )
+        return self.rolling_swap(self._previous_index)
+
+    def _rollback(
+        self, indices: Sequence[int], previous: CompiledSummaryIndex
+    ) -> None:
+        for i in indices:
+            handle = self._handles[i]
+            if handle is not None:
+                handle.server.swap(previous)
+
+    def _live_generations(self) -> List[int]:
+        return [
+            handle.server.generation
+            for handle in self._handles if handle is not None
+        ]
+
+    def _verify_replica(self, i: int) -> bool:
+        """Default post-swap check: a live ping answering sanely."""
+        host, port = self.addresses[i]
+        probe = SummaryClient(host, port, timeout=2.0, retries=0)
+        try:
+            health = probe.ping()
+            return bool(health.get("pong"))
+        except Exception:  # noqa: BLE001 - any failure fails verification
+            return False
+        finally:
+            probe.close()
+
+    # ------------------------------------------------------------------
+    def stop(self, timeout: float = 30.0) -> None:
+        """Gracefully stop every live replica."""
+        for i, handle in enumerate(self._handles):
+            if handle is not None:
+                try:
+                    handle.stop(timeout=timeout)
+                except RuntimeError:
+                    logger.warning("replica %d did not stop cleanly", i)
+                self._handles[i] = None
+        self._started = False
+
+    def __enter__(self) -> "SummaryCluster":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

@@ -22,7 +22,7 @@ import socket
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -105,6 +105,8 @@ class LoadReport:
     latencies_ms: List[float] = field(default_factory=list)
     chaos_drops: int = 0     # forced client reconnects
     chaos_junk: int = 0      # garbage frames delivered to the server
+    stale: int = 0           # answers flagged stale (degraded serving)
+    wrong: int = 0           # answers that failed ground-truth verification
 
     @property
     def qps(self) -> float:
@@ -131,6 +133,10 @@ class LoadReport:
             parts.append(
                 f"chaos drops={self.chaos_drops} junk={self.chaos_junk}"
             )
+        if self.stale:
+            parts.append(f"stale={self.stale}")
+        if self.wrong:
+            parts.append(f"WRONG={self.wrong}")
         if self.latencies_ms:
             parts.append(
                 "latency_ms p50={:.2f} p95={:.2f} p99={:.2f}".format(
@@ -147,6 +153,24 @@ def _pick_node(rng: np.random.Generator, num_nodes: int,
     return min(num_nodes - 1, int(num_nodes * rng.random() ** skew))
 
 
+def _verify(truth: Any, op: str, v: int, u: int, result: Any) -> bool:
+    """Check one answer against the compiled ground-truth index."""
+    if op == "neighbors":
+        expected = truth.neighbors_batch(np.asarray([v], dtype=np.int64))[0]
+        return [int(x) for x in result] == [int(x) for x in expected]
+    if op == "degree":
+        expected = truth.neighbors_batch(np.asarray([v], dtype=np.int64))[0]
+        return int(result) == len(expected)
+    if op == "has_edge":
+        return bool(result) == bool(truth.has_edge(v, u))
+    if op == "bfs":
+        expected = truth.bfs_distances(v)
+        return {int(k): int(d) for k, d in result.items()} == {
+            int(k): int(d) for k, d in expected.items()
+        }
+    return True
+
+
 def run_load(
     host: str,
     port: int,
@@ -157,12 +181,32 @@ def run_load(
     skew: float = 2.0,
     client_timeout: float = 30.0,
     chaos: Optional[ChaosConfig] = None,
+    client_factory: Optional[Callable[[], Any]] = None,
+    truth: Optional[Any] = None,
+    on_progress: Optional[Callable[[int], None]] = None,
 ) -> LoadReport:
     """Fire ``num_queries`` mixed queries from ``concurrency`` threads.
 
     With ``chaos`` set, workers deterministically drop their own
     connections and/or lob malformed frames at the server while the load
     runs (see :class:`ChaosConfig`) — queries must still all complete.
+
+    ``client_factory`` substitutes the per-worker client — pass a closure
+    returning a shared :class:`~repro.serve.cluster.ClusterClient` to
+    drive a replica set (its connections are per-thread; its breakers and
+    retry budget are deliberately shared). The object must expose the
+    query methods plus ``close()``, ``stats()``, and the ``retries_used``
+    / ``stale_served`` counters.
+
+    ``truth`` (a :class:`~repro.queries.compiled.CompiledSummaryIndex`)
+    verifies every successful answer against ground truth; mismatches are
+    counted in :attr:`LoadReport.wrong` — the chaos suite asserts this
+    stays zero while replicas are killed and swaps corrupted.
+
+    ``on_progress`` is called from worker threads with the running count
+    of attempted queries (successes and failures) — chaos tests use it to
+    trigger faults at a deterministic point mid-run. Keep it cheap and
+    thread-safe.
     """
     if num_queries < 1:
         raise ValueError("num_queries must be positive")
@@ -175,11 +219,19 @@ def run_load(
         raise ValueError("mix weights must sum to a positive value")
     probs /= probs.sum()
 
-    probe = SummaryClient(host, port, timeout=client_timeout)
-    try:
-        num_nodes = int(probe.stats()["num_nodes"])
-    finally:
-        probe.close()
+    def make_client() -> Any:
+        if client_factory is not None:
+            return client_factory()
+        return SummaryClient(host, port, timeout=client_timeout)
+
+    if truth is not None:
+        num_nodes = int(truth.num_nodes)
+    else:
+        probe = make_client()
+        try:
+            num_nodes = int(probe.stats()["num_nodes"])
+        finally:
+            probe.close()
     if num_nodes <= 0:
         raise ValueError("server is serving an empty graph")
 
@@ -194,6 +246,21 @@ def run_load(
     retries = [0]
     chaos_drops = [0]
     chaos_junk = [0]
+    wrong = [0]
+    completed = [0]
+    # Distinct client objects with their counter baselines: a shared
+    # ClusterClient appears once, so retries/stale are counted once.
+    client_registry: Dict[int, Any] = {}
+    client_baselines: Dict[int, Dict[str, int]] = {}
+
+    def register_client(client: Any) -> None:
+        with lock:
+            if id(client) not in client_registry:
+                client_registry[id(client)] = client
+                client_baselines[id(client)] = {
+                    "retries": getattr(client, "retries_used", 0),
+                    "stale": getattr(client, "stale_served", 0),
+                }
 
     # The run span lives on this thread; workers parent their spans on it
     # explicitly (span stacks are thread-local, so a worker thread cannot
@@ -205,12 +272,14 @@ def run_load(
 
     def worker(worker_id: int, quota: int) -> None:
         rng = np.random.default_rng(seed + worker_id)
-        client = SummaryClient(host, port, timeout=client_timeout)
+        client = make_client()
+        register_client(client)
         local_lat: List[float] = []
         local_ops: Dict[str, int] = {op: 0 for op in ops}
         local_errors = 0
         local_drops = 0
         local_junk = 0
+        local_wrong = 0
         worker_span = obs_trace.span(
             "load_worker", key=worker_id, parent=run_span, quota=quota,
         )
@@ -226,32 +295,41 @@ def run_load(
                             local_junk += 1
                 op = ops[int(rng.choice(len(ops), p=probs))]
                 v = _pick_node(rng, num_nodes, skew)
+                u = _pick_node(rng, num_nodes, skew)
                 tic = time.perf_counter()
                 try:
                     if op == "neighbors":
-                        client.neighbors(v)
+                        result = client.neighbors(v)
                     elif op == "degree":
-                        client.degree(v)
+                        result = client.degree(v)
                     elif op == "has_edge":
-                        client.has_edge(v, _pick_node(rng, num_nodes, skew))
+                        result = client.has_edge(v, u)
                     else:
-                        client.bfs(v)
+                        result = client.bfs(v)
                 except (ServerError, ConnectionError):
                     local_errors += 1
                     continue
+                finally:
+                    if on_progress is not None:
+                        with lock:
+                            completed[0] += 1
+                            done_now = completed[0]
+                        on_progress(done_now)
                 local_lat.append((time.perf_counter() - tic) * 1e3)
                 local_ops[op] += 1
+                if truth is not None and not _verify(truth, op, v, u,
+                                                     result):
+                    local_wrong += 1
         finally:
             client.close()
             worker_span.set_attribute("errors", local_errors)
-            worker_span.set_attribute("retries", client.retries_used)
             worker_span.__exit__(None, None, None)
             with lock:
                 latencies.extend(local_lat)
                 errors[0] += local_errors
-                retries[0] += client.retries_used
                 chaos_drops[0] += local_drops
                 chaos_junk[0] += local_junk
+                wrong[0] += local_wrong
                 for op, count in local_ops.items():
                     op_counts[op] += count
                     if count:
@@ -261,6 +339,8 @@ def run_load(
                         )
                 if local_errors:
                     obs_metrics.inc("loadgen_errors_total", local_errors)
+                if local_wrong:
+                    obs_metrics.inc("loadgen_wrong_total", local_wrong)
 
     threads = [
         threading.Thread(
@@ -277,6 +357,18 @@ def run_load(
             thread.join()
     finally:
         elapsed = time.perf_counter() - tic
+        # Counter deltas per *distinct* client object — a shared cluster
+        # client contributes once, not once per worker.
+        stale = [0]
+        with lock:
+            for cid, client in client_registry.items():
+                baseline = client_baselines[cid]
+                retries[0] += (
+                    getattr(client, "retries_used", 0) - baseline["retries"]
+                )
+                stale[0] += (
+                    getattr(client, "stale_served", 0) - baseline["stale"]
+                )
         run_span.set_attribute("errors", errors[0])
         run_span.set_attribute("retries", retries[0])
         run_span.__exit__(None, None, None)
@@ -291,4 +383,6 @@ def run_load(
         latencies_ms=latencies,
         chaos_drops=chaos_drops[0],
         chaos_junk=chaos_junk[0],
+        stale=stale[0],
+        wrong=wrong[0],
     )

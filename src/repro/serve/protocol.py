@@ -36,8 +36,11 @@ __all__ = [
     "recv_frame",
     "send_frame",
     "validate_request",
+    "request_meta",
     "ok_response",
     "error_response",
+    "DEFAULT_PRIORITY",
+    "MAX_PRIORITY",
 ]
 
 #: Default ceiling on a single frame's body (requests and responses).
@@ -60,13 +63,17 @@ class ErrorCode:
     BAD_REQUEST = "bad_request"        # malformed frame / unknown op / args
     OUT_OF_RANGE = "out_of_range"      # node id outside the graph
     OVERLOADED = "overloaded"          # admission control rejected (retryable)
-    TIMEOUT = "timeout"                # per-request deadline exceeded
+    TIMEOUT = "timeout"                # server-side processing timeout
+    DEADLINE_EXCEEDED = "deadline_exceeded"  # caller's deadline expired
     SHUTTING_DOWN = "shutting_down"    # server is draining
     FORBIDDEN = "forbidden"            # op disabled by server config
     INTERNAL = "internal"              # unexpected server-side failure
 
-    #: Codes a client may safely retry with backoff.
-    RETRYABLE = frozenset({"overloaded", "timeout"})
+    #: Codes a client may safely retry with backoff. ``shutting_down`` is
+    #: retryable because in a replica set the retry lands elsewhere (and a
+    #: lone server restarting will accept it shortly). ``deadline_exceeded``
+    #: is not: the caller's deadline has passed, so a retry cannot help.
+    RETRYABLE = frozenset({"overloaded", "timeout", "shutting_down"})
 
 
 class ProtocolError(ValueError):
@@ -208,9 +215,54 @@ def validate_request(obj: Any) -> Tuple[int, str, Dict[str, Any]]:
     return rid, op, args
 
 
-def ok_response(rid: int, result: Any) -> Dict[str, Any]:
-    """Build a success response envelope."""
-    return {"id": rid, "ok": True, "result": result}
+#: Priority carried by requests: 0 = critical (never shed), 1 = normal
+#: (the default), 2+ = best-effort (shed first under overload).
+DEFAULT_PRIORITY = 1
+MAX_PRIORITY = 9
+
+
+def request_meta(obj: Dict[str, Any]) -> Tuple[int, Optional[float]]:
+    """Validate the optional ``priority`` / ``deadline_ms`` envelope fields.
+
+    Returns ``(priority, deadline_ms)``. ``deadline_ms`` is the *remaining*
+    time the client is still willing to wait, measured at send time —
+    carrying a relative duration instead of an absolute timestamp keeps
+    the field meaningful across unsynchronized clocks. ``None`` means the
+    client did not set a deadline.
+    """
+    priority = obj.get("priority", DEFAULT_PRIORITY)
+    if (
+        isinstance(priority, bool)
+        or not isinstance(priority, int)
+        or not 0 <= priority <= MAX_PRIORITY
+    ):
+        raise RequestError(
+            ErrorCode.BAD_REQUEST,
+            f"'priority' must be an int in [0, {MAX_PRIORITY}]",
+        )
+    deadline_ms = obj.get("deadline_ms")
+    if deadline_ms is not None:
+        if isinstance(deadline_ms, bool) or not isinstance(
+            deadline_ms, (int, float)
+        ) or deadline_ms < 0:
+            raise RequestError(
+                ErrorCode.BAD_REQUEST,
+                "'deadline_ms' must be a non-negative number",
+            )
+        deadline_ms = float(deadline_ms)
+    return priority, deadline_ms
+
+
+def ok_response(rid: int, result: Any, *, stale: bool = False) -> Dict[str, Any]:
+    """Build a success response envelope.
+
+    ``stale=True`` flags a degraded-mode answer served from the previous
+    index generation's cache; clients must treat it as possibly outdated.
+    """
+    payload = {"id": rid, "ok": True, "result": result}
+    if stale:
+        payload["stale"] = True
+    return payload
 
 
 def error_response(rid: Optional[int], code: str,

@@ -43,6 +43,7 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 from typing import Any, Deque, Dict, Optional, Tuple, Union
 
@@ -60,6 +61,7 @@ from .protocol import (
     error_response,
     ok_response,
     read_frame,
+    request_meta,
     validate_request,
     write_frame,
 )
@@ -87,6 +89,10 @@ class ServerConfig:
     max_frame_bytes: int = MAX_FRAME_BYTES
     metrics_port: Optional[int] = None  # HTTP scrape port (None disables,
                                         # 0 = ephemeral)
+    degraded_enabled: bool = False     # serve stale cached answers instead
+                                       # of erroring under overload/swap
+    shed_fraction: float = 0.9         # of max_pending at which priority>=2
+                                       # (best-effort) requests are shed
 
     def __post_init__(self) -> None:
         if self.batch_window < 0:
@@ -97,9 +103,12 @@ class ServerConfig:
             raise ValueError("max_pending must be at least 1")
         if self.request_timeout <= 0:
             raise ValueError("request_timeout must be positive")
+        if not 0.0 < self.shed_fraction <= 1.0:
+            raise ValueError("shed_fraction must be in (0, 1]")
 
 
-_Item = Tuple[str, Dict[str, Any], "asyncio.Future"]
+#: (op, args, future, absolute loop-time deadline or None)
+_Item = Tuple[str, Dict[str, Any], "asyncio.Future", Optional[float]]
 
 
 class SummaryServer:
@@ -117,6 +126,12 @@ class SummaryServer:
             self._index = CompiledSummaryIndex(summary)
         self._swap_lock = threading.Lock()
         self._generation = 0
+        self._degraded = False
+        self._stale_cache: Dict[Any, Any] = {}
+        self._stale_generation: Optional[int] = None
+        self._shed_threshold = max(
+            1, int(self.config.max_pending * self.config.shed_fraction)
+        )
         self.cache = LRUCache(self.config.cache_entries)
         self.metrics = MetricsRegistry()
         self._queue: Deque[_Item] = deque()
@@ -240,6 +255,11 @@ class SummaryServer:
             else CompiledSummaryIndex(summary)
         )
         with self._swap_lock:
+            # Keep the outgoing generation's cached answers: degraded mode
+            # can serve them (flagged stale) while the swap settles.
+            if self.config.degraded_enabled:
+                self._stale_cache = self.cache.snapshot_items()
+                self._stale_generation = self._generation
             self._index = index
             self._generation += 1
             generation = self._generation
@@ -254,6 +274,51 @@ class SummaryServer:
         """Number of completed hot-swaps."""
         return self._generation
 
+    @property
+    def index(self) -> CompiledSummaryIndex:
+        """The live compiled index (rolling swaps keep it for rollback)."""
+        return self._index
+
+    # ------------------------------------------------------------------
+    # degraded mode
+    # ------------------------------------------------------------------
+    def set_degraded(self, degraded: bool) -> None:
+        """Force degraded mode on/off (rolling swaps hold it on).
+
+        While degraded (and ``degraded_enabled``), queries answerable
+        from the live cache or the previous generation's snapshot are
+        served immediately — stale-snapshot answers carry a
+        ``stale: true`` flag — without entering the queue. Misses fall
+        through to the normal path. Thread-safe.
+        """
+        self._degraded = bool(degraded)
+        self.metrics.set_gauge("degraded", 1 if degraded else 0)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether degraded mode is currently forced on."""
+        return self._degraded
+
+    def _degraded_answer(
+        self, op: str, args: Dict[str, Any]
+    ) -> Optional[Tuple[Any, bool]]:
+        """A ``(result, stale)`` cached answer, or ``None`` on a miss.
+
+        The live cache is consulted first (current generation — correct,
+        not stale); then the pre-swap snapshot (flagged stale).
+        """
+        from .batching import cache_key, from_cached
+
+        key = cache_key(op, args)
+        if key is None:
+            return None
+        hit, value = self.cache.get(key)
+        if hit:
+            return from_cached(op, value), False
+        if key in self._stale_cache:
+            return from_cached(op, self._stale_cache[key]), True
+        return None
+
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
@@ -263,10 +328,26 @@ class SummaryServer:
             "num_nodes": self._index.num_nodes,
             "generation": self._generation,
             "draining": self._draining,
+            "degraded": self._degraded,
             "pending": self._pending,
             "connections": len(self._writers),
             "cache": self.cache.stats(),
             "metrics": self.metrics.snapshot(),
+        }
+
+    def health(self) -> Dict[str, Any]:
+        """The payload served for a ``ping`` request.
+
+        Deliberately cheap — no cache/metrics snapshots — so a health
+        checker can hit it every second without perturbing the server.
+        """
+        return {
+            "pong": True,
+            "generation": self._generation,
+            "queue_depth": len(self._queue),
+            "pending": self._pending,
+            "draining": self._draining,
+            "degraded": self._degraded,
         }
 
     def prometheus(self) -> str:
@@ -280,6 +361,7 @@ class SummaryServer:
         self.metrics.set_gauge("connections", len(self._writers))
         self.metrics.set_gauge("generation", self._generation)
         self.metrics.set_gauge("pending", self._pending)
+        self.metrics.set_gauge("degraded", 1 if self._degraded else 0)
         cache = self.cache.stats()
         for key, value in cache.items():
             if isinstance(value, (int, float)) and not isinstance(
@@ -361,7 +443,10 @@ class SummaryServer:
         try:
             rid, op, args = validate_request(frame)
             if op in _QUERY_OPS:
-                payload = await self._handle_query(rid, op, args)
+                priority, deadline_ms = request_meta(frame)
+                payload = await self._handle_query(
+                    rid, op, args, priority, deadline_ms
+                )
             else:
                 payload = await self._handle_control(rid, op, args)
         except RequestError as exc:
@@ -383,7 +468,7 @@ class SummaryServer:
         self, rid: int, op: str, args: Dict[str, Any]
     ) -> Dict[str, Any]:
         if op == "ping":
-            return ok_response(rid, "pong")
+            return ok_response(rid, self.health())
         if op == "stats":
             return ok_response(rid, self.stats())
         if op == "metrics":
@@ -412,29 +497,88 @@ class SummaryServer:
             rid, {"generation": generation, "num_nodes": index.num_nodes}
         )
 
+    def _reject_or_degrade(
+        self, rid: int, op: str, args: Dict[str, Any],
+        code: str, message: str,
+    ) -> Dict[str, Any]:
+        """Overload path: a cached (possibly stale) answer, or the error."""
+        if self.config.degraded_enabled:
+            answer = self._degraded_answer(op, args)
+            if answer is not None:
+                result, stale = answer
+                self.metrics.inc(
+                    "degraded_served_total", labels={"op": op}
+                )
+                if stale:
+                    self.metrics.inc("stale_served_total")
+                return ok_response(rid, result, stale=stale)
+        raise RequestError(code, message)
+
     async def _handle_query(
-        self, rid: int, op: str, args: Dict[str, Any]
+        self,
+        rid: int,
+        op: str,
+        args: Dict[str, Any],
+        priority: int = 1,
+        deadline_ms: Optional[float] = None,
     ) -> Dict[str, Any]:
         if self._draining:
             raise RequestError(
                 ErrorCode.SHUTTING_DOWN, "server is shutting down"
             )
         if self._pending >= self.config.max_pending:
-            raise RequestError(
-                ErrorCode.OVERLOADED,
+            return self._reject_or_degrade(
+                rid, op, args, ErrorCode.OVERLOADED,
                 f"queue full ({self.config.max_pending} pending)",
             )
+        if priority >= 2 and self._pending >= self._shed_threshold:
+            # Priority-aware load shedding: best-effort traffic is turned
+            # away before the queue is full so high-priority work keeps a
+            # reserved slice of the admission budget.
+            self.metrics.inc("shed_total", labels={"priority": priority})
+            return self._reject_or_degrade(
+                rid, op, args, ErrorCode.OVERLOADED,
+                f"shed at priority {priority} "
+                f"({self._pending}/{self.config.max_pending} pending)",
+            )
+        if self._degraded:
+            # Rolling swap in progress: prefer an immediate cached answer
+            # over queueing behind the swap (misses still run normally).
+            answer = (
+                self._degraded_answer(op, args)
+                if self.config.degraded_enabled else None
+            )
+            if answer is not None:
+                result, stale = answer
+                self.metrics.inc(
+                    "degraded_served_total", labels={"op": op}
+                )
+                if stale:
+                    self.metrics.inc("stale_served_total")
+                return ok_response(rid, result, stale=stale)
         loop = asyncio.get_running_loop()
+        deadline: Optional[float] = None
+        wait_timeout = self.config.request_timeout
+        if deadline_ms is not None:
+            deadline = loop.time() + deadline_ms / 1000.0
+            wait_timeout = min(wait_timeout, max(deadline_ms / 1000.0, 1e-4))
         future: asyncio.Future = loop.create_future()
         self._pending += 1
-        self._queue.append((op, args, future))
+        self._queue.append((op, args, future, deadline))
         self.metrics.set_gauge("queue_depth", len(self._queue))
         self._wakeup.set()
         try:
             outcome = await asyncio.wait_for(
-                asyncio.shield(future), self.config.request_timeout
+                asyncio.shield(future), wait_timeout
             )
         except asyncio.TimeoutError:
+            # deadline_expired_total is counted at queue-pop time (the
+            # single place that proves the query never executed), not here.
+            if deadline is not None and wait_timeout < self.config.request_timeout:
+                raise RequestError(
+                    ErrorCode.DEADLINE_EXCEEDED,
+                    f"deadline of {deadline_ms:.0f}ms expired while queued",
+                ) from None
             raise RequestError(
                 ErrorCode.TIMEOUT,
                 f"no result within {self.config.request_timeout}s",
@@ -457,15 +601,32 @@ class SummaryServer:
             if self.config.batch_window > 0:
                 await asyncio.sleep(self.config.batch_window)
             batch: list = []
+            now = loop.time()
             while self._queue and len(batch) < self.config.max_batch:
-                batch.append(self._queue.popleft())
+                item = self._queue.popleft()
+                deadline = item[3]
+                if deadline is not None and now > deadline:
+                    # Deadline propagation: expired work is rejected here,
+                    # before it ever touches the index — doing it anyway
+                    # would burn batch capacity on an answer nobody is
+                    # waiting for.
+                    self._pending -= 1
+                    self.metrics.inc("deadline_expired_total")
+                    future = item[2]
+                    if not future.done():
+                        future.set_result((
+                            "error", ErrorCode.DEADLINE_EXCEEDED,
+                            "deadline expired before execution",
+                        ))
+                    continue
+                batch.append(item)
             if not self._queue:
                 self._wakeup.clear()
             self.metrics.set_gauge("queue_depth", len(self._queue))
             if not batch:
                 continue
             index = self._index     # capture: immune to concurrent swap
-            queries = [(op, args) for op, args, _ in batch]
+            queries = [(op, args) for op, args, _, _ in batch]
             self.metrics.set_gauge("inflight", len(batch))
             # A no-op unless a tracer is installed (the --trace CLI knob);
             # batch spans key on their per-parent occurrence index.
@@ -482,7 +643,7 @@ class SummaryServer:
                     ] * len(batch)
                 finally:
                     self.metrics.set_gauge("inflight", 0)
-            for (_, _, future), outcome in zip(batch, outcomes):
+            for (_, _, future, _), outcome in zip(batch, outcomes):
                 self._pending -= 1
                 if not future.done():
                     future.set_result(outcome)
@@ -579,6 +740,7 @@ class ServerThread:
         self._thread: Optional[threading.Thread] = None
         self._ready = threading.Event()
         self._startup_error: Optional[BaseException] = None
+        self._killed = False
 
     def start(self) -> "ServerThread":
         """Start the loop thread; blocks until the socket is bound."""
@@ -594,7 +756,14 @@ class ServerThread:
         return self
 
     def _run(self) -> None:
-        asyncio.run(self._main())
+        try:
+            asyncio.run(self._main())
+        except BaseException:  # noqa: BLE001
+            # A kill() cancels every task; the resulting CancelledError
+            # (or loop-teardown noise) is the intended outcome, not a
+            # crash worth a traceback on stderr.
+            if not self._killed:
+                raise
 
     async def _main(self) -> None:
         try:
@@ -612,15 +781,85 @@ class ServerThread:
         """The server's bound port."""
         return self.server.port
 
+    @property
+    def metrics_http_port(self) -> int:
+        """The server's HTTP metrics scrape port (if configured)."""
+        return self.server.metrics_http_port
+
     def stop(self, timeout: float = 30.0) -> None:
-        """Gracefully stop the server and join the loop thread."""
-        if self._loop is not None and self._thread.is_alive():
+        """Gracefully stop the server and join the loop thread.
+
+        Has a definite outcome: if the graceful drain or the thread join
+        does not finish within ``timeout``, the thread is force-killed
+        (tasks cancelled, connections aborted) and, if it *still* will
+        not exit, :class:`RuntimeError` is raised — it never returns
+        silently with the server thread alive.
+        """
+        if self._thread is None:
+            return
+        graceful = True
+        if (
+            not self._killed
+            and self._loop is not None
+            and self._thread.is_alive()
+        ):
             future = asyncio.run_coroutine_threadsafe(
                 self.server.stop(), self._loop
             )
-            future.result(timeout=timeout)
-        if self._thread is not None:
-            self._thread.join(timeout=timeout)
+            try:
+                future.result(timeout=timeout)
+            except (FuturesTimeoutError, RuntimeError) as exc:
+                graceful = False
+                logger.warning(
+                    "graceful stop did not finish within %.1fs (%s); "
+                    "force-killing the server thread", timeout, exc,
+                )
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            graceful = False
+            self.kill(timeout=min(timeout, 5.0))
+        if self._thread.is_alive():
+            raise RuntimeError(
+                f"server thread failed to stop within {timeout}s "
+                "(graceful drain and force-kill both timed out)"
+            )
+        if not graceful:
+            logger.warning("server thread stopped only after force-kill")
+
+    def kill(self, timeout: float = 5.0) -> None:
+        """Abruptly terminate the server — the in-process analog of
+        ``kill -9`` for chaos tests.
+
+        Every task is cancelled and every open connection aborted without
+        draining; clients see resets/EOF mid-conversation and subsequent
+        connects are refused. No graceful-shutdown code runs.
+        """
+        self._killed = True
+        loop, thread = self._loop, self._thread
+        if loop is None or thread is None or not thread.is_alive():
+            return
+
+        def _abort() -> None:
+            # Close the listeners synchronously — loop teardown does not,
+            # and a leaked listening fd keeps the port bound, which would
+            # make an immediate restart() fail with EADDRINUSE.
+            for server in (self.server._server,
+                           self.server._metrics_server):
+                if server is not None:
+                    server.close()
+            for writer in tuple(self.server._writers):
+                transport = writer.transport
+                if transport is not None:
+                    transport.abort()
+            for task in asyncio.all_tasks(loop):
+                task.cancel()
+
+        try:
+            loop.call_soon_threadsafe(_abort)
+        except RuntimeError:
+            pass                      # loop already closed
+        self.server._executor.shutdown(wait=False)
+        thread.join(timeout=timeout)
 
     def __enter__(self) -> "ServerThread":
         return self.start()

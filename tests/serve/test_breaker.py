@@ -1,0 +1,224 @@
+"""Unit tests for the circuit breaker and retry budget.
+
+Everything runs on a fake monotonic clock — no sleeping, no flakiness;
+the breaker's open→half-open transition is driven by advancing a
+counter.
+"""
+
+import threading
+
+import pytest
+
+from repro.serve.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    STATE_GAUGE,
+    CircuitBreaker,
+    RetryBudget,
+    failure_trips_breaker,
+)
+from repro.serve.protocol import ErrorCode
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(
+        failure_threshold=3, recovery_time=10.0, half_open_max=1,
+        clock=clock,
+    )
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_trips_open_after_threshold_consecutive_failures(
+        self, breaker
+    ):
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_success_resets_the_consecutive_count(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_open_becomes_half_open_after_recovery_time(
+        self, breaker, clock
+    ):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(9.9)
+        assert breaker.state == OPEN
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_admits_bounded_probes(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(11)
+        assert breaker.allow()          # the single probe slot
+        assert not breaker.allow()      # no second probe
+
+    def test_half_open_success_closes(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(11)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_half_open_failure_reopens(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(11)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.trips == 2
+        # ...and it recovers again later.
+        clock.advance(11)
+        assert breaker.state == HALF_OPEN
+
+    def test_release_returns_an_unused_probe_slot(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(11)
+        assert breaker.allow()
+        assert not breaker.allow()
+        breaker.release()               # admitted but never sent
+        assert breaker.allow()          # slot is usable again
+
+    def test_release_is_a_noop_when_closed(self, breaker):
+        breaker.release()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_snapshot_reports_state_code_for_gauges(self, breaker, clock):
+        assert breaker.snapshot()["state_code"] == STATE_GAUGE[CLOSED]
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.snapshot()["state_code"] == STATE_GAUGE[OPEN]
+        clock.advance(11)
+        snap = breaker.snapshot()
+        assert snap["state"] == HALF_OPEN
+        assert snap["state_code"] == STATE_GAUGE[HALF_OPEN]
+        assert snap["failures_total"] == 3
+
+    def test_record_outcome_classifies_codes(self, breaker):
+        breaker.record_outcome(ErrorCode.BAD_REQUEST)   # healthy answer
+        assert breaker.snapshot()["successes_total"] == 1
+        breaker.record_outcome(ErrorCode.OVERLOADED)
+        breaker.record_outcome(None)                    # transport fault
+        assert breaker.snapshot()["failures_total"] == 2
+
+    @pytest.mark.parametrize("kwargs", [
+        {"failure_threshold": 0},
+        {"recovery_time": 0},
+        {"half_open_max": 0},
+    ])
+    def test_invalid_construction_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CircuitBreaker(**kwargs)
+
+    def test_thread_safety_under_concurrent_outcomes(self, clock):
+        breaker = CircuitBreaker(failure_threshold=3, clock=clock)
+        barrier = threading.Barrier(8)
+
+        def pound(seed):
+            barrier.wait()
+            for i in range(500):
+                if (i + seed) % 2:
+                    breaker.record_failure()
+                else:
+                    breaker.record_success()
+                breaker.allow()
+                breaker.state
+
+        threads = [threading.Thread(target=pound, args=(s,))
+                   for s in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = breaker.snapshot()
+        assert snap["failures_total"] + snap["successes_total"] == 4000
+
+
+class TestFailurePredicate:
+    def test_transport_fault_always_trips(self):
+        assert failure_trips_breaker(None)
+
+    def test_matches_retryable_exactly(self):
+        for code in ErrorCode.RETRYABLE:
+            assert failure_trips_breaker(code)
+        for code in (ErrorCode.BAD_REQUEST, ErrorCode.OUT_OF_RANGE,
+                     ErrorCode.FORBIDDEN, ErrorCode.INTERNAL,
+                     ErrorCode.DEADLINE_EXCEEDED):
+            assert not failure_trips_breaker(code)
+
+
+class TestRetryBudget:
+    def test_initial_balance_covers_early_retries(self):
+        budget = RetryBudget(ratio=0.1, initial=2.0)
+        assert budget.try_spend()
+        assert budget.try_spend()
+        assert not budget.try_spend()
+        assert budget.denied_total == 1
+        assert budget.spent_total == 2
+
+    def test_deposits_accrue_fractionally_and_cap(self):
+        budget = RetryBudget(ratio=0.5, max_tokens=3.0, initial=0.0)
+        assert not budget.try_spend()
+        for _ in range(2):
+            budget.deposit()
+        assert budget.try_spend()       # 2 deposits * 0.5 = 1 token
+        for _ in range(100):
+            budget.deposit()
+        assert budget.tokens == pytest.approx(3.0)
+
+    def test_retries_bounded_by_ratio_of_traffic(self):
+        budget = RetryBudget(ratio=0.2, max_tokens=1000.0, initial=0.0)
+        spent = 0
+        for _ in range(100):
+            budget.deposit()
+            if budget.try_spend():
+                spent += 1
+        # 100 first attempts at ratio 0.2 fund at most 20 retries.
+        assert spent <= 20
+
+    @pytest.mark.parametrize("kwargs", [
+        {"ratio": -0.1},
+        {"max_tokens": 0},
+    ])
+    def test_invalid_construction_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryBudget(**kwargs)

@@ -7,14 +7,21 @@ answer. Complements the integration tests in ``test_server.py``, which
 only exercise the happy transport path.
 """
 
+import random
 import socket
 import struct
 import threading
 
 import pytest
 
-from repro.serve.client import SummaryClient
-from repro.serve.protocol import encode_frame, recv_frame, send_frame
+from repro.serve.breaker import failure_trips_breaker
+from repro.serve.client import ServerError, SummaryClient
+from repro.serve.protocol import (
+    ErrorCode,
+    encode_frame,
+    recv_frame,
+    send_frame,
+)
 
 
 class FlakyServer:
@@ -103,7 +110,7 @@ class TestClientRetry:
         with FlakyServer(["drop_before_response", "serve"]) as server:
             client = make_client(server.port)
             try:
-                assert client.ping() is True
+                assert client.ping()["pong"] is True
                 assert client.retries_used >= 1
             finally:
                 client.close()
@@ -115,7 +122,7 @@ class TestClientRetry:
         with FlakyServer(["drop_mid_frame", "serve"]) as server:
             client = make_client(server.port)
             try:
-                assert client.ping() is True
+                assert client.ping()["pong"] is True
                 assert client.retries_used >= 1
             finally:
                 client.close()
@@ -124,7 +131,7 @@ class TestClientRetry:
         with FlakyServer(["drop_mid_prefix", "serve"]) as server:
             client = make_client(server.port)
             try:
-                assert client.ping() is True
+                assert client.ping()["pong"] is True
             finally:
                 client.close()
 
@@ -145,7 +152,7 @@ class TestClientRetry:
         ) as server:
             client = make_client(server.port)
             try:
-                assert client.ping() is True
+                assert client.ping()["pong"] is True
                 assert client.retries_used >= 2
             finally:
                 client.close()
@@ -162,3 +169,86 @@ class TestClientRetry:
                 assert client.retries_used >= 1
             finally:
                 client.close()
+
+
+class TestBackoffJitter:
+    """The backoff is *full jitter*: uniform in [0, backoff * 2**attempt].
+
+    Deterministic exponential backoff synchronizes retry storms — every
+    client that failed together retries together. The sleep must be a
+    uniform draw from the injectable RNG so tests can replay it exactly.
+    """
+
+    def _capture_sleeps(self, monkeypatch, client):
+        sleeps = []
+        monkeypatch.setattr(
+            "repro.serve.client.time.sleep", sleeps.append
+        )
+        return sleeps
+
+    def test_sleeps_replay_the_injected_rng(self, monkeypatch):
+        client = SummaryClient(
+            "127.0.0.1", 1, backoff=0.05, rng=random.Random(7)
+        )
+        sleeps = self._capture_sleeps(monkeypatch, client)
+        for attempt in range(4):
+            client._sleep_backoff(attempt)
+        replay = random.Random(7)
+        expected = [
+            replay.uniform(0.0, 0.05 * (2 ** attempt))
+            for attempt in range(4)
+        ]
+        assert sleeps == expected
+
+    def test_sleeps_stay_within_the_doubling_cap(self, monkeypatch):
+        client = SummaryClient(
+            "127.0.0.1", 1, backoff=0.1, rng=random.Random(3)
+        )
+        sleeps = self._capture_sleeps(monkeypatch, client)
+        for _ in range(200):
+            client._sleep_backoff(2)
+        cap = 0.1 * 4
+        assert all(0.0 <= s <= cap for s in sleeps)
+        # Uniform draws spread over the range, not clustered at the cap.
+        assert min(sleeps) < cap / 4
+        assert client.retries_used == 200
+
+    def test_distinct_rngs_decorrelate_clients(self, monkeypatch):
+        a = SummaryClient("127.0.0.1", 1, rng=random.Random(1))
+        b = SummaryClient("127.0.0.1", 1, rng=random.Random(2))
+        sleeps = self._capture_sleeps(monkeypatch, a)
+        a._sleep_backoff(0)
+        b._sleep_backoff(0)
+        assert sleeps[0] != sleeps[1]
+
+
+class TestRetryableMatchesBreakerAccounting:
+    """Satellite invariant: for every typed server error, the client's
+    retry decision and the cluster's breaker accounting agree.
+
+    A code the client may retry is exactly a code that counts against
+    the replica's circuit breaker; a non-retryable answer proves the
+    replica is healthy and must *close* the breaker, never trip it. If
+    this table drifts (a new ErrorCode lands in RETRYABLE but not in the
+    breaker predicate, or vice versa), failover would retry against
+    replicas it refuses to account for — or shun healthy ones.
+    """
+
+    ALL_CODES = sorted(
+        value for name, value in vars(ErrorCode).items()
+        if name.isupper() and isinstance(value, str)
+    )
+
+    def test_every_error_code_is_classified(self):
+        assert set(ErrorCode.RETRYABLE) <= set(self.ALL_CODES)
+        assert len(self.ALL_CODES) >= 8
+
+    @pytest.mark.parametrize("code", ALL_CODES)
+    def test_retryable_iff_breaker_failure(self, code):
+        assert ServerError(code, "x").retryable == \
+            failure_trips_breaker(code)
+
+    def test_transport_fault_is_breaker_failure(self):
+        # No ServerError exists for a transport fault (code None); the
+        # client retries it and the breaker counts it — both true.
+        assert failure_trips_breaker(None)
