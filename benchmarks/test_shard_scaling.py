@@ -1,0 +1,122 @@
+"""Sharded-summarization scaling smoke (see docs/sharding.md).
+
+Times :func:`repro.shard.summarize_sharded` across a shard-count ladder
+on one fixed web-host graph and compares against the serial LDME run on
+the same graph. Results land in ``BENCH_shard.json`` at the repo root —
+the machine-readable record future sharding PRs regress against.
+
+Two things are worth recording besides wall time:
+
+* ``num_cut_edges`` / ``cross_superedges`` per shard count — the price of
+  partitioning. More shards cut more edges, and every cut edge must be
+  re-encoded by the stitcher; the JSON shows how fast that grows.
+* Losslessness at every shard count — the stitched summary must
+  reconstruct the input exactly, or the timing is meaningless.
+
+The in-test gate is deliberately loose (each sharded run must stay
+within ``SLOWDOWN_BUDGET`` of serial on this small graph — stitching
+overhead dominates at this size, so sharding cannot be expected to win)
+so CI stays robust on noisy shared runners.
+
+Run with ``-s`` to see the per-shard-count table::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_shard_scaling.py -s
+"""
+
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.ldme import LDME
+from repro.core.reconstruct import reconstruct
+from repro.graph.generators import web_host_graph
+from repro.metrics import PhaseTimer, write_bench
+from repro.shard import summarize_sharded
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_shard.json"
+SHARD_COUNTS = (1, 2, 4, 8)
+REPEATS = 2
+K = 5
+ITERATIONS = 10
+SEED = 7
+#: Per-run ceiling vs serial. Stitching re-prices every cut edge, so on a
+#: graph this small the sharded path is pure overhead; the gate only has
+#: to catch pathological regressions (e.g. quadratic stitch loops).
+SLOWDOWN_BUDGET = 12.0
+
+
+def _make_graph():
+    return web_host_graph(num_hosts=24, host_size=24, seed=SEED)
+
+
+def test_shard_scaling_smoke():
+    graph = _make_graph()
+    timer = PhaseTimer()
+
+    for _ in range(REPEATS):
+        with timer.phase("serial", shards=0):
+            LDME(k=K, iterations=ITERATIONS, seed=SEED).summarize(graph)
+
+    cut_stats = {}
+    for shards in SHARD_COUNTS:
+        for _ in range(REPEATS):
+            tic = time.perf_counter()
+            result = summarize_sharded(
+                graph, shards=shards, k=K, iterations=ITERATIONS,
+                seed=SEED, validate=False,
+            )
+            timer.add("sharded", time.perf_counter() - tic, shards=shards)
+        report = result.report
+        assert report.ok, report.problems
+        # Losslessness at every shard count, checked once per count.
+        assert reconstruct(report.summary) == graph
+        cut_stats[str(shards)] = {
+            "num_cut_edges": report.num_cut_edges,
+            "cross_superedges": report.cross_superedges,
+            "supernodes": report.summary.num_supernodes,
+        }
+
+    serial = timer.best_seconds("serial", shards=0)
+    write_bench(
+        str(BENCH_PATH),
+        timer,
+        meta={
+            "benchmark": "shard",
+            "repeats": REPEATS,
+            "k": K,
+            "iterations": ITERATIONS,
+            "seed": SEED,
+            "graph": {
+                "num_nodes": graph.num_nodes,
+                "num_edges": graph.num_edges,
+            },
+            "serial_best_seconds": serial,
+            "cut_stats": cut_stats,
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+    )
+
+    print(f"\nsharded summarize vs serial ({graph.num_nodes} nodes, "
+          f"{graph.num_edges} edges, T={ITERATIONS}):")
+    print(f"{'shards':>6} {'best_s':>8} {'vs_serial':>9} {'cut_edges':>9} "
+          f"{'cross_se':>8}")
+    print(f"{'serial':>6} {serial:>8.4f} {'1.00x':>9}")
+    for shards in SHARD_COUNTS:
+        best = timer.best_seconds("sharded", shards=shards)
+        stats = cut_stats[str(shards)]
+        print(f"{shards:>6} {best:>8.4f} {best / serial:>8.2f}x "
+              f"{stats['num_cut_edges']:>9} "
+              f"{stats['cross_superedges']:>8}")
+
+    assert BENCH_PATH.exists()
+    for shards in SHARD_COUNTS:
+        best = timer.best_seconds("sharded", shards=shards)
+        assert best is not None
+        assert best <= serial * SLOWDOWN_BUDGET, (
+            f"{shards}-shard run pathologically slow: {best:.4f}s vs "
+            f"serial {serial:.4f}s (budget {SLOWDOWN_BUDGET}x)"
+        )

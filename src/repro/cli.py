@@ -12,6 +12,8 @@ workflows::
     ldme query neighbors 12 --port 7421
     ldme summarize big.txt --checkpoint-dir ckpts/   # crash-safe resume
     ldme loadgen --port 7421 --chaos
+    ldme shard-summarize big.txt --shards 4 -o manifest/
+    ldme serve-cluster --manifest manifest/ --replicas 2
 
 Graphs are plain edge-list files (``u v`` per line, ``#`` comments).
 ``python -m repro ...`` works identically without the console script.
@@ -171,13 +173,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--allow-reload", action="store_true",
                        help="permit clients to hot-swap via 'reload'")
 
+    p_shs = sub.add_parser(
+        "shard-summarize",
+        help="partition a graph by consistent hashing, summarize each "
+             "shard, stitch, and write a shard manifest "
+             "(see docs/sharding.md)",
+    )
+    p_shs.add_argument("graph", help="edge-list (or .adj) graph file")
+    p_shs.add_argument("--shards", type=int, default=4,
+                       help="number of shards (hash-ring over 0..K-1)")
+    p_shs.add_argument("--k", type=int, default=5,
+                       help="DOPH signature length")
+    p_shs.add_argument("--iterations", "-T", type=int, default=20)
+    p_shs.add_argument("--seed", type=int, default=0)
+    p_shs.add_argument("--kernels", choices=("numpy", "python"),
+                       default="numpy")
+    p_shs.add_argument("--num-workers", type=int, default=1,
+                       help="worker processes per shard run (>1 uses the "
+                            "supervised multiprocess driver)")
+    p_shs.add_argument("--virtual-nodes", type=int, default=64,
+                       help="ring points per shard (balance knob)")
+    p_shs.add_argument("--checkpoint-dir", metavar="DIR",
+                       help="crash-safe resume; each shard checkpoints "
+                            "under DIR/shard-<id>/")
+    p_shs.add_argument("--out", "-o", metavar="DIR",
+                       help="write the shard manifest directory "
+                            "(global + per-shard serving artifacts)")
+    p_shs.add_argument("--no-validate", action="store_true",
+                       help="skip the stitched-summary losslessness proof")
+
     p_clu = sub.add_parser(
         "serve-cluster",
         help="serve a replica set with degraded-mode failover "
              "(see docs/serving.md, 'Running a replica set')",
     )
-    p_clu.add_argument("summary", help="summary file (text or .ldmeb)")
-    p_clu.add_argument("--replicas", type=int, default=3)
+    p_clu.add_argument("summary", nargs="?",
+                       help="summary file (text or .ldmeb); omit when "
+                            "using --manifest")
+    p_clu.add_argument("--manifest", metavar="DIR",
+                       help="shard-manifest directory: serve a "
+                            "shards x replicas cluster with hash-ring "
+                            "routing (see docs/sharding.md)")
+    p_clu.add_argument("--replicas", type=int, default=3,
+                       help="replicas (per shard, with --manifest)")
     p_clu.add_argument("--host", default="127.0.0.1")
     p_clu.add_argument("--port-base", type=int, default=0,
                        help="first replica port; replica i listens on "
@@ -206,6 +244,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_qry.add_argument("--cluster", metavar="HOST:PORT,...",
                        help="query a replica set through the failover "
                             "client instead of one server")
+    p_qry.add_argument("--manifest", metavar="DIR",
+                       help="with --cluster: shard-manifest directory; "
+                            "routes by its hash ring (addresses are "
+                            "shard-major, as serve-cluster prints them)")
     p_qry.add_argument("--deadline", type=float, default=None,
                        help="end-to-end deadline in seconds, propagated "
                             "to the server queue")
@@ -245,6 +287,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument("--cluster", metavar="HOST:PORT,...",
                         help="drive the load through a shared failover "
                              "client over these replicas")
+    p_load.add_argument("--manifest", metavar="DIR",
+                        help="with --cluster: shard-manifest directory; "
+                             "routes by its hash ring (addresses are "
+                             "shard-major, as serve-cluster prints them)")
     p_load.add_argument("--hedge-delay", type=float, default=None,
                         help="with --cluster: hedge queries to a second "
                              "replica after this many seconds")
@@ -266,6 +312,30 @@ def _parse_addresses(spec: str) -> List[tuple]:
     if not addresses:
         raise ValueError("no replica addresses given")
     return addresses
+
+
+def _sharded_client_kwargs(manifest_dir: str, addresses: List[tuple]):
+    """``ClusterClient`` kwargs for ring-routed access to a sharded fleet.
+
+    The flat address list must be shard-major with an equal replica
+    count per shard — exactly the order ``serve-cluster --manifest``
+    binds and prints.
+    """
+    from .shard import load_manifest
+
+    manifest = load_manifest(manifest_dir, verify=False)
+    sids = manifest.shard_ids
+    if len(addresses) % len(sids):
+        raise ValueError(
+            f"{len(addresses)} addresses do not divide over "
+            f"{len(sids)} manifest shards"
+        )
+    per_shard = len(addresses) // len(sids)
+    shards = {
+        sid: addresses[i * per_shard:(i + 1) * per_shard]
+        for i, sid in enumerate(sids)
+    }
+    return {"shards": shards, "ring": manifest.ring}
 
 
 def _cmd_summarize(args: argparse.Namespace) -> int:
@@ -563,6 +633,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shard_summarize(args: argparse.Namespace) -> int:
+    from .shard import summarize_sharded
+
+    graph = load_graph(args.graph)
+    result = summarize_sharded(
+        graph,
+        shards=args.shards,
+        k=args.k,
+        iterations=args.iterations,
+        seed=args.seed,
+        kernels=args.kernels,
+        num_workers=args.num_workers,
+        virtual_nodes=args.virtual_nodes,
+        checkpoint_dir=args.checkpoint_dir,
+        out_dir=args.out,
+        validate=not args.no_validate,
+    )
+    report = result.report
+    sizes = ", ".join(
+        f"{s.shard_id}:{s.num_nodes}n/{s.local_graph.num_edges}e"
+        for s in result.sharded.shards
+    )
+    print(f"shards: {sizes}")
+    print(
+        f"cut edges: {report.num_cut_edges} -> "
+        f"{report.cross_superedges} cross superedges, "
+        f"{report.cross_additions} C+, {report.cross_deletions} C-"
+    )
+    print(format_table([result.summary.describe()]))
+    if not report.ok:
+        for problem in report.problems:
+            print(f"problem: {problem}", file=sys.stderr)
+        return 1
+    if args.out:
+        print(f"shard manifest written to {args.out}")
+        print(f"serve with: ldme serve-cluster --manifest {args.out}")
+    return 0
+
+
 def _cmd_serve_cluster(args: argparse.Namespace) -> int:
     import logging
     import time as _time
@@ -572,7 +681,10 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
     logging.basicConfig(
         level=logging.INFO, format="%(asctime)s %(name)s %(message)s"
     )
-    summary = _load_any_summary(args.summary)
+    if (args.summary is None) == (args.manifest is None):
+        print("error: pass either a summary file or --manifest DIR",
+              file=sys.stderr)
+        return 2
     template = ServerConfig(
         cache_entries=args.cache_size,
         max_pending=args.max_pending,
@@ -580,20 +692,39 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
         shed_fraction=args.shed_fraction,
         degraded_enabled=not args.no_degraded,
     )
-    cluster = SummaryCluster(
-        summary,
-        replicas=args.replicas,
-        config=template,
-        host=args.host,
-        port_base=args.port_base,
-    )
+    if args.manifest is not None:
+        cluster = SummaryCluster.from_manifest(
+            args.manifest,
+            replicas=args.replicas,
+            config=template,
+            host=args.host,
+            port_base=args.port_base,
+        )
+        served = (
+            f"{cluster.num_shards} shards x {args.replicas} replicas "
+            f"from {args.manifest}"
+        )
+    else:
+        summary = _load_any_summary(args.summary)
+        cluster = SummaryCluster(
+            summary,
+            replicas=args.replicas,
+            config=template,
+            host=args.host,
+            port_base=args.port_base,
+        )
+        served = (
+            f"{args.replicas} replicas serving {args.summary} "
+            f"({summary.num_nodes} nodes)"
+        )
     cluster.start()
     addresses = ",".join(f"{h}:{p}" for h, p in cluster.addresses)
-    print(
-        f"cluster of {args.replicas} replicas serving {args.summary} "
-        f"({summary.num_nodes} nodes) on {addresses} — ctrl-c to stop"
+    print(f"cluster of {served} on {addresses} — ctrl-c to stop")
+    manifest_flag = (
+        f" --manifest {args.manifest}" if args.manifest is not None else ""
     )
-    print(f"query with: ldme query ping --cluster {addresses}")
+    print(f"query with: ldme query ping --cluster {addresses}"
+          f"{manifest_flag}")
     try:
         while True:
             _time.sleep(3600)
@@ -612,11 +743,20 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.cluster:
         from .serve import ClusterClient
 
+        addresses = _parse_addresses(args.cluster)
+        sharded = (
+            _sharded_client_kwargs(args.manifest, addresses)
+            if args.manifest else {}
+        )
         client = ClusterClient(
-            _parse_addresses(args.cluster),
+            None if sharded else addresses,
             timeout=args.timeout,
             deadline=args.deadline,
+            **sharded,
         )
+    elif args.manifest:
+        print("error: --manifest requires --cluster", file=sys.stderr)
+        return 2
     else:
         client = SummaryClient(args.host, args.port, timeout=args.timeout)
     kw = {}
@@ -685,14 +825,22 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     cluster_client = None
     client_factory = None
     host, port = args.host, args.port
+    if args.manifest and not args.cluster:
+        print("error: --manifest requires --cluster", file=sys.stderr)
+        return 2
     if args.cluster:
         from .serve import ClusterClient
 
         addresses = _parse_addresses(args.cluster)
+        sharded = (
+            _sharded_client_kwargs(args.manifest, addresses)
+            if args.manifest else {}
+        )
         cluster_client = ClusterClient(
-            addresses,
+            None if sharded else addresses,
             timeout=args.timeout,
             hedge_delay=args.hedge_delay,
+            **sharded,
         )
         cluster_client.start_health_checks()
         client_factory = lambda: cluster_client  # noqa: E731 - shared
@@ -738,6 +886,7 @@ _COMMANDS = {
     "stream": _cmd_stream,
     "evaluate": _cmd_evaluate,
     "serve": _cmd_serve,
+    "shard-summarize": _cmd_shard_summarize,
     "serve-cluster": _cmd_serve_cluster,
     "query": _cmd_query,
     "loadgen": _cmd_loadgen,

@@ -25,7 +25,12 @@ from .partition import SupernodePartition
 from .reconstruct import reconstruct, reconstruction_error, verify_lossless
 from .resummarize import affected_nodes, resummarize
 from .saving import GroupAdjacency, saving_of_pair, supernode_cost
-from .validate import SummaryValidationError, check_summary, validate_summary
+from .validate import (
+    SummaryValidationError,
+    check_summary,
+    partition_coverage_problems,
+    validate_summary,
+)
 from .summary import CorrectionSet, IterationStats, RunStats, Summarization
 
 __all__ = [
@@ -64,6 +69,7 @@ __all__ = [
     "saving_of_pair",
     "supernode_cost",
     "check_summary",
+    "partition_coverage_problems",
     "validate_summary",
     "SummaryValidationError",
     "CorrectionSet",

@@ -15,11 +15,39 @@ from ..graph.graph import Graph
 from .reconstruct import reconstruction_error
 from .summary import Summarization
 
-__all__ = ["validate_summary", "check_summary", "SummaryValidationError"]
+__all__ = [
+    "validate_summary",
+    "check_summary",
+    "partition_coverage_problems",
+    "SummaryValidationError",
+]
 
 
 class SummaryValidationError(ValueError):
     """A summarization violates a structural invariant."""
+
+
+def partition_coverage_problems(
+    partition, declared_num_nodes: int
+) -> List[str]:
+    """Problems with a partition's coverage of the node universe.
+
+    The one check both the standalone validator and the shard stitcher
+    need: the partition's own invariants hold (every node in exactly one
+    supernode, labels consistent) and it covers exactly the declared
+    universe. Returns problem strings; empty list = clean.
+    """
+    problems: List[str] = []
+    try:
+        partition.validate()
+    except AssertionError as exc:
+        problems.append(f"partition invalid: {exc}")
+    if partition.num_nodes != declared_num_nodes:
+        problems.append(
+            f"partition covers {partition.num_nodes} nodes but summary "
+            f"declares {declared_num_nodes}"
+        )
+    return problems
 
 
 def check_summary(
@@ -29,19 +57,10 @@ def check_summary(
 
     With ``graph`` provided, also verifies exact losslessness.
     """
-    problems: List[str] = []
     partition = summary.partition
 
     # Partition covers the node universe consistently.
-    try:
-        partition.validate()
-    except AssertionError as exc:
-        problems.append(f"partition invalid: {exc}")
-    if partition.num_nodes != summary.num_nodes:
-        problems.append(
-            f"partition covers {partition.num_nodes} nodes but summary "
-            f"declares {summary.num_nodes}"
-        )
+    problems = partition_coverage_problems(partition, summary.num_nodes)
 
     # Superedges must reference live supernodes.
     live = set(partition.supernode_ids())

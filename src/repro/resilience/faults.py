@@ -165,7 +165,11 @@ class ReplicaFault:
         the rolling swap — the checksummed loader must reject it before
         any replica is touched).
     path:
-        Summary file for the swap actions.
+        Summary file for the swap actions. A shard-manifest *directory*
+        also works against a sharded cluster: ``corrupt_swap`` then
+        flips a bit in one shard artifact (the last ``shard-*.ldmeb``,
+        deterministically) and the manifest CRC check must reject the
+        whole swap.
     """
 
     at_progress: int
@@ -247,11 +251,32 @@ class ClusterFaultPlan:
                 self.cluster.restart(fault.replica)
             else:
                 if fault.action == "corrupt_swap":
-                    flip_bit(fault.path)
+                    flip_bit(_corruption_target(fault.path))
                 report = self.cluster.rolling_swap(str(fault.path))
                 self.swap_reports.append(report)
         except Exception as exc:  # noqa: BLE001 - recorded, not raised
             self.errors.append(exc)
+
+
+def _corruption_target(path: PathLike) -> str:
+    """The file a ``corrupt_swap`` fault damages.
+
+    A plain summary file is damaged directly. A shard-manifest directory
+    gets exactly one shard artifact damaged — the last ``shard-*.ldmeb``
+    in sorted order, so the choice is deterministic run-to-run.
+    """
+    path = os.fspath(path)
+    if not os.path.isdir(path):
+        return path
+    shard_files = sorted(
+        name for name in os.listdir(path)
+        if name.startswith("shard-") and name.endswith(".ldmeb")
+    )
+    if not shard_files:
+        raise FileNotFoundError(
+            f"{path}: no shard-*.ldmeb artifacts to corrupt"
+        )
+    return os.path.join(path, shard_files[-1])
 
 
 # ----------------------------------------------------------------------

@@ -10,7 +10,10 @@ summary, and a metrics registry — plus a blocking :class:`SummaryClient`
 with retry/backoff, a replicated-serving layer
 (:class:`SummaryCluster` / :class:`ClusterClient` with per-replica
 circuit breakers, health checks, hedged reads, and a global retry
-budget), and a thread-based load generator (:func:`run_load`).
+budget — shard-aware: shards × replicas topologies route single-node
+ops by hash ring and scatter-gather multi-shard ops with
+partial-result envelopes), and a thread-based load generator
+(:func:`run_load`).
 
 See ``docs/serving.md`` for the wire protocol and operational semantics.
 """
@@ -27,6 +30,8 @@ from .client import ServerError, SummaryClient
 from .cluster import (
     ClusterClient,
     ClusterHealthChecker,
+    PartialResult,
+    PartialResultError,
     SummaryCluster,
     SwapReport,
 )
@@ -44,6 +49,8 @@ __all__ = [
     "SummaryCluster",
     "ClusterClient",
     "ClusterHealthChecker",
+    "PartialResult",
+    "PartialResultError",
     "SwapReport",
     "CircuitBreaker",
     "RetryBudget",

@@ -37,12 +37,33 @@ stale / budget counters land in the client's
 :class:`~repro.obs.metrics.MetricsRegistry` (Prometheus-renderable via
 :meth:`ClusterClient.prometheus`) and are mirrored to the module-level
 :mod:`repro.obs.metrics` seam when a registry is installed.
+
+**Sharded topology.** Both halves also speak the shards × replicas
+layout produced by :mod:`repro.shard`: a :class:`SummaryCluster` built
+from per-shard serving summaries (``shards=`` mapping or
+:meth:`SummaryCluster.from_manifest`) runs ``replicas`` servers *per
+shard*, and its :class:`ClusterClient` routes single-node ops
+(``neighbors`` / ``degree`` by the node, ``has_edge`` by the first
+endpoint) to the owning shard's replica set via the same
+:class:`~repro.shard.hashring.HashRing` the partitioner used — a node
+is always asked at the shard that summarized it, which is what makes
+the per-shard serving artifacts exact. Multi-shard ops (``bfs``) run
+client-side as a frontier scatter-gather with per-shard deadlines; a
+shard that cannot answer yields a :class:`PartialResultError` by
+default, or an explicit :class:`PartialResult` envelope with
+``allow_partial=True`` — never a silently wrong answer.
+:meth:`SummaryCluster.rolling_swap` accepts a shard-manifest directory
+and rolls **one shard at a time** under the existing
+generation/verify/rollback machinery, so a failed shard swap rolls the
+whole fleet back and the cluster never serves a split summary.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import logging
+import os
+import random
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor
@@ -53,8 +74,10 @@ from typing import (
     Callable,
     Dict,
     List,
+    Mapping,
     Optional,
     Sequence,
+    Set,
     Tuple,
     Union,
 )
@@ -62,6 +85,7 @@ from typing import (
 from ..core.summary import Summarization
 from ..obs import metrics as obs_metrics
 from ..queries.compiled import CompiledSummaryIndex
+from ..shard.hashring import HashRing
 from .breaker import (
     BreakerOpenError,
     CircuitBreaker,
@@ -77,6 +101,8 @@ __all__ = [
     "Address",
     "ClusterClient",
     "ClusterHealthChecker",
+    "PartialResult",
+    "PartialResultError",
     "SummaryCluster",
     "SwapReport",
 ]
@@ -108,6 +134,38 @@ class _Attempt(Exception):
         self.code = code
 
 
+@dataclass
+class PartialResult:
+    """Envelope for a scatter-gather answer missing some shards.
+
+    ``value`` covers every shard that answered; ``failed_shards`` lists
+    the ones that did not. ``complete=True`` means nothing is missing
+    (returned for uniformity when ``allow_partial=True`` is requested).
+    """
+
+    value: Dict[int, int]
+    complete: bool
+    failed_shards: List[int] = field(default_factory=list)
+
+
+class PartialResultError(ConnectionError):
+    """A multi-shard op lost one or more shards and partials were not
+    opted into.
+
+    Subclasses :class:`ConnectionError` deliberately: callers that treat
+    the cluster as a black box (the load generator) count it as an
+    *error*, never as a wrong answer. ``partial`` carries whatever was
+    gathered, for callers that catch and inspect.
+    """
+
+    def __init__(self, op: str, partial: PartialResult) -> None:
+        super().__init__(
+            f"{op}: shards {partial.failed_shards} did not answer "
+            f"(partial result withheld; pass allow_partial=True to accept)"
+        )
+        self.partial = partial
+
+
 # ----------------------------------------------------------------------
 # client side
 # ----------------------------------------------------------------------
@@ -121,7 +179,18 @@ class ClusterClient:
     Parameters
     ----------
     replicas:
-        ``(host, port)`` addresses of the replica set.
+        ``(host, port)`` addresses of the replica set (unsharded mode).
+    shards:
+        Shard id → replica addresses, for a shards × replicas cluster.
+        Mutually exclusive with ``replicas``; requires ``ring``.
+    ring:
+        The :class:`~repro.shard.hashring.HashRing` that partitioned the
+        graph — routes single-node ops to the owning shard's replicas.
+    rng:
+        Seeds the round-robin starting offsets (global and per shard) so
+        a fleet of clients spreads first attempts instead of all hitting
+        replica 0. Defaults to a fresh unseeded :class:`random.Random`;
+        inject a seeded one for deterministic tests.
     timeout:
         Socket timeout per attempt (seconds).
     deadline:
@@ -143,8 +212,11 @@ class ClusterClient:
 
     def __init__(
         self,
-        replicas: Sequence[Address],
+        replicas: Optional[Sequence[Address]] = None,
         *,
+        shards: Optional[Mapping[int, Sequence[Address]]] = None,
+        ring: Optional[HashRing] = None,
+        rng: Optional[random.Random] = None,
         timeout: float = 5.0,
         deadline: Optional[float] = None,
         hedge_delay: Optional[float] = None,
@@ -153,11 +225,40 @@ class ClusterClient:
         breaker_recovery: float = 1.0,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
-        if not replicas:
-            raise ValueError("ClusterClient needs at least one replica")
-        self.replicas: List[Address] = [
-            (str(host), int(port)) for host, port in replicas
-        ]
+        if (shards is None) == (replicas is None):
+            if shards is None:
+                raise ValueError("ClusterClient needs at least one replica")
+            raise ValueError("pass either replicas or shards, not both")
+        self._shard_slots: Dict[int, List[int]] = {}
+        if shards is not None:
+            if ring is None:
+                raise ValueError("sharded routing needs a HashRing")
+            self.shard_ids = sorted(int(s) for s in shards)
+            if sorted(ring.shards) != self.shard_ids:
+                raise ValueError(
+                    f"ring shards {ring.shards} != "
+                    f"address shards {self.shard_ids}"
+                )
+            flat: List[Address] = []
+            for sid in self.shard_ids:
+                addrs = [(str(h), int(p)) for h, p in shards[sid]]
+                if not addrs:
+                    raise ValueError(f"shard {sid} has no replicas")
+                self._shard_slots[sid] = list(
+                    range(len(flat), len(flat) + len(addrs))
+                )
+                flat.extend(addrs)
+            self.replicas: List[Address] = flat
+        else:
+            if not replicas:
+                raise ValueError("ClusterClient needs at least one replica")
+            if ring is not None:
+                raise ValueError("a ring needs per-shard addresses")
+            self.shard_ids = []
+            self.replicas = [
+                (str(host), int(port)) for host, port in replicas
+            ]
+        self._ring = ring
         self.timeout = timeout
         self.default_deadline = deadline
         self.hedge_delay = hedge_delay
@@ -173,7 +274,14 @@ class ClusterClient:
         ]
         self.metrics = MetricsRegistry()
         self._tl = threading.local()
-        self._rr = 0                      # round-robin cursor (racy is fine)
+        # Round-robin cursors start at an RNG-drawn offset so a fleet of
+        # fresh clients does not stampede replica 0 in lockstep.
+        rand = rng if rng is not None else random.Random()
+        self._rr = rand.randrange(len(self.replicas))
+        self._shard_rr = {
+            sid: rand.randrange(len(slots))
+            for sid, slots in self._shard_slots.items()
+        }
         self._rr_lock = threading.Lock()
         self._executor: Optional[ThreadPoolExecutor] = None
         self._executor_lock = threading.Lock()
@@ -204,6 +312,22 @@ class ClusterClient:
             self._rr = (self._rr + 1) % len(self.replicas)
         n = len(self.replicas)
         return [(start + i) % n for i in range(n)]
+
+    def _shard_order(self, sid: int) -> List[int]:
+        """One shard's replica indices, rotated by its own cursor."""
+        slots = self._shard_slots[sid]
+        n = len(slots)
+        with self._rr_lock:
+            start = self._shard_rr[sid]
+            self._shard_rr[sid] = (start + 1) % n
+        return [slots[(start + i) % n] for i in range(n)]
+
+    def shard_of_replica(self, idx: int) -> Optional[int]:
+        """Which shard a flat replica index serves (``None`` unsharded)."""
+        for sid, slots in self._shard_slots.items():
+            if idx in slots:
+                return sid
+        return None
 
     def _inc(self, name: str, *, labels: Optional[Dict[str, object]] = None,
              amount: float = 1) -> None:
@@ -290,12 +414,17 @@ class ClusterClient:
         deadline: Optional[float] = None,
         priority: Optional[int] = None,
         hedge: Optional[bool] = None,
+        route: Optional[int] = None,
     ) -> Any:
         """Issue ``op`` with failover, breakers, budget, and deadline.
 
         ``deadline`` (seconds from now) overrides the client default;
         ``hedge`` forces hedging on/off for this call (default: hedge
-        query ops when ``hedge_delay`` is configured).
+        query ops when ``hedge_delay`` is configured). ``route`` is a
+        node id — on a sharded client the attempt order is restricted to
+        the owning shard's replicas (failover stays *inside* the shard:
+        other shards hold different serving summaries and would answer
+        this node wrongly).
         """
         if deadline is None:
             deadline = self.default_deadline
@@ -308,7 +437,10 @@ class ClusterClient:
             self.hedge_delay is not None and op in _HEDGEABLE
             if hedge is None else hedge
         )
-        order = self._ordered()
+        if route is not None and self._ring is not None:
+            order = self._shard_order(self._ring.shard_of(route))
+        else:
+            order = self._ordered()
         if use_hedge:
             return self._call_hedged(
                 order, op, args, deadline_at, priority
@@ -469,21 +601,141 @@ class ClusterClient:
         return self.call("stats", hedge=False)
 
     def neighbors(self, v: int, **kw: Any) -> List[int]:
-        """Sorted neighbour list of ``v``."""
-        return self.call("neighbors", {"v": int(v)}, **kw)
+        """Sorted neighbour list of ``v`` (routed to ``v``'s shard)."""
+        return self.call("neighbors", {"v": int(v)}, route=int(v), **kw)
 
     def degree(self, v: int, **kw: Any) -> int:
-        """Degree of ``v``."""
-        return self.call("degree", {"v": int(v)}, **kw)
+        """Degree of ``v`` (routed to ``v``'s shard)."""
+        return self.call("degree", {"v": int(v)}, route=int(v), **kw)
 
     def has_edge(self, u: int, v: int, **kw: Any) -> bool:
-        """Edge membership of ``(u, v)``."""
-        return self.call("has_edge", {"u": int(u), "v": int(v)}, **kw)
+        """Edge membership of ``(u, v)`` (routed to ``u``'s shard)."""
+        return self.call(
+            "has_edge", {"u": int(u), "v": int(v)}, route=int(u), **kw
+        )
 
-    def bfs(self, source: int, **kw: Any) -> Dict[int, int]:
-        """Hop distances from ``source``."""
-        pairs = self.call("bfs", {"source": int(source)}, **kw)
-        return {int(node): int(dist) for node, dist in pairs}
+    def bfs(
+        self,
+        source: int,
+        *,
+        allow_partial: bool = False,
+        **kw: Any,
+    ) -> Union[Dict[int, int], PartialResult]:
+        """Hop distances from ``source``.
+
+        On a sharded cluster this is the one multi-shard op: the client
+        runs the BFS itself, scattering each level's frontier to the
+        owning shards in parallel. A shard that cannot answer (even
+        after in-shard failover) makes the result *partial*: with
+        ``allow_partial=False`` (default) a :class:`PartialResultError`
+        is raised — an error, never a silently short answer — and with
+        ``allow_partial=True`` a :class:`PartialResult` envelope is
+        returned instead.
+        """
+        if self._ring is None:
+            pairs = self.call("bfs", {"source": int(source)}, **kw)
+            result = {int(node): int(dist) for node, dist in pairs}
+            if allow_partial:
+                return PartialResult(value=result, complete=True)
+            return result
+        return self._bfs_scatter(
+            int(source), allow_partial=allow_partial, **kw
+        )
+
+    def _bfs_scatter(
+        self,
+        source: int,
+        *,
+        allow_partial: bool = False,
+        deadline: Optional[float] = None,
+        priority: Optional[int] = None,
+        hedge: Optional[bool] = None,  # accepted for signature parity
+    ) -> Union[Dict[int, int], PartialResult]:
+        """Client-driven frontier BFS over the shard set.
+
+        Per level, frontier nodes are grouped by owning shard and each
+        shard's batch is fetched concurrently under the shared call
+        deadline (each per-shard fetch does its own in-shard failover).
+        A shard failure poisons the rest of its component — distances
+        already gathered stay correct, so the partial envelope is safe
+        to use, just incomplete.
+        """
+        if deadline is None:
+            deadline = self.default_deadline
+        deadline_at = (
+            self._clock() + deadline if deadline is not None else None
+        )
+        ring = self._ring
+        assert ring is not None
+        executor = self._ensure_executor()
+        distances: Dict[int, int] = {source: 0}
+        frontier: List[int] = [source]
+        depth = 0
+        failed: Set[int] = set()
+        while frontier:
+            by_shard: Dict[int, List[int]] = {}
+            for v in frontier:
+                by_shard.setdefault(ring.shard_of(v), []).append(v)
+            self._inc(
+                "cluster_scatter_fanout_total", amount=len(by_shard)
+            )
+            futures = {
+                executor.submit(
+                    self._fetch_neighbors, sid, nodes,
+                    deadline_at, priority,
+                ): sid
+                for sid, nodes in sorted(by_shard.items())
+                if sid not in failed
+            }
+            depth += 1
+            next_frontier: List[int] = []
+            for future, sid in futures.items():
+                try:
+                    neighbor_lists = future.result()
+                except (ServerError, ConnectionError):
+                    failed.add(sid)
+                    continue
+                for nbrs in neighbor_lists:
+                    for u in nbrs:
+                        u = int(u)
+                        if u not in distances:
+                            distances[u] = depth
+                            next_frontier.append(u)
+            frontier = next_frontier
+        if failed:
+            self._inc("cluster_partial_results_total")
+            partial = PartialResult(
+                value=distances, complete=False,
+                failed_shards=sorted(failed),
+            )
+            if not allow_partial:
+                raise PartialResultError("bfs", partial)
+            return partial
+        if allow_partial:
+            return PartialResult(value=distances, complete=True)
+        return distances
+
+    def _fetch_neighbors(
+        self,
+        sid: int,
+        nodes: Sequence[int],
+        deadline_at: Optional[float],
+        priority: Optional[int],
+    ) -> List[List[int]]:
+        """One shard's slice of a scatter: neighbour lists for ``nodes``.
+
+        Runs on the hedge executor; each node's fetch fails over within
+        the shard's replicas and shares the scatter's deadline.
+        """
+        out: List[List[int]] = []
+        for v in nodes:
+            self.retry_budget.deposit()
+            self._inc("cluster_requests_total", labels={"op": "neighbors"})
+            out.append(self._call_failover(
+                self._shard_order(sid), "neighbors", {"v": int(v)},
+                deadline_at, priority,
+            ))
+        return out
 
     # ------------------------------------------------------------------
     # health / introspection
@@ -511,6 +763,10 @@ class ClusterClient:
         checker = self._checker
         return {
             "replicas": [_addr_label(a) for a in self.replicas],
+            "shards": {
+                sid: [_addr_label(self.replicas[i]) for i in slots]
+                for sid, slots in sorted(self._shard_slots.items())
+            },
             "breakers": {
                 _addr_label(a): b.snapshot()
                 for a, b in zip(self.replicas, self.breakers)
@@ -649,6 +905,24 @@ class ClusterHealthChecker(threading.Thread):
                 breaker.snapshot()["state_code"],
                 labels={"replica": label},
             )
+        # Per-shard generation: the max across the shard's healthy
+        # replicas (they converge after a completed shard swap; a lagging
+        # replica shows up as the gauge disagreeing with its own
+        # cluster_replica_generation).
+        for sid, slots in sorted(self.client._shard_slots.items()):
+            generations = [
+                self.last_health[label].get("generation", -1)
+                for label in (
+                    _addr_label(self.client.replicas[i]) for i in slots
+                )
+                if label in self.last_health
+            ]
+            if generations:
+                self.client.metrics.set_gauge(
+                    "cluster_shard_generation",
+                    max(generations),
+                    labels={"shard": str(sid)},
+                )
 
     def run(self) -> None:
         while not self._stop_event.wait(self.interval):
@@ -661,23 +935,43 @@ class ClusterHealthChecker(threading.Thread):
 # ----------------------------------------------------------------------
 # server side
 # ----------------------------------------------------------------------
+def _compile(
+    summary: Union[Summarization, CompiledSummaryIndex]
+) -> CompiledSummaryIndex:
+    if isinstance(summary, CompiledSummaryIndex):
+        return summary
+    return CompiledSummaryIndex(summary)
+
+
 @dataclass
 class SwapReport:
     """Outcome of a :meth:`SummaryCluster.rolling_swap`."""
 
     ok: bool
     generations: List[int] = field(default_factory=list)
-    swapped: List[int] = field(default_factory=list)
+    swapped: List[int] = field(default_factory=list)       # flat replicas
+    swapped_shards: List[int] = field(default_factory=list)
     rolled_back: bool = False
     error: Optional[str] = None
 
 
 class SummaryCluster:
-    """N in-process summary-server replicas behind one fleet API.
+    """Shards × replicas of in-process summary servers, one fleet API.
 
-    All replicas serve the same compiled index (compiled once, shared —
-    indexes are immutable). Ports are ephemeral by default; pass
-    ``port_base`` to pin ``port_base .. port_base+n-1``.
+    Two topologies:
+
+    * **Unsharded** (the original): ``SummaryCluster(summary, replicas=N)``
+      runs N replicas of one compiled index (compiled once, shared —
+      indexes are immutable). One implicit shard.
+    * **Sharded**: ``SummaryCluster(shards={sid: summary, ...}, ring=...,
+      replicas=N)`` — or :meth:`from_manifest` — runs N replicas *per
+      shard*, each shard serving its own per-shard summary from
+      :func:`repro.shard.stitch.shard_serving_summary`. Replica indices
+      stay flat (shard-major), so ``kill(i)`` / ``restart(i)`` and the
+      chaos plans keep working unchanged.
+
+    Ports are ephemeral by default; pass ``port_base`` to pin
+    ``port_base .. port_base+n-1`` across the flat replica list.
 
     ``config`` is the per-replica :class:`ServerConfig` template; its
     ``degraded_enabled`` flag defaults to True here (a replica set
@@ -686,31 +980,91 @@ class SummaryCluster:
 
     def __init__(
         self,
-        summary: Union[Summarization, CompiledSummaryIndex],
+        summary: Optional[Union[Summarization, CompiledSummaryIndex]] = None,
         replicas: int = 3,
         config: Optional[ServerConfig] = None,
         host: str = "127.0.0.1",
         port_base: int = 0,
+        *,
+        shards: Optional[
+            Mapping[int, Union[Summarization, CompiledSummaryIndex]]
+        ] = None,
+        ring: Optional[HashRing] = None,
     ) -> None:
         if replicas < 1:
             raise ValueError("a cluster needs at least one replica")
-        self._index = (
-            summary
-            if isinstance(summary, CompiledSummaryIndex)
-            else CompiledSummaryIndex(summary)
-        )
-        self._previous_index: Optional[CompiledSummaryIndex] = None
+        if (summary is None) == (shards is None):
+            raise ValueError("pass exactly one of summary or shards")
+        if shards is not None:
+            if ring is None:
+                raise ValueError("a sharded cluster needs its HashRing")
+            self._shard_ids = sorted(int(s) for s in shards)
+            if sorted(ring.shards) != self._shard_ids:
+                raise ValueError(
+                    f"ring shards {ring.shards} != "
+                    f"summary shards {self._shard_ids}"
+                )
+            self._ring: Optional[HashRing] = ring
+            self._indexes: Dict[int, CompiledSummaryIndex] = {
+                sid: _compile(shards[sid]) for sid in self._shard_ids
+            }
+        else:
+            if ring is not None:
+                raise ValueError("a ring requires per-shard summaries")
+            self._ring = None
+            self._shard_ids = [0]
+            self._indexes = {0: _compile(summary)}
+        self._previous_indexes: Optional[
+            Dict[int, CompiledSummaryIndex]
+        ] = None
+        self.replicas_per_shard = replicas
         template = config or ServerConfig(degraded_enabled=True)
-        self._configs: List[ServerConfig] = [
-            dataclasses.replace(
-                template,
-                host=host,
-                port=(port_base + i) if port_base else 0,
-            )
-            for i in range(replicas)
-        ]
-        self._handles: List[Optional[ServerThread]] = [None] * replicas
+        self._configs: List[ServerConfig] = []
+        self._replica_shard: List[int] = []
+        for sid in self._shard_ids:
+            for _ in range(replicas):
+                i = len(self._configs)
+                self._configs.append(dataclasses.replace(
+                    template,
+                    host=host,
+                    port=(port_base + i) if port_base else 0,
+                ))
+                self._replica_shard.append(sid)
+        self._handles: List[Optional[ServerThread]] = (
+            [None] * len(self._configs)
+        )
         self._started = False
+
+    @classmethod
+    def from_manifest(
+        cls,
+        manifest: Union[str, "os.PathLike[str]", object],
+        replicas: int = 2,
+        config: Optional[ServerConfig] = None,
+        host: str = "127.0.0.1",
+        port_base: int = 0,
+    ) -> "SummaryCluster":
+        """Build a sharded cluster from a shard-manifest directory.
+
+        ``manifest`` is a directory path (or ``manifest.json`` path) or a
+        parsed :class:`~repro.shard.manifest.ShardManifest`. Artifact
+        CRCs are verified before anything serves.
+        """
+        from ..shard.manifest import ShardManifest, load_manifest
+
+        if not isinstance(manifest, ShardManifest):
+            manifest = load_manifest(os.fspath(manifest))  # type: ignore[arg-type]
+        summaries = {
+            sid: manifest.load_shard(sid) for sid in manifest.shard_ids
+        }
+        return cls(
+            shards=summaries,
+            ring=manifest.ring,
+            replicas=replicas,
+            config=config,
+            host=host,
+            port_base=port_base,
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -718,9 +1072,27 @@ class SummaryCluster:
         return len(self._configs)
 
     @property
+    def num_shards(self) -> int:
+        return len(self._shard_ids)
+
+    @property
+    def shard_ids(self) -> List[int]:
+        return list(self._shard_ids)
+
+    @property
+    def ring(self) -> Optional[HashRing]:
+        """The routing ring (``None`` for an unsharded cluster)."""
+        return self._ring
+
+    @property
     def index(self) -> CompiledSummaryIndex:
-        """The index currently rolled out to (live) replicas."""
-        return self._index
+        """The index rolled out to (live) replicas (first shard's when
+        sharded — prefer :meth:`shard_index` there)."""
+        return self._indexes[self._shard_ids[0]]
+
+    def shard_index(self, shard_id: int) -> CompiledSummaryIndex:
+        """The index shard ``shard_id`` currently serves."""
+        return self._indexes[shard_id]
 
     def start(self) -> "SummaryCluster":
         """Start every replica; blocks until all sockets are bound."""
@@ -737,7 +1109,8 @@ class SummaryCluster:
         return self
 
     def _start_replica(self, i: int) -> None:
-        handle = ServerThread(self._index, self._configs[i]).start()
+        index = self._indexes[self._replica_shard[i]]
+        handle = ServerThread(index, self._configs[i]).start()
         # Pin the resolved ephemeral port so a restart rebinds the same
         # address and clients keep a stable replica list.
         self._configs[i] = dataclasses.replace(
@@ -747,10 +1120,22 @@ class SummaryCluster:
 
     @property
     def addresses(self) -> List[Address]:
-        """Replica addresses (stable across kill/restart)."""
+        """Flat replica addresses (stable across kill/restart)."""
         return [
             (config.host, config.port) for config in self._configs
         ]
+
+    @property
+    def shard_addresses(self) -> Dict[int, List[Address]]:
+        """Replica addresses grouped by the shard they serve."""
+        grouped: Dict[int, List[Address]] = {
+            sid: [] for sid in self._shard_ids
+        }
+        for i, config in enumerate(self._configs):
+            grouped[self._replica_shard[i]].append(
+                (config.host, config.port)
+            )
+        return grouped
 
     def handle(self, i: int) -> ServerThread:
         """The i-th replica's server thread (raises if killed)."""
@@ -785,7 +1170,16 @@ class SummaryCluster:
                     i, self._configs[i].port)
 
     def client(self, **kwargs: Any) -> ClusterClient:
-        """A :class:`ClusterClient` over this cluster's addresses."""
+        """A :class:`ClusterClient` over this cluster's addresses.
+
+        Sharded clusters hand the client their ring and per-shard
+        address map, so routing and the partitioner agree by
+        construction.
+        """
+        if self._ring is not None:
+            return ClusterClient(
+                shards=self.shard_addresses, ring=self._ring, **kwargs
+            )
         return ClusterClient(self.addresses, **kwargs)
 
     def generations(self) -> List[Optional[int]]:
@@ -795,96 +1189,174 @@ class SummaryCluster:
             for handle in self._handles
         ]
 
+    def shard_generations(self) -> Dict[int, List[Optional[int]]]:
+        """Per-shard view of :meth:`generations`."""
+        grouped: Dict[int, List[Optional[int]]] = {
+            sid: [] for sid in self._shard_ids
+        }
+        for i, handle in enumerate(self._handles):
+            grouped[self._replica_shard[i]].append(
+                handle.server.generation if handle is not None else None
+            )
+        return grouped
+
     # ------------------------------------------------------------------
     # rolling swap
     # ------------------------------------------------------------------
+    def _resolve_swap_target(
+        self,
+        target: Union[
+            Summarization, CompiledSummaryIndex, str,
+            Mapping[int, Union[Summarization, CompiledSummaryIndex]],
+        ],
+    ) -> Dict[int, CompiledSummaryIndex]:
+        """Normalize a swap target to one compiled index per shard.
+
+        Raises ``OSError``/``ValueError`` (including the checksummed
+        readers' :class:`~repro.errors.CorruptSummaryError`) before any
+        replica is touched.
+        """
+        if isinstance(target, str):
+            if os.path.isdir(target) or target.endswith("manifest.json"):
+                from ..shard.manifest import load_manifest
+
+                manifest = load_manifest(target)   # verifies every CRC
+                if manifest.shard_ids != self._shard_ids:
+                    raise ValueError(
+                        f"manifest shards {manifest.shard_ids} != "
+                        f"cluster shards {self._shard_ids}"
+                    )
+                if self._ring is not None and manifest.ring != self._ring:
+                    raise ValueError(
+                        "manifest ring differs from the cluster's ring "
+                        "(routing would no longer match the artifacts)"
+                    )
+                return {
+                    sid: CompiledSummaryIndex(manifest.load_shard(sid))
+                    for sid in self._shard_ids
+                }
+            if len(self._shard_ids) != 1:
+                raise ValueError(
+                    "a sharded cluster swaps from a manifest directory, "
+                    "not a single summary file"
+                )
+            return {self._shard_ids[0]: _load_index(target)}
+        if isinstance(target, Mapping):
+            ids = sorted(int(s) for s in target)
+            if ids != self._shard_ids:
+                raise ValueError(
+                    f"swap shards {ids} != cluster shards {self._shard_ids}"
+                )
+            return {int(sid): _compile(s) for sid, s in target.items()}
+        if len(self._shard_ids) != 1:
+            raise ValueError(
+                "a sharded cluster needs one summary per shard"
+            )
+        return {self._shard_ids[0]: _compile(target)}
+
     def rolling_swap(
         self,
-        target: Union[Summarization, CompiledSummaryIndex, str],
+        target: Union[
+            Summarization, CompiledSummaryIndex, str,
+            Mapping[int, Union[Summarization, CompiledSummaryIndex]],
+        ],
         drain_seconds: float = 0.0,
         verify: Optional[Callable[[int, ServerThread], bool]] = None,
     ) -> SwapReport:
-        """Roll a new summary across the replica set, one replica at a
-        time, with verification and automatic rollback.
+        """Roll a new summary across the fleet — one shard at a time,
+        one replica at a time — with verification and automatic rollback.
 
-        ``target`` may be a summary file path — corruption is caught at
-        load time (checksummed readers), before any replica is touched.
-        Each replica is held in degraded mode while it swaps (cached
-        answers flow, stale ones flagged), then verified (``verify``
-        callback, or a live ``ping`` showing the advanced generation).
-        Any failure rolls every already-swapped replica back to the
-        previous index; the fleet never ends up split across summaries.
+        ``target`` may be a summary file path, a shard-manifest
+        directory (sharded clusters), or an explicit shard → summary
+        mapping; corruption is caught at load time (checksummed readers
+        plus manifest CRCs), before any replica is touched. Each replica
+        is held in degraded mode while it swaps (cached answers flow,
+        stale ones flagged), then verified (``verify`` callback, or a
+        live ``ping`` showing the advanced generation). Any failure
+        rolls every already-swapped replica — across *all* shards — back
+        to its previous index; the fleet never ends up split between the
+        old and new summary sets.
         """
         try:
-            if isinstance(target, str):
-                index = _load_index(target)
-            elif isinstance(target, CompiledSummaryIndex):
-                index = target
-            else:
-                index = CompiledSummaryIndex(target)
+            targets = self._resolve_swap_target(target)
         except (OSError, ValueError) as exc:
             logger.warning("rolling swap rejected at load: %s", exc)
             return SwapReport(
                 ok=False, generations=self._live_generations(),
                 error=f"load failed: {exc}",
             )
-        previous = self._index
+        previous = dict(self._indexes)
         swapped: List[int] = []
-        for i, handle in enumerate(self._handles):
-            if handle is None:
-                continue            # killed replicas pick the index up
-                                    # on restart (self._index below)
-            server = handle.server
-            server.set_degraded(True)
-            try:
-                server.swap(index)
-                if drain_seconds > 0:
-                    time.sleep(drain_seconds)
-                ok = (
-                    verify(i, handle) if verify is not None
-                    else self._verify_replica(i)
-                )
-                if not ok:
-                    raise RuntimeError(
-                        f"replica {i} failed post-swap verification"
+        swapped_shards: List[int] = []
+        for sid in self._shard_ids:
+            index = targets[sid]
+            for i, handle in enumerate(self._handles):
+                if self._replica_shard[i] != sid:
+                    continue
+                if handle is None:
+                    continue        # killed replicas pick the index up
+                                    # on restart (self._indexes below)
+                server = handle.server
+                server.set_degraded(True)
+                try:
+                    server.swap(index)
+                    if drain_seconds > 0:
+                        time.sleep(drain_seconds)
+                    ok = (
+                        verify(i, handle) if verify is not None
+                        else self._verify_replica(i)
                     )
-                swapped.append(i)
-            except Exception as exc:  # noqa: BLE001 - roll back on anything
-                server.set_degraded(False)
-                self._rollback(swapped + [i], previous)
-                logger.warning(
-                    "rolling swap aborted at replica %d (%s); "
-                    "rolled back %d replica(s)", i, exc, len(swapped) + 1,
-                )
-                return SwapReport(
-                    ok=False, generations=self._live_generations(),
-                    swapped=[], rolled_back=True, error=str(exc),
-                )
-            finally:
-                if server.degraded:
+                    if not ok:
+                        raise RuntimeError(
+                            f"replica {i} (shard {sid}) failed "
+                            f"post-swap verification"
+                        )
+                    swapped.append(i)
+                except Exception as exc:  # noqa: BLE001 - roll back on anything
                     server.set_degraded(False)
-        self._previous_index = previous
-        self._index = index
+                    self._rollback(swapped + [i], previous)
+                    logger.warning(
+                        "rolling swap aborted at replica %d, shard %s "
+                        "(%s); rolled back %d replica(s)",
+                        i, sid, exc, len(swapped) + 1,
+                    )
+                    return SwapReport(
+                        ok=False, generations=self._live_generations(),
+                        swapped=[], rolled_back=True, error=str(exc),
+                    )
+                finally:
+                    if server.degraded:
+                        server.set_degraded(False)
+            swapped_shards.append(sid)
+        self._previous_indexes = previous
+        self._indexes = targets
         return SwapReport(
-            ok=True, generations=self._live_generations(), swapped=swapped,
+            ok=True, generations=self._live_generations(),
+            swapped=swapped, swapped_shards=swapped_shards,
         )
 
     def rollback(self) -> SwapReport:
-        """Re-roll the previous index across the fleet (post-swap regret)."""
-        if self._previous_index is None:
+        """Re-roll the previous index set across the fleet."""
+        if self._previous_indexes is None:
             return SwapReport(
                 ok=False, generations=self._live_generations(),
                 error="nothing to roll back to",
             )
-        return self.rolling_swap(self._previous_index)
+        if self._ring is None:
+            return self.rolling_swap(
+                self._previous_indexes[self._shard_ids[0]]
+            )
+        return self.rolling_swap(dict(self._previous_indexes))
 
     def _rollback(
-        self, indices: Sequence[int], previous: CompiledSummaryIndex
+        self,
+        indices: Sequence[int],
+        previous: Mapping[int, CompiledSummaryIndex],
     ) -> None:
         for i in indices:
             handle = self._handles[i]
             if handle is not None:
-                handle.server.swap(previous)
+                handle.server.swap(previous[self._replica_shard[i]])
 
     def _live_generations(self) -> List[int]:
         return [

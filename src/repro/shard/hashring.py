@@ -1,0 +1,228 @@
+"""Consistent-hash ring with virtual nodes: the node → shard authority.
+
+One :class:`HashRing` instance is shared by every layer that needs to
+know which shard owns a node: the partitioner uses it to split the
+graph, the stitcher to validate coverage, and
+:class:`~repro.serve.cluster.ClusterClient` to route single-node queries
+to the owning shard's replica set. Because all of them hash the same
+way, a node summarized into shard ``s`` is always queried at shard
+``s`` — there is no second mapping to drift out of sync.
+
+The ring is the classic construction: each shard contributes
+``virtual_nodes`` points on a 64-bit circle, a key is owned by the first
+shard point at or clockwise-after its hash. Virtual nodes smooth the
+load (the max/min shard-size ratio tightens as ``virtual_nodes`` grows
+— property-tested in ``tests/shard/test_hashring.py``), and the ring
+gives *minimal remapping*: adding or removing one shard only moves keys
+into or out of that shard, never between two surviving shards. That is
+what makes shard-count changes an incremental re-shard instead of a
+full re-summarize.
+
+Hashing is splitmix64 — deterministic across processes and platforms
+(no ``PYTHONHASHSEED`` dependence), and vectorizable with numpy uint64
+arithmetic so assigning millions of node ids is a few array ops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+__all__ = ["HashRing", "splitmix64"]
+
+_U64 = np.uint64
+# splitmix64 constants (Steele, Lea & Flood; also java.util.SplittableRandom).
+_GAMMA = _U64(0x9E3779B97F4A7C15)
+_MIX1 = _U64(0xBF58476D1CE4E5B9)
+_MIX2 = _U64(0x94D049BB133111EB)
+# Ring points hash in a salted stream, keys in the plain one. The two
+# domains must never share a stream: vnode key ``idx`` of shard 0 and
+# node id ``idx`` would otherwise hash identically, parking every node
+# id below ``virtual_nodes`` on shard 0's own ring points.
+_VNODE_SALT = 0x1D872B41E2D0F3A7
+
+
+def splitmix64(values: Union[int, np.ndarray],
+               seed: int = 0) -> np.ndarray:
+    """The splitmix64 finalizer over an int or uint64 array.
+
+    Returns a uint64 array of the same shape (0-d for a scalar input).
+    ``seed`` perturbs the stream so independent rings decorrelate.
+    """
+    with np.errstate(over="ignore"):
+        x = np.asarray(values).astype(np.uint64) + _U64(seed) * _GAMMA
+        x = x + _GAMMA
+        x ^= x >> _U64(30)
+        x *= _MIX1
+        x ^= x >> _U64(27)
+        x *= _MIX2
+        x ^= x >> _U64(31)
+    return x
+
+
+class HashRing:
+    """Consistent hashing of integer keys onto integer shard ids.
+
+    Parameters
+    ----------
+    shards:
+        Shard ids (distinct non-negative ints), or an int K meaning
+        shards ``0 .. K-1``.
+    virtual_nodes:
+        Ring points per shard. More points = tighter balance; 64 keeps
+        the max/min shard load within a small factor for the shard
+        counts this repo serves (property-tested).
+    seed:
+        Perturbs every hash; rings with different seeds are independent.
+    """
+
+    def __init__(
+        self,
+        shards: Union[int, Iterable[int]],
+        virtual_nodes: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if isinstance(shards, int):
+            if shards < 1:
+                raise ValueError("a ring needs at least one shard")
+            shard_ids = list(range(shards))
+        else:
+            shard_ids = sorted(int(s) for s in shards)
+            if not shard_ids:
+                raise ValueError("a ring needs at least one shard")
+            if len(set(shard_ids)) != len(shard_ids):
+                raise ValueError("shard ids must be distinct")
+            if shard_ids[0] < 0:
+                raise ValueError("shard ids must be non-negative")
+        if virtual_nodes < 1:
+            raise ValueError("virtual_nodes must be positive")
+        self.virtual_nodes = int(virtual_nodes)
+        self.seed = int(seed)
+        self._shard_ids: List[int] = shard_ids
+        self._rebuild()
+
+    # ------------------------------------------------------------------
+    def _rebuild(self) -> None:
+        """Recompute the sorted ring points for the current shard set."""
+        vnodes = []
+        owners = []
+        for sid in self._shard_ids:
+            # One ring point per (shard, replica-index) pair; the key
+            # packs both so points never collide across shards.
+            idx = np.arange(self.virtual_nodes, dtype=np.uint64)
+            keys = (_U64(sid) << _U64(20)) + idx
+            vnodes.append(splitmix64(keys, seed=self.seed ^ _VNODE_SALT))
+            owners.append(np.full(self.virtual_nodes, sid, dtype=np.int64))
+        points = np.concatenate(vnodes)
+        owner = np.concatenate(owners)
+        order = np.argsort(points, kind="stable")
+        self._points = points[order]
+        self._owners = owner[order]
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> List[int]:
+        """Sorted shard ids currently on the ring."""
+        return list(self._shard_ids)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shard_ids)
+
+    def __contains__(self, shard_id: int) -> bool:
+        return shard_id in self._shard_ids
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, HashRing)
+            and self._shard_ids == other._shard_ids
+            and self.virtual_nodes == other.virtual_nodes
+            and self.seed == other.seed
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"HashRing(shards={self._shard_ids}, "
+            f"virtual_nodes={self.virtual_nodes}, seed={self.seed})"
+        )
+
+    # ------------------------------------------------------------------
+    # assignment
+    # ------------------------------------------------------------------
+    def assign(self, keys: Union[int, Sequence[int], np.ndarray]) -> np.ndarray:
+        """Owning shard id for each key (vectorized).
+
+        Accepts an int array/sequence of node ids or the scalar count
+        shorthand via :meth:`assign_range`. Returns an int64 array.
+        """
+        hashes = splitmix64(
+            np.atleast_1d(np.asarray(keys, dtype=np.int64)), seed=self.seed
+        )
+        # First ring point at or after the key hash, wrapping to 0.
+        pos = np.searchsorted(self._points, hashes, side="left")
+        pos[pos == self._points.size] = 0
+        return self._owners[pos]
+
+    def assign_range(self, num_keys: int) -> np.ndarray:
+        """Shard ids for keys ``0 .. num_keys-1``."""
+        if num_keys < 0:
+            raise ValueError("num_keys must be non-negative")
+        return self.assign(np.arange(num_keys, dtype=np.int64))
+
+    def shard_of(self, key: int) -> int:
+        """Owning shard of one key."""
+        return int(self.assign(np.asarray([key], dtype=np.int64))[0])
+
+    # ------------------------------------------------------------------
+    # membership changes (minimal remapping)
+    # ------------------------------------------------------------------
+    def add_shard(self, shard_id: int) -> None:
+        """Add a shard; only keys moving *to* it change owner."""
+        shard_id = int(shard_id)
+        if shard_id < 0:
+            raise ValueError("shard ids must be non-negative")
+        if shard_id in self._shard_ids:
+            raise ValueError(f"shard {shard_id} already on the ring")
+        self._shard_ids = sorted(self._shard_ids + [shard_id])
+        self._rebuild()
+
+    def remove_shard(self, shard_id: int) -> None:
+        """Remove a shard; only its keys change owner."""
+        if shard_id not in self._shard_ids:
+            raise ValueError(f"shard {shard_id} not on the ring")
+        if len(self._shard_ids) == 1:
+            raise ValueError("cannot remove the last shard")
+        self._shard_ids = [s for s in self._shard_ids if s != shard_id]
+        self._rebuild()
+
+    # ------------------------------------------------------------------
+    # persistence (manifest round-trip)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe description; ``from_dict`` rebuilds an equal ring."""
+        return {
+            "shards": list(self._shard_ids),
+            "virtual_nodes": self.virtual_nodes,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "HashRing":
+        return cls(
+            shards=[int(s) for s in data["shards"]],  # type: ignore[union-attr]
+            virtual_nodes=int(data.get("virtual_nodes", 64)),
+            seed=int(data.get("seed", 0)),
+        )
+
+    # ------------------------------------------------------------------
+    def load_counts(self, num_keys: int) -> Dict[int, int]:
+        """Keys per shard for the universe ``0 .. num_keys-1``."""
+        assignment = self.assign_range(num_keys)
+        counts = {sid: 0 for sid in self._shard_ids}
+        ids, freq = np.unique(assignment, return_counts=True)
+        for sid, count in zip(ids.tolist(), freq.tolist()):
+            counts[int(sid)] = int(count)
+        return counts

@@ -1,0 +1,183 @@
+"""Graph partitioning for sharded summarization.
+
+:func:`partition_graph` splits a CSR :class:`~repro.graph.graph.Graph`
+into K shards using a :class:`~repro.shard.hashring.HashRing` over node
+ids. Each shard gets the *induced subgraph* over its own nodes
+(intra-shard edges, relabelled to a dense local id space so LDME runs
+unchanged), and every cut edge — an edge whose endpoints hash to
+different shards — is routed to exactly one deterministic **owner**
+shard: the shard owning the edge's smaller endpoint. The owner rule is
+pure routing bookkeeping (the stitcher re-examines every cut edge
+globally); what matters is that it is deterministic and endpoint-only,
+so two independent partitioning runs, or the partitioner and a serving
+router, always agree without communicating.
+
+Conservation invariant (checked in ``validate`` and pinned by tests):
+every edge of the input appears exactly once, either inside exactly one
+shard's local subgraph or in the cut-edge set — so stitching the
+per-shard summaries plus the cut edges reproduces the input exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..graph.graph import Graph
+from .hashring import HashRing
+
+__all__ = ["GraphShard", "ShardedGraph", "partition_graph"]
+
+
+@dataclass
+class GraphShard:
+    """One shard's slice of the input graph.
+
+    ``global_ids[i]`` is the input-graph node id of local node ``i``;
+    ``local_of`` inverts it for this shard's nodes only.
+    """
+
+    shard_id: int
+    global_ids: np.ndarray            # sorted int64, local -> global
+    local_graph: Graph                # induced subgraph in local id space
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.global_ids.size)
+
+    def local_of(self, global_id: int) -> int:
+        """Local id of a global node id (raises if not in this shard)."""
+        pos = int(np.searchsorted(self.global_ids, global_id))
+        if pos >= self.global_ids.size or \
+                int(self.global_ids[pos]) != int(global_id):
+            raise KeyError(f"node {global_id} not in shard {self.shard_id}")
+        return pos
+
+
+@dataclass
+class ShardedGraph:
+    """A full partitioning: per-shard subgraphs plus owner-routed cuts."""
+
+    ring: HashRing
+    num_nodes: int
+    num_edges: int
+    assignment: np.ndarray            # node -> shard id (int64)
+    shards: List[GraphShard]
+    #: Cut edges grouped by owner shard; each array is (m, 2) global
+    #: ``(u, v)`` pairs with ``u < v``, sorted lexicographically.
+    cut_edges: Dict[int, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def num_cut_edges(self) -> int:
+        return sum(int(arr.shape[0]) for arr in self.cut_edges.values())
+
+    def shard(self, shard_id: int) -> GraphShard:
+        """The shard with the given id (``KeyError`` if absent)."""
+        for shard in self.shards:
+            if shard.shard_id == shard_id:
+                return shard
+        raise KeyError(f"no shard {shard_id}")
+
+    def all_cut_edges(self) -> np.ndarray:
+        """Every cut edge as one (m, 2) array (owner order)."""
+        arrays = [arr for _, arr in sorted(self.cut_edges.items())]
+        if not arrays:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.concatenate(arrays, axis=0)
+
+    def validate(self) -> None:
+        """Check partition coverage and edge conservation (tests/tools)."""
+        if self.assignment.size != self.num_nodes:
+            raise AssertionError("assignment does not cover the universe")
+        covered = np.zeros(self.num_nodes, dtype=bool)
+        for shard in self.shards:
+            if np.any(self.assignment[shard.global_ids] != shard.shard_id):
+                raise AssertionError(
+                    f"shard {shard.shard_id} holds a foreign node"
+                )
+            if np.any(covered[shard.global_ids]):
+                raise AssertionError("node covered by two shards")
+            covered[shard.global_ids] = True
+        if not covered.all():
+            missing = int(np.flatnonzero(~covered)[0])
+            raise AssertionError(f"node {missing} not in any shard")
+        local = sum(s.local_graph.num_edges for s in self.shards)
+        if local + self.num_cut_edges != self.num_edges:
+            raise AssertionError(
+                f"edge conservation broken: {local} local + "
+                f"{self.num_cut_edges} cut != {self.num_edges} total"
+            )
+
+
+def _undirected_pairs(graph: Graph) -> np.ndarray:
+    """All edges as (m, 2) ``u < v`` pairs, from the CSR upper triangle."""
+    indptr, indices = graph.indptr, graph.indices
+    degrees = np.diff(indptr)
+    src = np.repeat(np.arange(graph.num_nodes, dtype=np.int64), degrees)
+    mask = src < indices
+    return np.stack([src[mask], indices[mask]], axis=1)
+
+
+def partition_graph(graph: Graph, ring: HashRing) -> ShardedGraph:
+    """Split ``graph`` into the ring's shards (vectorized).
+
+    Intra-shard edges land in that shard's local subgraph; cut edges are
+    routed to the shard owning the smaller endpoint. Isolated nodes are
+    carried by their shard like any other node, so the shard node sets
+    always cover the universe exactly.
+    """
+    assignment = ring.assign_range(graph.num_nodes)
+    pairs = _undirected_pairs(graph)
+    if pairs.size:
+        shard_u = assignment[pairs[:, 0]]
+        shard_v = assignment[pairs[:, 1]]
+        intra = shard_u == shard_v
+    else:
+        shard_u = shard_v = np.empty(0, dtype=np.int64)
+        intra = np.empty(0, dtype=bool)
+
+    shards: List[GraphShard] = []
+    for sid in ring.shards:
+        global_ids = np.flatnonzero(assignment == sid).astype(np.int64)
+        local_index = np.full(graph.num_nodes, -1, dtype=np.int64)
+        local_index[global_ids] = np.arange(
+            global_ids.size, dtype=np.int64
+        )
+        mine = intra & (shard_u == sid)
+        local_src = local_index[pairs[mine, 0]]
+        local_dst = local_index[pairs[mine, 1]]
+        local_graph = Graph.from_edge_arrays(
+            int(global_ids.size), local_src, local_dst
+        )
+        shards.append(GraphShard(
+            shard_id=int(sid),
+            global_ids=global_ids,
+            local_graph=local_graph,
+        ))
+
+    cut_edges: Dict[int, np.ndarray] = {}
+    cut_mask = ~intra
+    if np.any(cut_mask):
+        cut_pairs = pairs[cut_mask]
+        owners = shard_u[cut_mask]        # shard of the smaller endpoint
+        for sid in ring.shards:
+            mine = cut_pairs[owners == sid]
+            if mine.size:
+                order = np.lexsort((mine[:, 1], mine[:, 0]))
+                cut_edges[int(sid)] = mine[order]
+
+    sharded = ShardedGraph(
+        ring=ring,
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        assignment=assignment,
+        shards=shards,
+        cut_edges=cut_edges,
+    )
+    return sharded

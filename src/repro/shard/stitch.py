@@ -1,0 +1,260 @@
+"""The stitching coordinator: per-shard summaries → one global summary.
+
+Per-shard LDME runs see only intra-shard edges, in a local id space.
+:func:`stitch_shards` lifts each shard's partition, superedges, and
+corrections back to global node ids, unions the partitions (shards are
+disjoint by construction, so the union is a valid partition of the full
+universe), and then encodes every **cut edge** with the paper's own
+superedge cost rule: a cross-shard supernode pair ``(A, B)`` whose cut
+edges cover more than half of ``|A|·|B|`` becomes a cross-shard
+superedge plus ``C-`` deletions; sparser pairs put their edges in
+``C+``. The decision is literally
+:func:`repro.core.encode._encode_pair` — the same code the serial
+encoder runs — so a stitched summary prices cross-shard structure
+exactly like a whole-graph run would.
+
+The result is **lossless by construction**: intra-shard edges are
+reproduced by the shard summaries, cut edges by the cross-shard
+encoding, and nothing else exists. ``validate=True`` re-checks this
+with the shared partition-coverage helper
+(:func:`repro.core.validate.partition_coverage_problems`) plus, when
+the input graph is supplied, a full
+:func:`~repro.core.validate.check_summary` reconstruction proof.
+
+:func:`shard_serving_summary` derives the per-shard artifact a serving
+replica loads: the shard's own supernodes, *ghost* copies of
+cross-superedge peer supernodes, singletons for every other node, and
+exactly the superedges/corrections incident to the shard — enough to
+answer any single-node query about the shard's nodes with global
+accuracy, at a fraction of the full index's superedge/correction state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.encode import _encode_pair
+from ..core.summary import CorrectionSet, RunStats, Summarization
+from ..core.partition import SupernodePartition
+from ..core.validate import check_summary, partition_coverage_problems
+from ..graph.graph import Graph
+from ..obs import trace as obs_trace
+from .partitioner import ShardedGraph
+
+__all__ = ["StitchReport", "stitch_shards", "shard_serving_summary"]
+
+Edge = Tuple[int, int]
+
+
+@dataclass
+class StitchReport:
+    """Outcome of one stitch: the global summary plus accounting."""
+
+    summary: Summarization
+    num_shards: int
+    num_cut_edges: int
+    cross_superedges: int             # cut-edge pairs encoded as superedges
+    cross_additions: int              # cut edges landing in C+
+    cross_deletions: int              # C- emitted under cross superedges
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+
+def _lift_summaries(
+    sharded: ShardedGraph,
+    summaries: Mapping[int, Summarization],
+) -> Tuple[Dict[int, List[int]], List[Edge], List[Edge], List[Edge]]:
+    """Map every shard summary into global ids.
+
+    Returns (members, superedges, additions, deletions), all global. A
+    local supernode id is a local node id, so its global supernode id is
+    that node's global id — the same "supernode id is a member's node
+    id" invariant the serial pipeline keeps.
+    """
+    members: Dict[int, List[int]] = {}
+    superedges: List[Edge] = []
+    additions: List[Edge] = []
+    deletions: List[Edge] = []
+    for shard in sharded.shards:
+        summary = summaries[shard.shard_id]
+        if summary.num_nodes != shard.num_nodes:
+            raise ValueError(
+                f"shard {shard.shard_id} summary covers "
+                f"{summary.num_nodes} nodes, expected {shard.num_nodes}"
+            )
+        gids = shard.global_ids
+        for sid in summary.partition.supernode_ids():
+            members[int(gids[sid])] = [
+                int(gids[v]) for v in summary.partition.members(sid)
+            ]
+        superedges.extend(
+            (int(gids[a]), int(gids[b])) for a, b in summary.superedges
+        )
+        additions.extend(
+            (int(gids[u]), int(gids[v]))
+            for u, v in summary.corrections.additions
+        )
+        deletions.extend(
+            (int(gids[u]), int(gids[v]))
+            for u, v in summary.corrections.deletions
+        )
+    return members, superedges, additions, deletions
+
+
+def stitch_shards(
+    sharded: ShardedGraph,
+    summaries: Mapping[int, Summarization],
+    *,
+    graph: Optional[Graph] = None,
+    validate: bool = True,
+) -> StitchReport:
+    """Merge per-shard summaries and cut edges into one global summary.
+
+    ``summaries`` maps shard id → that shard's (local-space)
+    :class:`~repro.core.summary.Summarization`. With ``graph`` supplied
+    and ``validate=True`` the stitched output is proven lossless via
+    full reconstruction; without it, structural checks still run.
+    """
+    missing = [s.shard_id for s in sharded.shards
+               if s.shard_id not in summaries]
+    if missing:
+        raise ValueError(f"missing summaries for shards {missing}")
+
+    with obs_trace.span(
+        "stitch", key=sharded.num_shards,
+        shards=sharded.num_shards, cut_edges=sharded.num_cut_edges,
+    ) as span:
+        members, superedges, additions, deletions = _lift_summaries(
+            sharded, summaries
+        )
+        partition = SupernodePartition.from_members(
+            sharded.num_nodes, members
+        )
+
+        # Cut edges, bundled per cross-shard supernode pair, then priced
+        # with the serial encoder's own decision rule.
+        node2super = partition.node2super
+        bundles: Dict[Edge, List[Edge]] = {}
+        for u, v in sharded.all_cut_edges().tolist():
+            a, b = int(node2super[u]), int(node2super[v])
+            key = (a, b) if a < b else (b, a)
+            bundles.setdefault(key, []).append((int(u), int(v)))
+        cross_superedges: List[Edge] = []
+        cross_additions: List[Edge] = []
+        cross_deletions: List[Edge] = []
+        for (a, b), edges in sorted(bundles.items()):
+            _encode_pair(
+                a, b, edges, partition,
+                cross_superedges, cross_additions, cross_deletions,
+            )
+
+        stats = RunStats()
+        for summary in summaries.values():
+            stats.divide_seconds += summary.stats.divide_seconds
+            stats.merge_seconds += summary.stats.merge_seconds
+            stats.encode_seconds += summary.stats.encode_seconds
+            stats.drop_seconds += summary.stats.drop_seconds
+        stitched = Summarization(
+            num_nodes=sharded.num_nodes,
+            num_edges=sharded.num_edges,
+            partition=partition,
+            superedges=superedges + cross_superedges,
+            corrections=CorrectionSet(
+                additions=additions + cross_additions,
+                deletions=deletions + cross_deletions,
+            ),
+            stats=stats,
+            algorithm=f"ldme-sharded-{sharded.num_shards}",
+        )
+
+        problems: List[str] = []
+        if validate:
+            problems = partition_coverage_problems(
+                stitched.partition, stitched.num_nodes
+            )
+            if not problems:
+                problems = check_summary(stitched, graph)
+        span.set_attribute("cross_superedges", len(cross_superedges))
+        span.set_attribute("problems", len(problems))
+
+    return StitchReport(
+        summary=stitched,
+        num_shards=sharded.num_shards,
+        num_cut_edges=sharded.num_cut_edges,
+        cross_superedges=len(cross_superedges),
+        cross_additions=len(cross_additions),
+        cross_deletions=len(cross_deletions),
+        problems=problems,
+    )
+
+
+def shard_serving_summary(
+    stitched: Summarization,
+    sharded: ShardedGraph,
+    shard_id: int,
+) -> Summarization:
+    """The summary one shard's replicas serve (global node space).
+
+    Contains the shard's own supernodes, ghost copies of supernodes
+    reachable through a cross-shard superedge, singleton supernodes for
+    every remaining node, and only the superedges / correction edges
+    incident to the shard. Single-node queries (``neighbors`` /
+    ``degree`` / ``has_edge``) about *this shard's nodes* answer
+    identically to the full stitched index — pinned by
+    ``tests/shard/test_stitch.py`` — which is why hash-ring routing must
+    send each node's queries to its owning shard.
+    """
+    assignment = sharded.assignment
+    partition = stitched.partition
+    mine = np.flatnonzero(assignment == shard_id)
+    if mine.size == 0 and shard_id not in sharded.ring.shards:
+        raise KeyError(f"no shard {shard_id}")
+    my_nodes = set(int(v) for v in mine)
+    # Supernodes owned by this shard (every member lives here — shards
+    # never split a supernode, by construction).
+    own_sids = {int(partition.node2super[v]) for v in mine}
+
+    # Superedges incident to an owned supernode; peers become ghosts.
+    ghost_sids = set()
+    superedges: List[Edge] = []
+    for a, b in stitched.superedges:
+        if a in own_sids or b in own_sids:
+            superedges.append((a, b))
+            for sid in (a, b):
+                if sid not in own_sids:
+                    ghost_sids.add(sid)
+
+    members: Dict[int, List[int]] = {}
+    covered = np.zeros(stitched.num_nodes, dtype=bool)
+    for sid in sorted(own_sids | ghost_sids):
+        mem = [int(v) for v in partition.members(sid)]
+        members[sid] = mem
+        covered[mem] = True
+    for v in np.flatnonzero(~covered).tolist():
+        members[int(v)] = [int(v)]
+
+    additions = [
+        (u, v) for u, v in stitched.corrections.additions
+        if u in my_nodes or v in my_nodes
+    ]
+    deletions = [
+        (u, v) for u, v in stitched.corrections.deletions
+        if u in my_nodes or v in my_nodes
+    ]
+    return Summarization(
+        num_nodes=stitched.num_nodes,
+        num_edges=stitched.num_edges,
+        partition=SupernodePartition.from_members(
+            stitched.num_nodes, members
+        ),
+        superedges=superedges,
+        corrections=CorrectionSet(additions=additions,
+                                  deletions=deletions),
+        algorithm=f"{stitched.algorithm}/shard-{shard_id}",
+    )

@@ -8,6 +8,7 @@ from repro.core.summary import CorrectionSet, Summarization
 from repro.core.validate import (
     SummaryValidationError,
     check_summary,
+    partition_coverage_problems,
     validate_summary,
 )
 
@@ -114,3 +115,44 @@ class TestInjectedFaults:
         )
         problems = check_summary(broken)
         assert any("declares" in p for p in problems)
+
+
+class TestPartitionCoverageHelper:
+    """Direct tests of the helper shared by the validator and the shard
+    stitcher (extracted from ``check_summary``, same behavior)."""
+
+    def test_clean_partition_has_no_problems(self):
+        partition = SupernodePartition.from_members(
+            4, {0: [0, 1], 2: [2, 3]}
+        )
+        assert partition_coverage_problems(partition, 4) == []
+
+    def test_universe_mismatch_reported(self):
+        partition = SupernodePartition.from_members(
+            4, {0: [0, 1], 2: [2, 3]}
+        )
+        problems = partition_coverage_problems(partition, 9)
+        assert len(problems) == 1
+        assert "declares 9" in problems[0]
+
+    def test_invalid_partition_reported(self):
+        partition = SupernodePartition.from_members(
+            3, {0: [0, 1], 2: [2]}
+        )
+        # Corrupt the inverse map behind the partition's back.
+        partition._node2super[1] = 2
+        problems = partition_coverage_problems(partition, 3)
+        assert any("partition invalid" in p for p in problems)
+
+    def test_check_summary_uses_the_helper(self):
+        s = _summary(4, {0: [0, 1], 2: [2, 3]})
+        broken = Summarization(
+            num_nodes=6,
+            num_edges=0,
+            partition=s.partition,
+            superedges=[],
+            corrections=CorrectionSet([], []),
+        )
+        helper = partition_coverage_problems(broken.partition, 6)
+        assert helper  # non-empty
+        assert set(helper) <= set(check_summary(broken))

@@ -271,3 +271,82 @@ class TestServedMetrics:
             client.close()
         types, _ = assert_conformant(text)
         assert types.get("repro_serve_request_latency_seconds") == "summary"
+
+
+class TestShardMetricsConformance:
+    """The shard-aware serving metrics render conformantly: per-shard
+    generation gauges, the scatter fanout counter, and the
+    partial-results counter."""
+
+    @pytest.fixture()
+    def sharded_cluster(self, tmp_path):
+        from repro.serve import SummaryCluster
+        from repro.shard import summarize_sharded
+
+        graph = web_host_graph(num_hosts=5, host_size=8, seed=6)
+        result = summarize_sharded(
+            graph, shards=2, k=4, iterations=4, seed=0,
+            out_dir=str(tmp_path / "m"),
+        )
+        with SummaryCluster.from_manifest(
+            result.manifest, replicas=1,
+            config=ServerConfig(batch_window=0.001),
+        ) as cluster:
+            yield cluster
+
+    def test_shard_gauges_and_counters_render(self, sharded_cluster):
+        from repro.serve.cluster import ClusterHealthChecker
+
+        client = sharded_cluster.client()
+        try:
+            client.bfs(0)                      # drives scatter fanout
+            ClusterHealthChecker(client).probe_all()
+            types, samples = assert_conformant(client.prometheus())
+            assert types["repro_cluster_shard_generation"] == "gauge"
+            assert types["repro_cluster_scatter_fanout_total"] == \
+                "counter"
+            gens = {
+                s[1]["shard"]: s[2] for s in samples
+                if s[0] == "repro_cluster_shard_generation"
+            }
+            assert sorted(gens) == [
+                str(s) for s in sharded_cluster.shard_ids
+            ]
+            assert all(v == 0 for v in gens.values())
+            fanout = [s for s in samples
+                      if s[0] == "repro_cluster_scatter_fanout_total"]
+            assert fanout and fanout[0][2] > 0
+        finally:
+            client.shutdown()
+
+    def test_partial_results_counter_renders_after_shard_loss(
+        self, sharded_cluster
+    ):
+        # Kill the second shard's only replica, then accept a partial.
+        sharded_cluster.kill(1)
+        client = sharded_cluster.client(timeout=1.0,
+                                        breaker_failures=1)
+        try:
+            ring = sharded_cluster.ring
+            dead = sharded_cluster.shard_ids[1]
+            truth = sharded_cluster.shard_index(
+                sharded_cluster.shard_ids[0]
+            )
+            source = next(
+                v for v in range(truth.num_nodes)
+                if ring.shard_of(v) != dead and any(
+                    ring.shard_of(u) == dead
+                    for u in truth.bfs_distances(v)
+                )
+            )
+            client.bfs(source, allow_partial=True)
+            types, samples = assert_conformant(client.prometheus())
+            assert types["repro_cluster_partial_results_total"] == \
+                "counter"
+            (sample,) = [
+                s for s in samples
+                if s[0] == "repro_cluster_partial_results_total"
+            ]
+            assert sample[2] >= 1
+        finally:
+            client.shutdown()

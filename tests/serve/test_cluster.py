@@ -8,6 +8,7 @@ breakers, health checks, hedging, deadline propagation, degraded/stale
 serving, rolling swap + rollback — in isolation.
 """
 
+import random
 import socket
 import threading
 import time
@@ -124,6 +125,33 @@ class TestClusterBasics:
             SummaryCluster(summary, replicas=0)
         with pytest.raises(ValueError):
             ClusterClient([])
+
+    def test_rng_seeds_the_round_robin_offset(self, cluster):
+        """A fleet of fresh clients must not stampede replica 0: the
+        starting round-robin offset is drawn from the injectable RNG,
+        and over many seeds every replica is somebody's first choice,
+        roughly uniformly."""
+        import collections
+
+        firsts = collections.Counter()
+        for seed in range(60):
+            client = ClusterClient(
+                cluster.addresses, rng=random.Random(seed)
+            )
+            firsts[client._ordered()[0]] += 1
+            client.shutdown()
+        assert sorted(firsts) == [0, 1, 2]   # every replica chosen
+        # No replica dominates: with 60 draws over 3 replicas a fair
+        # split is 20 each; allow generous slack, forbid stampedes.
+        assert max(firsts.values()) <= 40
+        # Determinism: the same seed always picks the same offset.
+        a = ClusterClient(cluster.addresses, rng=random.Random(7))
+        b = ClusterClient(cluster.addresses, rng=random.Random(7))
+        try:
+            assert a._ordered() == b._ordered()
+        finally:
+            a.shutdown()
+            b.shutdown()
 
     def test_round_robin_spreads_first_attempts(self, cluster):
         client = cluster.client()
@@ -264,10 +292,14 @@ class TestHedging:
     def test_hedge_fires_on_stalled_primary_and_wins(self, summary,
                                                      truth):
         with ServerThread(summary) as real, SilentServer() as silent:
+            # Pin the round-robin offset to 0 so the first attempt is
+            # guaranteed to hit the silent primary and the hedge must
+            # fire (seed 1 draws offset 0 over two replicas).
             client = ClusterClient(
                 [("127.0.0.1", silent.port), ("127.0.0.1", real.port)],
                 timeout=30.0,
                 hedge_delay=0.05,
+                rng=random.Random(1),
             )
             try:
                 tic = time.perf_counter()

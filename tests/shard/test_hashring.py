@@ -1,0 +1,182 @@
+"""Property tests for the consistent-hash ring (satellite of the
+sharding subsystem).
+
+The two guarantees every consumer relies on, checked over arbitrary
+shard sets and universes with hypothesis:
+
+1. **balance** — with enough virtual nodes the max/min shard load stays
+   within a small factor, so no shard's LDME run dominates wall-time;
+2. **minimal remapping** — adding (removing) a shard only moves keys
+   into (out of) that shard; keys never shuffle between two surviving
+   shards, which is what makes re-sharding incremental.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.shard import HashRing
+from repro.shard.hashring import splitmix64
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestConstruction:
+    def test_int_shorthand_is_range(self):
+        assert HashRing(4).shards == [0, 1, 2, 3]
+
+    def test_explicit_ids_sorted_and_checked(self):
+        assert HashRing([5, 1, 3]).shards == [1, 3, 5]
+        with pytest.raises(ValueError):
+            HashRing([1, 1])
+        with pytest.raises(ValueError):
+            HashRing([-1, 0])
+        with pytest.raises(ValueError):
+            HashRing([])
+        with pytest.raises(ValueError):
+            HashRing(0)
+        with pytest.raises(ValueError):
+            HashRing(2, virtual_nodes=0)
+
+    def test_equality_and_roundtrip(self):
+        ring = HashRing([0, 2, 7], virtual_nodes=32, seed=9)
+        clone = HashRing.from_dict(ring.to_dict())
+        assert clone == ring
+        assert clone.to_dict() == ring.to_dict()
+        assert ring != HashRing([0, 2, 7], virtual_nodes=32, seed=10)
+        assert ring != HashRing([0, 2, 7], virtual_nodes=16, seed=9)
+
+    def test_membership_changes_validate(self):
+        ring = HashRing(2)
+        with pytest.raises(ValueError):
+            ring.add_shard(1)          # already present
+        with pytest.raises(ValueError):
+            ring.add_shard(-3)
+        with pytest.raises(ValueError):
+            ring.remove_shard(7)       # never present
+        ring.remove_shard(1)
+        with pytest.raises(ValueError):
+            ring.remove_shard(0)       # cannot empty the ring
+
+
+class TestAssignment:
+    def test_deterministic_across_instances(self):
+        a = HashRing(4, seed=3).assign_range(500)
+        b = HashRing(4, seed=3).assign_range(500)
+        np.testing.assert_array_equal(a, b)
+
+    def test_scalar_and_vector_agree(self):
+        ring = HashRing(5, seed=1)
+        vector = ring.assign_range(64)
+        for v in range(64):
+            assert ring.shard_of(v) == int(vector[v])
+
+    def test_assignment_lands_on_ring_members(self):
+        ring = HashRing([2, 4, 9], seed=5)
+        owners = set(ring.assign_range(1000).tolist())
+        assert owners <= {2, 4, 9}
+
+    def test_load_counts_sum_to_universe(self):
+        ring = HashRing(3, seed=0)
+        counts = ring.load_counts(777)
+        assert sorted(counts) == [0, 1, 2]
+        assert sum(counts.values()) == 777
+
+    def test_splitmix64_matches_reference(self):
+        # Reference value of splitmix64(seed=0) first output, as
+        # published for the Steele/Lea/Flood generator.
+        assert int(splitmix64(0)) == 0xE220A8397B1DCDAF
+
+
+class TestBalanceProperty:
+    @given(
+        num_shards=st.integers(min_value=2, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @SETTINGS
+    def test_virtual_nodes_bound_the_load_ratio(self, num_shards, seed):
+        """With 128 vnodes no shard exceeds 4x its fair share, and none
+        is starved below a quarter of it (a loose but load-bearing bound:
+        per-shard summarize wall-time stays the same order)."""
+        ring = HashRing(num_shards, virtual_nodes=128, seed=seed)
+        num_keys = 20_000
+        counts = ring.load_counts(num_keys)
+        fair = num_keys / num_shards
+        assert max(counts.values()) <= 4.0 * fair
+        assert min(counts.values()) >= fair / 4.0
+
+    def test_more_virtual_nodes_tighten_balance(self):
+        """Averaged over seeds, the max/min spread shrinks as vnodes
+        grow — the reason virtual nodes exist."""
+        def mean_spread(vnodes):
+            spreads = []
+            for seed in range(8):
+                counts = HashRing(
+                    8, virtual_nodes=vnodes, seed=seed
+                ).load_counts(20_000)
+                spreads.append(max(counts.values()) /
+                               max(1, min(counts.values())))
+            return float(np.mean(spreads))
+
+        assert mean_spread(256) < mean_spread(4)
+
+
+class TestMinimalRemappingProperty:
+    @given(
+        shard_ids=st.sets(
+            st.integers(min_value=0, max_value=40),
+            min_size=2, max_size=8,
+        ),
+        new_shard=st.integers(min_value=41, max_value=60),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @SETTINGS
+    def test_add_shard_only_moves_keys_into_it(self, shard_ids,
+                                               new_shard, seed):
+        ring = HashRing(shard_ids, virtual_nodes=32, seed=seed)
+        before = ring.assign_range(5000)
+        ring.add_shard(new_shard)
+        after = ring.assign_range(5000)
+        moved = before != after
+        # Every moved key moved *to* the new shard; nothing shuffled
+        # between survivors.
+        assert np.all(after[moved] == new_shard)
+        # Consequently every key of a surviving shard either stayed or
+        # left for the new shard — survivors never gain keys.
+        for sid in shard_ids:
+            gained = (after == sid) & (before != sid)
+            assert not np.any(gained)
+
+    @given(
+        shard_ids=st.sets(
+            st.integers(min_value=0, max_value=40),
+            min_size=2, max_size=8,
+        ),
+        victim_pos=st.integers(min_value=0, max_value=7),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @SETTINGS
+    def test_remove_shard_only_moves_its_own_keys(self, shard_ids,
+                                                  victim_pos, seed):
+        ids = sorted(shard_ids)
+        victim = ids[victim_pos % len(ids)]
+        ring = HashRing(ids, virtual_nodes=32, seed=seed)
+        before = ring.assign_range(5000)
+        ring.remove_shard(victim)
+        after = ring.assign_range(5000)
+        moved = before != after
+        # Only the victim's keys moved, and none remain assigned to it.
+        assert np.all(before[moved] == victim)
+        assert not np.any(after == victim)
+
+    def test_add_then_remove_restores_assignment(self):
+        ring = HashRing(4, seed=7)
+        before = ring.assign_range(2000)
+        ring.add_shard(9)
+        ring.remove_shard(9)
+        np.testing.assert_array_equal(before, ring.assign_range(2000))

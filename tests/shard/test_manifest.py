@@ -1,0 +1,151 @@
+"""Manifest round-trip and corruption rejection."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.ldme import LDME
+from repro.errors import CorruptSummaryError
+from repro.graph.generators import web_host_graph
+from repro.resilience import flip_bit
+from repro.resilience.faults import _corruption_target, truncate_file
+from repro.shard import (
+    HashRing,
+    load_manifest,
+    load_serving_summaries,
+    partition_graph,
+    save_sharded,
+    stitch_shards,
+)
+
+
+@pytest.fixture(scope="module")
+def stitched_run():
+    graph = web_host_graph(num_hosts=5, host_size=8, seed=4)
+    sharded = partition_graph(graph, HashRing(3, seed=2))
+    summaries = {
+        s.shard_id: LDME(k=4, iterations=5, seed=s.shard_id).summarize(
+            s.local_graph
+        )
+        for s in sharded.shards
+    }
+    report = stitch_shards(sharded, summaries, graph=graph)
+    assert report.ok
+    return sharded, report.summary
+
+
+@pytest.fixture
+def manifest_dir(stitched_run, tmp_path):
+    sharded, stitched = stitched_run
+    directory = tmp_path / "manifest"
+    save_sharded(stitched, sharded, directory)
+    return str(directory)
+
+
+class TestRoundTrip:
+    def test_layout(self, manifest_dir):
+        names = sorted(os.listdir(manifest_dir))
+        assert names == [
+            "global.ldmeb", "manifest.json",
+            "shard-0.ldmeb", "shard-1.ldmeb", "shard-2.ldmeb",
+        ]
+
+    def test_load_restores_ring_and_universe(self, stitched_run,
+                                             manifest_dir):
+        sharded, stitched = stitched_run
+        manifest = load_manifest(manifest_dir)
+        assert manifest.ring == sharded.ring
+        assert manifest.num_nodes == sharded.num_nodes
+        assert manifest.num_edges == sharded.num_edges
+        assert manifest.shard_ids == [0, 1, 2]
+        assert manifest.algorithm == stitched.algorithm
+
+    def test_global_summary_round_trips(self, stitched_run,
+                                        manifest_dir):
+        _, stitched = stitched_run
+        loaded = load_manifest(manifest_dir).load_global()
+        assert loaded.num_nodes == stitched.num_nodes
+        assert sorted(loaded.superedges) == sorted(stitched.superedges)
+
+    def test_serving_summaries_load_per_shard(self, manifest_dir):
+        manifest = load_manifest(manifest_dir)
+        summaries = load_serving_summaries(manifest)
+        assert sorted(summaries) == [0, 1, 2]
+        for sid, summary in summaries.items():
+            assert summary.num_supernodes == \
+                manifest.entry(sid).num_supernodes
+
+    def test_accepts_manifest_json_path(self, manifest_dir):
+        direct = load_manifest(
+            os.path.join(manifest_dir, "manifest.json")
+        )
+        assert direct.shard_ids == [0, 1, 2]
+        assert direct.directory == manifest_dir
+
+
+class TestCorruptionRejected:
+    def test_flipped_shard_artifact_fails_verification(self,
+                                                       manifest_dir):
+        flip_bit(os.path.join(manifest_dir, "shard-1.ldmeb"))
+        with pytest.raises(CorruptSummaryError, match="CRC"):
+            load_manifest(manifest_dir)
+
+    def test_flipped_global_fails_verification(self, manifest_dir):
+        flip_bit(os.path.join(manifest_dir, "global.ldmeb"))
+        with pytest.raises(CorruptSummaryError):
+            load_manifest(manifest_dir)
+
+    def test_truncated_artifact_fails_verification(self, manifest_dir):
+        truncate_file(os.path.join(manifest_dir, "shard-0.ldmeb"))
+        with pytest.raises(CorruptSummaryError):
+            load_manifest(manifest_dir)
+
+    def test_missing_artifact_fails_verification(self, manifest_dir):
+        os.remove(os.path.join(manifest_dir, "shard-2.ldmeb"))
+        with pytest.raises(CorruptSummaryError, match="missing"):
+            load_manifest(manifest_dir)
+
+    def test_verify_false_defers_to_read_time(self, manifest_dir):
+        flip_bit(os.path.join(manifest_dir, "shard-1.ldmeb"))
+        manifest = load_manifest(manifest_dir, verify=False)
+        # The binary reader's own CRC footer still catches it on read.
+        with pytest.raises(CorruptSummaryError):
+            manifest.load_shard(1)
+
+    def test_unsupported_version_rejected(self, manifest_dir):
+        path = os.path.join(manifest_dir, "manifest.json")
+        with open(path) as fh:
+            data = json.load(fh)
+        data["version"] = 99
+        with open(path, "w") as fh:
+            json.dump(data, fh)
+        with pytest.raises(CorruptSummaryError, match="version"):
+            load_manifest(manifest_dir)
+
+    def test_ring_entry_mismatch_rejected(self, manifest_dir):
+        path = os.path.join(manifest_dir, "manifest.json")
+        with open(path) as fh:
+            data = json.load(fh)
+        data["ring"]["shards"] = [0, 1, 2, 3]
+        with open(path, "w") as fh:
+            json.dump(data, fh)
+        with pytest.raises(CorruptSummaryError, match="ring shards"):
+            load_manifest(manifest_dir, verify=False)
+
+
+class TestCorruptionTarget:
+    def test_plain_file_is_its_own_target(self, tmp_path):
+        path = tmp_path / "x.ldmeb"
+        path.write_bytes(b"abc")
+        assert _corruption_target(str(path)) == str(path)
+
+    def test_manifest_dir_targets_last_shard_artifact(self,
+                                                      manifest_dir):
+        assert _corruption_target(manifest_dir) == os.path.join(
+            manifest_dir, "shard-2.ldmeb"
+        )
+
+    def test_empty_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            _corruption_target(str(tmp_path))

@@ -1,0 +1,103 @@
+"""Partitioner invariants: coverage, edge conservation, cut ownership."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import erdos_renyi, web_host_graph
+from repro.graph.graph import Graph
+from repro.shard import HashRing, partition_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return web_host_graph(num_hosts=6, host_size=10, seed=3)
+
+
+@pytest.fixture(scope="module")
+def sharded(graph):
+    return partition_graph(graph, HashRing(4, seed=0))
+
+
+class TestPartitioning:
+    def test_validate_passes(self, sharded):
+        sharded.validate()
+
+    def test_every_node_in_exactly_one_shard(self, graph, sharded):
+        seen = np.zeros(graph.num_nodes, dtype=int)
+        for shard in sharded.shards:
+            seen[shard.global_ids] += 1
+        assert np.all(seen == 1)
+
+    def test_assignment_matches_ring(self, graph, sharded):
+        ring = sharded.ring
+        np.testing.assert_array_equal(
+            sharded.assignment, ring.assign_range(graph.num_nodes)
+        )
+
+    def test_edge_conservation(self, graph, sharded):
+        local = sum(s.local_graph.num_edges for s in sharded.shards)
+        assert local + sharded.num_cut_edges == graph.num_edges
+
+    def test_local_edges_are_exactly_the_intra_shard_edges(
+        self, graph, sharded
+    ):
+        """Union of lifted local edges + cut edges == input edge set."""
+        edges = set()
+        for shard in sharded.shards:
+            gids = shard.global_ids
+            sub = shard.local_graph
+            for u in range(sub.num_nodes):
+                for v in sub.indices[sub.indptr[u]:sub.indptr[u + 1]]:
+                    if u < v:
+                        edges.add((int(gids[u]), int(gids[v])))
+        for u, v in sharded.all_cut_edges().tolist():
+            pair = (min(u, v), max(u, v))
+            assert pair not in edges      # cut edges are never local
+            edges.add(pair)
+        expected = set()
+        for u in range(graph.num_nodes):
+            for v in graph.indices[graph.indptr[u]:graph.indptr[u + 1]]:
+                if u < v:
+                    expected.add((int(u), int(v)))
+        assert edges == expected
+
+    def test_cut_edges_cross_shards_and_owner_is_smaller_endpoint(
+        self, sharded
+    ):
+        assignment = sharded.assignment
+        for owner, pairs in sharded.cut_edges.items():
+            for u, v in pairs.tolist():
+                assert u < v
+                assert assignment[u] != assignment[v]
+                assert int(assignment[u]) == owner
+
+    def test_local_of_inverts_global_ids(self, sharded):
+        shard = max(sharded.shards, key=lambda s: s.num_nodes)
+        for local, gid in enumerate(shard.global_ids.tolist()):
+            assert shard.local_of(gid) == local
+        mine = set(shard.global_ids.tolist())
+        foreign = next(
+            v for v in range(sharded.num_nodes) if v not in mine
+        )
+        with pytest.raises(KeyError):
+            shard.local_of(foreign)
+
+    def test_isolated_nodes_are_carried(self):
+        # Node 4 is isolated; it must still land in some shard.
+        graph = Graph.from_edges(5, [(0, 1), (2, 3)])
+        sharded = partition_graph(graph, HashRing(2, seed=1))
+        sharded.validate()
+        total = sum(s.num_nodes for s in sharded.shards)
+        assert total == 5
+
+    def test_single_shard_degenerates_to_identity(self, graph):
+        sharded = partition_graph(graph, HashRing(1))
+        sharded.validate()
+        assert sharded.num_cut_edges == 0
+        assert sharded.shards[0].local_graph.num_edges == graph.num_edges
+
+    def test_random_graphs_conserve(self):
+        for seed in range(3):
+            graph = erdos_renyi(60, 0.1, seed=seed)
+            sharded = partition_graph(graph, HashRing(3, seed=seed))
+            sharded.validate()

@@ -1,0 +1,157 @@
+"""The stitcher's two contracts: lossless global summary, exact
+per-shard serving summaries.
+
+``shard_serving_summary``'s parity guarantee — a shard answers
+single-node queries about *its own* nodes identically to the full
+stitched index — is pinned here; hash-ring routing in the cluster
+client depends on it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ldme import LDME
+from repro.core.reconstruct import reconstruct
+from repro.core.validate import check_summary
+from repro.graph.generators import web_host_graph
+from repro.queries.compiled import CompiledSummaryIndex
+from repro.shard import (
+    HashRing,
+    partition_graph,
+    shard_serving_summary,
+    stitch_shards,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return web_host_graph(num_hosts=6, host_size=10, seed=11)
+
+
+@pytest.fixture(scope="module")
+def sharded(graph):
+    return partition_graph(graph, HashRing(4, seed=0))
+
+
+@pytest.fixture(scope="module")
+def summaries(sharded):
+    return {
+        shard.shard_id: LDME(k=5, iterations=6,
+                             seed=shard.shard_id).summarize(
+            shard.local_graph
+        )
+        for shard in sharded.shards
+    }
+
+
+@pytest.fixture(scope="module")
+def report(graph, sharded, summaries):
+    return stitch_shards(sharded, summaries, graph=graph)
+
+
+class TestStitching:
+    def test_stitched_summary_is_lossless(self, report, graph):
+        assert report.ok, report.problems
+        rebuilt = reconstruct(report.summary)
+        assert rebuilt.num_edges == graph.num_edges
+        np.testing.assert_array_equal(rebuilt.indptr, graph.indptr)
+        np.testing.assert_array_equal(rebuilt.indices, graph.indices)
+
+    def test_accounting_covers_every_cut_edge(self, report, sharded):
+        assert report.num_cut_edges == sharded.num_cut_edges
+        assert report.num_shards == sharded.num_shards
+        # Cross structure only exists when there are cut edges; with the
+        # web-host graph at K=4 there always are some.
+        assert report.num_cut_edges > 0
+        assert (report.cross_superedges + report.cross_additions) > 0
+
+    def test_algorithm_records_shard_count(self, report):
+        assert report.summary.algorithm == "ldme-sharded-4"
+
+    def test_cross_superedges_join_distinct_shards(self, report, sharded):
+        """Intra-shard structure comes from the shard runs; everything
+        the stitcher adds joins supernodes of two different shards."""
+        stitched = report.summary
+        assignment = sharded.assignment
+        node2super = stitched.partition.node2super
+        cross = [
+            (a, b) for a, b in stitched.superedges
+            if assignment[a] != assignment[b]
+        ]
+        assert len(cross) == report.cross_superedges
+        for a, b in cross:
+            # Cross superedges join supernode representatives whose
+            # shards differ, and both ids really are supernode reps.
+            assert int(node2super[a]) == a
+            assert int(node2super[b]) == b
+
+    def test_missing_shard_summary_raises(self, sharded, summaries):
+        partial = dict(summaries)
+        partial.pop(sharded.shards[0].shard_id)
+        with pytest.raises(ValueError, match="missing summaries"):
+            stitch_shards(sharded, partial)
+
+    def test_wrong_sized_summary_raises(self, sharded, summaries):
+        bad = dict(summaries)
+        donor_id = sharded.shards[0].shard_id
+        other_id = sharded.shards[1].shard_id
+        bad[donor_id] = summaries[other_id]
+        with pytest.raises(ValueError, match="covers"):
+            stitch_shards(sharded, bad)
+
+    def test_validate_false_skips_checks(self, sharded, summaries):
+        report = stitch_shards(sharded, summaries, validate=False)
+        assert report.problems == []
+        assert check_summary(report.summary) == []
+
+    def test_single_shard_stitch_equals_the_shard_run(self, graph):
+        sharded = partition_graph(graph, HashRing(1))
+        summary = LDME(k=5, iterations=6, seed=0).summarize(
+            sharded.shards[0].local_graph
+        )
+        report = stitch_shards(sharded, {sharded.shards[0].shard_id:
+                                         summary}, graph=graph)
+        assert report.ok
+        assert report.cross_superedges == 0
+        assert report.cross_additions == 0
+        assert report.cross_deletions == 0
+
+
+class TestServingParity:
+    def test_owned_node_queries_match_the_global_index(
+        self, graph, sharded, report
+    ):
+        """The load-bearing guarantee: for every node, the owning
+        shard's serving summary answers neighbors / degree / has_edge
+        exactly like the full stitched index."""
+        global_index = CompiledSummaryIndex(report.summary)
+        assignment = sharded.assignment
+        for shard in sharded.shards:
+            serving = shard_serving_summary(
+                report.summary, sharded, shard.shard_id
+            )
+            assert check_summary(serving) == []
+            index = CompiledSummaryIndex(serving)
+            for v in shard.global_ids.tolist():
+                assert index.neighbors(v) == global_index.neighbors(v)
+                assert index.degree(v) == global_index.degree(v)
+            # has_edge routed by u: spot-check edges and non-edges.
+            for v in shard.global_ids[:5].tolist():
+                for u in range(0, graph.num_nodes, 7):
+                    if int(assignment[v]) == shard.shard_id:
+                        assert index.has_edge(v, u) == \
+                            global_index.has_edge(v, u)
+
+    def test_serving_summary_is_smaller_than_global(self, report,
+                                                    sharded):
+        total_super = len(report.summary.superedges)
+        for shard in sharded.shards:
+            serving = shard_serving_summary(
+                report.summary, sharded, shard.shard_id
+            )
+            assert len(serving.superedges) <= total_super
+            assert serving.num_nodes == report.summary.num_nodes
+
+    def test_unknown_shard_raises(self, report, sharded):
+        with pytest.raises(KeyError):
+            shard_serving_summary(report.summary, sharded, 99)

@@ -228,6 +228,46 @@ class TestExperimentOutputDir:
         assert "saved" in capsys.readouterr().out
 
 
+class TestShardSummarize:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["shard-summarize", "g.txt"])
+        assert args.shards == 4
+        assert args.k == 5
+        assert args.virtual_nodes == 64
+        assert args.kernels == "numpy"
+
+    def test_writes_manifest(self, graph_file, tmp_path, capsys):
+        from repro.shard import load_manifest
+
+        path, graph = graph_file
+        out = tmp_path / "manifest"
+        code = main(["shard-summarize", str(path), "--shards", "2",
+                     "-T", "3", "-o", str(out)])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "ldme-sharded-2" in stdout
+        assert "serve-cluster --manifest" in stdout
+        manifest = load_manifest(out)
+        assert manifest.load_global().num_nodes == graph.num_nodes
+        assert manifest.ring.num_shards == 2
+
+    def test_missing_file_error_code(self, capsys):
+        assert main(["shard-summarize", "/nonexistent/g.txt",
+                     "-T", "2"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_query_manifest_requires_cluster(self, capsys):
+        assert main(["query", "ping", "--manifest", "m/"]) == 2
+        assert "--manifest requires --cluster" in capsys.readouterr().err
+
+    def test_serve_cluster_requires_exactly_one_source(self, capsys):
+        assert main(["serve-cluster"]) == 2
+        assert main(["serve-cluster", "s.ldmeb",
+                     "--manifest", "m/"]) == 2
+        err = capsys.readouterr().err
+        assert "either a summary file or --manifest" in err
+
+
 class TestServeQueryParser:
     def test_serve_defaults(self):
         args = build_parser().parse_args(["serve", "s.ldmeb"])
