@@ -56,7 +56,10 @@ from .errors import (
     CheckpointError,
     CorruptCheckpointError,
     CorruptSummaryError,
+    CorruptWALError,
+    IngestOverloadError,
 )
+from .ingest import IngestService, WalWriter, recover_wal
 from .ioutil import atomic_write
 from .resilience import (
     CheckpointManager,
@@ -154,4 +157,10 @@ __all__ = [
     "CorruptSummaryError",
     "CheckpointError",
     "CorruptCheckpointError",
+    # ingest
+    "IngestService",
+    "WalWriter",
+    "recover_wal",
+    "CorruptWALError",
+    "IngestOverloadError",
 ]

@@ -14,6 +14,8 @@ workflows::
     ldme loadgen --port 7421 --chaos
     ldme shard-summarize big.txt --shards 4 -o manifest/
     ldme serve-cluster --manifest manifest/ --replicas 2
+    ldme ingest updates.stream --wal-dir wal/ --num-nodes 100000
+    ldme ingest --listen 7500 --wal-dir wal/ --num-nodes 100000 --cluster 2
 
 Graphs are plain edge-list files (``u v`` per line, ``#`` comments).
 ``python -m repro ...`` works identically without the console script.
@@ -136,6 +138,54 @@ def build_parser() -> argparse.ArgumentParser:
     p_str.add_argument("--sample-size", type=int, default=120)
     p_str.add_argument("--seed", type=int, default=0)
     p_str.add_argument("--output", "-o", help="write the snapshot summary")
+
+    p_ing = sub.add_parser(
+        "ingest",
+        help="durable streaming ingestion: WAL-backed online "
+             "summarization with crash recovery (see docs/streaming.md)",
+    )
+    p_ing.add_argument("stream", nargs="?",
+                       help="stream file of '+ u v' / '- u v' lines; omit "
+                            "when using --listen")
+    p_ing.add_argument("--listen", type=int, metavar="PORT",
+                       help="accept live events over TCP on this port "
+                            "instead of replaying a stream file "
+                            "(0 = ephemeral; replies 'ack <seq>' after "
+                            "the event is durable)")
+    p_ing.add_argument("--wal-dir", required=True, metavar="DIR",
+                       help="write-ahead-log directory; re-running with "
+                            "the same DIR recovers (checkpoint + replay) "
+                            "and resumes exactly where the log ends")
+    p_ing.add_argument("--checkpoint-dir", metavar="DIR",
+                       help="snapshot checkpoints (default: "
+                            "WAL_DIR/checkpoints)")
+    p_ing.add_argument("--num-nodes", type=int, required=True)
+    p_ing.add_argument("--snapshot-every", type=int, default=0, metavar="N",
+                       help="events between snapshot checkpoints "
+                            "(0 = only the final one at shutdown)")
+    p_ing.add_argument("--sample-size", type=int, default=120)
+    p_ing.add_argument("--seed", type=int, default=0)
+    p_ing.add_argument("--segment-bytes", type=int, default=1 << 20,
+                       help="WAL segment rotation threshold")
+    p_ing.add_argument("--queue-max", type=int, default=4096,
+                       help="backpressure bound on accepted-but-unlogged "
+                            "events")
+    p_ing.add_argument("--no-fsync", action="store_true",
+                       help="skip per-batch fsync (forfeits the "
+                            "durability guarantee; benchmarks only)")
+    p_ing.add_argument("--ack-log", metavar="PATH",
+                       help="append every acknowledged seq to PATH "
+                            "(flushed per batch; the chaos gate's "
+                            "zero-loss evidence)")
+    p_ing.add_argument("--cluster", type=int, default=0, metavar="N",
+                       help="also serve N replicas and hot-swap them on "
+                            "every snapshot (zero downtime)")
+    p_ing.add_argument("--port-base", type=int, default=0,
+                       help="with --cluster: first replica port "
+                            "(0 = ephemeral)")
+    p_ing.add_argument("--output", "-o",
+                       help="write the final snapshot summary here on "
+                            "clean shutdown")
 
     p_eval = sub.add_parser(
         "evaluate",
@@ -547,6 +597,103 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    import contextlib
+    import logging
+    import os
+    import time as _time
+
+    from .ingest import IngestListener, IngestService, feed_stream_file
+
+    logging.basicConfig(
+        level=logging.INFO, format="%(asctime)s %(name)s %(message)s"
+    )
+    if (args.stream is None) == (args.listen is None):
+        print("error: pass either a stream file or --listen PORT",
+              file=sys.stderr)
+        return 2
+    with contextlib.ExitStack() as stack:
+        ack_log = None
+        if args.ack_log:
+            ack_log = stack.enter_context(
+                open(args.ack_log, "a", encoding="utf-8")
+            )
+
+        def on_ack(first: int, last: int) -> None:
+            # One line per durable seq, fsynced per batch: anything in
+            # this file was acknowledged, so the chaos gate can demand
+            # every listed seq survive recovery.
+            if ack_log is None:
+                return
+            for seq in range(first, last + 1):
+                ack_log.write(f"{seq}\n")
+            ack_log.flush()
+            os.fsync(ack_log.fileno())
+
+        service, report = IngestService.open(
+            args.wal_dir,
+            num_nodes=args.num_nodes,
+            sample_size=args.sample_size,
+            seed=args.seed,
+            checkpoint_dir=args.checkpoint_dir,
+            snapshot_every=args.snapshot_every,
+            segment_max_bytes=args.segment_bytes,
+            queue_max=args.queue_max,
+            fsync=not args.no_fsync,
+            on_ack=on_ack,
+        )
+        print(f"recovery: {report.describe()}")
+        if args.cluster:
+            from .serve import SummaryCluster
+
+            cluster = SummaryCluster(
+                service.summarizer.snapshot(),
+                replicas=args.cluster,
+                port_base=args.port_base,
+            )
+            cluster.start()
+            stack.callback(cluster.stop)
+            service.cluster = cluster
+            addresses = ",".join(f"{h}:{p}" for h, p in cluster.addresses)
+            print(f"serving {args.cluster} replicas on {addresses} "
+                  f"(hot-swapped every snapshot)")
+        service.start()
+        stack.callback(service.stop)
+        if args.listen is not None:
+            listener = stack.enter_context(
+                IngestListener(service, port=args.listen)
+            )
+            host, port = listener.address
+            print(f"ingesting on {host}:{port} — ctrl-c to drain and stop")
+            try:
+                while True:
+                    _time.sleep(3600)
+            except KeyboardInterrupt:
+                print("draining...")
+        else:
+            submitted = feed_stream_file(
+                service, args.stream, start_index=report.last_seq
+            )
+            service.drain()
+            print(
+                f"submitted {submitted} event(s) "
+                f"(skipped {report.last_seq} already durable); "
+                f"applied through seq {service.wal.last_seq}"
+            )
+        service.stop()
+        status = service.status()
+        print(
+            f"final: {status['num_edges']} edges in "
+            f"{status['num_supernodes']} supernodes, "
+            f"seq {status['applied_seq']}, "
+            f"{status['wal_segments']} WAL segment(s)"
+        )
+        if args.output:
+            write_summary(service.summarizer.snapshot(), args.output)
+            print(f"snapshot written to {args.output}")
+    return 0
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     from .evaluation import compare_partitions, read_labels
 
@@ -884,6 +1031,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "analyze": _cmd_analyze,
     "stream": _cmd_stream,
+    "ingest": _cmd_ingest,
     "evaluate": _cmd_evaluate,
     "serve": _cmd_serve,
     "shard-summarize": _cmd_shard_summarize,

@@ -14,6 +14,8 @@ __all__ = [
     "CorruptSummaryError",
     "CheckpointError",
     "CorruptCheckpointError",
+    "CorruptWALError",
+    "IngestOverloadError",
 ]
 
 
@@ -56,3 +58,28 @@ class CorruptCheckpointError(CheckpointError):
     def __init__(self, path: str, message: str) -> None:
         super().__init__(f"{path}: {message}")
         self.path = str(path)
+
+
+class CorruptWALError(ValueError):
+    """A write-ahead-log segment failed an integrity check.
+
+    Raised when *acknowledged* data is damaged — a sealed segment with a
+    checksum mismatch, a sequence gap in records needed for replay.
+    Recovery never silently drops acknowledged events; the torn tail of
+    the active segment (bytes whose fsync never completed, i.e. never
+    acknowledged) is the only thing it truncates on its own.
+    """
+
+    def __init__(self, path: str, message: str) -> None:
+        super().__init__(f"{path}: {message}")
+        self.path = str(path)
+
+
+class IngestOverloadError(RuntimeError):
+    """The ingest queue is full and the submit chose not to wait.
+
+    The backpressure signal of :class:`repro.ingest.IngestService`:
+    producers that cannot block must shed or retry later. Events
+    rejected this way were never written to the WAL and are *not*
+    acknowledged.
+    """

@@ -1,0 +1,54 @@
+"""Crash-safe streaming ingestion for online graph summarization.
+
+The durability pipeline of ROADMAP item 2: edge insertions/deletions go
+through a segmented, CRC-framed write-ahead log (fsync-on-ack batches),
+get applied to a :class:`~repro.streaming.DynamicSummarizer` under
+monotonic sequence numbers, and periodically compile into snapshots that
+are checkpointed and hot-swapped into a :class:`~repro.serve.SummaryCluster`
+with zero downtime. Recovery = newest good checkpoint + idempotent WAL
+replay from its pinned sequence number; the ``ingest-chaos`` CI gate
+SIGKILLs the whole thing mid-stream to prove no acknowledged event is
+ever lost. See ``docs/streaming.md`` for the protocol.
+"""
+
+from .service import (
+    INGEST_PAYLOAD_KIND,
+    Ack,
+    IngestService,
+    RecoveryReport,
+)
+from .source import IngestListener, feed_stream_file, send_events
+from .wal import (
+    OP_DELETE,
+    OP_INSERT,
+    SegmentInfo,
+    WalRecord,
+    WalRecovery,
+    WalWriter,
+    iter_wal,
+    list_segments,
+    read_segment,
+    recover_wal,
+    segment_path,
+)
+
+__all__ = [
+    "Ack",
+    "IngestService",
+    "IngestListener",
+    "RecoveryReport",
+    "INGEST_PAYLOAD_KIND",
+    "feed_stream_file",
+    "send_events",
+    "WalWriter",
+    "WalRecovery",
+    "WalRecord",
+    "SegmentInfo",
+    "recover_wal",
+    "iter_wal",
+    "list_segments",
+    "read_segment",
+    "segment_path",
+    "OP_INSERT",
+    "OP_DELETE",
+]

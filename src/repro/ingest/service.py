@@ -1,0 +1,580 @@
+"""Crash-safe online summarization: WAL → summarizer → snapshot → swap.
+
+:class:`IngestService` turns the batch LDME reproduction into a
+continuously self-updating service. One pipeline thread owns the whole
+write path, which is what makes every guarantee simple to state:
+
+1. producers :meth:`submit` edge events into a **bounded queue**
+   (backpressure: block, or reject with
+   :class:`~repro.errors.IngestOverloadError`);
+2. the pipeline drains the queue in batches, appends each batch to the
+   segmented :class:`~repro.ingest.wal.WalWriter` and **fsyncs — that
+   is the acknowledgement point**; every :class:`Ack` in the batch
+   resolves with its sequence number;
+3. the batch is applied to the :class:`~repro.streaming.DynamicSummarizer`
+   (MoSSo-style incremental updates, near-constant time per event);
+4. every ``snapshot_every`` applied events the pipeline compiles a
+   snapshot — the summarizer state lands in a
+   :class:`~repro.resilience.CheckpointManager` checkpoint *pinned to
+   its sequence number*, fully-covered WAL segments are pruned, and the
+   compiled index is hot-swapped into an attached
+   :class:`~repro.serve.SummaryCluster` via its generation-tracked
+   ``rolling_swap`` — replicas keep answering (degraded/stale semantics)
+   throughout, so a swap is zero-downtime by construction.
+
+**Recovery** (:meth:`IngestService.open`) inverts the write path: load
+the newest good checkpoint, rebuild the summarizer bit-identically
+(:meth:`DynamicSummarizer.from_state` restores the RNG), then replay the
+WAL from the checkpoint's pinned sequence number. Replay is idempotent
+(records at or below the pinned seq are skipped) and gap-checked, so a
+recovered service is *bit-identical* to one that never crashed — the
+property the ``ingest-chaos`` CI gate SIGKILLs its way through.
+
+Observability: ``ingest_lag_events`` / ``wal_segments_active`` gauges,
+``ingest_acked/applied/replayed/rejected/snapshots/swaps_total``
+counters — mirrored to :mod:`repro.obs.metrics` when a registry is
+installed, rendered by :meth:`IngestService.prometheus` — plus
+``ingest.recover`` / ``ingest.snapshot`` / ``ingest.swap`` spans on the
+active tracer.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+from ..errors import CheckpointError, IngestOverloadError
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from ..resilience.checkpoint import CheckpointManager
+from ..serve.metrics import MetricsRegistry
+from ..streaming import STREAM_PAYLOAD_KIND, DynamicSummarizer
+from .wal import WalRecovery, WalWriter, recover_wal
+
+__all__ = [
+    "Ack",
+    "IngestService",
+    "RecoveryReport",
+    "INGEST_PAYLOAD_KIND",
+]
+
+logger = logging.getLogger("repro.ingest")
+
+Event = Tuple[str, int, int]
+
+#: ``kind`` tag on ingest-service checkpoint payloads.
+INGEST_PAYLOAD_KIND = "ingest-service"
+
+_STOP = object()     # pipeline sentinel
+
+
+class Ack:
+    """Durability receipt for one submitted event.
+
+    Resolves once the event's WAL batch is fsynced. :meth:`wait` returns
+    the assigned sequence number, or raises the pipeline error that
+    prevented the append (the event was then *not* acknowledged).
+    """
+
+    __slots__ = ("_done", "seq", "error")
+
+    def __init__(self) -> None:
+        self._done = threading.Event()
+        self.seq: Optional[int] = None
+        self.error: Optional[BaseException] = None
+
+    def _resolve(self, seq: int) -> None:
+        self.seq = seq
+        self._done.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self.error = error
+        self._done.set()
+
+    @property
+    def done(self) -> bool:
+        """Whether the ack has resolved (successfully or not)."""
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> int:
+        """Block until durable; returns the sequence number."""
+        if not self._done.wait(timeout):
+            raise TimeoutError("event not acknowledged in time")
+        if self.error is not None:
+            raise self.error
+        assert self.seq is not None
+        return self.seq
+
+
+@dataclass
+class RecoveryReport:
+    """What :meth:`IngestService.open` found and did."""
+
+    checkpoint_seq: int = 0            # pinned seq of the loaded snapshot
+    checkpoint_path: Optional[str] = None
+    skipped_checkpoints: List[str] = field(default_factory=list)
+    replayed: int = 0                  # WAL records applied on top
+    last_seq: int = 0                  # resume point: next event is +1
+    wal: Optional[WalRecovery] = None
+
+    def describe(self) -> str:
+        """One human-readable line summarizing how recovery went."""
+        parts = [
+            f"checkpoint seq {self.checkpoint_seq}",
+            f"replayed {self.replayed} WAL event(s)",
+            f"resuming at seq {self.last_seq + 1}",
+        ]
+        if self.wal is not None and self.wal.truncated_bytes:
+            parts.append(
+                f"truncated {self.wal.truncated_bytes}B torn tail"
+            )
+        if self.skipped_checkpoints:
+            parts.append(
+                f"skipped {len(self.skipped_checkpoints)} bad checkpoint(s)"
+            )
+        return ", ".join(parts)
+
+
+class IngestService:
+    """Durable streaming ingestion in front of a dynamic summarizer.
+
+    Parameters
+    ----------
+    summarizer:
+        The (recovered) :class:`~repro.streaming.DynamicSummarizer`.
+    wal_dir:
+        Write-ahead-log directory. Run :func:`~repro.ingest.wal.recover_wal`
+        (or use :meth:`open`, which does) before constructing.
+    last_seq:
+        Sequence number already durable+applied; numbering continues at
+        ``last_seq + 1``.
+    checkpoint_dir:
+        Snapshot checkpoints (defaults to ``<wal_dir>/checkpoints``).
+    snapshot_every:
+        Applied events between automatic snapshots (0 = only explicit
+        :meth:`snapshot_now` / final-stop snapshots).
+    cluster:
+        Optional :class:`~repro.serve.SummaryCluster` (or anything with
+        ``rolling_swap``); each snapshot's compiled index is rolled
+        across it with zero downtime.
+    queue_max / batch_max:
+        Backpressure bound on accepted-but-unlogged events, and the
+        largest batch one fsync acknowledges.
+    segment_max_bytes / fsync:
+        Forwarded to :class:`~repro.ingest.wal.WalWriter`.
+    on_ack:
+        Callback ``(first_seq, last_seq)`` fired after each batch
+        becomes durable — the hook external ack channels (the TCP
+        source, the CLI ack log) attach to.
+    registry:
+        Metrics registry (a fresh one by default); also mirrored to the
+        module-level :mod:`repro.obs.metrics` seam.
+    """
+
+    def __init__(
+        self,
+        summarizer: DynamicSummarizer,
+        wal_dir: Union[str, "os.PathLike[str]"],
+        *,
+        last_seq: int = 0,
+        checkpoint_dir: Optional[Union[str, "os.PathLike[str]"]] = None,
+        snapshot_every: int = 0,
+        cluster: Optional[object] = None,
+        queue_max: int = 4096,
+        batch_max: int = 512,
+        segment_max_bytes: int = 1 << 20,
+        fsync: bool = True,
+        keep_checkpoints: int = 3,
+        on_ack: Optional[Callable[[int, int], None]] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if snapshot_every < 0:
+            raise ValueError("snapshot_every must be non-negative")
+        if queue_max < 1 or batch_max < 1:
+            raise ValueError("queue_max and batch_max must be positive")
+        self.summarizer = summarizer
+        self.wal_dir = os.fspath(wal_dir)
+        self.checkpoint_dir = os.fspath(
+            checkpoint_dir
+            if checkpoint_dir is not None
+            else os.path.join(self.wal_dir, "checkpoints")
+        )
+        self.snapshot_every = snapshot_every
+        self.cluster = cluster
+        self.batch_max = batch_max
+        self.on_ack = on_ack
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self.wal = WalWriter(
+            self.wal_dir,
+            last_seq=last_seq,
+            segment_max_bytes=segment_max_bytes,
+            fsync=fsync,
+        )
+        self.checkpoints = CheckpointManager(
+            self.checkpoint_dir, keep=keep_checkpoints
+        )
+        self._queue: "queue.Queue[object]" = queue.Queue(maxsize=queue_max)
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self._drained = threading.Condition(self._lock)
+        self._submitted = 0
+        self._processed = 0            # acked-or-failed events
+        self.applied_seq = last_seq    # highest seq applied to summarizer
+        self._since_snapshot = 0
+        self.last_snapshot_seq = last_seq
+        self._accepting = False
+        self._stopped = False
+        self._error: Optional[BaseException] = None
+        self.swap_reports: List[object] = []
+        # Touch every counter so scrapes expose the full metric set from
+        # the first request on, not only after the first event of each
+        # kind (Prometheus rate() needs the zero sample).
+        for name in ("ingest_acked_total", "ingest_applied_total",
+                     "ingest_replayed_total", "ingest_rejected_total",
+                     "ingest_snapshots_total"):
+            self._inc(name, 0)
+        self._set_gauges()
+
+    # ------------------------------------------------------------------
+    # construction / recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        wal_dir: Union[str, "os.PathLike[str]"],
+        *,
+        num_nodes: int,
+        escape_prob: float = 0.3,
+        sample_size: int = 120,
+        seed: int = 0,
+        checkpoint_dir: Optional[Union[str, "os.PathLike[str]"]] = None,
+        **kwargs: Any,
+    ) -> Tuple["IngestService", RecoveryReport]:
+        """Recover (or bootstrap) a service from its durable state.
+
+        Load the newest good snapshot checkpoint, rebuild the summarizer
+        bit-identically, replay the WAL from the pinned sequence number,
+        and return the ready-to-start service plus a
+        :class:`RecoveryReport`. With no checkpoint the replay starts
+        from sequence 1; with no WAL either, this is a fresh bootstrap.
+        """
+        wal_dir = os.fspath(wal_dir)
+        ckpt_dir = os.fspath(
+            checkpoint_dir
+            if checkpoint_dir is not None
+            else os.path.join(wal_dir, "checkpoints")
+        )
+        report = RecoveryReport()
+        with obs_trace.span("ingest.recover", key="recover") as span:
+            manager = CheckpointManager(ckpt_dir)
+            loaded = manager.load_latest()
+            if loaded is not None:
+                payload = loaded.payload
+                if (
+                    not isinstance(payload, dict)
+                    or payload.get("kind") != INGEST_PAYLOAD_KIND
+                ):
+                    raise CheckpointError(
+                        f"{loaded.path}: not an {INGEST_PAYLOAD_KIND!r} "
+                        f"checkpoint payload"
+                    )
+                summarizer = DynamicSummarizer.from_state(
+                    payload["summarizer"]
+                )
+                report.checkpoint_seq = int(payload["seq"])
+                report.checkpoint_path = loaded.path
+                report.skipped_checkpoints = loaded.skipped
+            else:
+                summarizer = DynamicSummarizer(
+                    num_nodes=num_nodes,
+                    escape_prob=escape_prob,
+                    sample_size=sample_size,
+                    seed=seed,
+                )
+            recovery = recover_wal(wal_dir, from_seq=report.checkpoint_seq + 1)
+            for record in recovery.records:
+                summarizer.apply([record.event()])
+            obs_metrics.inc("ingest_replayed_total", len(recovery.records))
+            report.replayed = len(recovery.records)
+            report.wal = recovery
+            report.last_seq = max(recovery.last_seq, report.checkpoint_seq)
+            span.set_attribute("checkpoint_seq", report.checkpoint_seq)
+            span.set_attribute("replayed", report.replayed)
+            span.set_attribute("truncated_bytes", recovery.truncated_bytes)
+        service = cls(
+            summarizer,
+            wal_dir,
+            last_seq=report.last_seq,
+            checkpoint_dir=ckpt_dir,
+            **kwargs,
+        )
+        service._inc("ingest_replayed_total", report.replayed)
+        service.metrics.set_gauge("ingest_last_seq", report.last_seq)
+        if report.replayed or report.checkpoint_seq:
+            logger.info("ingest recovery: %s", report.describe())
+        return service, report
+
+    # ------------------------------------------------------------------
+    # metrics plumbing
+    # ------------------------------------------------------------------
+    def _inc(self, name: str, amount: float = 1) -> None:
+        self.metrics.inc(name, amount)
+        obs_metrics.inc(name, amount)
+
+    def _set_gauge(self, name: str, value: float) -> None:
+        self.metrics.set_gauge(name, value)
+        obs_metrics.set_gauge(name, value)
+
+    def _set_gauges(self) -> None:
+        self._set_gauge("ingest_lag_events", self._queue.qsize())
+        self._set_gauge("wal_segments_active", self.wal.segment_count())
+        self._set_gauge("ingest_last_seq", self.applied_seq)
+
+    def prometheus(self) -> str:
+        """This service's metrics in the Prometheus text format."""
+        self._set_gauges()
+        return self.metrics.to_prometheus(prefix="repro_")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "IngestService":
+        """Start the pipeline thread; the service begins accepting."""
+        if self._thread is not None:
+            raise RuntimeError("ingest service already started")
+        if self._stopped:
+            raise RuntimeError("ingest service already stopped")
+        self._accepting = True
+        self._thread = threading.Thread(
+            target=self._run, name="repro-ingest-pipeline", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def submit(
+        self,
+        op: str,
+        u: int,
+        v: int,
+        *,
+        block: bool = True,
+        timeout: Optional[float] = None,
+    ) -> Ack:
+        """Enqueue one event; returns its :class:`Ack`.
+
+        With ``block=False`` (or a ``timeout`` that elapses) a full
+        queue raises :class:`~repro.errors.IngestOverloadError` — the
+        backpressure contract: the event was never logged and is not
+        acknowledged.
+        """
+        if op not in ("+", "-"):
+            raise ValueError(f"unknown stream op {op!r}")
+        if not self._accepting:
+            raise RuntimeError("ingest service is not accepting events")
+        if self._error is not None:
+            raise RuntimeError(
+                "ingest pipeline failed"
+            ) from self._error
+        ack = Ack()
+        item = (op, int(u), int(v), ack)
+        with self._lock:
+            self._submitted += 1
+        try:
+            self._queue.put(item, block=block, timeout=timeout)
+        except queue.Full:
+            with self._lock:
+                self._submitted -= 1
+            self._inc("ingest_rejected_total")
+            raise IngestOverloadError(
+                f"ingest queue full ({self._queue.maxsize} events lagging); "
+                f"backpressure: retry later or shed"
+            ) from None
+        self._set_gauge("ingest_lag_events", self._queue.qsize())
+        return ack
+
+    def submit_many(
+        self, events: Iterable[Event], *, block: bool = True
+    ) -> List[Ack]:
+        """Submit a batch in order; returns the acks."""
+        return [self.submit(op, u, v, block=block) for op, u, v in events]
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until everything submitted so far is acked and applied."""
+        with self._drained:
+            return self._drained.wait_for(
+                lambda: self._processed >= self._submitted, timeout
+            )
+
+    def stop(
+        self,
+        drain: bool = True,
+        snapshot: bool = True,
+        timeout: float = 30.0,
+    ) -> None:
+        """Drain, stop the pipeline, take a final snapshot, seal the WAL.
+
+        The drain/stop protocol: new submits are rejected immediately,
+        queued events are still logged+applied (unless ``drain=False``),
+        then the pipeline exits, a final snapshot checkpoint pins the
+        last applied sequence number, and the active segment is sealed
+        so the next recovery verifies the whole log.
+        """
+        self._accepting = False
+        if self._thread is not None:
+            if drain:
+                self.drain(timeout=timeout)
+            self._queue.put(_STOP)
+            self._thread.join(timeout=timeout)
+            if self._thread.is_alive():
+                raise RuntimeError("ingest pipeline did not stop in time")
+            self._thread = None
+        if not self._stopped:
+            if snapshot and self._error is None \
+                    and self.applied_seq > self.last_snapshot_seq:
+                self._snapshot()
+            self._stopped = True
+            self.wal.close(seal=True)
+            self._set_gauge("wal_segments_active", self.wal.segment_count())
+
+    def __enter__(self) -> "IngestService":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # pipeline
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            batch = [item]
+            while len(batch) < self.batch_max:
+                try:
+                    extra = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is _STOP:
+                    self._process(batch)
+                    return
+                batch.append(extra)
+            self._process(batch)
+
+    def _process(self, batch: List[object]) -> None:
+        events = [(op, u, v) for op, u, v, _ in batch]   # type: ignore[misc]
+        acks = [ack for _, _, _, ack in batch]           # type: ignore[misc]
+        try:
+            first, last = self.wal.append(events)
+        except BaseException as exc:  # noqa: BLE001 - acks must resolve
+            self._error = exc
+            for ack in acks:
+                ack._fail(exc)
+            with self._drained:
+                self._processed += len(acks)
+                self._drained.notify_all()
+            logger.exception("ingest WAL append failed; pipeline halted")
+            return
+        # --- acknowledgement point: the batch is durable ---
+        for offset, ack in enumerate(acks):
+            ack._resolve(first + offset)
+        self._inc("ingest_acked_total", len(acks))
+        if self.on_ack is not None:
+            try:
+                self.on_ack(first, last)
+            except Exception:  # noqa: BLE001 - ack hooks must not kill ingest
+                logger.exception("on_ack callback failed")
+        for seq, (op, u, v) in enumerate(events, start=first):
+            if op == "+":
+                self.summarizer.insert(u, v)
+            else:
+                self.summarizer.delete(u, v)
+            self.applied_seq = seq
+        self._inc("ingest_applied_total", len(events))
+        self._since_snapshot += len(events)
+        with self._drained:
+            self._processed += len(acks)
+            self._drained.notify_all()
+        self._set_gauge("ingest_lag_events", self._queue.qsize())
+        self._set_gauge("ingest_last_seq", self.applied_seq)
+        if self.snapshot_every and self._since_snapshot >= self.snapshot_every:
+            try:
+                self._snapshot()
+            except Exception:  # noqa: BLE001 - snapshots retry next cadence
+                logger.exception("ingest snapshot failed; will retry")
+                self._inc("ingest_snapshot_failures_total")
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+    def snapshot_now(self) -> str:
+        """Force a snapshot from the caller's thread.
+
+        Only safe while the pipeline is not running (before
+        :meth:`start` or after :meth:`stop`); a live service snapshots
+        on its own cadence inside the pipeline thread.
+        """
+        if self._thread is not None:
+            raise RuntimeError(
+                "snapshot_now on a running service; use snapshot_every"
+            )
+        return self._snapshot()
+
+    def _snapshot(self) -> str:
+        seq = self.applied_seq
+        with obs_trace.span("ingest.snapshot", key=seq, seq=seq):
+            payload = {
+                "kind": INGEST_PAYLOAD_KIND,
+                "seq": seq,
+                "summarizer": self.summarizer.state_dict(),
+            }
+            path = self.checkpoints.save(seq, payload)
+            self._since_snapshot = 0
+            self.last_snapshot_seq = seq
+            self._inc("ingest_snapshots_total")
+            # Prune only past the *oldest retained* checkpoint: if the
+            # newest file rots, recovery falls back to an older one and
+            # must still find its WAL suffix intact.
+            entries = self.checkpoints.entries()
+            if entries:
+                self.wal.prune_through(entries[0].iteration)
+            self._set_gauge("wal_segments_active", self.wal.segment_count())
+            if self.cluster is not None:
+                self._swap(seq)
+        return path
+
+    def _swap(self, seq: int) -> None:
+        with obs_trace.span("ingest.swap", key=seq, seq=seq):
+            index = self.summarizer.snapshot_compiled()
+            report = self.cluster.rolling_swap(index)
+            self.swap_reports.append(report)
+            if getattr(report, "ok", False):
+                self._inc("ingest_swaps_total")
+            else:
+                self._inc("ingest_swap_failures_total")
+                logger.warning(
+                    "ingest swap at seq %d failed: %s",
+                    seq, getattr(report, "error", report),
+                )
+
+    # ------------------------------------------------------------------
+    def status(self) -> Dict[str, Any]:
+        """Structured snapshot of the service's state."""
+        return {
+            "accepting": self._accepting,
+            "stopped": self._stopped,
+            "applied_seq": self.applied_seq,
+            "wal_last_seq": self.wal.last_seq,
+            "last_snapshot_seq": self.last_snapshot_seq,
+            "queue_depth": self._queue.qsize(),
+            "wal_segments": self.wal.segment_count(),
+            "num_edges": self.summarizer.num_edges,
+            "num_supernodes": self.summarizer.num_supernodes,
+            "swaps": len(self.swap_reports),
+            "error": str(self._error) if self._error else None,
+        }

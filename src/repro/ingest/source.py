@@ -1,0 +1,209 @@
+"""Event sources feeding an :class:`~repro.ingest.IngestService`.
+
+Two producers cover the CLI's ``ingest`` subcommand:
+
+* :func:`feed_stream_file` replays a recorded ``+ u v`` / ``- u v``
+  stream file (see :func:`repro.streaming.read_stream`). Stream position
+  and WAL sequence numbers advance in lockstep — event *i* of the file
+  gets seq *i* — so a restarted feeder resumes exactly where the
+  recovered service left off by skipping the first ``last_seq`` events.
+* :class:`IngestListener` accepts live events over TCP, one per line,
+  and replies ``ack <seq>`` only after the event is durable (the
+  at-least-once handshake end to end: a client that never saw the ack
+  resubmits, and replay idempotence absorbs the duplicate).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import socket
+import socketserver
+import threading
+from typing import Callable, List, Optional, Tuple, Union
+
+from ..errors import IngestOverloadError
+from ..streaming import read_stream
+from .service import Ack, IngestService
+
+__all__ = ["feed_stream_file", "IngestListener"]
+
+logger = logging.getLogger("repro.ingest")
+
+
+def feed_stream_file(
+    service: IngestService,
+    path: Union[str, "os.PathLike[str]"],
+    *,
+    start_index: int = 0,
+    progress: Optional[Callable[[int], None]] = None,
+) -> int:
+    """Submit a stream file's events; returns how many were submitted.
+
+    ``start_index`` events are skipped from the front — pass the
+    recovered service's ``last_seq`` so a resumed run continues from the
+    first un-logged event instead of re-submitting the whole file
+    (re-submitting would also be *correct*, just wasteful: duplicate
+    seqs never happen because the service assigns fresh ones, and MoSSo
+    treats repeated inserts/deletes of the same live/absent edge as
+    no-ops only when they truly are — so resume-by-skip is the exact
+    protocol, not an optimization of an approximation).
+    """
+    if start_index < 0:
+        raise ValueError("start_index must be non-negative")
+    submitted = 0
+    for position, (op, u, v) in enumerate(read_stream(path)):
+        if position < start_index:
+            continue
+        service.submit(op, u, v, block=True)
+        submitted += 1
+        if progress is not None:
+            progress(position + 1)
+    return submitted
+
+
+class _IngestHandler(socketserver.StreamRequestHandler):
+    """Line protocol: ``+ u v`` / ``- u v`` → ``ack <seq>``; ``ping`` → ``pong``."""
+
+    def handle(self) -> None:  # noqa: D102 - socketserver contract
+        service: IngestService = self.server.service  # type: ignore[attr-defined]
+        wait_acks: bool = self.server.wait_acks  # type: ignore[attr-defined]
+        for raw in self.rfile:
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            if line == "ping":
+                self._reply("pong")
+                continue
+            if line == "quit":
+                self._reply("bye")
+                return
+            parts = line.split()
+            if len(parts) != 3 or parts[0] not in ("+", "-"):
+                self._reply(f"err expected '+/- u v', got {line!r}")
+                continue
+            try:
+                u, v = int(parts[1]), int(parts[2])
+                if u < 0 or v < 0:
+                    raise ValueError("negative node id")
+            except ValueError as exc:
+                self._reply(f"err {exc}")
+                continue
+            try:
+                ack = service.submit(parts[0], u, v, block=False)
+            except IngestOverloadError:
+                self._reply("err overloaded; retry later")
+                continue
+            except RuntimeError as exc:
+                self._reply(f"err {exc}")
+                continue
+            if wait_acks:
+                try:
+                    seq = ack.wait(timeout=30.0)
+                except BaseException as exc:  # noqa: BLE001 - report, keep conn
+                    self._reply(f"err {exc}")
+                    continue
+                self._reply(f"ack {seq}")
+            else:
+                self._reply("ok")
+
+    def _reply(self, text: str) -> None:
+        try:
+            self.wfile.write((text + "\n").encode("utf-8"))
+            self.wfile.flush()
+        except OSError:
+            pass
+
+
+class _IngestServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class IngestListener:
+    """TCP front door for live edge events.
+
+    One line per event; the reply ``ack <seq>`` is sent only after the
+    event's WAL batch is fsynced (``wait_acks=False`` downgrades to an
+    immediate ``ok`` for fire-and-forget producers). Start/stop it
+    around the service's own lifecycle::
+
+        with IngestService.open(wal_dir, num_nodes=n)[0] as svc:
+            listener = IngestListener(svc, port=0).start()
+            ...
+            listener.stop()
+    """
+
+    def __init__(
+        self,
+        service: IngestService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        wait_acks: bool = True,
+    ) -> None:
+        self.service = service
+        self._server = _IngestServer((host, port), _IngestHandler)
+        self._server.service = service  # type: ignore[attr-defined]
+        self._server.wait_acks = wait_acks  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` actually bound (port resolved when 0)."""
+        return self._server.server_address[:2]
+
+    def start(self) -> "IngestListener":
+        """Serve connections on a daemon thread; returns ``self``."""
+        if self._thread is not None:
+            raise RuntimeError("listener already started")
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-ingest-listener",
+            daemon=True,
+        )
+        self._thread.start()
+        logger.info("ingest listener on %s:%d", *self.address)
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting, close the socket, and join the thread."""
+        if self._thread is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+
+    def __enter__(self) -> "IngestListener":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def send_events(
+    address: Tuple[str, int],
+    events: List[Tuple[str, int, int]],
+    *,
+    timeout: float = 30.0,
+) -> List[int]:
+    """Blocking client helper: submit events, return their acked seqs.
+
+    Mostly for tests and scripts; raises :class:`RuntimeError` on any
+    ``err`` reply (nothing after the failed event was submitted).
+    """
+    seqs: List[int] = []
+    with socket.create_connection(address, timeout=timeout) as sock:
+        fh = sock.makefile("rwb")
+        for op, u, v in events:
+            fh.write(f"{op} {u} {v}\n".encode("utf-8"))
+            fh.flush()
+            reply = fh.readline().decode("utf-8").strip()
+            if reply.startswith("ack "):
+                seqs.append(int(reply.split()[1]))
+            elif reply == "ok":
+                continue
+            else:
+                raise RuntimeError(f"ingest listener refused event: {reply}")
+    return seqs

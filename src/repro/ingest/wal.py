@@ -1,0 +1,688 @@
+"""Segmented write-ahead log for edge-stream events.
+
+The durability contract of :mod:`repro.ingest`: an event is
+**acknowledged** only after its record has been appended to the active
+WAL segment and the segment fsynced. Acknowledged events survive any
+crash — SIGKILL, power loss, torn tail — and are replayed into the
+summarizer on recovery.
+
+On-disk layout (one directory, ``wal-<index>.seg`` files)::
+
+    header : magic "WALS" | version varint | base_seq varint
+    record : payload_len u32le | crc32(payload) u32le | payload
+    payload: seq varint | op byte (0 = insert, 1 = delete)
+             | u varint | v varint
+    footer : crc32(all preceding bytes) u32le | magic "WALZ"   [sealed]
+
+following the ``binaryio`` v2 conventions (LEB128 varints, a trailing
+CRC footer guarding the whole byte stream). Every record additionally
+carries its own CRC so the *active* segment — the only one without a
+footer — can be scanned record-by-record after a crash.
+
+Rotation is atomic with respect to recovery: the current segment is
+sealed (footer appended + fsync) **before** the next segment's header is
+created, so recovery can classify every file:
+
+* a segment ending in a valid footer is **sealed** — replaying it
+  re-verifies the whole-file CRC, and any mismatch raises
+  :class:`~repro.errors.CorruptWALError` (bit rot in acknowledged data
+  is never silently dropped);
+* the newest segment without a footer is **active** — a scan stops at
+  the first invalid record and the torn tail is truncated in place
+  (those bytes never completed an fsynced append, so nothing
+  acknowledged is lost);
+* a *non*-newest segment without a valid footer is damaged sealed data
+  and is only tolerated when the caller's replay start is past it.
+
+Sequence numbers are assigned by :class:`WalWriter`, monotonically from
+1, and stored in every record — replay is idempotent (records at or
+below the caller's ``from_seq`` are skipped) and gap-checked (a missing
+acknowledged record raises instead of silently diverging).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import IO, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..errors import CorruptWALError
+from ..ioutil import fsync_directory
+
+__all__ = [
+    "WalWriter",
+    "WalRecovery",
+    "SegmentInfo",
+    "WalRecord",
+    "recover_wal",
+    "list_segments",
+    "read_segment",
+    "segment_path",
+    "header_end",
+    "frame_length",
+    "SEGMENT_MAGIC",
+    "SEGMENT_FOOTER_MAGIC",
+    "OP_INSERT",
+    "OP_DELETE",
+]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+SEGMENT_MAGIC = b"WALS"
+SEGMENT_FOOTER_MAGIC = b"WALZ"
+SEGMENT_VERSION = 1
+_FILE_RE = re.compile(r"^wal-(\d{8})\.seg$")
+_FRAME = struct.Struct("<II")          # payload_len, crc32(payload)
+_CRC = struct.Struct("<I")
+FOOTER_BYTES = _CRC.size + len(SEGMENT_FOOTER_MAGIC)
+
+#: Upper bound on a record payload — a seq/u/v varint is at most 10
+#: bytes each, plus the op byte. Anything larger is frame corruption.
+MAX_PAYLOAD_BYTES = 64
+
+OP_INSERT = 0
+OP_DELETE = 1
+_OP_TO_CHAR = {OP_INSERT: "+", OP_DELETE: "-"}
+_CHAR_TO_OP = {"+": OP_INSERT, "-": OP_DELETE}
+
+
+# ----------------------------------------------------------------------
+# varint primitives (binaryio conventions)
+# ----------------------------------------------------------------------
+def _encode_varint(value: int) -> bytes:
+    if value < 0:
+        raise ValueError("varints encode non-negative integers")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def _decode_varint(data: bytes, pos: int, path: str) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise CorruptWALError(path, "truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+# ----------------------------------------------------------------------
+# records
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WalRecord:
+    """One durably-logged edge event."""
+
+    seq: int
+    op: str          # "+" | "-"
+    u: int
+    v: int
+
+    def event(self) -> Tuple[str, int, int]:
+        """The ``(op, u, v)`` tuple :meth:`DynamicSummarizer.apply` eats."""
+        return (self.op, self.u, self.v)
+
+
+def _encode_record(seq: int, op: str, u: int, v: int) -> bytes:
+    try:
+        op_code = _CHAR_TO_OP[op]
+    except KeyError:
+        raise ValueError(f"unknown stream op {op!r}") from None
+    if u < 0 or v < 0:
+        raise ValueError(f"negative node id in event ({u}, {v})")
+    payload = (
+        _encode_varint(seq)
+        + bytes([op_code])
+        + _encode_varint(u)
+        + _encode_varint(v)
+    )
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _decode_payload(payload: bytes, path: str) -> WalRecord:
+    seq, pos = _decode_varint(payload, 0, path)
+    if pos >= len(payload):
+        raise CorruptWALError(path, "record payload missing op byte")
+    op_code = payload[pos]
+    pos += 1
+    if op_code not in _OP_TO_CHAR:
+        raise CorruptWALError(path, f"unknown record op code {op_code}")
+    u, pos = _decode_varint(payload, pos, path)
+    v, pos = _decode_varint(payload, pos, path)
+    if pos != len(payload):
+        raise CorruptWALError(
+            path, f"{len(payload) - pos} trailing payload bytes"
+        )
+    return WalRecord(seq=seq, op=_OP_TO_CHAR[op_code], u=u, v=v)
+
+
+def _encode_header(base_seq: int) -> bytes:
+    return (
+        SEGMENT_MAGIC
+        + _encode_varint(SEGMENT_VERSION)
+        + _encode_varint(base_seq)
+    )
+
+
+# ----------------------------------------------------------------------
+# reading one segment
+# ----------------------------------------------------------------------
+@dataclass
+class SegmentInfo:
+    """Parse result for one WAL segment file."""
+
+    path: str
+    index: int
+    base_seq: int
+    records: List[WalRecord] = field(default_factory=list)
+    sealed: bool = False
+    #: Byte length of the valid prefix (header + intact records [+footer]).
+    valid_bytes: int = 0
+    #: File size on disk at scan time.
+    size: int = 0
+
+    @property
+    def last_seq(self) -> Optional[int]:
+        """Highest record seq, or ``None`` for an empty segment."""
+        return self.records[-1].seq if self.records else None
+
+    @property
+    def torn_bytes(self) -> int:
+        """Bytes past the valid prefix (0 for a clean segment)."""
+        return self.size - self.valid_bytes
+
+
+def segment_path(directory: PathLike, index: int) -> str:
+    """Path of segment ``index`` inside ``directory``."""
+    return os.path.join(os.fspath(directory), f"wal-{index:08d}.seg")
+
+
+def header_end(data: bytes, path: str = "<segment>") -> int:
+    """Byte offset where a segment's record frames begin."""
+    return _parse_header(data, path)[1]
+
+
+def frame_length(data: bytes, pos: int) -> int:
+    """Total byte length of the record frame starting at ``pos``."""
+    length, _ = _FRAME.unpack_from(data, pos)
+    return _FRAME.size + length
+
+
+def list_segments(directory: PathLike) -> List[Tuple[int, str]]:
+    """``(index, path)`` of every segment file, ascending by index."""
+    directory = os.fspath(directory)
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return []
+    out = []
+    for name in names:
+        match = _FILE_RE.match(name)
+        if match:
+            out.append((int(match.group(1)), os.path.join(directory, name)))
+    return sorted(out)
+
+
+def _parse_header(data: bytes, path: str) -> Tuple[int, int]:
+    """Returns ``(base_seq, header_end)``."""
+    if data[: len(SEGMENT_MAGIC)] != SEGMENT_MAGIC:
+        raise CorruptWALError(path, "not a WAL segment (bad magic)")
+    pos = len(SEGMENT_MAGIC)
+    version, pos = _decode_varint(data, pos, path)
+    if version != SEGMENT_VERSION:
+        raise CorruptWALError(path, f"unsupported WAL version {version}")
+    base_seq, pos = _decode_varint(data, pos, path)
+    return base_seq, pos
+
+
+def _scan_records(
+    data: bytes, start: int, end: int, path: str, *, strict: bool
+) -> Tuple[List[WalRecord], int]:
+    """Walk frames in ``data[start:end]``.
+
+    ``strict=True`` (sealed segments) raises on the first invalid frame;
+    ``strict=False`` (the active segment) stops there instead, returning
+    the offset of the valid prefix — the torn-tail truncation point.
+    """
+    records: List[WalRecord] = []
+    pos = start
+    while pos < end:
+        if end - pos < _FRAME.size:
+            if strict:
+                raise CorruptWALError(path, "truncated record frame")
+            return records, pos
+        length, crc = _FRAME.unpack_from(data, pos)
+        body_start = pos + _FRAME.size
+        if length > MAX_PAYLOAD_BYTES or body_start + length > end:
+            if strict:
+                raise CorruptWALError(path, "invalid record length")
+            return records, pos
+        payload = data[body_start:body_start + length]
+        if zlib.crc32(payload) != crc:
+            if strict:
+                raise CorruptWALError(path, "record checksum mismatch")
+            return records, pos
+        try:
+            record = _decode_payload(payload, path)
+        except CorruptWALError:
+            if strict:
+                raise
+            return records, pos
+        records.append(record)
+        pos = body_start + length
+    return records, pos
+
+
+def read_segment(path: PathLike) -> SegmentInfo:
+    """Parse one segment file without modifying it.
+
+    Sealed segments (valid footer) are verified end to end; a CRC or
+    structure failure inside one raises :class:`CorruptWALError`. An
+    unsealed segment is scanned leniently: ``valid_bytes`` marks the
+    torn-tail truncation point and ``records`` holds the intact prefix.
+    """
+    path = os.fspath(path)
+    match = _FILE_RE.match(os.path.basename(path))
+    index = int(match.group(1)) if match else -1
+    with open(path, "rb") as fh:
+        data = fh.read()
+    base_seq, header_end = _parse_header(data, path)
+    info = SegmentInfo(
+        path=path, index=index, base_seq=base_seq, size=len(data)
+    )
+    if (
+        len(data) >= header_end + FOOTER_BYTES
+        and data[-len(SEGMENT_FOOTER_MAGIC):] == SEGMENT_FOOTER_MAGIC
+    ):
+        (stored,) = _CRC.unpack(data[-FOOTER_BYTES:-len(SEGMENT_FOOTER_MAGIC)])
+        if stored == zlib.crc32(data[:-FOOTER_BYTES]):
+            records, _ = _scan_records(
+                data, header_end, len(data) - FOOTER_BYTES, path, strict=True
+            )
+            info.records = records
+            info.sealed = True
+            info.valid_bytes = len(data)
+            return info
+        # Footer magic present but CRC wrong: either a torn footer write
+        # or payload damage. Fall through to the lenient scan — the
+        # caller decides whether lenient treatment is allowed (it is not
+        # for non-newest segments, which must be sealed).
+    records, valid_end = _scan_records(
+        data, header_end, len(data), path, strict=False
+    )
+    info.records = records
+    info.valid_bytes = valid_end
+    return info
+
+
+# ----------------------------------------------------------------------
+# recovery
+# ----------------------------------------------------------------------
+@dataclass
+class WalRecovery:
+    """Outcome of :func:`recover_wal`."""
+
+    records: List[WalRecord] = field(default_factory=list)
+    last_seq: int = 0                  # highest seq surviving on disk
+    segments: int = 0                  # segment files examined
+    truncated_bytes: int = 0           # torn tail cut from the active seg
+    truncated_path: Optional[str] = None
+    discarded_segments: List[str] = field(default_factory=list)
+    skipped_segments: List[str] = field(default_factory=list)
+
+    def events(self) -> List[Tuple[str, int, int]]:
+        """Replayable ``(op, u, v)`` tuples in seq order."""
+        return [record.event() for record in self.records]
+
+
+def recover_wal(directory: PathLike, from_seq: int = 1) -> WalRecovery:
+    """Scan a WAL directory, repair the active tail, return the replay.
+
+    ``from_seq`` is the first sequence number the caller still needs
+    (its snapshot checkpoint covers everything below). Guarantees:
+
+    * the returned records are exactly the surviving records with
+      ``seq >= from_seq``, in strictly contiguous seq order — a gap in
+      needed records raises :class:`CorruptWALError`;
+    * the *newest* segment's torn tail (bytes that never completed an
+      fsynced append, or a half-written footer) is truncated in place;
+      a newest segment whose header never made it to disk is discarded;
+    * every older segment must carry a valid sealed footer. A damaged
+      sealed segment raises :class:`CorruptWALError` unless the caller's
+      ``from_seq`` proves the replay never enters it (then it is skipped
+      and reported in ``skipped_segments``).
+    """
+    if from_seq < 1:
+        raise ValueError("from_seq must be >= 1")
+    directory = os.fspath(directory)
+    segments = list_segments(directory)
+    recovery = WalRecovery(segments=len(segments))
+    if not segments:
+        recovery.last_seq = from_seq - 1 if from_seq > 1 else 0
+        return recovery
+    # Each non-final segment's coverage ends where its successor begins,
+    # so a damaged sealed segment can be classified without parsing it.
+    next_base: List[Optional[int]] = []
+    for position, (_, path) in enumerate(segments):
+        if position + 1 < len(segments):
+            with open(segments[position + 1][1], "rb") as fh:
+                head = fh.read(32)
+            try:
+                base, _ = _parse_header(head, segments[position + 1][1])
+            except CorruptWALError:
+                base = None
+            next_base.append(base)
+        else:
+            next_base.append(None)
+
+    last_seq = 0
+    for position, (_, path) in enumerate(segments):
+        final = position == len(segments) - 1
+        try:
+            info = read_segment(path)
+        except (CorruptWALError, OSError) as exc:
+            if final:
+                # The newest segment's header never hit the disk (the
+                # crash beat the post-create fsync): no record in it was
+                # ever acknowledged, so the file is safe to discard.
+                os.unlink(path)
+                fsync_directory(directory)
+                recovery.discarded_segments.append(path)
+                continue
+            successor_base = next_base[position]
+            if successor_base is not None and successor_base <= from_seq:
+                recovery.skipped_segments.append(path)
+                continue
+            raise CorruptWALError(
+                path, f"damaged sealed segment needed for replay ({exc})"
+            ) from exc
+        if not final and not info.sealed:
+            successor_base = next_base[position]
+            if successor_base is not None and successor_base <= from_seq:
+                recovery.skipped_segments.append(path)
+                continue
+            raise CorruptWALError(
+                path,
+                "non-final segment is not sealed but its records are "
+                "needed for replay",
+            )
+        if final and info.torn_bytes:
+            with open(path, "r+b") as fh:
+                fh.truncate(info.valid_bytes)
+                fh.flush()
+                os.fsync(fh.fileno())
+            fsync_directory(directory)
+            recovery.truncated_bytes = info.torn_bytes
+            recovery.truncated_path = path
+        for record in info.records:
+            if record.seq > last_seq:
+                last_seq = record.seq
+            if record.seq < from_seq:
+                continue
+            expected = (
+                from_seq if not recovery.records
+                else recovery.records[-1].seq + 1
+            )
+            if record.seq != expected:
+                raise CorruptWALError(
+                    path,
+                    f"sequence gap: expected {expected}, found {record.seq}",
+                )
+            recovery.records.append(record)
+    recovery.last_seq = max(last_seq, from_seq - 1)
+    return recovery
+
+
+# ----------------------------------------------------------------------
+# writing
+# ----------------------------------------------------------------------
+class WalWriter:
+    """Appends acknowledged-durable records to a segmented WAL.
+
+    Run :func:`recover_wal` on the directory first; hand its
+    ``last_seq`` in so sequence numbering continues where the log left
+    off. The writer reopens the newest unsealed segment for append (the
+    recovery scan has already truncated any torn tail) or starts a new
+    one.
+
+    ``fsync=False`` trades the durability guarantee for speed — only
+    for tests and benchmarks; the service default keeps it on, and
+    :meth:`append` does not return (= the events are not *acked*) until
+    the batch is flushed and fsynced.
+    """
+
+    def __init__(
+        self,
+        directory: PathLike,
+        *,
+        last_seq: int = 0,
+        segment_max_bytes: int = 1 << 20,
+        fsync: bool = True,
+    ) -> None:
+        if segment_max_bytes < 1024:
+            raise ValueError("segment_max_bytes must be >= 1024")
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.segment_max_bytes = segment_max_bytes
+        self.fsync = fsync
+        self._last_seq = int(last_seq)
+        self._fh: Optional[IO[bytes]] = None
+        self._crc = 0                # running CRC of the active segment
+        self._bytes = 0              # bytes written to the active segment
+        self._index = 0              # active segment index
+        self._base_seq = self._last_seq + 1
+        self.rotations = 0
+        self._closed = False
+        self._open_active()
+
+    # ------------------------------------------------------------------
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the most recently appended record."""
+        return self._last_seq
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next appended record will get."""
+        return self._last_seq + 1
+
+    @property
+    def active_segment(self) -> str:
+        """Path of the segment currently being appended to."""
+        return segment_path(self.directory, self._index)
+
+    def segment_count(self) -> int:
+        """Number of segment files currently on disk."""
+        return len(list_segments(self.directory))
+
+    # ------------------------------------------------------------------
+    def _open_active(self) -> None:
+        segments = list_segments(self.directory)
+        if segments:
+            index, path = segments[-1]
+            info = read_segment(path)
+            if not info.sealed and info.torn_bytes == 0 \
+                    and info.size < self.segment_max_bytes:
+                # Resume the unsealed tail segment.
+                self._index = index
+                with open(path, "rb") as fh:
+                    self._crc = zlib.crc32(fh.read())
+                self._bytes = info.size
+                self._base_seq = info.base_seq
+                self._fh = open(path, "ab")
+                return
+            if not info.sealed:
+                # Full (or still-torn) unsealed segment: seal it so the
+                # next recovery verifies it end to end.
+                if info.torn_bytes:
+                    raise CorruptWALError(
+                        path,
+                        "torn tail present; run recover_wal() before "
+                        "opening a writer",
+                    )
+                self._seal_file(path)
+            self._index = index + 1
+        else:
+            self._index = 1
+        self._create_segment()
+
+    def _create_segment(self) -> None:
+        self._base_seq = self._last_seq + 1
+        path = segment_path(self.directory, self._index)
+        header = _encode_header(self._base_seq)
+        fh = open(path, "wb")
+        fh.write(header)
+        fh.flush()
+        if self.fsync:
+            os.fsync(fh.fileno())
+        fsync_directory(self.directory)
+        self._fh = fh
+        self._crc = zlib.crc32(header)
+        self._bytes = len(header)
+
+    def _seal_file(self, path: str) -> None:
+        """Append a footer to a closed segment file (used on resume)."""
+        with open(path, "r+b") as fh:
+            data = fh.read()
+            fh.write(_CRC.pack(zlib.crc32(data)))
+            fh.write(SEGMENT_FOOTER_MAGIC)
+            fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
+        fsync_directory(self.directory)
+
+    # ------------------------------------------------------------------
+    def append(
+        self, events: Sequence[Tuple[str, int, int]]
+    ) -> Tuple[int, int]:
+        """Durably append a batch; returns ``(first_seq, last_seq)``.
+
+        The whole batch is written in one OS write and fsynced once —
+        the fsync-per-batch amortization that makes per-event durability
+        affordable. When this method returns, every event in the batch
+        is acknowledged-durable.
+        """
+        if self._closed:
+            raise RuntimeError("WalWriter is closed")
+        if not events:
+            return (self._last_seq + 1, self._last_seq)
+        first = self._last_seq + 1
+        chunk = bytearray()
+        seq = self._last_seq
+        for op, u, v in events:
+            seq += 1
+            chunk += _encode_record(seq, op, int(u), int(v))
+        assert self._fh is not None
+        self._fh.write(chunk)
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+        self._crc = zlib.crc32(chunk, self._crc)
+        self._bytes += len(chunk)
+        self._last_seq = seq
+        if self._bytes >= self.segment_max_bytes:
+            self.rotate()
+        return (first, seq)
+
+    def rotate(self) -> str:
+        """Seal the active segment and start the next one.
+
+        Ordering is what makes recovery's classification sound: footer
+        write + fsync first, *then* the new segment's header — a crash
+        anywhere in between leaves either a sealed final segment or a
+        sealed segment plus an empty-headered successor.
+        """
+        if self._closed:
+            raise RuntimeError("WalWriter is closed")
+        assert self._fh is not None
+        sealed = self.active_segment
+        self._fh.write(_CRC.pack(self._crc))
+        self._fh.write(SEGMENT_FOOTER_MAGIC)
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+        self._fh.close()
+        fsync_directory(self.directory)
+        self._index += 1
+        self._create_segment()
+        self.rotations += 1
+        return sealed
+
+    def prune_through(self, seq: int) -> List[str]:
+        """Delete sealed segments whose records are all ``<= seq``.
+
+        Called after a snapshot checkpoint lands: replay will never need
+        records the checkpoint covers. The active segment is never
+        deleted. Returns the removed paths.
+        """
+        removed: List[str] = []
+        segments = list_segments(self.directory)
+        for position, (index, path) in enumerate(segments):
+            if index == self._index or position + 1 >= len(segments):
+                break
+            # A segment's coverage ends where its successor begins, so
+            # it is prunable iff successor_base - 1 <= seq.
+            next_path = segments[position + 1][1]
+            with open(next_path, "rb") as fh:
+                head = fh.read(32)
+            base, _ = _parse_header(head, next_path)
+            if base - 1 > seq:
+                break
+            os.unlink(path)
+            removed.append(path)
+        if removed:
+            fsync_directory(self.directory)
+        return removed
+
+    # ------------------------------------------------------------------
+    def close(self, seal: bool = True) -> None:
+        """Flush, optionally seal the active segment, and close.
+
+        Sealing on clean shutdown upgrades the final segment to the
+        fully-verified class on the next recovery.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._fh is None:
+            return
+        if seal:
+            self._fh.write(_CRC.pack(self._crc))
+            self._fh.write(SEGMENT_FOOTER_MAGIC)
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+        self._fh.close()
+        self._fh = None
+        fsync_directory(self.directory)
+
+    def __enter__(self) -> "WalWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def iter_wal(
+    directory: PathLike, from_seq: int = 1
+) -> Iterator[WalRecord]:
+    """Read-only iteration over surviving records (no tail repair)."""
+    for _, path in list_segments(directory):
+        info = read_segment(path)
+        for record in info.records:
+            if record.seq >= from_seq:
+                yield record

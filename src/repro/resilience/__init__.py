@@ -31,6 +31,7 @@ from .faults import (
     WorkerFaultError,
     flip_bit,
     partial_write,
+    torn_tail,
     truncate_file,
 )
 from .resumable import (
@@ -70,6 +71,7 @@ __all__ = [
     "flip_bit",
     "truncate_file",
     "partial_write",
+    "torn_tail",
     # errors + safe I/O
     "CheckpointError",
     "CorruptCheckpointError",

@@ -41,6 +41,7 @@ __all__ = [
     "flip_bit",
     "truncate_file",
     "partial_write",
+    "torn_tail",
     "CRASH_EXIT_CODE",
 ]
 
@@ -335,6 +336,61 @@ def partial_write(path: PathLike, data: bytes,
     with open(os.fspath(path), "wb") as fh:
         fh.write(data[:count])
     return count
+
+
+def torn_tail(path: PathLike, keep_records: int,
+              torn_bytes: int = 3) -> int:
+    """Tear a WAL segment mid-record; returns the resulting file size.
+
+    Keeps the header plus the first ``keep_records`` intact records, then
+    appends ``torn_bytes`` bytes of the *next* record's frame (or, when no
+    record follows, a garbage partial frame) — exactly what a crash
+    between ``write()`` and ``fsync()`` leaves behind. Any sealed footer
+    is removed in the process, so the segment reads as active-and-torn.
+    Complements :func:`flip_bit` / :func:`truncate_file`: those damage
+    *acknowledged* bytes (recovery must refuse), while a torn tail is
+    the one damage class recovery repairs silently (the bytes were never
+    acknowledged).
+    """
+    if keep_records < 0:
+        raise ValueError("keep_records must be non-negative")
+    if torn_bytes < 1:
+        raise ValueError("torn_bytes must be positive")
+    # Imported lazily: resilience is a lower layer than ingest, and this
+    # helper is the one place the dependency points upward.
+    from ..ingest import wal as wal_mod
+
+    path = os.fspath(path)
+    info = wal_mod.read_segment(path)
+    if keep_records > len(info.records):
+        raise ValueError(
+            f"{path}: segment has {len(info.records)} records, "
+            f"cannot keep {keep_records}"
+        )
+    with open(path, "rb") as fh:
+        data = fh.read()
+    # Re-walk the frames to find the byte offset after `keep_records`.
+    offset = len(data)
+    end = len(data) - (wal_mod.FOOTER_BYTES if info.sealed else 0)
+    pos = wal_mod.header_end(data, path)
+    for count in range(len(info.records) + 1):
+        if count == keep_records:
+            offset = pos
+            break
+        length = wal_mod.frame_length(data, pos)
+        pos += length
+    if offset + torn_bytes <= end:
+        # Keep a partial prefix of the next frame: a genuine mid-record
+        # tear whose CRC cannot match.
+        tail = data[offset:offset + torn_bytes]
+    else:
+        tail = b"\xff" * torn_bytes
+    with open(path, "wb") as fh:
+        fh.write(data[:offset])
+        fh.write(tail)
+        fh.flush()
+        os.fsync(fh.fileno())
+    return offset + torn_bytes
 
 
 def checksum_bytes(data: bytes) -> int:

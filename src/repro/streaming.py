@@ -256,6 +256,10 @@ def write_stream(events: Iterable[Event], path: PathLike) -> None:
             if op not in ("+", "-"):
                 raise ValueError(f"unknown stream op {op!r}")
             fh.write(f"{op} {int(u)} {int(v)}\n")
+        # Explicit flush before atomic_write's close/fsync/rename: the
+        # temp file holds every line before it can possibly be renamed
+        # into place, even if a buggy wrapper stream swallows close().
+        fh.flush()
 
 
 def read_stream(path: PathLike) -> Iterator[Event]:

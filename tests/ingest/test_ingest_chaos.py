@@ -1,0 +1,247 @@
+"""Ingest chaos gate: SIGKILL the ingester, damage the WAL, lose nothing.
+
+The acceptance bar from ROADMAP item 2 / ISSUE 7: across >= 3
+SIGKILL-and-recover cycles under a mixed insert/delete stream — plus a
+torn WAL tail and a corrupt sealed segment injected between cycles — no
+acknowledged event is lost and the recovered ingester's final summary is
+query-equivalent to a clean one-pass replay of the same stream.
+
+The ingester runs as a real subprocess (``python -m repro ingest``) so a
+SIGKILL is a genuine crash: no ``finally`` blocks, no flusher threads,
+nothing but what fsync already put on disk. The ``--ack-log`` file
+(fsynced per batch, strictly after the WAL fsync) is the evidence: any
+sequence number in it was acknowledged, so recovery must preserve it.
+
+Run with ``-m chaos`` (the ``ingest-chaos`` CI job does).
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.reconstruct import reconstruct
+from repro.graph.io import read_summary
+from repro.ingest import list_segments, read_segment
+from repro.resilience import CheckpointManager, flip_bit, torn_tail
+from repro.streaming import DynamicSummarizer, write_stream
+
+pytestmark = pytest.mark.chaos
+
+NUM_NODES = 60
+SNAPSHOT_EVERY = 400
+SEGMENT_BYTES = 1024
+KILL_MARKS = (300, 900, 1500)          # cumulative acked-event counts
+RESUME_RE = re.compile(r"resuming at seq (\d+)")
+
+
+def make_stream(count=4000, seed=11):
+    rng = np.random.default_rng(seed)
+    events = []
+    live = set()
+    for _ in range(count):
+        u, v = int(rng.integers(NUM_NODES)), int(rng.integers(NUM_NODES))
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key in live and rng.random() < 0.3:
+            events.append(("-", u, v))
+            live.discard(key)
+        else:
+            events.append(("+", u, v))
+            live.add(key)
+    return events
+
+
+class IngesterHarness:
+    """Drive the CLI ingester subprocess against one WAL directory."""
+
+    def __init__(self, tmp_path, events):
+        self.stream = str(tmp_path / "updates.stream")
+        write_stream(events, self.stream)
+        self.wal_dir = str(tmp_path / "wal")
+        self.ack_log = str(tmp_path / "acks.log")
+        self.out = str(tmp_path / "final.summary")
+        self.env = dict(os.environ)
+        self.env["PYTHONPATH"] = (
+            "src" + os.pathsep + self.env.get("PYTHONPATH", "")
+        ).rstrip(os.pathsep)
+        # The recovery banner must reach the pipe before the SIGKILL.
+        self.env["PYTHONUNBUFFERED"] = "1"
+
+    def argv(self):
+        return [
+            sys.executable, "-m", "repro", "ingest", self.stream,
+            "--wal-dir", self.wal_dir,
+            "--num-nodes", str(NUM_NODES),
+            "--snapshot-every", str(SNAPSHOT_EVERY),
+            "--segment-bytes", str(SEGMENT_BYTES),
+            "--ack-log", self.ack_log,
+            "--output", self.out,
+        ]
+
+    def acked(self):
+        """Fully-written acked seqs (a torn final line is not evidence)."""
+        if not os.path.exists(self.ack_log):
+            return []
+        with open(self.ack_log, "rb") as fh:
+            data = fh.read()
+        lines = data.split(b"\n")
+        if lines and lines[-1] != b"":
+            lines = lines[:-1]      # torn tail from the kill
+        return [int(line) for line in lines if line]
+
+    def run_until_killed(self, ack_mark, timeout=120.0):
+        """Start the ingester, SIGKILL it once ``ack_mark`` acks exist.
+
+        Returns ``(stdout_so_far, acked_seqs_at_kill)``.
+        """
+        proc = subprocess.Popen(
+            self.argv(), env=self.env,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        )
+        deadline = time.time() + timeout
+        try:
+            while time.time() < deadline:
+                if proc.poll() is not None:
+                    out, err = proc.communicate()
+                    raise AssertionError(
+                        f"ingester finished before the kill mark "
+                        f"{ack_mark} (rc={proc.returncode}):\n"
+                        f"{out.decode()}\n{err.decode()}"
+                    )
+                if len(self.acked()) >= ack_mark:
+                    break
+                time.sleep(0.002)
+            else:
+                proc.kill()
+                proc.communicate()
+                raise AssertionError(
+                    f"never reached ack mark {ack_mark} in {timeout}s"
+                )
+            os.kill(proc.pid, signal.SIGKILL)
+        except Exception:
+            proc.kill()
+            raise
+        out, _ = proc.communicate(timeout=30)
+        assert proc.returncode != 0      # it really was killed
+        return out.decode(), self.acked()
+
+    def run_to_completion(self, timeout=180.0, expect_rc=0):
+        result = subprocess.run(
+            self.argv(), env=self.env, capture_output=True, text=True,
+            timeout=timeout,
+        )
+        assert result.returncode == expect_rc, (
+            f"rc={result.returncode}\n{result.stdout}\n{result.stderr}"
+        )
+        return result
+
+    def resume_seq(self, stdout):
+        match = RESUME_RE.search(stdout)
+        assert match, f"no recovery line in:\n{stdout}"
+        return int(match.group(1))
+
+    # -- fault injection ------------------------------------------------
+    def tear_active_tail(self, max_acked):
+        """Tear the unsealed tail, never cutting below an acked record.
+
+        When the active segment holds durable-but-unacknowledged
+        records, destroy them; otherwise the tear is the half-written
+        *next* record -- garbage bytes after the last complete frame,
+        exactly what a kill mid-``write`` leaves behind.
+        """
+        segments = list_segments(self.wal_dir)
+        assert segments
+        path = segments[-1][1]
+        info = read_segment(path)
+        if info.sealed:
+            return False
+        acked_here = max(0, max_acked - info.base_seq + 1)
+        torn_tail(path, keep_records=min(len(info.records), acked_here))
+        return True
+
+    def corrupt_needed_segment(self):
+        """Bit-flip a sealed segment recovery must replay.
+
+        Returns an undo callable, or None when every sealed segment is
+        already covered by the newest checkpoint (retry after the next
+        kill in that case).
+        """
+        manager = CheckpointManager(os.path.join(self.wal_dir,
+                                                 "checkpoints"))
+        entries = manager.entries()
+        from_seq = (entries[-1].iteration + 1) if entries else 1
+        for _, path in reversed(list_segments(self.wal_dir)):
+            info = read_segment(path)
+            if info.sealed and info.records and info.last_seq >= from_seq:
+                offset = flip_bit(path)
+                return lambda: flip_bit(path, byte_offset=offset)
+        return None
+
+
+def test_ingest_chaos_gate(tmp_path):
+    events = make_stream()
+    harness = IngesterHarness(tmp_path, events)
+
+    torn_done = corrupt_done = False
+    prev_max_acked = 0
+    for cycle, mark in enumerate(KILL_MARKS):
+        stdout, acked = harness.run_until_killed(mark)
+        if cycle > 0:
+            # Zero acknowledged-event loss: every restart resumes at or
+            # past every sequence number acknowledged before the kill.
+            resume = harness.resume_seq(stdout)
+            assert resume - 1 >= prev_max_acked, (
+                f"cycle {cycle}: acked through {prev_max_acked} but "
+                f"recovery resumed at {resume}"
+            )
+        assert acked == sorted(set(acked)), "ack log must be monotonic"
+        prev_max_acked = max(acked)
+
+        if not torn_done:
+            # Crash damage class 1: a torn tail (bytes that never
+            # finished their fsync). Recovery repairs it silently.
+            torn_done = harness.tear_active_tail(prev_max_acked)
+        elif not corrupt_done:
+            # Crash damage class 2: bit rot inside a sealed segment
+            # that replay needs. Recovery must refuse loudly --
+            # acknowledged data is never silently dropped -- and
+            # proceed once the damage is repaired.
+            undo = harness.corrupt_needed_segment()
+            if undo is not None:
+                failed = harness.run_to_completion(expect_rc=1)
+                assert "error:" in failed.stderr
+                assert "wal-" in failed.stderr
+                undo()
+                corrupt_done = True
+
+    assert torn_done, "torn-tail fault never applied across kills"
+    assert corrupt_done, "corrupt-segment fault never applied across kills"
+
+    final = harness.run_to_completion()
+    assert harness.resume_seq(final.stdout) - 1 >= prev_max_acked
+    assert "final:" in final.stdout
+
+    # Every event eventually got a durable acknowledgement.
+    acked = harness.acked()
+    assert acked == sorted(set(acked))
+    assert max(acked) == len(events)
+
+    # Final-summary equivalence to a clean single-pass replay: both are
+    # lossless summaries of the identical final graph, so full
+    # reconstruction must match and every neighbor query agrees.
+    clean = DynamicSummarizer(num_nodes=NUM_NODES, seed=0)
+    clean.apply(events)
+    summary = read_summary(harness.out)
+    rebuilt = reconstruct(summary)
+    assert rebuilt == clean.current_graph()
+    compiled = clean.snapshot_compiled()
+    for node in range(NUM_NODES):
+        assert sorted(rebuilt.neighbors(node)) == \
+            sorted(compiled.neighbors(node))

@@ -1,0 +1,363 @@
+"""IngestService: acks, backpressure, recovery, snapshots, swaps."""
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError, IngestOverloadError
+from repro.ingest import (
+    INGEST_PAYLOAD_KIND,
+    IngestService,
+    list_segments,
+    recover_wal,
+)
+from repro.resilience import CheckpointManager, flip_bit, torn_tail
+from repro.serve.cluster import SummaryCluster
+from repro.streaming import DynamicSummarizer
+
+
+def sample_events(num_nodes=24, count=200, seed=7):
+    rng = np.random.default_rng(seed)
+    events = []
+    live = set()
+    for _ in range(count):
+        u, v = int(rng.integers(num_nodes)), int(rng.integers(num_nodes))
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key in live and rng.random() < 0.3:
+            events.append(("-", u, v))
+            live.discard(key)
+        else:
+            events.append(("+", u, v))
+            live.add(key)
+    return events
+
+
+def open_service(tmp_path, **kwargs):
+    kwargs.setdefault("num_nodes", 24)
+    kwargs.setdefault("fsync", False)
+    return IngestService.open(tmp_path / "wal", **kwargs)
+
+
+def run_events(service, events, timeout=10.0):
+    acks = service.submit_many(events)
+    assert service.drain(timeout)
+    return [ack.wait(timeout) for ack in acks]
+
+
+class TestAcks:
+    def test_acks_carry_contiguous_seqs(self, tmp_path):
+        service, report = open_service(tmp_path)
+        assert report.last_seq == 0
+        events = sample_events(count=50)
+        with service:
+            seqs = run_events(service, events)
+        assert seqs == list(range(1, len(events) + 1))
+        assert service.applied_seq == len(events)
+
+    def test_acked_events_are_on_disk(self, tmp_path):
+        service, _ = open_service(tmp_path)
+        events = sample_events(count=30)
+        with service:
+            run_events(service, events)
+        recovered = recover_wal(tmp_path / "wal")
+        assert recovered.events() == events
+
+    def test_on_ack_hook_sees_every_batch(self, tmp_path):
+        seen = []
+        service, _ = open_service(
+            tmp_path, on_ack=lambda first, last: seen.append((first, last))
+        )
+        with service:
+            run_events(service, sample_events(count=40))
+        covered = [s for first, last in seen
+                   for s in range(first, last + 1)]
+        assert covered == sorted(set(covered))
+        assert covered[0] == 1 and covered[-1] == service.applied_seq
+
+    def test_submit_rejects_bad_op(self, tmp_path):
+        service, _ = open_service(tmp_path)
+        with service:
+            with pytest.raises(ValueError, match="unknown stream op"):
+                service.submit("x", 0, 1)
+
+    def test_submit_before_start_rejected(self, tmp_path):
+        service, _ = open_service(tmp_path)
+        with pytest.raises(RuntimeError, match="not accepting"):
+            service.submit("+", 0, 1)
+        service.stop()
+
+    def test_submit_after_stop_rejected(self, tmp_path):
+        service, _ = open_service(tmp_path)
+        with service:
+            pass
+        with pytest.raises(RuntimeError, match="not accepting"):
+            service.submit("+", 0, 1)
+
+
+class TestBackpressure:
+    def test_nonblocking_submit_raises_when_full(self, tmp_path):
+        service, _ = open_service(tmp_path, queue_max=4)
+        # Not started: nothing drains the queue.
+        service._accepting = True
+        for i in range(4):
+            service.submit("+", i, i + 1, block=False)
+        with pytest.raises(IngestOverloadError, match="backpressure"):
+            service.submit("+", 9, 10, block=False)
+        assert service.metrics.counter("ingest_rejected_total") == 1
+        # The rejected event does not count as submitted: drain of the
+        # accepted 4 must not wait for a 5th.
+        service._accepting = False
+        service.start()
+        assert service.drain(10)
+        service.stop()
+        assert service.applied_seq == 4
+
+    def test_blocking_submit_waits_out_pressure(self, tmp_path):
+        service, _ = open_service(tmp_path, queue_max=2, batch_max=2)
+        with service:
+            seqs = run_events(service, sample_events(count=60))
+        assert len(seqs) == len(sample_events(count=60))
+
+
+class TestRecovery:
+    def test_wal_only_recovery_matches_clean_replay(self, tmp_path):
+        events = sample_events(count=120)
+        service, _ = open_service(tmp_path)
+        with service:
+            run_events(service, events)
+        # No snapshot_every: stop() wrote one final checkpoint; delete
+        # it to force a pure WAL replay.
+        for entry in service.checkpoints.entries():
+            os.unlink(os.path.join(service.checkpoints.directory,
+                                   entry.file))
+        reopened, report = open_service(tmp_path)
+        assert report.checkpoint_seq == 0
+        assert report.replayed == len(events)
+        clean = DynamicSummarizer(num_nodes=24, seed=0)
+        clean.apply(events)
+        # Pure replay from seq 1 is the clean run, bit for bit.
+        assert reopened.summarizer.state_dict() == clean.state_dict()
+        reopened.stop()
+
+    def test_checkpoint_plus_replay_is_query_equivalent(self, tmp_path):
+        events = sample_events(count=150)
+        service, _ = open_service(tmp_path, snapshot_every=40)
+        with service:
+            run_events(service, events)
+        reopened, report = open_service(tmp_path)
+        assert report.checkpoint_seq > 0
+        clean = DynamicSummarizer(num_nodes=24, seed=0)
+        clean.apply(events)
+        ga, gb = reopened.summarizer.current_graph(), clean.current_graph()
+        assert ga == gb
+        ia = reopened.summarizer.snapshot_compiled()
+        ib = clean.snapshot_compiled()
+        assert all(
+            sorted(ia.neighbors(v)) == sorted(ib.neighbors(v))
+            for v in range(24)
+        )
+        reopened.stop()
+
+    def test_resume_continues_sequence(self, tmp_path):
+        service, _ = open_service(tmp_path)
+        with service:
+            run_events(service, sample_events(count=30))
+        reopened, report = open_service(tmp_path)
+        with reopened:
+            ack = reopened.submit("+", 0, 1)
+            assert ack.wait(10) == report.last_seq + 1
+
+    def test_recovery_replays_after_torn_tail(self, tmp_path):
+        events = sample_events(count=60)
+        service, _ = open_service(tmp_path)
+        with service:
+            run_events(service, events)
+        # Un-seal and tear the final segment mid-record, as a crash
+        # between write() and fsync() would.
+        wal_dir = tmp_path / "wal"
+        segments = list_segments(wal_dir)
+        torn_tail(segments[-1][1], keep_records=40)
+        for entry in service.checkpoints.entries():
+            os.unlink(os.path.join(service.checkpoints.directory,
+                                   entry.file))
+        reopened, report = open_service(tmp_path)
+        assert report.replayed == 40
+        assert report.wal.truncated_bytes > 0
+        clean = DynamicSummarizer(num_nodes=24, seed=0)
+        clean.apply(events[:40])
+        assert reopened.summarizer.state_dict() == clean.state_dict()
+        reopened.stop()
+
+    def test_recovery_rejects_foreign_checkpoint(self, tmp_path):
+        manager = CheckpointManager(tmp_path / "wal" / "checkpoints")
+        manager.save(3, {"kind": "something-else", "seq": 3})
+        with pytest.raises(CheckpointError, match=INGEST_PAYLOAD_KIND):
+            open_service(tmp_path)
+
+    def test_recovery_raises_on_corrupt_needed_segment(self, tmp_path):
+        service, _ = open_service(tmp_path, segment_max_bytes=1024,
+                                  batch_max=20)
+        service.start()
+        run_events(service, sample_events(count=400))
+        # No checkpoint: recovery must replay the whole WAL, so every
+        # sealed segment is load-bearing.
+        service.stop(snapshot=False)
+        segments = list_segments(tmp_path / "wal")
+        assert len(segments) >= 2
+        from repro.errors import CorruptWALError
+
+        flip_bit(segments[0][1])
+        with pytest.raises(CorruptWALError):
+            open_service(tmp_path)
+
+
+class TestSnapshots:
+    def test_snapshot_cadence_prunes_wal(self, tmp_path):
+        service, _ = open_service(
+            tmp_path, snapshot_every=50, segment_max_bytes=1024,
+            batch_max=20,
+        )
+        with service:
+            run_events(service, sample_events(count=500))
+        assert service.metrics.counter("ingest_snapshots_total") >= 2
+        # Pruning keeps the WAL from growing without bound: segments
+        # fully below the *oldest retained* checkpoint are gone, while
+        # everything at or above it still replays cleanly.
+        oldest = service.checkpoints.entries()[0].iteration
+        surviving = recover_wal(tmp_path / "wal", from_seq=oldest + 1)
+        if surviving.records:
+            assert surviving.records[0].seq == oldest + 1
+        segments = list_segments(tmp_path / "wal")
+        from repro.ingest import read_segment
+
+        assert len(segments) < 10   # pruned, not the full history
+        first_kept = read_segment(segments[0][1])
+        if first_kept.records:
+            # Nothing older than one segment-width before the oldest
+            # checkpoint survives.
+            successor = read_segment(segments[1][1]) \
+                if len(segments) > 1 else None
+            if successor is not None:
+                assert successor.base_seq - 1 > oldest or \
+                    segments[0][0] == segments[-1][0]
+
+    def test_recovery_survives_newest_checkpoint_corruption(self, tmp_path):
+        # The reason pruning stops at the *oldest* checkpoint: if the
+        # newest one rots, load_latest falls back to an older one, whose
+        # WAL suffix must still exist.
+        events = sample_events(count=300)
+        service, _ = open_service(tmp_path, snapshot_every=60,
+                                  batch_max=20)
+        with service:
+            run_events(service, events)
+        entries = service.checkpoints.entries()
+        assert len(entries) >= 2
+        newest = os.path.join(service.checkpoints.directory,
+                              entries[-1].file)
+        flip_bit(newest)
+        reopened, report = open_service(tmp_path)
+        assert report.skipped_checkpoints == [entries[-1].file]
+        assert report.checkpoint_seq == entries[-2].iteration
+        clean = DynamicSummarizer(num_nodes=24, seed=0)
+        clean.apply(events)
+        assert reopened.summarizer.current_graph() == clean.current_graph()
+        reopened.stop()
+
+    def test_stop_writes_final_checkpoint(self, tmp_path):
+        service, _ = open_service(tmp_path)
+        with service:
+            run_events(service, sample_events(count=30))
+        entries = service.checkpoints.entries()
+        assert entries and entries[-1].iteration == service.applied_seq
+        loaded = service.checkpoints.load_latest()
+        assert loaded.payload["kind"] == INGEST_PAYLOAD_KIND
+        assert loaded.payload["seq"] == service.applied_seq
+
+    def test_snapshot_now_requires_stopped_pipeline(self, tmp_path):
+        service, _ = open_service(tmp_path)
+        service.start()
+        with pytest.raises(RuntimeError, match="running"):
+            service.snapshot_now()
+        service.stop()
+
+
+class TestClusterSwap:
+    def test_snapshots_roll_into_cluster(self, tmp_path):
+        events = sample_events(count=160)
+        service, _ = open_service(tmp_path)
+        cluster = SummaryCluster(
+            service.summarizer.snapshot(), replicas=2
+        )
+        cluster.start()
+        try:
+            service.cluster = cluster
+            service.snapshot_every = 50
+            with service:
+                run_events(service, events)
+                assert service.drain(10)
+            assert service.swap_reports
+            assert all(r.ok for r in service.swap_reports)
+            assert service.metrics.counter("ingest_swaps_total") >= 1
+            # Replicas now answer from the final snapshot, zero restarts.
+            client = cluster.client()
+            try:
+                clean = DynamicSummarizer(num_nodes=24, seed=0)
+                clean.apply(events)
+                graph = clean.current_graph()
+                for node in range(0, 24, 5):
+                    assert sorted(client.neighbors(node)) == \
+                        sorted(graph.neighbors(node))
+            finally:
+                client.shutdown()
+        finally:
+            cluster.stop()
+
+
+class TestMetricsAndStatus:
+    def test_prometheus_rows_present(self, tmp_path):
+        service, _ = open_service(tmp_path, snapshot_every=30)
+        with service:
+            run_events(service, sample_events(count=80))
+        text = service.prometheus()
+        for name in (
+            "repro_ingest_applied_total",
+            "repro_ingest_acked_total",
+            "repro_ingest_snapshots_total",
+            "repro_ingest_lag_events",
+            "repro_ingest_last_seq",
+            "repro_wal_segments_active",
+        ):
+            assert any(line.startswith(name + " ") for line
+                       in text.splitlines()), name
+
+    def test_status_shape(self, tmp_path):
+        service, _ = open_service(tmp_path)
+        with service:
+            run_events(service, sample_events(count=20))
+        status = service.status()
+        assert status["stopped"] and not status["accepting"]
+        assert status["applied_seq"] == status["wal_last_seq"]
+        assert status["error"] is None
+
+    def test_pipeline_failure_fails_acks_and_submit(self, tmp_path):
+        service, _ = open_service(tmp_path)
+        service.start()
+        # Sabotage the WAL under the pipeline.
+        service.wal.close(seal=False)
+        ack = service.submit("+", 0, 1)
+        with pytest.raises(RuntimeError, match="closed"):
+            ack.wait(10)
+        # Subsequent submits surface the pipeline failure eagerly.
+        deadline = threading.Event()
+        for _ in range(50):
+            try:
+                service.submit("+", 1, 2)
+            except RuntimeError:
+                deadline.set()
+                break
+        assert deadline.is_set()
+        service.stop(drain=False, snapshot=False)

@@ -1,0 +1,92 @@
+"""Property: compiled stream snapshots answer like batch summaries.
+
+``DynamicSummarizer.snapshot_compiled()`` and a batch ``LDME`` run over
+the *same final graph* are both lossless, so every neighbor-style query
+must agree — the SsAG-style "utility under change" oracle that lets the
+online service stand in for the batch pipeline. Hypothesis drives small
+insert/delete streams (with duplicate inserts, re-inserts after delete,
+and deletes of absent edges) to hunt order-dependent divergence.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.ldme import LDME
+from repro.core.reconstruct import reconstruct
+from repro.graph.graph import Graph
+from repro.queries.compiled import CompiledSummaryIndex
+from repro.streaming import DynamicSummarizer
+
+NUM_NODES = 14
+
+
+@st.composite
+def event_streams(draw):
+    """A plausible edge stream: inserts with interleaved deletions."""
+    count = draw(st.integers(min_value=1, max_value=60))
+    events = []
+    live = []
+    for _ in range(count):
+        u = draw(st.integers(min_value=0, max_value=NUM_NODES - 1))
+        v = draw(st.integers(min_value=0, max_value=NUM_NODES - 1))
+        if u == v:
+            continue
+        delete = live and draw(st.booleans()) and draw(st.booleans())
+        if delete:
+            # Delete a live edge (realistic) or the drawn pair (tests
+            # deleting absent edges too).
+            if draw(st.booleans()):
+                u, v = draw(st.sampled_from(live))
+            events.append(("-", u, v))
+            key = (min(u, v), max(u, v))
+            if key in live:
+                live.remove(key)
+        else:
+            events.append(("+", u, v))
+            key = (min(u, v), max(u, v))
+            if key not in live:
+                live.append(key)
+    return events
+
+
+def final_graph(events):
+    live = set()
+    for op, u, v in events:
+        key = (min(u, v), max(u, v))
+        if op == "+":
+            live.add(key)
+        else:
+            live.discard(key)
+    return Graph.from_edges(NUM_NODES, sorted(live))
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(events=event_streams(), seed=st.integers(min_value=0, max_value=3))
+def test_compiled_snapshot_matches_batch_ldme(events, seed):
+    ds = DynamicSummarizer(num_nodes=NUM_NODES, sample_size=10, seed=seed)
+    ds.apply(events)
+    graph = final_graph(events)
+    # The stream-maintained graph is exactly the event-fold.
+    assert ds.current_graph() == graph
+
+    stream_index = ds.snapshot_compiled()
+    batch_summary = LDME(k=4, iterations=5, seed=seed).summarize(graph)
+    batch_index = CompiledSummaryIndex(batch_summary)
+
+    for v in range(NUM_NODES):
+        assert sorted(stream_index.neighbors(v)) == \
+            sorted(batch_index.neighbors(v)), f"node {v} diverges"
+        assert stream_index.degree(v) == batch_index.degree(v)
+    for u in range(NUM_NODES):
+        for v in range(u + 1, NUM_NODES):
+            assert stream_index.has_edge(u, v) == batch_index.has_edge(u, v)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(events=event_streams())
+def test_snapshot_reconstructs_final_graph(events):
+    ds = DynamicSummarizer(num_nodes=NUM_NODES, sample_size=10, seed=0)
+    ds.apply(events)
+    assert reconstruct(ds.snapshot()) == final_graph(events)

@@ -1,0 +1,141 @@
+"""Event sources: stream-file feeder resume and the TCP ack listener."""
+
+import socket
+
+import pytest
+
+from repro.ingest import (
+    IngestListener,
+    IngestService,
+    feed_stream_file,
+    send_events,
+)
+from repro.streaming import write_stream
+
+from .test_service import sample_events
+
+
+def open_service(tmp_path, **kwargs):
+    kwargs.setdefault("num_nodes", 24)
+    kwargs.setdefault("fsync", False)
+    return IngestService.open(tmp_path / "wal", **kwargs)
+
+
+class TestFeedStreamFile:
+    def test_feeds_every_event(self, tmp_path):
+        events = sample_events(count=80)
+        stream = tmp_path / "s.stream"
+        write_stream(events, stream)
+        service, _ = open_service(tmp_path)
+        with service:
+            submitted = feed_stream_file(service, stream)
+            assert service.drain(10)
+        assert submitted == len(events)
+        assert service.applied_seq == len(events)
+
+    def test_start_index_resumes_exactly(self, tmp_path):
+        events = sample_events(count=100)
+        stream = tmp_path / "s.stream"
+        write_stream(events, stream)
+        service, _ = open_service(tmp_path)
+        with service:
+            feed_stream_file(service, stream)
+            assert service.drain(10)
+        # Second pass with the recovered last_seq submits nothing new:
+        # stream index i and WAL seq i advance in lockstep.
+        reopened, report = open_service(tmp_path)
+        with reopened:
+            submitted = feed_stream_file(
+                reopened, stream, start_index=report.last_seq
+            )
+        assert submitted == 0
+        assert reopened.applied_seq == len(events)
+
+    def test_partial_run_then_resume_covers_stream_once(self, tmp_path):
+        events = sample_events(count=100)
+        stream = tmp_path / "s.stream"
+        write_stream(events, stream)
+        service, _ = open_service(tmp_path)
+        service.start()
+        for op, u, v in events[:37]:
+            service.submit(op, u, v)
+        assert service.drain(10)
+        service.stop()
+        reopened, report = open_service(tmp_path)
+        assert report.last_seq == 37
+        with reopened:
+            submitted = feed_stream_file(
+                reopened, stream, start_index=report.last_seq
+            )
+            assert reopened.drain(10)
+        assert submitted == len(events) - 37
+        assert reopened.applied_seq == len(events)
+
+    def test_negative_start_index_rejected(self, tmp_path):
+        service, _ = open_service(tmp_path)
+        with pytest.raises(ValueError, match="non-negative"):
+            feed_stream_file(service, tmp_path / "x", start_index=-1)
+        service.stop()
+
+
+class TestListener:
+    def test_ack_carries_durable_seq(self, tmp_path):
+        service, _ = open_service(tmp_path)
+        with service, IngestListener(service, port=0) as listener:
+            seqs = send_events(
+                listener.address,
+                [("+", 0, 1), ("+", 1, 2), ("-", 0, 1)],
+            )
+            assert seqs == [1, 2, 3]
+        assert service.applied_seq == 3
+
+    def test_malformed_lines_get_err_not_disconnect(self, tmp_path):
+        service, _ = open_service(tmp_path)
+        with service, IngestListener(service, port=0) as listener:
+            with socket.create_connection(listener.address, timeout=10) as s:
+                fh = s.makefile("rwb")
+                for bad in (b"bogus\n", b"+ 1\n", b"+ a b\n", b"+ -1 2\n"):
+                    fh.write(bad)
+                    fh.flush()
+                    assert fh.readline().startswith(b"err ")
+                # The connection is still usable afterwards.
+                fh.write(b"+ 5 6\n")
+                fh.flush()
+                assert fh.readline() == b"ack 1\n"
+
+    def test_ping_and_quit(self, tmp_path):
+        service, _ = open_service(tmp_path)
+        with service, IngestListener(service, port=0) as listener:
+            with socket.create_connection(listener.address, timeout=10) as s:
+                fh = s.makefile("rwb")
+                fh.write(b"ping\n")
+                fh.flush()
+                assert fh.readline() == b"pong\n"
+                fh.write(b"quit\n")
+                fh.flush()
+                assert fh.readline() == b"bye\n"
+
+    def test_stopped_service_reports_err(self, tmp_path):
+        service, _ = open_service(tmp_path)
+        service.start()
+        listener = IngestListener(service, port=0).start()
+        try:
+            service.stop()
+            with socket.create_connection(listener.address, timeout=10) as s:
+                fh = s.makefile("rwb")
+                fh.write(b"+ 0 1\n")
+                fh.flush()
+                assert fh.readline().startswith(b"err ")
+        finally:
+            listener.stop()
+
+    def test_send_events_raises_on_err(self, tmp_path):
+        service, _ = open_service(tmp_path)
+        service.start()
+        listener = IngestListener(service, port=0).start()
+        try:
+            service.stop()
+            with pytest.raises(RuntimeError, match="refused"):
+                send_events(listener.address, [("+", 0, 1)])
+        finally:
+            listener.stop()

@@ -1,0 +1,272 @@
+"""Segmented WAL: framing, rotation, recovery, and damage classification."""
+
+import os
+
+import pytest
+
+from repro.errors import CorruptWALError
+from repro.ingest.wal import (
+    FOOTER_BYTES,
+    SEGMENT_FOOTER_MAGIC,
+    WalWriter,
+    iter_wal,
+    list_segments,
+    read_segment,
+    recover_wal,
+    segment_path,
+)
+from repro.resilience import flip_bit, torn_tail
+
+
+def make_events(count, start=0):
+    return [
+        ("+" if i % 3 else "-", i + start, i + start + 1)
+        for i in range(count)
+    ]
+
+
+class TestAppendAndRead:
+    def test_append_assigns_contiguous_seqs(self, tmp_path):
+        with WalWriter(tmp_path, fsync=False) as writer:
+            first, last = writer.append(make_events(5))
+            assert (first, last) == (1, 5)
+            first, last = writer.append(make_events(3))
+            assert (first, last) == (6, 8)
+            assert writer.last_seq == 8
+
+    def test_empty_append_is_noop(self, tmp_path):
+        with WalWriter(tmp_path, fsync=False) as writer:
+            first, last = writer.append([])
+            assert first == last + 1
+            assert writer.last_seq == 0
+
+    def test_roundtrip_preserves_events(self, tmp_path):
+        events = make_events(40)
+        with WalWriter(tmp_path, fsync=False) as writer:
+            writer.append(events)
+        recovered = recover_wal(tmp_path)
+        assert recovered.events() == events
+        assert [r.seq for r in recovered.records] == list(range(1, 41))
+
+    def test_iter_wal_respects_from_seq(self, tmp_path):
+        with WalWriter(tmp_path, fsync=False) as writer:
+            writer.append(make_events(10))
+        seqs = [r.seq for r in iter_wal(tmp_path, from_seq=7)]
+        assert seqs == [7, 8, 9, 10]
+
+    def test_rejects_bad_op_and_negative_ids(self, tmp_path):
+        with WalWriter(tmp_path, fsync=False) as writer:
+            with pytest.raises(ValueError, match="unknown stream op"):
+                writer.append([("x", 0, 1)])
+            with pytest.raises(ValueError, match="negative node id"):
+                writer.append([("+", -1, 2)])
+
+
+class TestRotation:
+    def test_rotate_seals_and_advances(self, tmp_path):
+        writer = WalWriter(tmp_path, fsync=False)
+        writer.append(make_events(4))
+        sealed = writer.rotate()
+        writer.append(make_events(4, start=100))
+        writer.close(seal=False)
+        info = read_segment(sealed)
+        assert info.sealed and len(info.records) == 4
+        assert len(list_segments(tmp_path)) == 2
+        recovered = recover_wal(tmp_path)
+        assert [r.seq for r in recovered.records] == list(range(1, 9))
+
+    def test_size_threshold_triggers_rotation(self, tmp_path):
+        writer = WalWriter(tmp_path, segment_max_bytes=1024, fsync=False)
+        for _ in range(20):
+            writer.append(make_events(20))
+        writer.close(seal=False)
+        assert writer.rotations > 0
+        assert len(list_segments(tmp_path)) == writer.rotations + 1
+        recovered = recover_wal(tmp_path)
+        assert recovered.records[-1].seq == 400
+
+    def test_new_segment_base_seq_continues(self, tmp_path):
+        writer = WalWriter(tmp_path, fsync=False)
+        writer.append(make_events(6))
+        writer.rotate()
+        writer.close(seal=False)
+        info = read_segment(writer.active_segment)
+        assert info.base_seq == 7
+
+    def test_resume_unsealed_segment(self, tmp_path):
+        writer = WalWriter(tmp_path, fsync=False)
+        writer.append(make_events(5))
+        writer.close(seal=False)
+        resumed = WalWriter(tmp_path, last_seq=5, fsync=False)
+        resumed.append(make_events(5, start=50))
+        resumed.close(seal=True)
+        assert len(list_segments(tmp_path)) == 1
+        info = read_segment(segment_path(tmp_path, 1))
+        assert info.sealed and len(info.records) == 10
+
+    def test_reopen_after_clean_seal_starts_new_segment(self, tmp_path):
+        writer = WalWriter(tmp_path, fsync=False)
+        writer.append(make_events(5))
+        writer.close(seal=True)
+        resumed = WalWriter(tmp_path, last_seq=5, fsync=False)
+        assert resumed.active_segment == segment_path(tmp_path, 2)
+        resumed.close(seal=False)
+
+
+class TestTornTailRecovery:
+    def test_torn_tail_truncated_in_place(self, tmp_path):
+        writer = WalWriter(tmp_path, fsync=False)
+        writer.append(make_events(10))
+        writer.close(seal=False)
+        path = segment_path(tmp_path, 1)
+        torn_tail(path, keep_records=7)
+        recovered = recover_wal(tmp_path)
+        assert recovered.last_seq == 7
+        assert recovered.truncated_bytes > 0
+        assert recovered.truncated_path == path
+        # The file itself was repaired: a second scan is clean.
+        again = recover_wal(tmp_path)
+        assert again.truncated_bytes == 0
+        assert [r.seq for r in again.records] == list(range(1, 8))
+
+    def test_append_resumes_after_tail_repair(self, tmp_path):
+        writer = WalWriter(tmp_path, fsync=False)
+        writer.append(make_events(10))
+        writer.close(seal=False)
+        torn_tail(segment_path(tmp_path, 1), keep_records=6)
+        recovered = recover_wal(tmp_path)
+        resumed = WalWriter(tmp_path, last_seq=recovered.last_seq,
+                            fsync=False)
+        assert resumed.append(make_events(2, start=30)) == (7, 8)
+        resumed.close(seal=True)
+        final = recover_wal(tmp_path)
+        assert [r.seq for r in final.records] == list(range(1, 9))
+
+    def test_half_written_footer_treated_as_torn(self, tmp_path):
+        writer = WalWriter(tmp_path, fsync=False)
+        writer.append(make_events(5))
+        writer.close(seal=True)
+        path = segment_path(tmp_path, 1)
+        # Chop the footer mid-way: magic gone, CRC half-present.
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(size - FOOTER_BYTES + 2)
+        recovered = recover_wal(tmp_path)
+        assert [r.seq for r in recovered.records] == list(range(1, 6))
+        assert recovered.truncated_bytes == 2
+
+    def test_headerless_final_segment_discarded(self, tmp_path):
+        writer = WalWriter(tmp_path, fsync=False)
+        writer.append(make_events(5))
+        writer.rotate()
+        writer.close(seal=False)
+        # Simulate a crash right after the new segment file was created
+        # but before its header bytes landed.
+        path = segment_path(tmp_path, 2)
+        with open(path, "wb") as fh:
+            fh.write(b"WA")
+        recovered = recover_wal(tmp_path)
+        assert recovered.discarded_segments == [path]
+        assert [r.seq for r in recovered.records] == list(range(1, 6))
+        assert not os.path.exists(path)
+
+
+class TestDamageClassification:
+    def test_bit_flip_in_sealed_segment_raises(self, tmp_path):
+        writer = WalWriter(tmp_path, fsync=False)
+        writer.append(make_events(20))
+        writer.rotate()
+        writer.append(make_events(5, start=90))
+        writer.close(seal=False)
+        flip_bit(segment_path(tmp_path, 1))
+        with pytest.raises(CorruptWALError):
+            recover_wal(tmp_path)
+
+    def test_bit_flip_skipped_when_checkpoint_covers_it(self, tmp_path):
+        writer = WalWriter(tmp_path, fsync=False)
+        writer.append(make_events(20))
+        writer.rotate()
+        writer.append(make_events(5, start=90))
+        writer.close(seal=False)
+        damaged = segment_path(tmp_path, 1)
+        flip_bit(damaged)
+        # Replay starts past the damaged segment: tolerated + reported.
+        recovered = recover_wal(tmp_path, from_seq=21)
+        assert recovered.skipped_segments == [damaged]
+        assert [r.seq for r in recovered.records] == list(range(21, 26))
+
+    def test_flip_back_restores_readability(self, tmp_path):
+        writer = WalWriter(tmp_path, fsync=False)
+        writer.append(make_events(20))
+        writer.rotate()
+        writer.close(seal=False)
+        damaged = segment_path(tmp_path, 1)
+        offset = flip_bit(damaged)
+        with pytest.raises(CorruptWALError):
+            recover_wal(tmp_path)
+        flip_bit(damaged, byte_offset=offset)
+        assert recover_wal(tmp_path).last_seq == 20
+
+    def test_missing_middle_segment_raises_gap(self, tmp_path):
+        writer = WalWriter(tmp_path, segment_max_bytes=1024, fsync=False)
+        for _ in range(10):
+            writer.append(make_events(30))
+        writer.close(seal=False)
+        segments = list_segments(tmp_path)
+        assert len(segments) >= 3
+        os.unlink(segments[1][1])
+        with pytest.raises(CorruptWALError, match="sequence gap"):
+            recover_wal(tmp_path)
+
+    def test_from_seq_filters_replay(self, tmp_path):
+        with WalWriter(tmp_path, fsync=False) as writer:
+            writer.append(make_events(10))
+        recovered = recover_wal(tmp_path, from_seq=6)
+        assert [r.seq for r in recovered.records] == [6, 7, 8, 9, 10]
+        assert recovered.last_seq == 10
+
+    def test_empty_directory_recovers_empty(self, tmp_path):
+        recovered = recover_wal(tmp_path / "nowhere")
+        assert recovered.records == [] and recovered.last_seq == 0
+
+    def test_sealed_footer_magic(self, tmp_path):
+        writer = WalWriter(tmp_path, fsync=False)
+        writer.append(make_events(3))
+        writer.close(seal=True)
+        with open(segment_path(tmp_path, 1), "rb") as fh:
+            data = fh.read()
+        assert data.endswith(SEGMENT_FOOTER_MAGIC)
+
+
+class TestPruning:
+    def build(self, tmp_path, rounds=6):
+        writer = WalWriter(tmp_path, segment_max_bytes=1024, fsync=False)
+        for _ in range(rounds):
+            writer.append(make_events(30))
+        return writer
+
+    def test_prune_removes_covered_segments(self, tmp_path):
+        writer = self.build(tmp_path)
+        before = writer.segment_count()
+        removed = writer.prune_through(writer.last_seq)
+        assert removed
+        assert writer.segment_count() == before - len(removed)
+        writer.close(seal=False)
+        # Everything still needed replays cleanly from the prune point.
+        recovered = recover_wal(tmp_path, from_seq=writer.last_seq + 1)
+        assert recovered.records == []
+
+    def test_prune_keeps_uncovered_suffix(self, tmp_path):
+        writer = self.build(tmp_path)
+        writer.prune_through(40)
+        writer.close(seal=False)
+        recovered = recover_wal(tmp_path, from_seq=41)
+        assert [r.seq for r in recovered.records] == \
+            list(range(41, writer.last_seq + 1))
+
+    def test_prune_never_touches_active_segment(self, tmp_path):
+        writer = WalWriter(tmp_path, fsync=False)
+        writer.append(make_events(5))
+        assert writer.prune_through(999) == []
+        assert os.path.exists(writer.active_segment)
+        writer.close(seal=False)

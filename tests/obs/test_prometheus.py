@@ -350,3 +350,63 @@ class TestShardMetricsConformance:
             assert sample[2] >= 1
         finally:
             client.shutdown()
+
+
+class TestIngestMetricsConformance:
+    """The crash-safe ingest service's exposition: lag/segment gauges
+    plus applied/replayed counters, refreshed at scrape time."""
+
+    def run_ingest(self, tmp_path, events, **kwargs):
+        from repro.ingest import IngestService
+
+        service, report = IngestService.open(
+            tmp_path / "wal", num_nodes=16, fsync=False, **kwargs
+        )
+        with service:
+            for op, u, v in events:
+                service.submit(op, u, v)
+            assert service.drain(10)
+            text = service.prometheus()
+        return service, report, text
+
+    def test_ingest_rows_render_conformantly(self, tmp_path):
+        events = [("+", u, u + 1) for u in range(12)] + [("-", 3, 4)]
+        service, _, text = self.run_ingest(tmp_path, events)
+        types, samples = assert_conformant(text)
+        assert types["repro_ingest_lag_events"] == "gauge"
+        assert types["repro_ingest_applied_total"] == "counter"
+        assert types["repro_ingest_replayed_total"] == "counter"
+        assert types["repro_wal_segments_active"] == "gauge"
+        by_name = {n: v for n, _, v in samples}
+        assert by_name["repro_ingest_applied_total"] == len(events)
+        assert by_name["repro_ingest_replayed_total"] == 0
+        assert by_name["repro_ingest_lag_events"] == 0
+        assert by_name["repro_wal_segments_active"] >= 1
+        assert by_name["repro_ingest_last_seq"] == len(events)
+
+    def test_replayed_counter_counts_recovery(self, tmp_path):
+        from repro.ingest import IngestService
+
+        events = [("+", u, u + 1) for u in range(9)]
+        first, _ = IngestService.open(
+            tmp_path / "wal", num_nodes=16, fsync=False
+        )
+        first.start()
+        for op, u, v in events:
+            first.submit(op, u, v)
+        assert first.drain(10)
+        # No checkpoint gets written (snapshot_every=0 and the final
+        # snapshot is skipped), so reopening replays the whole WAL.
+        first.stop(snapshot=False)
+
+        service, report = IngestService.open(
+            tmp_path / "wal", num_nodes=16, fsync=False
+        )
+        try:
+            assert report.replayed == len(events)
+            _, samples = assert_conformant(service.prometheus())
+            by_name = {n: v for n, _, v in samples}
+            assert by_name["repro_ingest_replayed_total"] == len(events)
+            assert by_name["repro_ingest_last_seq"] == len(events)
+        finally:
+            service.stop(snapshot=False)

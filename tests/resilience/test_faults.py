@@ -1,5 +1,6 @@
 """Unit tests for the deterministic fault-injection primitives."""
 
+import os
 import time
 
 import pytest
@@ -10,6 +11,7 @@ from repro.resilience import (
     WorkerFaultError,
     flip_bit,
     partial_write,
+    torn_tail,
     truncate_file,
 )
 
@@ -114,3 +116,63 @@ class TestFileCorruption:
         written = partial_write(path, b"abcdefgh", write_fraction=0.5)
         assert written == 4
         assert path.read_bytes() == b"abcd"
+
+
+class TestTornTail:
+    """WAL-aware tearing: cut mid-record, exactly at a frame boundary."""
+
+    def build_segment(self, tmp_path, records=8, seal=False):
+        from repro.ingest.wal import WalWriter, segment_path
+
+        with WalWriter(tmp_path, fsync=False) as writer:
+            writer.append([("+", i, i + 1) for i in range(records)])
+            writer.close(seal=seal)
+        return segment_path(tmp_path, 1)
+
+    def test_tears_at_frame_boundary(self, tmp_path):
+        from repro.ingest.wal import read_segment
+
+        path = self.build_segment(tmp_path)
+        size = torn_tail(path, keep_records=5)
+        assert os.path.getsize(path) == size
+        info = read_segment(path)
+        assert len(info.records) == 5
+        assert info.torn_bytes > 0
+
+    def test_keep_zero_leaves_header_plus_garbage(self, tmp_path):
+        from repro.ingest.wal import read_segment
+
+        path = self.build_segment(tmp_path)
+        torn_tail(path, keep_records=0)
+        info = read_segment(path)
+        assert info.records == []
+        assert info.torn_bytes > 0
+
+    def test_keep_all_appends_partial_next_record(self, tmp_path):
+        from repro.ingest.wal import read_segment
+
+        path = self.build_segment(tmp_path, records=4)
+        before = os.path.getsize(path)
+        size = torn_tail(path, keep_records=4)
+        assert size == before + 3       # default torn_bytes
+        info = read_segment(path)
+        assert len(info.records) == 4
+        assert info.torn_bytes == 3
+
+    def test_sealed_segment_loses_its_footer(self, tmp_path):
+        from repro.ingest.wal import read_segment
+
+        path = self.build_segment(tmp_path, seal=True)
+        torn_tail(path, keep_records=2)
+        info = read_segment(path)
+        assert not info.sealed
+        assert len(info.records) == 2
+
+    def test_rejects_impossible_keeps(self, tmp_path):
+        path = self.build_segment(tmp_path, records=3)
+        with pytest.raises(ValueError, match="cannot keep"):
+            torn_tail(path, keep_records=4)
+        with pytest.raises(ValueError, match="non-negative"):
+            torn_tail(path, keep_records=-1)
+        with pytest.raises(ValueError, match="positive"):
+            torn_tail(path, keep_records=1, torn_bytes=0)

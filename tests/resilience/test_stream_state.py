@@ -1,5 +1,7 @@
 """Stream-file hardening and DynamicSummarizer checkpoint/restore."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -81,6 +83,47 @@ class TestReadStreamValidation:
             write_stream([("+", 0, 1), ("x", 2, 3)], path)
         # Previous complete recording survives the failed overwrite.
         assert list(read_stream(path)) == [("+", 0, 1)]
+
+    def test_failed_write_leaves_no_temp_debris(self, tmp_path):
+        path = tmp_path / "s.stream"
+        with pytest.raises(ValueError):
+            write_stream([("x", 0, 1)], path)
+        assert os.listdir(tmp_path) == []
+
+    def test_crash_at_rename_preserves_old_stream(self, tmp_path,
+                                                  monkeypatch):
+        path = tmp_path / "s.stream"
+        write_stream([("+", 0, 1)], path)
+
+        def crash(src, dst):
+            raise OSError("simulated crash at rename")
+
+        monkeypatch.setattr(os, "replace", crash)
+        with pytest.raises(OSError, match="simulated crash"):
+            write_stream([("+", 5, 6), ("-", 5, 6)], path)
+        monkeypatch.undo()
+        assert list(read_stream(path)) == [("+", 0, 1)]
+        assert os.listdir(tmp_path) == ["s.stream"]
+
+    def test_temp_file_complete_before_rename(self, tmp_path,
+                                              monkeypatch):
+        # The explicit flush inside write_stream means every line is on
+        # disk in the temp file by the time os.replace publishes it.
+        events = sample_events()
+        path = tmp_path / "s.stream"
+        seen = {}
+        real_replace = os.replace
+
+        def spy(src, dst):
+            with open(src) as fh:
+                seen["lines"] = fh.read().splitlines()
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", spy)
+        write_stream(events, path)
+        assert len(seen["lines"]) == len(events)
+        assert seen["lines"][-1].split() == \
+            [events[-1][0], str(events[-1][1]), str(events[-1][2])]
 
 
 class TestDynamicStateDict:

@@ -161,6 +161,52 @@ class TestStream:
             main(["stream", "whatever.stream"])
 
 
+class TestIngest:
+    def write_events(self, tmp_path, count=40):
+        from repro.streaming import write_stream
+
+        events = [("+", i % 7, (i + 1) % 7) for i in range(count)]
+        path = tmp_path / "events.stream"
+        write_stream(events, path)
+        return path, events
+
+    def ingest_args(self, tmp_path, stream, *extra):
+        return ["ingest", str(stream), "--wal-dir", str(tmp_path / "wal"),
+                "--num-nodes", "7", "--no-fsync", *extra]
+
+    def test_ingests_stream_and_writes_summary(self, tmp_path, capsys):
+        stream, events = self.write_events(tmp_path)
+        out_path = tmp_path / "final.summary"
+        code = main(self.ingest_args(tmp_path, stream, "-o", str(out_path)))
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"submitted {len(events)} event(s)" in out
+        assert f"seq {len(events)}" in out
+        from repro.graph.io import read_summary
+
+        assert read_summary(out_path).num_nodes == 7
+
+    def test_rerun_is_idempotent(self, tmp_path, capsys):
+        stream, events = self.write_events(tmp_path)
+        assert main(self.ingest_args(tmp_path, stream)) == 0
+        capsys.readouterr()
+        assert main(self.ingest_args(tmp_path, stream)) == 0
+        out = capsys.readouterr().out
+        assert "submitted 0 event(s)" in out
+        assert f"skipped {len(events)} already durable" in out
+
+    def test_requires_exactly_one_source(self, tmp_path, capsys):
+        stream, _ = self.write_events(tmp_path)
+        assert main(self.ingest_args(tmp_path, stream, "--listen", "0")) == 2
+        assert main(["ingest", "--wal-dir", str(tmp_path / "wal"),
+                     "--num-nodes", "7"]) == 2
+
+    def test_missing_stream_file_error_code(self, tmp_path, capsys):
+        code = main(self.ingest_args(tmp_path, tmp_path / "absent.stream"))
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
 class TestExperimentFormats:
     def test_csv_output(self, capsys):
         assert main(["experiment", "table1", "--format", "csv"]) == 0
