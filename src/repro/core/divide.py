@@ -26,6 +26,7 @@ from ..graph.graph import Graph
 from ..lsh.doph import doph_signatures_bulk
 from ..lsh.permutation import random_permutation
 from ..lsh.shingle import node_shingles
+from ..obs import trace as obs_trace
 from .partition import SupernodePartition
 
 __all__ = ["DivideStats", "lsh_divide", "shingle_divide"]
@@ -65,6 +66,8 @@ def lsh_divide(
     weights: str = "binary",
     weight_cap: int = 4,
     kernels: str = "numpy",
+    chunk_rows: int = 0,
+    signature_fn=None,
 ) -> Tuple[List[List[int]], DivideStats]:
     """Weighted-LSH divide (Algorithm 3), fully vectorized.
 
@@ -83,7 +86,13 @@ def lsh_divide(
     ``kernels`` picks the signature backend on the binary path:
     ``"numpy"`` (the bulk scatter kernel) or ``"python"`` (the per-node
     scalar reference loop). The groups are identical either way; the
-    expanded-weights path is always bulk.
+    expanded-weights path is always bulk. ``chunk_rows`` bounds the numpy
+    kernel's cache-blocked scatter chunks (0 = auto; bit-identical for
+    any value). ``signature_fn``, when given, replaces the in-process
+    bulk call on the binary path — the seam the multiprocess driver uses
+    to fan the scatter out across shared-memory workers; it receives
+    ``(rows, items, num_rows, perm, k, directions)`` and must return the
+    same ``(num_rows, k)`` signature matrix.
     """
     if k < 1:
         raise ValueError("k must be >= 1")
@@ -95,25 +104,35 @@ def lsh_divide(
     heads = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.indptr))
     head_supers = partition.node2super[heads]
     sids, rows = np.unique(head_supers, return_inverse=True)
-    if weights == "binary":
-        perm = random_permutation(max(1, n), rng)
-        signatures = doph_signatures_bulk(
-            rows, graph.indices, sids.size, perm, k, directions,
-            backend=kernels,
-        )
-    else:
-        from ..lsh.weighted_doph import weighted_doph_signatures_bulk
+    with obs_trace.span(
+        "signatures", key="sig", backend=kernels, weights=weights,
+    ) as sig_span:
+        if weights == "binary":
+            perm = random_permutation(max(1, n), rng)
+            if signature_fn is not None:
+                signatures = signature_fn(
+                    rows, graph.indices, int(sids.size), perm, k, directions
+                )
+            else:
+                signatures = doph_signatures_bulk(
+                    rows, graph.indices, sids.size, perm, k, directions,
+                    backend=kernels, chunk_rows=chunk_rows,
+                )
+        else:
+            from ..lsh.weighted_doph import weighted_doph_signatures_bulk
 
-        # Aggregate duplicate (supernode, neighbour) pairs into weights.
-        key = rows * np.int64(max(1, n)) + graph.indices
-        unique_key, counts = np.unique(key, return_counts=True)
-        agg_rows = unique_key // max(1, n)
-        agg_items = unique_key % max(1, n)
-        perm = random_permutation(max(1, n) * weight_cap, rng)
-        signatures = weighted_doph_signatures_bulk(
-            agg_rows, agg_items, counts, sids.size,
-            max(1, n), k, weight_cap, perm, directions,
-        )
+            # Aggregate duplicate (supernode, neighbour) pairs into weights.
+            key = rows * np.int64(max(1, n)) + graph.indices
+            unique_key, counts = np.unique(key, return_counts=True)
+            agg_rows = unique_key // max(1, n)
+            agg_items = unique_key % max(1, n)
+            perm = random_permutation(max(1, n) * weight_cap, rng)
+            signatures = weighted_doph_signatures_bulk(
+                agg_rows, agg_items, counts, sids.size,
+                max(1, n), k, weight_cap, perm, directions,
+            )
+        sig_span.set_attribute("rows", int(sids.size))
+        sig_span.set_attribute("nnz", int(graph.indices.size))
     isolated = partition.num_supernodes - int(sids.size)
     _, bucket_of = np.unique(signatures, axis=0, return_inverse=True)
     buckets: Dict[int, List[int]] = {}

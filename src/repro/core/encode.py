@@ -97,7 +97,10 @@ def _encode_pair(
 
 
 def encode_sorted(
-    graph: Graph, partition: SupernodePartition, backend: str = "python"
+    graph: Graph,
+    partition: SupernodePartition,
+    backend: str = "python",
+    partitions: int = 0,
 ) -> EncodeResult:
     """LDME's sort-based encoder (Algorithm 5).
 
@@ -107,11 +110,14 @@ def encode_sorted(
     array-native kernel (:func:`repro.kernels.encode.encode_sorted_numpy`),
     which produces element- and order-identical output without per-edge
     Python tuples; ``"python"`` (default) runs the reference scan below.
+    ``partitions`` selects the numpy kernel's partitioned-lexsort bucket
+    count (0/1 = one global sort; any value is output-identical); the
+    python reference ignores it.
     """
     if backend == "numpy":
         from ..kernels.encode import encode_sorted_numpy
 
-        return encode_sorted_numpy(graph, partition)
+        return encode_sorted_numpy(graph, partition, partitions=partitions)
     if backend != "python":
         raise ValueError("backend must be 'python' or 'numpy'")
     superedges: List[Edge] = []

@@ -148,6 +148,7 @@ def doph_signatures_bulk(
     directions: np.ndarray,
     densification: str = "rotation",
     backend: str = "numpy",
+    chunk_rows: int = 0,
 ) -> np.ndarray:
     """DOPH signatures for many binary vectors at once.
 
@@ -158,10 +159,12 @@ def doph_signatures_bulk(
     all ``EMPTY``.
 
     ``backend="numpy"`` (the production path of LDME's divide step) runs
-    one ``minimum.at`` scatter plus vectorized densification with no
-    per-supernode Python work; ``backend="python"`` loops the scalar
-    signature per row and is kept as the differential-testing reference.
-    Both live in :mod:`repro.kernels.doph` and are bit-identical.
+    a chunked cache-blocked ``minimum.at`` scatter plus vectorized
+    densification with no per-supernode Python work; ``backend="python"``
+    loops the scalar signature per row and is kept as the
+    differential-testing reference. Both live in :mod:`repro.kernels.doph`
+    and are bit-identical. ``chunk_rows`` bounds the entries scattered per
+    chunk on the numpy path (0 = auto; any value is bit-identical).
     """
     from ..kernels.doph import (
         doph_signatures_bulk_numpy,
@@ -169,15 +172,16 @@ def doph_signatures_bulk(
     )
 
     if backend == "numpy":
-        impl = doph_signatures_bulk_numpy
-    elif backend == "python":
-        impl = doph_signatures_bulk_python
-    else:
-        raise ValueError("backend must be 'python' or 'numpy'")
-    return impl(
-        row_ids, item_ids, num_rows, perm, k, directions,
-        densification=densification,
-    )
+        return doph_signatures_bulk_numpy(
+            row_ids, item_ids, num_rows, perm, k, directions,
+            densification=densification, chunk_rows=chunk_rows,
+        )
+    if backend == "python":
+        return doph_signatures_bulk_python(
+            row_ids, item_ids, num_rows, perm, k, directions,
+            densification=densification,
+        )
+    raise ValueError("backend must be 'python' or 'numpy'")
 
 
 class DOPHHasher:

@@ -60,13 +60,17 @@ def test_serial_golden(dataset_cache, case, backend):
 
 
 @pytest.mark.skipif(not fork_available, reason="fork start method required")
+@pytest.mark.parametrize("shared_memory", ["off", "on"])
 @pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("case", sorted(MULTIPROCESS_GOLDEN))
-def test_multiprocess_golden(dataset_cache, case, backend):
+def test_multiprocess_golden(dataset_cache, case, backend, shared_memory):
+    """One pin for both transports: the zero-copy shared-memory path must
+    reproduce the pickle path's summaries bit-for-bit."""
     name, k, iterations, seed = case
     graph = dataset_cache(name)
     summary = MultiprocessLDME(
-        num_workers=2, k=k, iterations=iterations, seed=seed, kernels=backend
+        num_workers=2, k=k, iterations=iterations, seed=seed,
+        kernels=backend, shared_memory=shared_memory,
     ).summarize(graph)
     assert _shape(summary) == MULTIPROCESS_GOLDEN[case]
     verify_lossless(graph, summary)

@@ -1,0 +1,211 @@
+"""Differential tests for the shared-memory-era kernels.
+
+Property-based (Hypothesis) inputs assert the three transformations this
+layer is allowed to make are all **bit-identical** rewrites:
+
+* the chunked cache-blocked DOPH scatter — any ``chunk_rows`` value
+  (1, a prime, larger than the entry list) produces the same signature
+  matrix as the one-shot scatter and the pure-Python reference;
+* partial scatters over an arbitrary partitioning of the entries,
+  min-reduced together, equal the single-pass scatter (the invariant the
+  multiprocess signature fan-out rests on);
+* the partitioned encode sort — any bucket count yields the exact
+  permutation of the global ``np.lexsort``, hence identical
+  superedge/C+/C− lists;
+* end-to-end: ``MultiprocessLDME`` summaries are identical across
+  ``shared_memory={on,off}`` × ``kernels={numpy,python}``.
+"""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.encode import encode_sorted
+from repro.distributed.multiprocess import MultiprocessLDME
+from repro.graph.graph import Graph
+from repro.kernels.doph import (
+    doph_densify,
+    doph_scatter_min,
+    doph_signatures_bulk_numpy,
+    doph_signatures_bulk_python,
+)
+from repro.kernels.encode import partitioned_lexsort
+from repro.lsh.permutation import random_permutation
+
+from .test_differential import graphs, random_partition
+
+fork_available = "fork" in multiprocessing.get_all_start_methods()
+
+
+@st.composite
+def scatter_inputs(draw, max_universe=40, max_rows=8):
+    """Random ``(row, item)`` entry lists plus the DOPH parameters."""
+    n = draw(st.integers(min_value=1, max_value=max_universe))
+    k = draw(st.integers(min_value=1, max_value=8))
+    rows = draw(st.integers(min_value=0, max_value=max_rows))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    num_items = int(rng.integers(0, 8 * rows)) if rows else 0
+    row_ids = rng.integers(0, max(1, rows), size=num_items).astype(np.int64)
+    item_ids = rng.integers(0, n, size=num_items).astype(np.int64)
+    perm = random_permutation(n, rng)
+    directions = rng.integers(0, 2, size=k).astype(np.int64)
+    return row_ids, item_ids, rows, perm, k, directions
+
+
+class TestChunkedScatterDifferential:
+    @given(scatter_inputs(), st.sampled_from([1, 3, 7, 13, 10_000]))
+    @settings(max_examples=120, deadline=None)
+    def test_any_chunking_matches_bulk(self, inputs, chunk_rows):
+        """chunk_rows of 1, a small prime, or far beyond the entry count
+        all reproduce the unchunked scatter bit-for-bit."""
+        row_ids, item_ids, rows, perm, k, directions = inputs
+        bulk = doph_signatures_bulk_numpy(
+            row_ids, item_ids, rows, perm, k, directions
+        )
+        chunked = doph_signatures_bulk_numpy(
+            row_ids, item_ids, rows, perm, k, directions,
+            chunk_rows=chunk_rows,
+        )
+        assert np.array_equal(bulk, chunked)
+
+    @given(scatter_inputs(), st.sampled_from([1, 5, 1 << 18]))
+    @settings(max_examples=60, deadline=None)
+    def test_chunked_matches_python_reference(self, inputs, chunk_rows):
+        row_ids, item_ids, rows, perm, k, directions = inputs
+        ref = doph_signatures_bulk_python(
+            row_ids, item_ids, rows, perm, k, directions
+        )
+        ker = doph_signatures_bulk_numpy(
+            row_ids, item_ids, rows, perm, k, directions,
+            chunk_rows=chunk_rows,
+        )
+        assert np.array_equal(ref, ker)
+
+    @given(scatter_inputs(), st.integers(min_value=1, max_value=5),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_partial_scatters_reduce_to_single_pass(
+        self, inputs, num_parts, split_seed
+    ):
+        """An arbitrary partitioning of the entries, scattered separately
+        and min-reduced, equals the one-pass scatter — the exactness
+        guarantee behind the multiprocess signature fan-out."""
+        row_ids, item_ids, rows, perm, k, directions = inputs
+        single = doph_scatter_min(row_ids, item_ids, rows, perm, k)
+        rng = np.random.default_rng(split_seed)
+        cuts = np.sort(rng.integers(0, item_ids.size + 1, size=num_parts - 1))
+        bounds = np.concatenate([[0], cuts, [item_ids.size]])
+        partials = np.stack([
+            doph_scatter_min(
+                row_ids[lo:hi], item_ids[lo:hi], rows, perm, k,
+                chunk_rows=int(rng.integers(1, 9)),
+            )
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+        ])
+        reduced = np.minimum.reduce(partials, axis=0)
+        assert np.array_equal(single, reduced)
+        assert np.array_equal(
+            doph_densify(reduced.copy(), rows, k, directions),
+            doph_densify(single.copy(), rows, k, directions),
+        )
+
+
+class TestPartitionedEncodeDifferential:
+    @given(
+        st.integers(min_value=0, max_value=200),   # number of keys
+        st.integers(min_value=1, max_value=60),    # key value bound
+        st.sampled_from([0, 1, 2, 3, 7, 500]),     # partition counts
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_partitioned_lexsort_exact_permutation(
+        self, size, bound, partitions, seed
+    ):
+        rng = np.random.default_rng(seed)
+        lo = rng.integers(0, bound, size=size).astype(np.int64)
+        hi = rng.integers(0, bound, size=size).astype(np.int64)
+        assert np.array_equal(
+            partitioned_lexsort(lo, hi, partitions),
+            np.lexsort((hi, lo)),
+        )
+
+    @given(graphs(), st.sampled_from([2, 3, 5, 64]),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_encode_identical_for_any_partition_count(
+        self, graph, partitions, seed
+    ):
+        partition = random_partition(graph, seed)
+        reference = encode_sorted(graph, partition, backend="python")
+        bucketed = encode_sorted(
+            graph, partition, backend="numpy", partitions=partitions
+        )
+        assert reference.superedges == bucketed.superedges
+        assert (
+            reference.corrections.additions == bucketed.corrections.additions
+        )
+        assert (
+            reference.corrections.deletions == bucketed.corrections.deletions
+        )
+
+
+@pytest.mark.skipif(not fork_available, reason="fork start method required")
+class TestSharedMemoryEndToEnd:
+    """The transport knob must never touch the output: summaries are
+    element-identical across ``shared_memory`` × ``kernels``."""
+
+    @staticmethod
+    def _summarize(graph, seed, shared_memory, kernels):
+        algo = MultiprocessLDME(
+            num_workers=2, k=4, iterations=3, seed=seed,
+            kernels=kernels, shared_memory=shared_memory,
+            batch_timeout=120.0,
+        )
+        return algo.summarize(graph)
+
+    @given(graphs(max_nodes=24, max_edges=70),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=6, deadline=None)
+    def test_summaries_identical_across_transport_and_kernels(
+        self, graph, seed
+    ):
+        baseline = self._summarize(graph, seed, "off", "numpy")
+        for shared_memory in ("on", "off"):
+            for kernels in ("numpy", "python"):
+                if (shared_memory, kernels) == ("off", "numpy"):
+                    continue
+                other = self._summarize(graph, seed, shared_memory, kernels)
+                assert baseline.superedges == other.superedges
+                assert (
+                    baseline.corrections.additions
+                    == other.corrections.additions
+                )
+                assert (
+                    baseline.corrections.deletions
+                    == other.corrections.deletions
+                )
+                assert (
+                    baseline.partition.members_map()
+                    == other.partition.members_map()
+                )
+
+    def test_signature_fanout_identical(self):
+        """Force the parallel scatter fan-out (normally gated on graph
+        size) and require identical signatures end to end."""
+        from repro.graph.generators import web_host_graph
+
+        graph = web_host_graph(num_hosts=6, host_size=10, seed=1)
+        off = self._summarize(graph, 7, "off", "numpy")
+        algo = MultiprocessLDME(
+            num_workers=2, k=4, iterations=3, seed=7,
+            kernels="numpy", shared_memory="on", batch_timeout=120.0,
+        )
+        algo.signature_fanout_min_nnz = 0
+        on = algo.summarize(graph)
+        assert off.superedges == on.superedges
+        assert off.corrections.additions == on.corrections.additions
+        assert off.corrections.deletions == on.corrections.deletions
+        assert off.partition.members_map() == on.partition.members_map()

@@ -1,0 +1,295 @@
+"""Lifecycle tests for :mod:`repro.kernels.shm`.
+
+The arena's contract is that ``/dev/shm`` is clean after every exit mode
+the resilience suite can produce — normal completion, a SIGKILL'd worker
+(the segments must *survive* the worker and be unlinked by the parent), a
+mid-run ``KeyboardInterrupt`` — and that integrity failures surface as the
+typed :class:`ArenaDescriptorError` and degrade the run to the pickle
+transport with the fallback counter bumped, never as a wrong answer.
+
+The module-level leak sentinel in ``conftest.py`` additionally asserts no
+test in this package leaves a segment behind.
+"""
+
+import dataclasses
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.core.ldme import LDME
+from repro.core.reconstruct import verify_lossless
+from repro.distributed.multiprocess import MultiprocessLDME
+from repro.graph.generators import web_host_graph
+from repro.kernels.shm import (
+    ArenaDescriptorError,
+    ArenaError,
+    SharedGraphArena,
+    leaked_segments,
+)
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience.faults import FaultInjector, WorkerFault
+
+fork_available = "fork" in multiprocessing.get_all_start_methods()
+
+pytestmark = pytest.mark.skipif(
+    not fork_available, reason="fork start method required"
+)
+
+
+def small_graph():
+    return web_host_graph(num_hosts=5, host_size=9, seed=2)
+
+
+def make_algo(**kwargs):
+    # CI's shm-kernels job sets REPRO_TEST_KERNELS to run this suite once
+    # per backend; locally it defaults to the vectorized kernels.
+    kwargs.setdefault("kernels", os.environ.get("REPRO_TEST_KERNELS", "numpy"))
+    kwargs.setdefault("num_workers", 2)
+    kwargs.setdefault("k", 4)
+    kwargs.setdefault("iterations", 3)
+    kwargs.setdefault("seed", 7)
+    kwargs.setdefault("shared_memory", "on")
+    kwargs.setdefault("batch_timeout", 120.0)
+    return MultiprocessLDME(**kwargs)
+
+
+class TestArenaUnit:
+    def test_roundtrip_and_unlink(self):
+        data = {
+            "a": np.arange(10, dtype=np.int64),
+            "b": np.linspace(0.0, 1.0, 7),
+        }
+        arena = SharedGraphArena.create(data, outputs={
+            "out": ((3, 2), np.int64),
+        })
+        names = [s.segment for s in arena.descriptor.arrays]
+        try:
+            attached = SharedGraphArena.attach(arena.descriptor)
+            for name, expect in data.items():
+                assert np.array_equal(attached.array(name), expect)
+            assert np.array_equal(
+                attached.array("out"), np.zeros((3, 2), dtype=np.int64)
+            )
+            # Worker writes land in the creator's view zero-copy.
+            attached.array("out")[1, 1] = 42
+            assert arena.array("out")[1, 1] == 42
+            attached.close()
+        finally:
+            arena.unlink()
+        assert leaked_segments(names) == []
+
+    def test_context_manager_unlinks(self):
+        with SharedGraphArena.create(
+            {"x": np.ones(4, dtype=np.int64)}
+        ) as arena:
+            names = [s.segment for s in arena.descriptor.arrays]
+            assert leaked_segments(names) == names
+        assert leaked_segments(names) == []
+
+    def test_attach_missing_segment_raises_typed(self):
+        arena = SharedGraphArena.create({"x": np.ones(4, dtype=np.int64)})
+        descriptor = arena.descriptor
+        arena.unlink()
+        with pytest.raises(ArenaDescriptorError, match="does not exist"):
+            SharedGraphArena.attach(descriptor)
+
+    def test_attach_corrupted_payload_raises_typed(self):
+        arena = SharedGraphArena.create({"x": np.arange(8, dtype=np.int64)})
+        try:
+            arena.array("x")[3] = -1          # corrupt after CRC pinning
+            with pytest.raises(ArenaDescriptorError, match="CRC mismatch"):
+                SharedGraphArena.attach(arena.descriptor)
+            with pytest.raises(ArenaDescriptorError, match="CRC mismatch"):
+                arena.self_check()
+        finally:
+            arena.unlink()
+
+    def test_attach_tampered_descriptor_raises_typed(self):
+        arena = SharedGraphArena.create({"x": np.arange(8, dtype=np.int64)})
+        try:
+            spec = arena.descriptor.arrays[0]
+            grown = dataclasses.replace(spec, shape=(1024 * 1024,))
+            tampered = dataclasses.replace(arena.descriptor, arrays=(grown,))
+            with pytest.raises(ArenaDescriptorError, match="bytes"):
+                SharedGraphArena.attach(tampered)
+        finally:
+            arena.unlink()
+
+    def test_attacher_may_not_unlink(self):
+        arena = SharedGraphArena.create({"x": np.ones(2, dtype=np.int64)})
+        try:
+            attached = SharedGraphArena.attach(arena.descriptor)
+            with pytest.raises(ArenaError, match="creating process"):
+                attached.unlink()
+            attached.close()
+        finally:
+            arena.unlink()
+
+    def test_creation_metrics(self):
+        registry = MetricsRegistry()
+        with obs_metrics.use(registry):
+            arena = SharedGraphArena.create(
+                {"x": np.arange(64, dtype=np.int64)}, label="graph"
+            )
+            assert registry.counter(
+                "shm_arena_created_total", labels={"label": "graph"}
+            ) == 1
+            assert registry.gauge("shm_arena_live_bytes") >= 64 * 8
+            arena.unlink()
+            assert registry.gauge("shm_arena_live_bytes") == 0
+
+
+class TestRunLifecycle:
+    def test_normal_exit_unlinks_everything(self):
+        graph = small_graph()
+        summary = make_algo().summarize(graph)
+        verify_lossless(graph, summary)
+        assert leaked_segments() == []
+
+    def test_keyboard_interrupt_unlinks_everything(self):
+        graph = small_graph()
+
+        def boom(state):
+            if state.iteration == 2:
+                raise KeyboardInterrupt()
+
+        with pytest.raises(KeyboardInterrupt):
+            make_algo().summarize(graph, iteration_hook=boom)
+        assert leaked_segments() == []
+
+    def test_sigkilled_worker_cannot_leak_or_destroy(self):
+        """A worker crash (os._exit, modelling SIGKILL/OOM) mid-iteration:
+        the supervisor retries on a fresh pool, the summary is unchanged,
+        and the parent still unlinks every segment."""
+        graph = small_graph()
+        baseline = make_algo().summarize(graph)
+        injector = FaultInjector([
+            WorkerFault(iteration=1, batch_index=0, attempt=0, kind="crash"),
+            WorkerFault(iteration=2, batch_index=1, attempt=0, kind="crash"),
+        ])
+        algo = make_algo(fault_injector=injector)
+        chaotic = algo.summarize(graph)
+        assert chaotic.superedges == baseline.superedges
+        assert (
+            chaotic.partition.members_map()
+            == baseline.partition.members_map()
+        )
+        assert leaked_segments() == []
+
+    def test_crash_storm_falls_back_serially_and_stays_clean(self):
+        """Faults on every attempt exhaust retries; the parent plans the
+        batch serially from its own arena views and cleans up."""
+        graph = small_graph()
+        baseline = make_algo().summarize(graph)
+        injector = FaultInjector([
+            WorkerFault(iteration=1, batch_index=0, attempt=a, kind="crash")
+            for a in range(4)
+        ])
+        algo = make_algo(fault_injector=injector, max_batch_retries=1)
+        summary = algo.summarize(graph)
+        assert summary.superedges == baseline.superedges
+        assert summary.stats.serial_fallbacks >= 1
+        assert leaked_segments() == []
+
+    def test_corrupt_arena_degrades_to_pickle_with_counter(self):
+        """Pre-dispatch CRC failure raises the typed error in the parent,
+        bumps the fallback counters, and the run completes on the pickle
+        transport with the identical summary."""
+        graph = small_graph()
+        baseline = make_algo(shared_memory="off").summarize(graph)
+        algo = make_algo(shared_memory="on")
+        registry = MetricsRegistry()
+        with obs_metrics.use(registry):
+            arena = algo._ensure_graph_arena(graph)
+            arena.array("indices")[0] += 1    # corrupt after CRC pinning
+            summary = algo.summarize(graph)
+            assert registry.counter("shm_fallback_total") >= 1
+        assert summary.stats.shm_fallbacks == 1
+        assert summary.superedges == baseline.superedges
+        assert (
+            summary.partition.members_map()
+            == baseline.partition.members_map()
+        )
+        assert leaked_segments() == []
+
+    def test_shared_memory_off_never_creates_segments(self):
+        registry = MetricsRegistry()
+        with obs_metrics.use(registry):
+            make_algo(shared_memory="off").summarize(small_graph())
+            for label in ("graph", "merge", "signatures"):
+                assert registry.counter(
+                    "shm_arena_created_total", labels={"label": label}
+                ) == 0
+
+    def test_attach_counter_reported(self):
+        registry = MetricsRegistry()
+        with obs_metrics.use(registry):
+            make_algo().summarize(small_graph())
+            assert registry.counter("shm_arena_attach_total") >= 1
+
+
+class TestParentHardKill:
+    def test_parent_sigkill_leaves_tracker_to_clean(self, tmp_path):
+        """A parent hard-killed mid-run cannot run its finally blocks; the
+        resource tracker (which survives the kill) unlinks the registered
+        segments. We assert the child got far enough to create an arena,
+        then that nothing it created is left after the tracker winds down."""
+        marker = tmp_path / "arena_names.txt"
+        child = textwrap.dedent(
+            f"""
+            import os, signal
+            from repro.distributed.multiprocess import MultiprocessLDME
+            from repro.graph.generators import web_host_graph
+
+            algo = MultiprocessLDME(
+                num_workers=2, k=4, iterations=5, seed=7,
+                shared_memory="on", batch_timeout=120.0,
+            )
+            graph = web_host_graph(num_hosts=5, host_size=9, seed=2)
+            arena = algo._ensure_graph_arena(graph)
+            with open({str(marker)!r}, "w") as fh:
+                for spec in arena.descriptor.arrays:
+                    fh.write(spec.segment + "\\n")
+            os.kill(os.getpid(), signal.SIGKILL)
+            """
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        proc = subprocess.run(
+            [sys.executable, "-c", child], env=env, timeout=120,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr.decode()
+        names = marker.read_text().split()
+        assert names, "child never created its arena"
+        # The tracker process unlinks asynchronously after the parent
+        # dies; give it a moment before asserting.
+        import time
+
+        deadline = time.monotonic() + 30.0
+        while leaked_segments(names) and time.monotonic() < deadline:
+            time.sleep(0.2)
+        assert leaked_segments(names) == []
+
+
+class TestSerialUnaffected:
+    def test_serial_ldme_ignores_shm_config(self):
+        """The knob is accepted by the config/serial driver (so configs
+        are portable) without any arena machinery engaging."""
+        graph = small_graph()
+        registry = MetricsRegistry()
+        with obs_metrics.use(registry):
+            serial = LDME(k=4, iterations=3, seed=7).summarize(graph)
+            assert registry.counter(
+                "shm_arena_created_total", labels={"label": "graph"}
+            ) == 0
+        mp = make_algo(shared_memory="off").summarize(graph)
+        assert serial.num_nodes == mp.num_nodes

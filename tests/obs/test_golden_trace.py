@@ -68,15 +68,15 @@ GOLDEN_SERIAL_SHAPE = (
     ("run", f"LDME4/{SEED}", (
         ("encode", "final", ()),
         ("iteration", 1, (
-            ("divide", 1, ()),
+            ("divide", 1, (("signatures", "sig", ()),)),
             ("merge", 1, (("group_batch", 0, ()),)),
         )),
         ("iteration", 2, (
-            ("divide", 2, ()),
+            ("divide", 2, (("signatures", "sig", ()),)),
             ("merge", 2, (("group_batch", 0, ()),)),
         )),
         ("iteration", 3, (
-            ("divide", 3, ()),
+            ("divide", 3, (("signatures", "sig", ()),)),
             ("merge", 3, (("group_batch", 0, ()),)),
         )),
     )),
@@ -126,6 +126,12 @@ class TestGoldenSerial:
             assert divide.attributes["backend"] == "numpy"
             assert divide.attributes["num_groups"] >= 0
             assert divide.attributes["num_mergeable"] >= 0
+        signatures = tracer.find("signatures")
+        assert len(signatures) == ITERATIONS
+        for sig in signatures:
+            assert sig.attributes["backend"] == "numpy"
+            assert sig.attributes["rows"] > 0
+            assert sig.attributes["nnz"] > 0
         for merge in tracer.find("merge"):
             assert merge.attributes["merges"] >= 0
             assert merge.attributes["candidates_scored"] >= 0
@@ -153,17 +159,21 @@ class TestGoldenSerial:
 
 
 class TestGoldenMultiprocess:
-    def make_mp(self):
+    def make_mp(self, **kwargs):
+        kwargs.setdefault("shared_memory", "off")
         return MultiprocessLDME(
             num_workers=2, k=4, iterations=ITERATIONS, seed=SEED,
-            batch_timeout=120.0,
+            batch_timeout=120.0, **kwargs,
         )
 
-    def test_batches_parent_under_merge_and_rerun_identical(self):
+    @pytest.mark.parametrize("shared_memory", ["off", "on"])
+    def test_batches_parent_under_merge_and_rerun_identical(
+        self, shared_memory
+    ):
         graph = small_graph()
         a = Tracer(seed=SEED)
         with obs_trace.use(a):
-            self.make_mp().summarize(graph)
+            self.make_mp(shared_memory=shared_memory).summarize(graph)
         merge_ids = {s.span_id for s in a.find("merge")}
         batches = a.find("group_batch")
         assert batches, "worker batches must ship spans back"
@@ -174,18 +184,21 @@ class TestGoldenMultiprocess:
         # second run reproduces the tree exactly.
         b = Tracer(seed=SEED)
         with obs_trace.use(b):
-            self.make_mp().summarize(graph)
+            self.make_mp(shared_memory=shared_memory).summarize(graph)
         assert a.tree() == b.tree()
         assert id_set(a) == id_set(b)
 
-    def test_iteration_skeleton_matches_serial_shape(self):
+    @pytest.mark.parametrize("shared_memory", ["off", "on"])
+    def test_iteration_skeleton_matches_serial_shape(self, shared_memory):
         # Everything except batch fan-out is shared driver code, so the
         # (run → iteration → divide/merge/encode) skeleton is identical
-        # in shape to the serial golden tree.
+        # in shape to the serial golden tree — plus, under the
+        # shared-memory transport, one "arena" span per merge recording
+        # the segment setup.
         graph = small_graph()
         tracer = Tracer(seed=SEED)
         with obs_trace.use(tracer):
-            self.make_mp().summarize(graph)
+            self.make_mp(shared_memory=shared_memory).summarize(graph)
 
         def strip_batches(nodes):
             return tuple(
@@ -194,15 +207,54 @@ class TestGoldenMultiprocess:
                 if n["name"] != "group_batch"
             )
 
+        div = (("signatures", "sig", ()),)
+
+        def mrg(t):
+            if shared_memory == "on":
+                return (("arena", t, ()),)
+            return ()
+
         expected = (
             ("run", f"LDME4-mp2/{SEED}", (
                 ("encode", "final", ()),
-                ("iteration", 1, (("divide", 1, ()), ("merge", 1, ()))),
-                ("iteration", 2, (("divide", 2, ()), ("merge", 2, ()))),
-                ("iteration", 3, (("divide", 3, ()), ("merge", 3, ()))),
+                ("iteration", 1, (("divide", 1, div), ("merge", 1, mrg(1)))),
+                ("iteration", 2, (("divide", 2, div), ("merge", 2, mrg(2)))),
+                ("iteration", 3, (("divide", 3, div), ("merge", 3, mrg(3)))),
             )),
         )
         assert strip_batches(tracer.tree()) == expected
+
+    def test_arena_spans_carry_segment_bytes(self):
+        graph = small_graph()
+        tracer = Tracer(seed=SEED)
+        with obs_trace.use(tracer):
+            self.make_mp(shared_memory="on").summarize(graph)
+        arenas = tracer.find("arena")
+        assert len(arenas) == ITERATIONS
+        for arena in arenas:
+            assert arena.attributes["graph_bytes"] > 0
+            assert arena.attributes["merge_bytes"] > 0
+            assert arena.attributes["groups"] > 0
+
+    def test_scatter_fanout_span_under_signatures(self):
+        # Force the parallel DOPH scatter (gated on graph size) and pin
+        # its span: one "scatter" child per signatures span, keyed
+        # "fanout", recording the partition count and attach total.
+        graph = small_graph()
+        algo = self.make_mp(shared_memory="on")
+        algo.signature_fanout_min_nnz = 0
+        tracer = Tracer(seed=SEED)
+        with obs_trace.use(tracer):
+            algo.summarize(graph)
+        signature_ids = {s.span_id for s in tracer.find("signatures")}
+        scatters = tracer.find("scatter")
+        assert len(scatters) == ITERATIONS
+        for scatter in scatters:
+            assert scatter.key == "fanout"
+            assert scatter.parent_id in signature_ids
+            assert scatter.attributes["parts"] >= 1
+            assert scatter.attributes["nnz"] > 0
+            assert scatter.attributes["attaches"] >= 1
 
 
 class Interrupt(Exception):
