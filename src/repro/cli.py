@@ -308,10 +308,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_qry.add_argument(
         "op",
         choices=("neighbors", "degree", "has_edge", "bfs", "stats",
-                 "ping", "reload"),
+                 "ping", "reload",
+                 "analytics.degree", "analytics.degree_hist",
+                 "analytics.pagerank", "analytics.triangles",
+                 "analytics.modularity", "analytics.slice"),
     )
     p_qry.add_argument("args", nargs="*",
                        help="node id(s), or a summary path for 'reload'")
+    p_qry.add_argument("--top", type=int, default=None,
+                       help="analytics.pagerank: print only the top-N "
+                            "nodes by rank")
     p_qry.add_argument("--host", default="127.0.0.1")
     p_qry.add_argument("--port", type=int, default=7421)
     p_qry.add_argument("--timeout", type=float, default=10.0)
@@ -368,6 +374,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument("--hedge-delay", type=float, default=None,
                         help="with --cluster: hedge queries to a second "
                              "replica after this many seconds")
+    p_load.add_argument("--analytics-fraction", type=float, default=0.0,
+                        metavar="F",
+                        help="blend this fraction of summary-native "
+                             "analytics.* ops into the query mix "
+                             "(0 disables, 1 = analytics only)")
     return parser
 
 
@@ -978,6 +989,15 @@ def _cmd_query(args: argparse.Namespace) -> int:
                       "'reload' (see docs/serving.md)", file=sys.stderr)
                 return 2
             print(json.dumps(client.reload(positional[0])))
+        elif args.op.startswith("analytics."):
+            op_args = {}
+            if args.op == "analytics.degree":
+                op_args["v"] = int(positional[0])
+            elif args.op == "analytics.pagerank" and args.top is not None:
+                op_args["top"] = args.top
+            print(json.dumps(
+                client.analytics(args.op, op_args, **kw), sort_keys=True
+            ))
     except IndexError:
         print(f"error: op {args.op!r} is missing an argument",
               file=sys.stderr)
@@ -998,8 +1018,11 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
 
     from .obs import profile as obs_profile
     from .obs import trace as obs_trace
-    from .serve import ChaosConfig, run_load
+    from .serve import ChaosConfig, run_load, with_analytics
 
+    mix = None
+    if args.analytics_fraction:
+        mix = with_analytics(fraction=args.analytics_fraction)
     chaos = None
     if args.chaos:
         chaos = ChaosConfig(
@@ -1045,6 +1068,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 port,
                 num_queries=args.queries,
                 concurrency=args.concurrency,
+                mix=mix,
                 seed=args.seed,
                 skew=args.skew,
                 client_timeout=args.timeout,

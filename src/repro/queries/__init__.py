@@ -1,10 +1,12 @@
 """Summary-resident query answering and analytics."""
 
 from .analytics import (
+    adjacency_snapshot,
     common_neighbors,
     connected_components,
     degree_histogram,
     diameter_estimate,
+    modularity,
     neighborhood_jaccard,
     pagerank,
     top_degree_nodes,
@@ -12,12 +14,26 @@ from .analytics import (
 )
 from .compiled import CompiledSummaryIndex
 from .index import SummaryIndex
+from .summary_analytics import (
+    ANALYTICS_OPS,
+    SummaryAnalytics,
+    execute_analytics,
+    merge_slices,
+    summary_slice,
+)
 
 __all__ = [
     "SummaryIndex",
     "CompiledSummaryIndex",
+    "SummaryAnalytics",
+    "ANALYTICS_OPS",
+    "execute_analytics",
+    "summary_slice",
+    "merge_slices",
+    "adjacency_snapshot",
     "degree_histogram",
     "triangle_count",
+    "modularity",
     "pagerank",
     "common_neighbors",
     "neighborhood_jaccard",

@@ -11,22 +11,57 @@ corresponding approximations.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from collections import deque
+from typing import Dict, List, Sequence
 
 import numpy as np
 
 from .index import SummaryIndex
 
 __all__ = [
+    "adjacency_snapshot",
     "degree_histogram",
     "triangle_count",
     "pagerank",
+    "modularity",
     "common_neighbors",
     "neighborhood_jaccard",
     "top_degree_nodes",
     "connected_components",
     "diameter_estimate",
 ]
+
+
+def adjacency_snapshot(index: SummaryIndex) -> List[frozenset]:
+    """All reconstructed neighbour sets, expanded once and memoized.
+
+    Whole-graph analyses (triangles, diameter probes, modularity) each
+    need every neighbourhood; expanding them per call repeats the most
+    expensive step of serving from a summary. The snapshot is cached on
+    the index itself, which is immutable after construction, so repeated
+    analytics calls — and different analytics against the same index —
+    pay for reconstruction exactly once.
+    """
+    snapshot = getattr(index, "_adjacency_snapshot", None)
+    if snapshot is None:
+        snapshot = [
+            frozenset(index.neighbors(v)) for v in range(index.num_nodes)
+        ]
+        index._adjacency_snapshot = snapshot
+    return snapshot
+
+
+def _bfs_snapshot(snapshot: List[frozenset], source: int) -> Dict[int, int]:
+    """Hop distances from ``source`` over a memoized snapshot."""
+    distances = {source: 0}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in snapshot[v]:
+            if u not in distances:
+                distances[u] = distances[v] + 1
+                queue.append(u)
+    return distances
 
 
 def degree_histogram(index: SummaryIndex) -> np.ndarray:
@@ -40,23 +75,18 @@ def degree_histogram(index: SummaryIndex) -> np.ndarray:
 def triangle_count(index: SummaryIndex) -> int:
     """Number of triangles in the reconstructed graph.
 
-    Rank-ordered enumeration: each triangle is counted once from its
-    lowest-id vertex, intersecting neighbour sets above the pivot.
+    Rank-ordered enumeration over the shared adjacency snapshot: each
+    triangle is counted once from its lowest-id vertex, intersecting
+    neighbour sets above the pivot. Neighbourhoods are never
+    re-expanded on repeat calls.
     """
+    snapshot = adjacency_snapshot(index)
     total = 0
-    neighbor_sets: Dict[int, set] = {}
-
-    def nbrs(v: int) -> set:
-        cached = neighbor_sets.get(v)
-        if cached is None:
-            cached = {u for u in index.neighbors(v) if u > v}
-            neighbor_sets[v] = cached
-        return cached
-
     for v in range(index.num_nodes):
-        higher = nbrs(v)
+        higher = {u for u in snapshot[v] if u > v}
         for u in higher:
-            total += len(higher & nbrs(u))
+            nbrs_u = snapshot[u]
+            total += sum(1 for w in higher if w > u and w in nbrs_u)
     return total
 
 
@@ -95,6 +125,33 @@ def pagerank(
             break
         rank = new_rank
     return rank
+
+
+def modularity(index: SummaryIndex, communities: Sequence[int]) -> float:
+    """Newman modularity of a node partition on the reconstruction.
+
+    ``communities[v]`` is the community id of node ``v``. Exact:
+    ``Q = Σ_c (intra_c / m) − Σ_c (deg_c / 2m)²`` over the reconstructed
+    edge set (0.0 for an edgeless graph).
+    """
+    comm = np.asarray(communities, dtype=np.int64)
+    if comm.shape != (index.num_nodes,):
+        raise ValueError(
+            "communities must assign exactly one id per node"
+        )
+    snapshot = adjacency_snapshot(index)
+    degrees = np.array([len(s) for s in snapshot], dtype=np.float64)
+    two_m = float(degrees.sum())
+    if two_m == 0.0:
+        return 0.0
+    intra = 0
+    for v in range(index.num_nodes):
+        cv = comm[v]
+        intra += sum(1 for u in snapshot[v] if u > v and comm[u] == cv)
+    comm_deg = np.bincount(comm, weights=degrees)
+    return float(
+        intra / (two_m / 2.0) - ((comm_deg / two_m) ** 2).sum()
+    )
 
 
 def common_neighbors(index: SummaryIndex, u: int, v: int) -> List[int]:
@@ -146,16 +203,17 @@ def diameter_estimate(
         raise ValueError("probes must be >= 1")
     if index.num_nodes == 0:
         return 0
+    snapshot = adjacency_snapshot(index)
     rng = np.random.default_rng(seed)
     best = 0
     for _ in range(probes):
         start = int(rng.integers(index.num_nodes))
-        distances = index.bfs_distances(start)
+        distances = _bfs_snapshot(snapshot, start)
         if len(distances) <= 1:
             continue
         far_node, far_dist = max(distances.items(), key=lambda kv: kv[1])
         best = max(best, far_dist)
-        second = index.bfs_distances(far_node)
+        second = _bfs_snapshot(snapshot, far_node)
         best = max(best, max(second.values()))
     return best
 

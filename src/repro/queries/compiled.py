@@ -96,6 +96,9 @@ class CompiledSummaryIndex:
             [u for u, _ in summary.corrections.deletions],
             [v for _, v in summary.corrections.deletions],
         )
+        # Lazily built summary-native analytics engines, keyed by ε.
+        # Safe to share: the index is immutable after construction.
+        self._analytics_cache: Dict[float, object] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -204,6 +207,20 @@ class CompiledSummaryIndex:
                     distances[u] = distances[v] + 1
                     queue.append(u)
         return distances
+
+    def analytics(self, epsilon: float = 0.0):
+        """Summary-native estimators over this index (cached per ε).
+
+        Imported lazily so :mod:`summary_analytics` can import this
+        module without a cycle.
+        """
+        engine = self._analytics_cache.get(epsilon)
+        if engine is None:
+            from .summary_analytics import SummaryAnalytics
+
+            engine = SummaryAnalytics(self, epsilon=epsilon)
+            self._analytics_cache[epsilon] = engine
+        return engine
 
     def has_edge(self, u: int, v: int) -> bool:
         """Edge membership without materializing the neighbourhood."""

@@ -35,7 +35,14 @@ from .cluster import (
     SummaryCluster,
     SwapReport,
 )
-from .loadgen import DEFAULT_MIX, ChaosConfig, LoadReport, run_load
+from .loadgen import (
+    ANALYTICS_MIX,
+    DEFAULT_MIX,
+    ChaosConfig,
+    LoadReport,
+    run_load,
+    with_analytics,
+)
 from .metrics import Histogram, MetricsRegistry
 from .protocol import ErrorCode, ProtocolError, RequestError
 from .server import ServerConfig, ServerThread, SummaryServer
@@ -66,5 +73,7 @@ __all__ = [
     "LoadReport",
     "run_load",
     "DEFAULT_MIX",
+    "ANALYTICS_MIX",
+    "with_analytics",
     "ChaosConfig",
 ]

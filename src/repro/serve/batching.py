@@ -19,10 +19,16 @@ thread, and tests drive it synchronously.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..queries.summary_analytics import (
+    ANALYTICS_OPS,
+    PAGERANK_DEFAULTS,
+    execute_analytics,
+)
 from .cache import LRUCache
 from .metrics import MetricsRegistry
 from .protocol import ErrorCode
@@ -49,6 +55,20 @@ def cache_key(op: str, args: Dict[str, Any]) -> Optional[Tuple[Any, ...]]:
         return ("edge", min(u, v), max(u, v))
     if op == "bfs":
         return ("bfs", args["source"])
+    if op == "analytics.degree":
+        return ("analytics.degree", args["v"])
+    if op == "analytics.pagerank":
+        # Canonicalize so explicit defaults alias the bare request.
+        return (
+            "analytics.pagerank",
+            float(args.get("damping", PAGERANK_DEFAULTS[0])),
+            int(args.get("max_iterations", PAGERANK_DEFAULTS[1])),
+            float(args.get("tolerance", PAGERANK_DEFAULTS[2])),
+            None if args.get("top") is None else int(args["top"]),
+        )
+    if op in ("analytics.degree_hist", "analytics.triangles",
+              "analytics.modularity", "analytics.slice"):
+        return (op,)
     return None
 
 
@@ -115,6 +135,26 @@ def execute_batch(
                 distances = index.bfs_distances(source)
                 value = sorted(distances.items())
                 cache.put(("bfs", source), value)
+            results[pos] = _ok(value)
+        elif op in ANALYTICS_OPS:
+            key = cache_key(op, args)
+            hit, value = cache.get(key)
+            if not hit:
+                started = time.perf_counter()
+                try:
+                    value = execute_analytics(index, op, args)
+                except IndexError as exc:
+                    results[pos] = _err(ErrorCode.OUT_OF_RANGE, str(exc))
+                    continue
+                except (KeyError, TypeError, ValueError) as exc:
+                    results[pos] = _err(ErrorCode.BAD_REQUEST, str(exc))
+                    continue
+                metrics.observe(
+                    "analytics_op_seconds",
+                    time.perf_counter() - started,
+                    labels={"op": op},
+                )
+                cache.put(key, value)
             results[pos] = _ok(value)
         else:  # pragma: no cover - validated before enqueue
             results[pos] = _err(ErrorCode.INTERNAL, f"unbatchable op {op!r}")

@@ -270,6 +270,22 @@ class SummaryClient:
         """Ask the server to hot-swap to the summary file at ``path``."""
         return self._call("reload", {"path": str(path)})
 
+    def analytics(
+        self,
+        op: str,
+        args: Optional[Dict[str, Any]] = None,
+        *,
+        deadline_ms: Optional[float] = None,
+        priority: Optional[int] = None,
+    ) -> Any:
+        """Issue one summary-native analytics op (``"pagerank"`` and
+        ``"analytics.pagerank"`` both work)."""
+        if not op.startswith("analytics."):
+            op = f"analytics.{op}"
+        return self._call(
+            op, args or {}, deadline_ms=deadline_ms, priority=priority
+        )
+
     def neighbors_many(self, nodes: Iterable[int]) -> List[List[int]]:
         """Pipelined neighbour lists for many nodes.
 

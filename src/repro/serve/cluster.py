@@ -85,6 +85,7 @@ from typing import (
 from ..core.summary import Summarization
 from ..obs import metrics as obs_metrics
 from ..queries.compiled import CompiledSummaryIndex
+from ..queries.summary_analytics import execute_analytics, merge_slices
 from ..shard.hashring import HashRing
 from .breaker import (
     BreakerOpenError,
@@ -736,6 +737,115 @@ class ClusterClient:
                 deadline_at, priority,
             ))
         return out
+
+    def analytics(
+        self,
+        op: str,
+        args: Optional[Dict[str, Any]] = None,
+        *,
+        allow_partial: bool = False,
+        **kw: Any,
+    ) -> Any:
+        """One summary-native analytics op across the cluster.
+
+        Unsharded: plain failover over the replica set. Sharded:
+        ``analytics.degree`` routes to the owning shard (its serving
+        summary is authoritative for its nodes); every global estimator
+        scatters ``analytics.slice`` to all shards and merges the
+        slices into the stitched global summary client-side — the merge
+        is exact, so a sharded answer equals the single-node one. A
+        missing shard makes the result partial, same contract as
+        :meth:`bfs`.
+        """
+        if not op.startswith("analytics."):
+            op = f"analytics.{op}"
+        args = args or {}
+        if self._ring is None:
+            result = self.call(op, args, **kw)
+            if allow_partial:
+                return PartialResult(value=result, complete=True)
+            return result
+        if op == "analytics.degree":
+            result = self.call(op, args, route=int(args["v"]), **kw)
+            if allow_partial:
+                return PartialResult(value=result, complete=True)
+            return result
+        return self._analytics_scatter(
+            op, args, allow_partial=allow_partial, **kw
+        )
+
+    def _analytics_scatter(
+        self,
+        op: str,
+        args: Dict[str, Any],
+        *,
+        allow_partial: bool = False,
+        deadline: Optional[float] = None,
+        priority: Optional[int] = None,
+        hedge: Optional[bool] = None,  # accepted for signature parity
+    ) -> Any:
+        """Scatter ``analytics.slice`` to every shard, merge, compute.
+
+        The summary aggregate — not the graph — crosses the wire: one
+        slice per shard, fetched concurrently with in-shard failover.
+        Any missing slice aborts the merge (an incomplete summary would
+        silently skew every estimate), so unlike BFS the partial
+        envelope carries no value, only the failed-shard list.
+        """
+        if deadline is None:
+            deadline = self.default_deadline
+        deadline_at = (
+            self._clock() + deadline if deadline is not None else None
+        )
+        ring = self._ring
+        assert ring is not None
+        executor = self._ensure_executor()
+        shard_ids = sorted(self._shard_slots)
+        self._inc("cluster_scatter_fanout_total", amount=len(shard_ids))
+        futures = {
+            executor.submit(
+                self._fetch_slice, sid, deadline_at, priority
+            ): sid
+            for sid in shard_ids
+        }
+        slices: Dict[int, Dict[str, Any]] = {}
+        failed: List[int] = []
+        for future, sid in futures.items():
+            try:
+                slices[sid] = future.result()
+            except (ServerError, ConnectionError):
+                failed.append(sid)
+        if failed:
+            self._inc("cluster_partial_results_total")
+            partial = PartialResult(
+                value=None, complete=False, failed_shards=sorted(failed)
+            )
+            if not allow_partial:
+                raise PartialResultError(op, partial)
+            return partial
+        merged = merge_slices(slices, ring.shard_of)
+        result = execute_analytics(
+            CompiledSummaryIndex(merged), op, args
+        )
+        if allow_partial:
+            return PartialResult(value=result, complete=True)
+        return result
+
+    def _fetch_slice(
+        self,
+        sid: int,
+        deadline_at: Optional[float],
+        priority: Optional[int],
+    ) -> Dict[str, Any]:
+        """One shard's ``analytics.slice``, with in-shard failover."""
+        self.retry_budget.deposit()
+        self._inc(
+            "cluster_requests_total", labels={"op": "analytics.slice"}
+        )
+        return self._call_failover(
+            self._shard_order(sid), "analytics.slice", {},
+            deadline_at, priority,
+        )
 
     # ------------------------------------------------------------------
     # health / introspection

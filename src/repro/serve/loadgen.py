@@ -30,7 +30,10 @@ from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from .client import ServerError, SummaryClient
 
-__all__ = ["LoadReport", "run_load", "DEFAULT_MIX", "ChaosConfig"]
+__all__ = [
+    "LoadReport", "run_load", "DEFAULT_MIX", "ANALYTICS_MIX",
+    "with_analytics", "ChaosConfig",
+]
 
 #: Default operation mix (weights, normalized internally).
 DEFAULT_MIX: Dict[str, float] = {
@@ -39,6 +42,43 @@ DEFAULT_MIX: Dict[str, float] = {
     "has_edge": 0.2,
     "bfs": 0.05,
 }
+
+#: Relative weights *within* the analytics share of a mixed workload
+#: (point lookups dominate, whole-graph estimators are rarer — they are
+#: served from the cache after the first hit anyway).
+ANALYTICS_MIX: Dict[str, float] = {
+    "analytics.degree": 0.5,
+    "analytics.degree_hist": 0.2,
+    "analytics.pagerank": 0.15,
+    "analytics.triangles": 0.1,
+    "analytics.modularity": 0.05,
+}
+
+
+def with_analytics(
+    mix: Optional[Dict[str, float]] = None, fraction: float = 0.25
+) -> Dict[str, float]:
+    """Blend ``fraction`` of analytics traffic into a query mix.
+
+    The base mix keeps its internal proportions at weight ``1 −
+    fraction``; :data:`ANALYTICS_MIX` fills the rest. ``fraction=0``
+    returns the base mix unchanged.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("analytics fraction must be in [0, 1]")
+    base = dict(mix or DEFAULT_MIX)
+    if fraction == 0.0:
+        return base
+    base_total = sum(base.values())
+    if base_total <= 0:
+        raise ValueError("mix weights must sum to a positive value")
+    blended = {
+        op: weight * (1.0 - fraction) / base_total
+        for op, weight in base.items()
+    }
+    for op, weight in ANALYTICS_MIX.items():
+        blended[op] = blended.get(op, 0.0) + fraction * weight
+    return blended
 
 
 @dataclass(frozen=True)
@@ -153,8 +193,76 @@ def _pick_node(rng: np.random.Generator, num_nodes: int,
     return min(num_nodes - 1, int(num_nodes * rng.random() ** skew))
 
 
+def _analytics_reference(truth: Any, key: str) -> Any:
+    """Exact whole-graph references, computed once per truth index.
+
+    Memoized on the truth object itself (immutable, shared across
+    workers) so a chaos run pays for each exact baseline exactly once.
+    Racing workers may compute the same value twice; both results are
+    identical, so last-write-wins is harmless.
+    """
+    memo = getattr(truth, "_loadgen_analytics_memo", None)
+    if memo is None:
+        memo = {}
+        truth._loadgen_analytics_memo = memo
+    if key not in memo:
+        from ..queries import analytics as exact
+
+        if key == "degrees":
+            snapshot = exact.adjacency_snapshot(truth)
+            memo[key] = np.asarray(
+                [len(s) for s in snapshot], dtype=np.int64
+            )
+        elif key == "hist":
+            memo[key] = exact.degree_histogram(truth)
+        elif key == "pagerank":
+            memo[key] = exact.pagerank(truth)
+        elif key == "triangles":
+            memo[key] = exact.triangle_count(truth)
+        elif key == "modularity":
+            memo[key] = exact.modularity(truth, truth._node2dense)
+    return memo[key]
+
+
+def _verify_analytics(truth: Any, op: str, v: int, result: Any) -> bool:
+    """Bound-aware check: the estimate must sit within its own declared
+    bound of the exact ``queries.analytics`` answer on the truth index.
+
+    For a lossless serving summary the degree/histogram bounds are 0.0,
+    so this degrades to exact equality there.
+    """
+    value, bound = result["value"], float(result["bound"])
+    if op == "analytics.degree":
+        exact_deg = int(_analytics_reference(truth, "degrees")[v])
+        return abs(float(value) - exact_deg) <= bound
+    if op == "analytics.degree_hist":
+        got = np.asarray(value, dtype=np.int64)
+        want = _analytics_reference(truth, "hist")
+        width = max(got.size, want.size)
+        g = np.zeros(width, dtype=np.int64)
+        g[:got.size] = got
+        w = np.zeros(width, dtype=np.int64)
+        w[:want.size] = want
+        return float(np.abs(g - w).max()) <= bound
+    if op == "analytics.pagerank":
+        got = np.asarray(value, dtype=np.float64)
+        want = _analytics_reference(truth, "pagerank")
+        if got.shape != want.shape:
+            return False
+        return float(np.abs(got - want).sum()) <= bound
+    if op == "analytics.triangles":
+        want = _analytics_reference(truth, "triangles")
+        return abs(float(value) - float(want)) <= bound
+    if op == "analytics.modularity":
+        want = _analytics_reference(truth, "modularity")
+        return abs(float(value) - float(want)) <= bound
+    return True
+
+
 def _verify(truth: Any, op: str, v: int, u: int, result: Any) -> bool:
     """Check one answer against the compiled ground-truth index."""
+    if op.startswith("analytics."):
+        return _verify_analytics(truth, op, v, result)
     if op == "neighbors":
         expected = truth.neighbors_batch(np.asarray([v], dtype=np.int64))[0]
         return [int(x) for x in result] == [int(x) for x in expected]
@@ -304,6 +412,10 @@ def run_load(
                         result = client.degree(v)
                     elif op == "has_edge":
                         result = client.has_edge(v, u)
+                    elif op == "analytics.degree":
+                        result = client.analytics(op, {"v": v})
+                    elif op.startswith("analytics."):
+                        result = client.analytics(op, {})
                     else:
                         result = client.bfs(v)
                 except (ServerError, ConnectionError):

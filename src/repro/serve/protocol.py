@@ -25,6 +25,7 @@ from typing import Any, Dict, Optional, Tuple
 
 __all__ = [
     "MAX_FRAME_BYTES",
+    "ANALYTICS_OPS",
     "OPS",
     "ErrorCode",
     "ProtocolError",
@@ -48,13 +49,19 @@ MAX_FRAME_BYTES = 16 * 1024 * 1024
 
 _LEN = struct.Struct(">I")
 
+#: Summary-native analytics ops (batched, cached, metered like the
+#: neighbour-style queries). ``analytics.slice`` ships the summary
+#: aggregate for client-side sharded scatter-gather. Defined next to
+#: the estimators so the wire surface and the executor cannot drift.
+from ..queries.summary_analytics import ANALYTICS_OPS  # noqa: E402
+
 #: Query operations the server understands.
 #: ``stats``/``ping``/``reload``/``metrics`` are control-plane ops
 #: answered on the event loop; the rest go through the batch executor.
 OPS = frozenset(
     {"neighbors", "degree", "has_edge", "bfs",
      "stats", "ping", "reload", "metrics"}
-)
+) | ANALYTICS_OPS
 
 
 class ErrorCode:
@@ -212,6 +219,28 @@ def validate_request(obj: Any) -> Tuple[int, str, Dict[str, Any]]:
             raise RequestError(
                 ErrorCode.BAD_REQUEST, "reload needs a string 'path'"
             )
+    elif op == "analytics.degree":
+        _require_node(args, "v")
+    elif op == "analytics.pagerank":
+        for key in ("damping", "tolerance"):
+            value = args.get(key)
+            if value is not None and (
+                isinstance(value, bool)
+                or not isinstance(value, (int, float))
+            ):
+                raise RequestError(
+                    ErrorCode.BAD_REQUEST,
+                    f"argument {key!r} must be a number",
+                )
+        for key in ("max_iterations", "top"):
+            value = args.get(key)
+            if value is not None and (
+                isinstance(value, bool) or not isinstance(value, int)
+            ):
+                raise RequestError(
+                    ErrorCode.BAD_REQUEST,
+                    f"argument {key!r} must be an integer",
+                )
     return rid, op, args
 
 

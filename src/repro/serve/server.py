@@ -54,6 +54,7 @@ from .batching import execute_batch
 from .cache import LRUCache
 from .metrics import MetricsRegistry
 from .protocol import (
+    ANALYTICS_OPS,
     MAX_FRAME_BYTES,
     ErrorCode,
     ProtocolError,
@@ -70,7 +71,9 @@ __all__ = ["ServerConfig", "SummaryServer", "ServerThread"]
 
 logger = logging.getLogger("repro.serve")
 
-_QUERY_OPS = frozenset({"neighbors", "degree", "has_edge", "bfs"})
+_QUERY_OPS = frozenset(
+    {"neighbors", "degree", "has_edge", "bfs"}
+) | ANALYTICS_OPS
 
 
 @dataclass

@@ -13,12 +13,14 @@ semantics), but each must be identical across ``kernels="python"`` and
 
 import multiprocessing
 
+import numpy as np
 import pytest
 
 from repro.core.ldme import LDME
 from repro.core.reconstruct import verify_lossless
 from repro.distributed.multiprocess import MultiprocessLDME
 from repro.graph import datasets
+from repro.queries.compiled import CompiledSummaryIndex
 
 BACKENDS = ("python", "numpy")
 
@@ -34,7 +36,50 @@ MULTIPROCESS_GOLDEN = {
     ("IN", 20, 4, 3): (12572, 1895, 12555, 17, 0),
 }
 
+#: Summary-native analytics pinned on the same fixture summaries:
+#: (hist_bins, hist_sum, hist_bound, top_pagerank_node,
+#:  top_rank@9dp, pagerank_bound@9dp, triangles@3dp,
+#:  triangles_bound@3dp, modularity@9dp). Lossless fixtures, so the
+#: degree-histogram bound is exactly 0.0 and hist_sum = num_nodes.
+SERIAL_ANALYTICS_GOLDEN = {
+    ("CN", 5, 5, 7): (
+        34, 1200, 0.0, 510, 0.001879625, 0.000591717,
+        15927.589, 16114.589, 0.02244534,
+    ),
+    ("IN", 20, 4, 3): (
+        599, 2048, 0.0, 0, 0.02233245, 0.000591602,
+        58221.752, 64.752, -0.003656053,
+    ),
+}
+
+MULTIPROCESS_ANALYTICS_GOLDEN = {
+    ("CN", 5, 5, 7): (
+        34, 1200, 0.0, 510, 0.001879625, 0.000591717,
+        16858.72, 17164.72, 0.025463664,
+    ),
+    ("IN", 20, 4, 3): (
+        599, 2048, 0.0, 0, 0.02233245, 0.000591602,
+        58223.083, 48.083, -0.003656046,
+    ),
+}
+
 fork_available = "fork" in multiprocessing.get_all_start_methods()
+
+
+def _analytics_pin(summary):
+    """Compact analytics fingerprint of one summary (rounded floats)."""
+    analytics = CompiledSummaryIndex(summary).analytics()
+    hist, hist_bound = analytics.degree_histogram()
+    rank, pr_bound = analytics.pagerank()
+    top = int(np.lexsort((np.arange(rank.size), -rank))[0])
+    triangles, tri_bound = analytics.triangles()
+    mod, _ = analytics.modularity()
+    return (
+        int(hist.size), int(hist.sum()), float(hist_bound),
+        top, round(float(rank[top]), 9), round(float(pr_bound), 9),
+        round(triangles, 3), round(tri_bound, 3),
+        round(mod, 9),
+    )
 
 
 def _shape(summary):
@@ -74,6 +119,37 @@ def test_multiprocess_golden(dataset_cache, case, backend, shared_memory):
     ).summarize(graph)
     assert _shape(summary) == MULTIPROCESS_GOLDEN[case]
     verify_lossless(graph, summary)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("case", sorted(SERIAL_ANALYTICS_GOLDEN))
+def test_serial_analytics_golden(dataset_cache, case, backend):
+    """Summary-native analytics (values *and* bounds) pinned on the
+    serial fixture summaries, identical across kernel backends."""
+    name, k, iterations, seed = case
+    graph = dataset_cache(name)
+    summary = LDME(
+        k=k, iterations=iterations, seed=seed, kernels=backend
+    ).summarize(graph)
+    assert _analytics_pin(summary) == SERIAL_ANALYTICS_GOLDEN[case]
+
+
+@pytest.mark.skipif(not fork_available, reason="fork start method required")
+@pytest.mark.parametrize("shared_memory", ["off", "on"])
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("case", sorted(MULTIPROCESS_ANALYTICS_GOLDEN))
+def test_multiprocess_analytics_golden(dataset_cache, case, backend,
+                                       shared_memory):
+    """Same pins through the multiprocess planner, for both transports:
+    pickle and the zero-copy shared-memory arena must produce summaries
+    whose analytics (values and bounds) match bit-for-bit."""
+    name, k, iterations, seed = case
+    graph = dataset_cache(name)
+    summary = MultiprocessLDME(
+        num_workers=2, k=k, iterations=iterations, seed=seed,
+        kernels=backend, shared_memory=shared_memory,
+    ).summarize(graph)
+    assert _analytics_pin(summary) == MULTIPROCESS_ANALYTICS_GOLDEN[case]
 
 
 @pytest.mark.parametrize("case", sorted(SERIAL_GOLDEN))

@@ -1,0 +1,409 @@
+"""Accuracy contract of the summary-native analytics estimators.
+
+Property-based: on random graphs summarized at random ``k``/seeds, every
+:class:`~repro.queries.summary_analytics.SummaryAnalytics` estimator must
+sit within its own declared bound of the exact
+:mod:`repro.queries.analytics` answer computed by reconstruction — for
+lossless *and* lossy (ε > 0) summaries. At ε = 0 the degree vector and
+histogram must be **bit-for-bit** equal to ground truth (and, lossless
+summaries being exact, to the original graph).
+
+Also pinned here: the adjacency-snapshot memoization bug fix (triangle /
+diameter / modularity passes reconstruct each neighbourhood exactly once
+per index, not once per call) and the slice/merge scatter-gather
+identity.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ldme import LDME
+from repro.graph.graph import Graph
+from repro.queries import analytics as exact
+from repro.queries.compiled import CompiledSummaryIndex
+from repro.queries.summary_analytics import (
+    SummaryAnalytics,
+    execute_analytics,
+    merge_slices,
+    summary_slice,
+)
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def graphs(draw, max_nodes=28, max_edges=80):
+    """A small random simple graph (possibly with isolated nodes)."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    num_edges = draw(st.integers(min_value=0, max_value=max_edges))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    if n < 2 or num_edges == 0:
+        return Graph.from_edges(n, [])
+    src = rng.integers(0, n, size=num_edges)
+    dst = rng.integers(0, n, size=num_edges)
+    return Graph.from_edge_arrays(n, src, dst)
+
+
+summarizer_params = st.tuples(
+    st.integers(min_value=2, max_value=6),      # k
+    st.integers(min_value=1, max_value=5),      # iterations
+    st.integers(min_value=0, max_value=2**31 - 1),  # seed
+)
+
+epsilons = st.sampled_from([0.0, 0.1, 0.3, 0.5])
+
+
+def compiled(graph, params, epsilon=0.0):
+    k, iterations, seed = params
+    summary = LDME(
+        k=k, iterations=iterations, seed=seed, epsilon=epsilon
+    ).summarize(graph)
+    return CompiledSummaryIndex(summary)
+
+
+def exact_degrees(index):
+    snapshot = exact.adjacency_snapshot(index)
+    return np.asarray([len(s) for s in snapshot], dtype=np.int64)
+
+
+# ---------------------------------------------------------------------------
+# estimate-within-bound properties
+# ---------------------------------------------------------------------------
+
+
+class TestBounds:
+    @settings(max_examples=25, deadline=None)
+    @given(graphs(), summarizer_params, epsilons)
+    def test_degree_exact_on_reconstruction(self, graph, params, eps):
+        """Degrees are exact vs the reconstruction at *every* ε — the
+        estimator reads the same structures reconstruction expands."""
+        index = compiled(graph, params, eps)
+        analytics = SummaryAnalytics(index, epsilon=eps)
+        assert np.array_equal(analytics.degrees(), exact_degrees(index))
+
+    @settings(max_examples=25, deadline=None)
+    @given(graphs(), summarizer_params, epsilons)
+    def test_degree_histogram_exact_on_reconstruction(
+        self, graph, params, eps
+    ):
+        index = compiled(graph, params, eps)
+        analytics = SummaryAnalytics(index, epsilon=eps)
+        hist, bound = analytics.degree_histogram()
+        assert np.array_equal(hist, exact.degree_histogram(index))
+        assert bound >= 0.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(graphs(), summarizer_params, epsilons)
+    def test_pagerank_within_bound(self, graph, params, eps):
+        index = compiled(graph, params, eps)
+        analytics = SummaryAnalytics(index, epsilon=eps)
+        rank, bound = analytics.pagerank()
+        reference = exact.pagerank(index)
+        assert rank.shape == reference.shape
+        assert float(np.abs(rank - reference).sum()) <= bound
+        assert rank.sum() == pytest.approx(1.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(graphs(), summarizer_params, epsilons)
+    def test_triangles_within_bound(self, graph, params, eps):
+        index = compiled(graph, params, eps)
+        analytics = SummaryAnalytics(index, epsilon=eps)
+        estimate, bound = analytics.triangles()
+        assert abs(estimate - exact.triangle_count(index)) <= bound
+
+    @settings(max_examples=20, deadline=None)
+    @given(graphs(), summarizer_params, epsilons)
+    def test_modularity_within_bound(self, graph, params, eps):
+        index = compiled(graph, params, eps)
+        analytics = SummaryAnalytics(index, epsilon=eps)
+        estimate, bound = analytics.modularity()
+        reference = exact.modularity(index, index._node2dense)
+        assert abs(estimate - reference) <= bound
+
+
+class TestLosslessExactness:
+    @settings(max_examples=25, deadline=None)
+    @given(graphs(), summarizer_params)
+    def test_eps0_degree_bitfor_bit_vs_original_graph(self, graph, params):
+        """ε = 0 ⇒ lossless ⇒ the estimator equals the *original graph*
+        exactly, bit for bit, with a zero bound."""
+        index = compiled(graph, params, 0.0)
+        analytics = SummaryAnalytics(index, epsilon=0.0)
+        true_deg = np.asarray(
+            [graph.degree(v) for v in range(graph.num_nodes)],
+            dtype=np.int64,
+        )
+        assert np.array_equal(analytics.degrees(), true_deg)
+        for v in range(graph.num_nodes):
+            d, bound = analytics.degree(v)
+            assert d == int(true_deg[v])
+            assert bound == 0.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(graphs(), summarizer_params)
+    def test_eps0_histogram_bit_for_bit(self, graph, params):
+        index = compiled(graph, params, 0.0)
+        analytics = SummaryAnalytics(index, epsilon=0.0)
+        hist, bound = analytics.degree_histogram()
+        true_deg = [graph.degree(v) for v in range(graph.num_nodes)]
+        true_hist = (
+            np.bincount(np.asarray(true_deg, dtype=np.int64))
+            if true_deg else np.zeros(1, dtype=np.int64)
+        )
+        assert np.array_equal(hist, true_hist)
+        assert bound == 0.0
+
+    @settings(max_examples=15, deadline=None)
+    @given(graphs(), summarizer_params)
+    def test_eps0_modularity_matches_exact(self, graph, params):
+        index = compiled(graph, params, 0.0)
+        analytics = SummaryAnalytics(index, epsilon=0.0)
+        estimate, _ = analytics.modularity()
+        assert estimate == pytest.approx(
+            exact.modularity(index, index._node2dense), abs=1e-9
+        )
+
+
+# ---------------------------------------------------------------------------
+# estimator plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestPlumbing:
+    def small_index(self):
+        rng = np.random.default_rng(11)
+        src = rng.integers(0, 30, size=70)
+        dst = rng.integers(0, 30, size=70)
+        graph = Graph.from_edge_arrays(30, src, dst)
+        summary = LDME(k=4, iterations=4, seed=1).summarize(graph)
+        return CompiledSummaryIndex(summary)
+
+    def test_engine_cached_per_epsilon(self):
+        index = self.small_index()
+        assert index.analytics() is index.analytics(0.0)
+        assert index.analytics(0.1) is not index.analytics(0.0)
+        assert index.analytics(0.1) is index.analytics(0.1)
+
+    def test_epsilon_validated(self):
+        with pytest.raises(ValueError):
+            SummaryAnalytics(self.small_index(), epsilon=-0.1)
+
+    def test_degree_out_of_range(self):
+        index = self.small_index()
+        with pytest.raises(IndexError):
+            index.analytics().degree(30)
+        with pytest.raises(IndexError):
+            index.analytics().degree(-1)
+
+    def test_pagerank_params_validated(self):
+        analytics = self.small_index().analytics()
+        with pytest.raises(ValueError):
+            analytics.pagerank(damping=1.0)
+        with pytest.raises(ValueError):
+            analytics.pagerank(max_iterations=0)
+        with pytest.raises(ValueError):
+            analytics.pagerank(tolerance=-1.0)
+
+    def test_empty_graph(self):
+        summary = LDME(k=2, iterations=1, seed=0).summarize(
+            Graph.from_edges(0, [])
+        )
+        analytics = CompiledSummaryIndex(summary).analytics()
+        hist, bound = analytics.degree_histogram()
+        assert hist.tolist() == [0] and bound == 0.0
+        rank, _ = analytics.pagerank()
+        assert rank.size == 0
+        assert analytics.modularity() == (0.0, 0.0)
+
+    def test_wire_adapter_shapes(self):
+        index = self.small_index()
+        payload = execute_analytics(index, "analytics.degree", {"v": 3})
+        assert payload["value"] == index.degree(3)
+        ranked = execute_analytics(
+            index, "analytics.pagerank", {"top": 4}
+        )
+        assert len(ranked["value"]) == 4
+        ranks = [r for _, r in ranked["value"]]
+        assert ranks == sorted(ranks, reverse=True)
+        full = execute_analytics(index, "analytics.pagerank", {})
+        assert len(full["value"]) == index.num_nodes
+        with pytest.raises(ValueError):
+            execute_analytics(index, "analytics.pagerank", {"top": 0})
+        with pytest.raises(ValueError):
+            execute_analytics(index, "analytics.nope", {})
+        with pytest.raises(IndexError):
+            execute_analytics(index, "analytics.degree", {"v": 99})
+
+
+# ---------------------------------------------------------------------------
+# adjacency snapshot (the per-call reconstruction bug fix)
+# ---------------------------------------------------------------------------
+
+
+class CountingIndex:
+    """Proxy that counts every neighbourhood reconstruction."""
+
+    def __init__(self, index):
+        self._index = index
+        self.calls = 0
+
+    @property
+    def num_nodes(self):
+        return self._index.num_nodes
+
+    def neighbors(self, v):
+        self.calls += 1
+        return self._index.neighbors(v)
+
+    def __getattr__(self, name):
+        return getattr(self._index, name)
+
+
+class TestAdjacencySnapshot:
+    def counting(self):
+        rng = np.random.default_rng(5)
+        src = rng.integers(0, 24, size=60)
+        dst = rng.integers(0, 24, size=60)
+        graph = Graph.from_edge_arrays(24, src, dst)
+        summary = LDME(k=4, iterations=4, seed=3).summarize(graph)
+        return CountingIndex(CompiledSummaryIndex(summary))
+
+    def test_triangle_count_reconstructs_each_node_once(self):
+        index = self.counting()
+        first = exact.triangle_count(index)
+        assert index.calls == index.num_nodes
+        assert exact.triangle_count(index) == first
+        assert index.calls == index.num_nodes  # snapshot reused, 0 new
+
+    def test_diameter_estimate_reuses_the_snapshot(self):
+        index = self.counting()
+        first = exact.diameter_estimate(index, probes=4, seed=1)
+        assert index.calls == index.num_nodes
+        assert exact.diameter_estimate(index, probes=4, seed=1) == first
+        assert index.calls == index.num_nodes
+
+    def test_snapshot_shared_across_analyses(self):
+        index = self.counting()
+        exact.triangle_count(index)
+        exact.diameter_estimate(index, probes=2, seed=0)
+        exact.modularity(index, [0] * index.num_nodes)
+        assert index.calls == index.num_nodes
+
+    def test_results_unchanged_by_memoization(self):
+        """The snapshot rewrite must not change any answer."""
+        rng = np.random.default_rng(17)
+        src = rng.integers(0, 20, size=50)
+        dst = rng.integers(0, 20, size=50)
+        graph = Graph.from_edge_arrays(20, src, dst)
+        summary = LDME(k=3, iterations=4, seed=0).summarize(graph)
+        index = CompiledSummaryIndex(summary)
+        brute = 0
+        for v in range(graph.num_nodes):
+            higher = [u for u in graph.neighbors(v).tolist() if u > v]
+            for i, a in enumerate(higher):
+                for b in higher[i + 1:]:
+                    if graph.has_edge(a, b):
+                        brute += 1
+        assert exact.triangle_count(index) == brute
+        distances = index.bfs_distances(0)
+        assert exact.diameter_estimate(index, probes=8, seed=0) >= max(
+            distances.values()
+        )
+
+
+class TestExactModularity:
+    def test_all_one_community_is_zero(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        summary = LDME(k=2, iterations=3, seed=0).summarize(g)
+        index = CompiledSummaryIndex(summary)
+        assert exact.modularity(index, [0, 0, 0, 0]) == pytest.approx(0.0)
+
+    def test_two_cliques_split(self):
+        edges = [(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5), (2, 3)]
+        g = Graph.from_edges(6, edges)
+        summary = LDME(k=2, iterations=3, seed=0).summarize(g)
+        index = CompiledSummaryIndex(summary)
+        good = exact.modularity(index, [0, 0, 0, 1, 1, 1])
+        bad = exact.modularity(index, [0, 1, 0, 1, 0, 1])
+        assert good > bad
+
+    def test_shape_validated(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        summary = LDME(k=2, iterations=2, seed=0).summarize(g)
+        index = CompiledSummaryIndex(summary)
+        with pytest.raises(ValueError):
+            exact.modularity(index, [0, 1])
+
+
+# ---------------------------------------------------------------------------
+# slice / merge scatter-gather identity
+# ---------------------------------------------------------------------------
+
+
+def _index_arrays(index):
+    return (
+        index._member_indptr, index._member_indices,
+        index._super_indptr, index._super_indices,
+        index._has_loop.astype(np.int64),
+        index._add_indptr, index._add_indices,
+        index._del_indptr, index._del_indices,
+    )
+
+
+class TestSliceMerge:
+    @settings(max_examples=20, deadline=None)
+    @given(graphs(), summarizer_params, epsilons)
+    def test_single_slice_round_trip_is_identity(self, graph, params, eps):
+        """One shard owning everything: merge(slice(S)) rebuilds S's
+        compiled arrays exactly (singleton omission included)."""
+        index = compiled(graph, params, eps)
+        merged = merge_slices(
+            {0: summary_slice(index)}, lambda v: 0
+        )
+        rebuilt = CompiledSummaryIndex(merged)
+        for ours, theirs in zip(
+            _index_arrays(rebuilt), _index_arrays(index)
+        ):
+            assert np.array_equal(ours, theirs)
+
+    def test_mismatched_num_nodes_rejected(self):
+        with pytest.raises(ValueError, match="num_nodes"):
+            merge_slices(
+                {
+                    0: {"num_nodes": 3, "supernodes": [],
+                        "superedges": [], "additions": [],
+                        "deletions": []},
+                    1: {"num_nodes": 4, "supernodes": [],
+                        "superedges": [], "additions": [],
+                        "deletions": []},
+                },
+                lambda v: 0,
+            )
+
+    def test_empty_slices_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            merge_slices({}, lambda v: 0)
+
+    def test_slice_omits_bare_singletons(self):
+        g = Graph.from_edges(6, [(0, 1)])
+        summary = LDME(k=2, iterations=2, seed=0).summarize(g)
+        index = CompiledSummaryIndex(summary)
+        piece = summary_slice(index)
+        shipped = {sid for sid, _ in piece["supernodes"]}
+        # Nodes 2..5 are isolated; any singleton supernode of an
+        # isolated node carries no structure and must not be shipped.
+        for sid, members in piece["supernodes"]:
+            assert (
+                len(members) > 1
+                or any(sid in edge for edge in piece["superedges"])
+            )
+        merged = merge_slices({0: piece}, lambda v: 0)
+        assert merged.num_nodes == 6
+        rebuilt = CompiledSummaryIndex(merged)
+        assert rebuilt.neighbors(0) == index.neighbors(0)
+        assert rebuilt.neighbors(4) == []
+        assert shipped  # the (0, 1) component did ship

@@ -23,7 +23,7 @@ from repro.core.ldme import LDME
 from repro.queries.compiled import CompiledSummaryIndex
 from repro.resilience import ClusterFaultPlan, ReplicaFault
 from repro.serve import ServerConfig, SummaryCluster
-from repro.serve.loadgen import run_load
+from repro.serve.loadgen import run_load, with_analytics
 
 SEED = 1234           # fixed: the CI cluster-chaos job depends on it
 
@@ -86,6 +86,7 @@ class TestClusterChaos:
                     seed=SEED,
                     client_factory=lambda: client,
                     truth=truth,
+                    mix=with_analytics(fraction=0.2),
                     on_progress=plan.on_progress,
                 )
 
@@ -101,6 +102,14 @@ class TestClusterChaos:
                 # matched ground truth.
                 assert report.wrong == 0
                 assert report.errors / report.num_queries < 0.01
+
+                # The analytics slice of the mix actually ran — the
+                # zero-wrong gate covers bound-checked estimates too.
+                analytics_ops = sum(
+                    count for op, count in report.op_counts.items()
+                    if op.startswith("analytics.")
+                )
+                assert analytics_ops > 100
 
                 # The corrupted artifact was rejected at load time, the
                 # fleet untouched; the healthy swap then rolled through.
