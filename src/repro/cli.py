@@ -14,6 +14,8 @@ workflows::
     ldme loadgen --port 7421 --chaos
     ldme shard-summarize big.txt --shards 4 -o manifest/
     ldme serve-cluster --manifest manifest/ --replicas 2
+    ldme migrate store/ --init --graph big.txt --shards 2
+    ldme migrate store/ --graph big.txt --shards 3   # elastic re-shard
     ldme ingest updates.stream --wal-dir wal/ --num-nodes 100000
     ldme ingest --listen 7500 --wal-dir wal/ --num-nodes 100000 --cluster 2
 
@@ -379,6 +381,60 @@ def build_parser() -> argparse.ArgumentParser:
                         help="blend this fraction of summary-native "
                              "analytics.* ops into the query mix "
                              "(0 disables, 1 = analytics only)")
+    p_load.add_argument("--truth", metavar="PATH",
+                        help="verify every answer against ground truth — "
+                             "a summary file or a shard-manifest "
+                             "directory; mismatches count as 'wrong'")
+    p_load.add_argument("--during-migration", metavar="STORE",
+                        help="label each query with the live migration "
+                             "phase read from STORE's journal (a "
+                             "generation-store root; see 'migrate'), so "
+                             "the report breaks wrong/error counts down "
+                             "per phase")
+
+    p_mig = sub.add_parser(
+        "migrate",
+        help="elastic re-sharding: bootstrap a generation store, then "
+             "plan and run crash-safe ring membership changes (see "
+             "docs/sharding.md, 'Growing and shrinking the ring')",
+    )
+    p_mig.add_argument("store", help="generation-store root directory")
+    p_mig.add_argument("--graph", metavar="PATH",
+                       help="edge-list graph file (the key universe; "
+                            "required except with --abort)")
+    p_mig.add_argument("--init", action="store_true",
+                       help="bootstrap the store: summarize --graph into "
+                            "gen-000000 over --shards shards")
+    p_mig.add_argument("--shards", type=int, default=None,
+                       help="with --init the initial shard count, "
+                            "otherwise the target ring size to migrate to")
+    p_mig.add_argument("--virtual-nodes", type=int, default=1,
+                       help="ring points per shard (1 keeps an expansion's "
+                            "targeted rebuild minimal; use the same value "
+                            "for every run against one store)")
+    p_mig.add_argument("--plan-only", action="store_true",
+                       help="print the migration plan and exit without "
+                            "building anything")
+    p_mig.add_argument("--resume", action="store_true",
+                       help="continue whatever migration the journal says "
+                            "was in flight")
+    p_mig.add_argument("--abort", action="store_true",
+                       help="roll the active migration back to the old "
+                            "generation")
+    p_mig.add_argument("--kill-at-step", metavar="STEP",
+                       choices=("plan", "build", "built", "prepare",
+                                "commit", "done"),
+                       help="fault injection: die (exit code 3) right "
+                            "after the named journal step is persisted; "
+                            "a later --resume picks up from there")
+    p_mig.add_argument("--k", type=int, default=5,
+                       help="DOPH signature length")
+    p_mig.add_argument("--iterations", "-T", type=int, default=20)
+    p_mig.add_argument("--seed", type=int, default=0)
+    p_mig.add_argument("--kernels", choices=("numpy", "python"),
+                       default="numpy")
+    p_mig.add_argument("--no-validate", action="store_true",
+                       help="skip the stitched-summary losslessness proof")
     return parser
 
 
@@ -1013,6 +1069,146 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_migrate(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .shard import GenerationStore, HashRing, MigrationCoordinator
+    from .shard.migrate import CoordinatorKilledError, plan_migration
+
+    modes = sum(1 for m in (args.init, args.resume, args.abort) if m)
+    if modes > 1:
+        print("error: --init, --resume, and --abort are mutually "
+              "exclusive", file=sys.stderr)
+        return 2
+    store = GenerationStore(args.store)
+
+    if args.abort:
+        report = MigrationCoordinator(store).abort()
+        print(f"aborted migration to {report.new_generation}; "
+              f"serving {store.current()}")
+        return 0
+
+    if not args.graph:
+        print("error: --graph is required (except with --abort)",
+              file=sys.stderr)
+        return 2
+    graph = load_graph(args.graph)
+
+    if args.init:
+        shards = args.shards if args.shards is not None else 2
+        manifest = store.bootstrap(
+            graph,
+            shards,
+            virtual_nodes=args.virtual_nodes,
+            k=args.k,
+            iterations=args.iterations,
+            seed=args.seed,
+            kernels=args.kernels,
+            validate=not args.no_validate,
+        )
+        print(f"bootstrapped {store.current()}: "
+              f"{len(manifest.shard_ids)} shards over "
+              f"{graph.num_nodes} nodes / {graph.num_edges} edges")
+        return 0
+
+    on_step = None
+    if args.kill_at_step:
+        from .resilience import MigrationFault, MigrationFaultPlan
+
+        on_step = MigrationFaultPlan(
+            [MigrationFault(step=args.kill_at_step)]
+        ).on_step
+    coordinator = MigrationCoordinator(
+        store,
+        k=args.k,
+        iterations=args.iterations,
+        seed=args.seed,
+        kernels=args.kernels,
+        validate=not args.no_validate,
+        on_step=on_step,
+    )
+
+    new_ring = None
+    if not args.resume:
+        if args.shards is None:
+            print("error: pass --shards N (target ring size), --init, "
+                  "--resume, or --abort", file=sys.stderr)
+            return 2
+        old_manifest = store.current_manifest(verify=False)
+        new_ring = HashRing(args.shards, virtual_nodes=args.virtual_nodes)
+        plan = plan_migration(old_manifest.ring, new_ring, graph)
+        print("plan:", _json.dumps(plan.summary(), sort_keys=True))
+        if args.plan_only:
+            return 0
+
+    try:
+        if args.resume:
+            report = coordinator.resume(graph)
+        else:
+            report = coordinator.migrate(new_ring, graph)
+    except CoordinatorKilledError as exc:
+        print(f"killed: {exc}", file=sys.stderr)
+        return 3
+
+    if report.committed:
+        status = "committed"
+    elif report.rolled_back:
+        status = "rolled back"
+    else:
+        status = "incomplete"
+    print(f"{status}: {report.old_generation} -> {report.new_generation}")
+    print(f"  resummarized shards: {report.resummarized_shards}")
+    print(f"  reused shards:       {report.reused_shards}")
+    if report.replayed_events:
+        print(f"  replayed ingest events: {report.replayed_events}")
+    if report.error:
+        print(f"  error: {report.error}")
+    print(f"  serving: {store.current()}")
+    return 0 if report.committed else 1
+
+
+class _JournalPhaseWatcher:
+    """Background poll of a generation store's migration journal.
+
+    Gives ``loadgen --during-migration`` a cheap ``phase_fn``: queries
+    read the cached phase instead of hitting the journal file each time.
+    """
+
+    def __init__(self, store_root: str, interval: float = 0.05) -> None:
+        import threading
+
+        from .shard import GenerationStore
+
+        self._store = GenerationStore(store_root)
+        self._interval = interval
+        self._phase = "idle"
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="migration-phase-watcher", daemon=True
+        )
+
+    def start(self) -> "_JournalPhaseWatcher":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+
+    def __call__(self) -> str:
+        return self._phase
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                journal = self._store.read_journal()
+            except Exception:
+                journal = None  # journal unreadable mid-poll: keep going
+            else:
+                self._phase = journal.step if journal is not None else "idle"
+            self._stop.wait(self._interval)
+
+
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     import contextlib
 
@@ -1034,6 +1230,23 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         obs_profile.SamplingProfiler(all_threads=True)
         if args.profile else None
     )
+    truth = None
+    if args.truth:
+        import os as _os
+
+        from .queries import CompiledSummaryIndex
+
+        if _os.path.isdir(args.truth):
+            from .shard import load_manifest
+
+            truth = CompiledSummaryIndex(
+                load_manifest(args.truth, verify=False).load_global()
+            )
+        else:
+            truth = CompiledSummaryIndex(_load_any_summary(args.truth))
+    phase_watcher = None
+    if args.during_migration:
+        phase_watcher = _JournalPhaseWatcher(args.during_migration).start()
     cluster_client = None
     client_factory = None
     host, port = args.host, args.port
@@ -1074,8 +1287,12 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 client_timeout=args.timeout,
                 chaos=chaos,
                 client_factory=client_factory,
+                truth=truth,
+                phase_fn=phase_watcher,
             )
     finally:
+        if phase_watcher is not None:
+            phase_watcher.stop()
         if cluster_client is not None:
             print("breakers:", cluster_client.breaker_states())
             cluster_client.shutdown()
@@ -1085,7 +1302,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     if profiler is not None:
         print(profiler.format_table())
     print(report.format())
-    return 1 if report.errors else 0
+    return 1 if (report.errors or report.wrong) else 0
 
 
 _COMMANDS = {
@@ -1104,6 +1321,7 @@ _COMMANDS = {
     "serve-cluster": _cmd_serve_cluster,
     "query": _cmd_query,
     "loadgen": _cmd_loadgen,
+    "migrate": _cmd_migrate,
 }
 
 

@@ -229,6 +229,11 @@ class IngestService:
         self._accepting = False
         self._stopped = False
         self._error: Optional[BaseException] = None
+        # While a re-shard migration is in flight the pipeline also
+        # copies every applied event here (post-ack, post-apply), so the
+        # migration coordinator can replay writes that landed after its
+        # build snapshot onto the new generation before cutting over.
+        self._migration_buffer: Optional[List[Tuple[int, str, int, int]]] = None
         self.swap_reports: List[object] = []
         # Touch every counter so scrapes expose the full metric set from
         # the first request on, not only after the first event of each
@@ -333,6 +338,9 @@ class IngestService:
         self._set_gauge("ingest_lag_events", self._queue.qsize())
         self._set_gauge("wal_segments_active", self.wal.segment_count())
         self._set_gauge("ingest_last_seq", self.applied_seq)
+        self._set_gauge(
+            "ingest_migration_buffered", len(self._migration_buffer or ())
+        )
 
     def prometheus(self) -> str:
         """This service's metrics in the Prometheus text format."""
@@ -495,6 +503,12 @@ class IngestService:
             else:
                 self.summarizer.delete(u, v)
             self.applied_seq = seq
+        with self._lock:
+            if self._migration_buffer is not None:
+                self._migration_buffer.extend(
+                    (seq, op, u, v)
+                    for seq, (op, u, v) in enumerate(events, start=first)
+                )
         self._inc("ingest_applied_total", len(events))
         self._since_snapshot += len(events)
         with self._drained:
@@ -508,6 +522,52 @@ class IngestService:
             except Exception:  # noqa: BLE001 - snapshots retry next cadence
                 logger.exception("ingest snapshot failed; will retry")
                 self._inc("ingest_snapshot_failures_total")
+
+    # ------------------------------------------------------------------
+    # migration capture (repro.shard.migrate)
+    # ------------------------------------------------------------------
+    def begin_migration(self) -> None:
+        """Start capturing applied events for a re-shard catch-up.
+
+        From this point every event the pipeline applies (strictly after
+        its WAL ack) is *also* copied into a side buffer. Durability is
+        untouched — the WAL remains the source of truth for acked events
+        — the buffer only spares the migration coordinator a full WAL
+        diff when it replays post-snapshot writes onto the staged
+        generation. Idempotent: calling again keeps the current buffer.
+        """
+        with self._lock:
+            if self._migration_buffer is None:
+                self._migration_buffer = []
+        self._set_gauge("ingest_migration_buffered", 0)
+
+    def take_migration_events(self) -> List[Tuple[int, str, int, int]]:
+        """Drain the capture buffer: ``(seq, op, u, v)`` in apply order.
+
+        Each call returns only events captured since the previous call,
+        so the coordinator can loop take → replay until a round comes
+        back empty (the catch-up has converged).
+        """
+        with self._lock:
+            if self._migration_buffer is None:
+                return []
+            taken, self._migration_buffer = self._migration_buffer, []
+        self._set_gauge("ingest_migration_buffered", 0)
+        return taken
+
+    def end_migration(self) -> List[Tuple[int, str, int, int]]:
+        """Stop capturing; returns whatever was still buffered.
+
+        Called on both commit and rollback. Any events returned here
+        were acked into the WAL but not replayed onto the new
+        generation's artifacts — they are *not* lost; the next snapshot
+        (or recovery replay) folds them in.
+        """
+        with self._lock:
+            remaining = self._migration_buffer or []
+            self._migration_buffer = None
+        self._set_gauge("ingest_migration_buffered", 0)
+        return remaining
 
     # ------------------------------------------------------------------
     # snapshots
@@ -575,6 +635,7 @@ class IngestService:
             "wal_segments": self.wal.segment_count(),
             "num_edges": self.summarizer.num_edges,
             "num_supernodes": self.summarizer.num_supernodes,
+            "migration_capturing": self._migration_buffer is not None,
             "swaps": len(self.swap_reports),
             "error": str(self._error) if self._error else None,
         }

@@ -26,6 +26,8 @@ from .faults import (
     CRASH_EXIT_CODE,
     ClusterFaultPlan,
     FaultInjector,
+    MigrationFault,
+    MigrationFaultPlan,
     ReplicaFault,
     WorkerFault,
     WorkerFaultError,
@@ -67,6 +69,8 @@ __all__ = [
     "WorkerFaultError",
     "ReplicaFault",
     "ClusterFaultPlan",
+    "MigrationFault",
+    "MigrationFaultPlan",
     "CRASH_EXIT_CODE",
     "flip_bit",
     "truncate_file",

@@ -38,6 +38,8 @@ __all__ = [
     "WorkerFaultError",
     "ReplicaFault",
     "ClusterFaultPlan",
+    "MigrationFault",
+    "MigrationFaultPlan",
     "flip_bit",
     "truncate_file",
     "partial_write",
@@ -257,6 +259,96 @@ class ClusterFaultPlan:
                 self.swap_reports.append(report)
         except Exception as exc:  # noqa: BLE001 - recorded, not raised
             self.errors.append(exc)
+
+
+_MIGRATION_ACTIONS = ("kill", "corrupt")
+
+
+@dataclass(frozen=True)
+class MigrationFault:
+    """One scheduled fault against a re-shard migration coordinator.
+
+    Parameters
+    ----------
+    step:
+        The migration-journal step to fire at (``"plan"``, ``"build"``,
+        ``"built"``, ``"prepare"`` or ``"commit"``). The hook runs right
+        after the coordinator *persists* that step — inside its crash
+        window, when the journal already names the step but its work has
+        not completed.
+    action:
+        ``"kill"`` raises
+        :class:`~repro.shard.migrate.CoordinatorKilledError`, the
+        in-process stand-in for SIGKILLing the coordinator: the
+        coordinator never catches it, so whatever the journal and the
+        generation store say at that instant is exactly what a resuming
+        coordinator finds. ``"corrupt"`` flips a bit in ``path`` (a
+        staged generation's shard artifact, or a manifest directory —
+        same target rule as ``corrupt_swap``) and lets the migration run
+        on into the damage, which the CRC checks must catch.
+    path:
+        Corruption target for ``"corrupt"`` faults.
+    """
+
+    step: str
+    action: str = "kill"
+    path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.action not in _MIGRATION_ACTIONS:
+            raise ValueError(
+                f"action must be one of {_MIGRATION_ACTIONS}, "
+                f"got {self.action!r}"
+            )
+        if self.action == "corrupt" and not self.path:
+            raise ValueError("corrupt faults need a target path")
+
+
+class MigrationFaultPlan:
+    """A deterministic schedule of :class:`MigrationFault` entries.
+
+    Pass :meth:`on_step` as a
+    :class:`~repro.shard.migrate.MigrationCoordinator`'s ``on_step``
+    hook::
+
+        plan = MigrationFaultPlan([MigrationFault(step="prepare")])
+        coord = MigrationCoordinator(store, on_step=plan.on_step)
+
+    Each fault fires exactly once (the first time its step is reached),
+    so a killed-then-resumed coordinator passes the same step again
+    without re-dying — which is what lets one plan drive a whole
+    kill/resume round trip. ``triggered`` records the firing order.
+    """
+
+    def __init__(self, faults: List[MigrationFault]) -> None:
+        self.faults = list(faults)
+        self.triggered: List[Tuple[str, str]] = []
+        self._fired = [False] * len(self.faults)
+        self._lock = threading.Lock()
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every scheduled fault has fired."""
+        with self._lock:
+            return all(self._fired)
+
+    def on_step(self, step: str) -> None:
+        """Fire every not-yet-fired fault scheduled for ``step``."""
+        for i, fault in enumerate(self.faults):
+            with self._lock:
+                if self._fired[i] or fault.step != step:
+                    continue
+                self._fired[i] = True
+                self.triggered.append((step, fault.action))
+            if fault.action == "corrupt":
+                flip_bit(_corruption_target(fault.path))
+            else:
+                # Imported lazily: resilience is a lower layer than shard.
+                from ..shard.migrate import CoordinatorKilledError
+
+                raise CoordinatorKilledError(
+                    f"injected coordinator kill at step {step!r}"
+                )
 
 
 def _corruption_target(path: PathLike) -> str:

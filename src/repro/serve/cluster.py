@@ -56,6 +56,21 @@ default, or an explicit :class:`PartialResult` envelope with
 and rolls **one shard at a time** under the existing
 generation/verify/rollback machinery, so a failed shard swap rolls the
 whole fleet back and the cluster never serves a split summary.
+
+**Elastic re-sharding.** ``rolling_swap`` requires the ring to stay
+fixed; changing the ring (growing/shrinking the shard set) goes through
+the two-phase *generation cutover* driven by
+:class:`~repro.shard.migrate.MigrationCoordinator`:
+:meth:`SummaryCluster.prepare_generation` stages a fresh, validated
+fleet for the new manifest while the old generation keeps serving, and
+:meth:`SummaryCluster.commit_generation` atomically flips routing and
+bumps the **ring epoch**. The epoch propagates on every ``ping`` health
+payload and the full routing table is served by the ``topology``
+control op, so a :class:`ClusterClient` holding a stale ring detects
+the change (epoch mismatch in health, or a ``wrong_shard`` rejection
+from a retired replica) and refetches the topology instead of blindly
+retrying — see :meth:`ClusterClient.refresh_topology` and
+``docs/sharding.md`` for the full state machine.
 """
 
 from __future__ import annotations
@@ -217,6 +232,7 @@ class ClusterClient:
         *,
         shards: Optional[Mapping[int, Sequence[Address]]] = None,
         ring: Optional[HashRing] = None,
+        epoch: int = 0,
         rng: Optional[random.Random] = None,
         timeout: float = 5.0,
         deadline: Optional[float] = None,
@@ -260,11 +276,14 @@ class ClusterClient:
                 (str(host), int(port)) for host, port in replicas
             ]
         self._ring = ring
+        self.epoch = int(epoch)
         self.timeout = timeout
         self.default_deadline = deadline
         self.hedge_delay = hedge_delay
         self.retry_budget = retry_budget or RetryBudget()
         self._clock = clock
+        self._breaker_failures = breaker_failures
+        self._breaker_recovery = breaker_recovery
         self.breakers: List[CircuitBreaker] = [
             CircuitBreaker(
                 failure_threshold=breaker_failures,
@@ -274,6 +293,12 @@ class ClusterClient:
             for _ in self.replicas
         ]
         self.metrics = MetricsRegistry()
+        self.metrics.set_gauge("cluster_ring_epoch", self.epoch)
+        # Bumped on every topology refresh; threads compare their cached
+        # connection set against it so stale sockets to retired replicas
+        # are dropped instead of reused.
+        self._topology_version = 0
+        self._topology_lock = threading.Lock()
         self._tl = threading.local()
         # Round-robin cursors start at an RNG-drawn offset so a fleet of
         # fresh clients does not stampede replica 0 in lockstep.
@@ -294,9 +319,18 @@ class ClusterClient:
     # plumbing
     # ------------------------------------------------------------------
     def _client_for(self, idx: int) -> SummaryClient:
-        clients = getattr(self._tl, "clients", None)
-        if clients is None:
-            clients = self._tl.clients = {}
+        version = self._topology_version
+        if getattr(self._tl, "version", None) != version:
+            # The replica set changed under us (generation cutover):
+            # connections cached against the old flat indices may point
+            # at retired servers, so drop them all and reconnect lazily.
+            stale = getattr(self._tl, "clients", None)
+            if stale:
+                for old in stale.values():
+                    old.close()
+            self._tl.clients = {}
+            self._tl.version = version
+        clients = self._tl.clients
         client = clients.get(idx)
         if client is None:
             host, port = self.replicas[idx]
@@ -316,10 +350,12 @@ class ClusterClient:
 
     def _shard_order(self, sid: int) -> List[int]:
         """One shard's replica indices, rotated by its own cursor."""
-        slots = self._shard_slots[sid]
+        slots = self._shard_slots.get(sid)
+        if not slots:
+            raise ConnectionError(f"no replicas known for shard {sid}")
         n = len(slots)
         with self._rr_lock:
-            start = self._shard_rr[sid]
+            start = self._shard_rr.get(sid, 0) % n
             self._shard_rr[sid] = (start + 1) % n
         return [slots[(start + i) % n] for i in range(n)]
 
@@ -344,6 +380,8 @@ class ClusterClient:
         fault; typed codes count as failures exactly when retryable
         (:func:`failure_trips_breaker`).
         """
+        if idx >= len(self.breakers) or idx >= len(self.replicas):
+            return      # topology shrank mid-call; nothing to record
         breaker = self.breakers[idx]
         label = {"replica": _addr_label(self.replicas[idx])}
         if ok or not failure_trips_breaker(code):
@@ -379,7 +417,12 @@ class ClusterClient:
                     "deadline expired before the request was sent",
                 )
             deadline_ms = remaining * 1000.0
-        client = self._client_for(idx)
+        try:
+            client = self._client_for(idx)
+        except IndexError as exc:
+            raise _Attempt(
+                ConnectionError("replica set changed mid-call"), None
+            ) from exc
         stale_before = client.stale_served
         try:
             result = client.call(
@@ -426,6 +469,13 @@ class ClusterClient:
         the owning shard's replicas (failover stays *inside* the shard:
         other shards hold different serving summaries and would answer
         this node wrongly).
+
+        **Stale topology.** A ``wrong_shard`` rejection (this client
+        routed by a ring older than the server's) or a routed call
+        exhausting every replica (the shard's whole fleet may have been
+        retired by a generation cutover) triggers one topology refresh
+        (:meth:`refresh_topology`) and one re-route under the new ring —
+        never a blind retry on the same stale route.
         """
         if deadline is None:
             deadline = self.default_deadline
@@ -438,14 +488,43 @@ class ClusterClient:
             self.hedge_delay is not None and op in _HEDGEABLE
             if hedge is None else hedge
         )
-        if route is not None and self._ring is not None:
-            order = self._shard_order(self._ring.shard_of(route))
-        else:
-            order = self._ordered()
-        if use_hedge:
-            return self._call_hedged(
-                order, op, args, deadline_at, priority
+        try:
+            return self._dispatch(
+                use_hedge, self._route_order(route), op, args,
+                deadline_at, priority,
             )
+        except ServerError as exc:
+            if exc.code != ErrorCode.WRONG_SHARD:
+                raise
+            self._inc("cluster_wrong_shard_total", labels={"op": op})
+            if not self.refresh_topology():
+                raise
+        except ConnectionError:
+            if route is None or not self.refresh_topology():
+                raise
+        self._inc("cluster_reroutes_total", labels={"op": op})
+        return self._dispatch(
+            use_hedge, self._route_order(route), op, args,
+            deadline_at, priority,
+        )
+
+    def _route_order(self, route: Optional[int]) -> List[int]:
+        """Attempt order for one call under the current topology."""
+        if route is not None and self._ring is not None:
+            return self._shard_order(self._ring.shard_of(route))
+        return self._ordered()
+
+    def _dispatch(
+        self,
+        use_hedge: bool,
+        order: Sequence[int],
+        op: str,
+        args: Optional[Dict[str, Any]],
+        deadline_at: Optional[float],
+        priority: Optional[int],
+    ) -> Any:
+        if use_hedge:
+            return self._call_hedged(order, op, args, deadline_at, priority)
         return self._call_failover(order, op, args, deadline_at, priority)
 
     def _check_deadline(self, deadline_at: Optional[float]) -> None:
@@ -848,6 +927,101 @@ class ClusterClient:
         )
 
     # ------------------------------------------------------------------
+    # topology refresh (ring-epoch cache invalidation)
+    # ------------------------------------------------------------------
+    def refresh_topology(
+        self, payload: Optional[Dict[str, Any]] = None
+    ) -> bool:
+        """Refetch the routing topology; install it if strictly newer.
+
+        ``payload`` is the server-published envelope (``epoch`` + ``ring``
+        + per-shard addresses) from the ``topology`` control op; when
+        ``None`` it is fetched from the first known replica that answers
+        — retired replicas deliberately keep serving the *new* topology,
+        so a fully stale client can still find its way forward.
+
+        The swap is atomic with respect to new calls: ring, slot map,
+        replica list and breakers are replaced together under a lock
+        (per-address breakers surviving the change keep their state), and
+        the connection version is bumped so every worker thread drops its
+        cached sockets to retired servers. Returns ``True`` iff a newer
+        epoch was installed.
+        """
+        if self._ring is None:
+            return False        # unsharded clients have no topology
+        if payload is None:
+            payload = self._fetch_topology()
+        if not payload or payload.get("ring") is None:
+            return False
+        try:
+            epoch = int(payload.get("epoch", 0))
+            ring = HashRing.from_dict(payload["ring"])
+            shard_map = {
+                int(sid): [(str(h), int(p)) for h, p in addrs]
+                for sid, addrs in payload["shards"].items()
+            }
+        except (KeyError, TypeError, ValueError):
+            logger.warning("ignoring malformed topology payload")
+            return False
+        with self._topology_lock:
+            if epoch <= self.epoch:
+                return False
+            shard_ids = sorted(shard_map)
+            if sorted(ring.shards) != shard_ids or not all(
+                shard_map[sid] for sid in shard_ids
+            ):
+                logger.warning("ignoring inconsistent topology payload")
+                return False
+            old_breakers = dict(zip(self.replicas, self.breakers))
+            flat: List[Address] = []
+            slots: Dict[int, List[int]] = {}
+            for sid in shard_ids:
+                addrs = shard_map[sid]
+                slots[sid] = list(
+                    range(len(flat), len(flat) + len(addrs))
+                )
+                flat.extend(addrs)
+            breakers = [
+                old_breakers.get(addr) or CircuitBreaker(
+                    failure_threshold=self._breaker_failures,
+                    recovery_time=self._breaker_recovery,
+                    clock=self._clock,
+                )
+                for addr in flat
+            ]
+            self.shard_ids = shard_ids
+            self._shard_slots = slots
+            self.replicas = flat
+            self.breakers = breakers
+            self._ring = ring
+            with self._rr_lock:
+                self._rr = 0
+                self._shard_rr = {sid: 0 for sid in shard_ids}
+            self.epoch = epoch
+            self._topology_version += 1
+            self._inc("cluster_topology_refreshes_total")
+            self.metrics.set_gauge("cluster_ring_epoch", epoch)
+            obs_metrics.set_gauge("cluster_ring_epoch", epoch)
+        logger.info(
+            "topology refreshed to epoch %d: %d shards, %d replicas",
+            epoch, len(shard_ids), len(flat),
+        )
+        return True
+
+    def _fetch_topology(self) -> Optional[Dict[str, Any]]:
+        """The ``topology`` payload from the first replica that answers."""
+        for host, port in list(self.replicas):
+            probe = SummaryClient(host, port, timeout=self.timeout,
+                                  retries=0)
+            try:
+                return probe.call("topology")
+            except (ServerError, OSError, ProtocolError):
+                continue
+            finally:
+                probe.close()
+        return None
+
+    # ------------------------------------------------------------------
     # health / introspection
     # ------------------------------------------------------------------
     def start_health_checks(
@@ -976,7 +1150,10 @@ class ClusterHealthChecker(threading.Thread):
 
     def probe_all(self) -> None:
         """One probe round (also callable synchronously from tests)."""
-        for idx, address in enumerate(self.client.replicas):
+        newer_epoch = False
+        for idx, address in enumerate(list(self.client.replicas)):
+            if idx >= len(self.client.breakers):
+                break               # topology refreshed mid-round
             breaker = self.client.breakers[idx]
             if not breaker.allow():
                 continue
@@ -1008,6 +1185,12 @@ class ClusterHealthChecker(threading.Thread):
                     health.get("queue_depth", -1),
                     labels={"replica": label},
                 )
+                ring_epoch = health.get("ring_epoch")
+                if (
+                    ring_epoch is not None
+                    and int(ring_epoch) > self.client.epoch
+                ):
+                    newer_epoch = True
             finally:
                 probe.close()
             self.client.metrics.set_gauge(
@@ -1033,6 +1216,15 @@ class ClusterHealthChecker(threading.Thread):
                     max(generations),
                     labels={"shard": str(sid)},
                 )
+        # A replica advertising a newer ring epoch in its health payload
+        # means a cutover committed since this client last fetched the
+        # topology — refresh proactively instead of waiting for a
+        # wrong_shard bounce on live traffic.
+        if newer_epoch:
+            try:
+                self.client.refresh_topology()
+            except Exception:  # noqa: BLE001 - keep probing
+                logger.exception("topology refresh failed")
 
     def run(self) -> None:
         while not self._stop_event.wait(self.interval):
@@ -1144,6 +1336,13 @@ class SummaryCluster:
             [None] * len(self._configs)
         )
         self._started = False
+        # Generation cutover state: the ring epoch (bumped at every
+        # commit), the staged-but-uncommitted replica fleet, and old
+        # fleets kept alive after commit so stale clients can still
+        # reach *something* that redirects them (deferred retirement).
+        self._epoch = 0
+        self._staged: Optional[Dict[str, Any]] = None
+        self._retired: List[ServerThread] = []
 
     @classmethod
     def from_manifest(
@@ -1210,6 +1409,7 @@ class SummaryCluster:
             raise RuntimeError("cluster already started")
         for i in range(self.num_replicas):
             self._start_replica(i)
+        self._push_topology()
         self._started = True
         logger.info(
             "cluster up: %d replicas on %s",
@@ -1276,6 +1476,12 @@ class SummaryCluster:
         if self._handles[i] is not None:
             raise RuntimeError(f"replica {i} is still running")
         self._start_replica(i)
+        if self._ring is not None:
+            handle = self._handles[i]
+            assert handle is not None
+            handle.server.set_topology(
+                self.topology(), shard_id=self._replica_shard[i]
+            )
         logger.info("restarted replica %d on port %d",
                     i, self._configs[i].port)
 
@@ -1288,7 +1494,8 @@ class SummaryCluster:
         """
         if self._ring is not None:
             return ClusterClient(
-                shards=self.shard_addresses, ring=self._ring, **kwargs
+                shards=self.shard_addresses, ring=self._ring,
+                epoch=self._epoch, **kwargs
             )
         return ClusterClient(self.addresses, **kwargs)
 
@@ -1309,6 +1516,213 @@ class SummaryCluster:
                 handle.server.generation if handle is not None else None
             )
         return grouped
+
+    # ------------------------------------------------------------------
+    # generation cutover (elastic re-sharding)
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """The ring epoch — bumped by every committed cutover."""
+        return self._epoch
+
+    @property
+    def staged_generation(self) -> Optional[Any]:
+        """The staged-but-uncommitted manifest, or ``None``."""
+        return self._staged["manifest"] if self._staged else None
+
+    def topology(self) -> Dict[str, Any]:
+        """The routing payload served by the ``topology`` control op.
+
+        JSON-serializable by construction: it crosses the wire verbatim
+        so a :class:`ClusterClient` can rebuild its ring and per-shard
+        address map (:meth:`ClusterClient.refresh_topology`).
+        """
+        return {
+            "epoch": self._epoch,
+            "ring": (
+                self._ring.to_dict() if self._ring is not None else None
+            ),
+            "shards": {
+                str(sid): [[host, port] for host, port in addrs]
+                for sid, addrs in self.shard_addresses.items()
+            },
+        }
+
+    def _push_topology(self) -> None:
+        """Install the current routing payload on every live replica."""
+        if self._ring is None:
+            return
+        payload = self.topology()
+        for i, handle in enumerate(self._handles):
+            if handle is not None:
+                handle.server.set_topology(
+                    payload, shard_id=self._replica_shard[i]
+                )
+
+    def prepare_generation(
+        self,
+        manifest: Union[str, "os.PathLike[str]", object],
+        replicas: Optional[int] = None,
+    ) -> List[Address]:
+        """Phase one of a cutover: stage a fresh fleet, old still serving.
+
+        Loads and CRC-verifies ``manifest`` (a directory path or a parsed
+        :class:`~repro.shard.manifest.ShardManifest` — which, unlike
+        :meth:`rolling_swap`, may carry a *different* ring and shard
+        set), starts ``replicas`` servers per new shard on ephemeral
+        ports, and ping-validates each one. The current generation keeps
+        serving untouched throughout. Any failure tears the staged fleet
+        down and re-raises — all-or-nothing. Returns the staged replica
+        addresses.
+        """
+        from ..shard.manifest import ShardManifest, load_manifest
+
+        if self._ring is None:
+            raise RuntimeError(
+                "generation cutover requires a sharded cluster"
+            )
+        if not self._started:
+            raise RuntimeError("cluster is not started")
+        if self._staged is not None:
+            raise RuntimeError(
+                "a generation is already staged "
+                "(commit_generation or abort_generation first)"
+            )
+        if not isinstance(manifest, ShardManifest):
+            manifest = load_manifest(os.fspath(manifest))  # verifies CRCs
+        shard_ids = list(manifest.shard_ids)
+        indexes = {
+            sid: CompiledSummaryIndex(manifest.load_shard(sid))
+            for sid in shard_ids
+        }
+        count = replicas or self.replicas_per_shard
+        template = dataclasses.replace(self._configs[0], port=0)
+        configs: List[ServerConfig] = []
+        replica_shard: List[int] = []
+        handles: List[ServerThread] = []
+        try:
+            for sid in shard_ids:
+                for _ in range(count):
+                    handle = ServerThread(
+                        indexes[sid], dataclasses.replace(template)
+                    ).start()
+                    handles.append(handle)
+                    configs.append(dataclasses.replace(
+                        template, port=handle.port
+                    ))
+                    replica_shard.append(sid)
+            for config in configs:
+                probe = SummaryClient(
+                    config.host, config.port, timeout=2.0, retries=0
+                )
+                try:
+                    if not probe.ping().get("pong"):
+                        raise RuntimeError(
+                            f"staged replica {config.host}:{config.port} "
+                            f"failed validation"
+                        )
+                finally:
+                    probe.close()
+        except Exception:
+            for handle in handles:
+                try:
+                    handle.kill()
+                except Exception:  # noqa: BLE001 - best-effort teardown
+                    pass
+            raise
+        self._staged = {
+            "manifest": manifest,
+            "ring": manifest.ring,
+            "shard_ids": shard_ids,
+            "indexes": indexes,
+            "configs": configs,
+            "replica_shard": replica_shard,
+            "handles": handles,
+        }
+        logger.info(
+            "staged generation: %d shards x %d replicas (epoch %d still "
+            "serving)", len(shard_ids), count, self._epoch,
+        )
+        return [(c.host, c.port) for c in configs]
+
+    def commit_generation(self) -> int:
+        """Phase two: atomically flip routing to the staged generation.
+
+        Swaps ring, indexes, configs and handles in one step and bumps
+        the ring epoch. The *old* replicas are not stopped: they get the
+        new topology installed with a sentinel shard id, so every routed
+        query they still receive bounces with ``wrong_shard`` and their
+        ``topology`` op hands stale clients the new address map — then
+        :meth:`retire_old_generation` reaps them once traffic has moved.
+        Returns the new epoch.
+        """
+        staged = self._staged
+        if staged is None:
+            raise RuntimeError("no staged generation to commit")
+        old_handles = [h for h in self._handles if h is not None]
+        self._ring = staged["ring"]
+        self._shard_ids = staged["shard_ids"]
+        self._indexes = staged["indexes"]
+        self._configs = staged["configs"]
+        self._replica_shard = staged["replica_shard"]
+        self._handles = list(staged["handles"])
+        self._previous_indexes = None   # old indexes span the old ring
+        self._staged = None
+        self._epoch += 1
+        payload = self.topology()
+        for i, handle in enumerate(self._handles):
+            if handle is not None:
+                handle.server.set_topology(
+                    payload, shard_id=self._replica_shard[i]
+                )
+        for handle in old_handles:
+            try:
+                # shard_id=-1 owns nothing under any ring: the retired
+                # replica rejects every routed query with wrong_shard
+                # instead of answering from its superseded artifact.
+                handle.server.set_topology(payload, shard_id=-1)
+            except Exception:  # noqa: BLE001 - a dead old replica is fine
+                pass
+        self._retired.extend(old_handles)
+        logger.info(
+            "committed generation: epoch %d, shards %s (%d old replicas "
+            "awaiting retirement)",
+            self._epoch, self._shard_ids, len(old_handles),
+        )
+        return self._epoch
+
+    def abort_generation(self) -> bool:
+        """Tear down a staged-but-uncommitted generation (idempotent).
+
+        The serving fleet is untouched — prepare is side-effect-free
+        until commit, which is what makes the coordinator's rollback
+        all-or-nothing. Returns whether anything was staged.
+        """
+        staged = self._staged
+        if staged is None:
+            return False
+        self._staged = None
+        for handle in staged["handles"]:
+            try:
+                handle.kill()
+            except Exception:  # noqa: BLE001 - best-effort teardown
+                pass
+        logger.info("aborted staged generation (epoch %d still serving)",
+                    self._epoch)
+        return True
+
+    def retire_old_generation(self, timeout: float = 5.0) -> int:
+        """Stop replicas left serving redirects by past commits."""
+        retired, self._retired = self._retired, []
+        for handle in retired:
+            try:
+                handle.stop(timeout=timeout)
+            except Exception:  # noqa: BLE001 - kill stragglers
+                try:
+                    handle.kill()
+                except Exception:  # noqa: BLE001
+                    pass
+        return len(retired)
 
     # ------------------------------------------------------------------
     # rolling swap
@@ -1488,7 +1902,9 @@ class SummaryCluster:
 
     # ------------------------------------------------------------------
     def stop(self, timeout: float = 30.0) -> None:
-        """Gracefully stop every live replica."""
+        """Gracefully stop every live replica (staged + retired too)."""
+        self.abort_generation()
+        self.retire_old_generation(timeout=timeout)
         for i, handle in enumerate(self._handles):
             if handle is not None:
                 try:

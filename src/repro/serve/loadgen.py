@@ -147,6 +147,11 @@ class LoadReport:
     chaos_junk: int = 0      # garbage frames delivered to the server
     stale: int = 0           # answers flagged stale (degraded serving)
     wrong: int = 0           # answers that failed ground-truth verification
+    #: Per-phase outcome buckets when a ``phase_fn`` was supplied:
+    #: ``{phase: {"queries": n, "errors": n, "wrong": n}}`` — the
+    #: during-migration verification mode reads wrong/error counts per
+    #: migration step out of this.
+    phase_counts: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def qps(self) -> float:
@@ -177,6 +182,14 @@ class LoadReport:
             parts.append(f"stale={self.stale}")
         if self.wrong:
             parts.append(f"WRONG={self.wrong}")
+        for phase in sorted(self.phase_counts):
+            bucket = self.phase_counts[phase]
+            parts.append(
+                "phase[{}] q={} err={} wrong={}".format(
+                    phase, bucket.get("queries", 0),
+                    bucket.get("errors", 0), bucket.get("wrong", 0),
+                )
+            )
         if self.latencies_ms:
             parts.append(
                 "latency_ms p50={:.2f} p95={:.2f} p99={:.2f}".format(
@@ -292,6 +305,7 @@ def run_load(
     client_factory: Optional[Callable[[], Any]] = None,
     truth: Optional[Any] = None,
     on_progress: Optional[Callable[[int], None]] = None,
+    phase_fn: Optional[Callable[[], str]] = None,
 ) -> LoadReport:
     """Fire ``num_queries`` mixed queries from ``concurrency`` threads.
 
@@ -315,6 +329,13 @@ def run_load(
     of attempted queries (successes and failures) — chaos tests use it to
     trigger faults at a deterministic point mid-run. Keep it cheap and
     thread-safe.
+
+    ``phase_fn`` labels every query with the phase the system was in
+    when it was *issued* (e.g. a migration coordinator's current journal
+    step); outcomes are bucketed per phase in
+    :attr:`LoadReport.phase_counts`, so the during-migration
+    verification mode can assert "zero wrong answers in *every* phase"
+    rather than only in aggregate. Must be cheap and thread-safe.
     """
     if num_queries < 1:
         raise ValueError("num_queries must be positive")
@@ -356,6 +377,7 @@ def run_load(
     chaos_junk = [0]
     wrong = [0]
     completed = [0]
+    phase_counts: Dict[str, Dict[str, int]] = {}
     # Distinct client objects with their counter baselines: a shared
     # ClusterClient appears once, so retries/stale are counted once.
     client_registry: Dict[int, Any] = {}
@@ -388,6 +410,18 @@ def run_load(
         local_drops = 0
         local_junk = 0
         local_wrong = 0
+        local_phases: Dict[str, Dict[str, int]] = {}
+
+        def phase_bucket() -> Optional[Dict[str, int]]:
+            if phase_fn is None:
+                return None
+            phase = str(phase_fn())
+            bucket = local_phases.get(phase)
+            if bucket is None:
+                bucket = local_phases[phase] = {
+                    "queries": 0, "errors": 0, "wrong": 0,
+                }
+            return bucket
         worker_span = obs_trace.span(
             "load_worker", key=worker_id, parent=run_span, quota=quota,
         )
@@ -404,6 +438,9 @@ def run_load(
                 op = ops[int(rng.choice(len(ops), p=probs))]
                 v = _pick_node(rng, num_nodes, skew)
                 u = _pick_node(rng, num_nodes, skew)
+                bucket = phase_bucket()
+                if bucket is not None:
+                    bucket["queries"] += 1
                 tic = time.perf_counter()
                 try:
                     if op == "neighbors":
@@ -420,6 +457,8 @@ def run_load(
                         result = client.bfs(v)
                 except (ServerError, ConnectionError):
                     local_errors += 1
+                    if bucket is not None:
+                        bucket["errors"] += 1
                     continue
                 finally:
                     if on_progress is not None:
@@ -432,6 +471,8 @@ def run_load(
                 if truth is not None and not _verify(truth, op, v, u,
                                                      result):
                     local_wrong += 1
+                    if bucket is not None:
+                        bucket["wrong"] += 1
         finally:
             client.close()
             worker_span.set_attribute("errors", local_errors)
@@ -442,6 +483,12 @@ def run_load(
                 chaos_drops[0] += local_drops
                 chaos_junk[0] += local_junk
                 wrong[0] += local_wrong
+                for phase, bucket in local_phases.items():
+                    merged = phase_counts.setdefault(
+                        phase, {"queries": 0, "errors": 0, "wrong": 0}
+                    )
+                    for key, count in bucket.items():
+                        merged[key] += count
                 for op, count in local_ops.items():
                     op_counts[op] += count
                     if count:
@@ -497,4 +544,5 @@ def run_load(
         chaos_junk=chaos_junk[0],
         stale=stale[0],
         wrong=wrong[0],
+        phase_counts=phase_counts,
     )

@@ -56,11 +56,14 @@ _LEN = struct.Struct(">I")
 from ..queries.summary_analytics import ANALYTICS_OPS  # noqa: E402
 
 #: Query operations the server understands.
-#: ``stats``/``ping``/``reload``/``metrics`` are control-plane ops
-#: answered on the event loop; the rest go through the batch executor.
+#: ``stats``/``ping``/``reload``/``metrics``/``topology`` are
+#: control-plane ops answered on the event loop; the rest go through the
+#: batch executor. ``topology`` returns the cluster routing payload
+#: (ring + shard addresses + epoch) installed at the last cutover, so a
+#: client that sees a newer ``ring_epoch`` in a ``ping`` can refetch.
 OPS = frozenset(
     {"neighbors", "degree", "has_edge", "bfs",
-     "stats", "ping", "reload", "metrics"}
+     "stats", "ping", "reload", "metrics", "topology"}
 ) | ANALYTICS_OPS
 
 
@@ -75,11 +78,15 @@ class ErrorCode:
     SHUTTING_DOWN = "shutting_down"    # server is draining
     FORBIDDEN = "forbidden"            # op disabled by server config
     INTERNAL = "internal"              # unexpected server-side failure
+    WRONG_SHARD = "wrong_shard"        # routed by a stale ring epoch
 
     #: Codes a client may safely retry with backoff. ``shutting_down`` is
     #: retryable because in a replica set the retry lands elsewhere (and a
     #: lone server restarting will accept it shortly). ``deadline_exceeded``
     #: is not: the caller's deadline has passed, so a retry cannot help.
+    #: ``wrong_shard`` is not blind-retryable either — the same stale
+    #: route would fail again; :class:`~repro.serve.cluster.ClusterClient`
+    #: handles it by refreshing its cached topology and re-routing once.
     RETRYABLE = frozenset({"overloaded", "timeout", "shutting_down"})
 
 

@@ -130,6 +130,9 @@ class SummaryServer:
         self._swap_lock = threading.Lock()
         self._generation = 0
         self._degraded = False
+        self._topology: Optional[Dict[str, Any]] = None
+        self._topology_ring: Optional[Any] = None   # HashRing when sharded
+        self._shard_id: Optional[int] = None
         self._stale_cache: Dict[Any, Any] = {}
         self._stale_generation: Optional[int] = None
         self._shed_threshold = max(
@@ -283,6 +286,66 @@ class SummaryServer:
         return self._index
 
     # ------------------------------------------------------------------
+    # cluster topology
+    # ------------------------------------------------------------------
+    def set_topology(
+        self,
+        payload: Dict[str, Any],
+        *,
+        shard_id: Optional[int] = None,
+    ) -> None:
+        """Install the cluster routing payload this replica should hand out.
+
+        ``payload`` carries ``epoch``, the ring description, and the
+        shard → address map (see
+        :meth:`~repro.serve.cluster.SummaryCluster.topology`). The epoch
+        is echoed in every ``ping`` health dict so clients detect a
+        cutover, and the full payload is served by the ``topology`` op.
+        When ``shard_id`` is given, single-node queries whose owner under
+        the installed ring is a *different* shard are rejected with
+        ``wrong_shard`` — the signal a stale-routed client needs to
+        refresh. Thread-safe (atomic reference swaps under the GIL).
+        """
+        ring = None
+        if payload.get("ring") is not None:
+            from ..shard.hashring import HashRing
+
+            ring = HashRing.from_dict(payload["ring"])
+        self._topology_ring = ring
+        self._shard_id = shard_id
+        self._topology = payload
+
+    @property
+    def ring_epoch(self) -> Optional[int]:
+        """Epoch of the installed topology (``None`` when unsharded)."""
+        if self._topology is None:
+            return None
+        return int(self._topology.get("epoch", 0))
+
+    def _check_route(self, op: str, args: Dict[str, Any]) -> None:
+        """Reject queries a stale ring epoch routed to the wrong shard."""
+        ring, shard_id = self._topology_ring, self._shard_id
+        if ring is None or shard_id is None:
+            return
+        key = None
+        if op in ("neighbors", "degree", "analytics.degree"):
+            key = args.get("v")
+        elif op == "has_edge":
+            key = args.get("u")
+        if not isinstance(key, int) or isinstance(key, bool):
+            return
+        if not 0 <= key < self._index.num_nodes:
+            return                  # let the executor answer out_of_range
+        owner = ring.shard_of(key)
+        if owner != shard_id:
+            self.metrics.inc("wrong_shard_total")
+            raise RequestError(
+                ErrorCode.WRONG_SHARD,
+                f"node {key} belongs to shard {owner}, not {shard_id} "
+                f"(ring epoch {self.ring_epoch})",
+            )
+
+    # ------------------------------------------------------------------
     # degraded mode
     # ------------------------------------------------------------------
     def set_degraded(self, degraded: bool) -> None:
@@ -344,7 +407,7 @@ class SummaryServer:
         Deliberately cheap — no cache/metrics snapshots — so a health
         checker can hit it every second without perturbing the server.
         """
-        return {
+        payload = {
             "pong": True,
             "generation": self._generation,
             "queue_depth": len(self._queue),
@@ -352,6 +415,10 @@ class SummaryServer:
             "draining": self._draining,
             "degraded": self._degraded,
         }
+        epoch = self.ring_epoch
+        if epoch is not None:
+            payload["ring_epoch"] = epoch
+        return payload
 
     def prometheus(self) -> str:
         """Prometheus text exposition of the server's metrics.
@@ -476,6 +543,13 @@ class SummaryServer:
             return ok_response(rid, self.stats())
         if op == "metrics":
             return ok_response(rid, self.prometheus())
+        if op == "topology":
+            if self._topology is None:
+                raise RequestError(
+                    ErrorCode.BAD_REQUEST,
+                    "no topology installed (unsharded server)",
+                )
+            return ok_response(rid, self._topology)
         # reload: load a summary file and hot-swap to it.
         if not self.config.allow_reload:
             raise RequestError(
@@ -529,6 +603,7 @@ class SummaryServer:
             raise RequestError(
                 ErrorCode.SHUTTING_DOWN, "server is shutting down"
             )
+        self._check_route(op, args)
         if self._pending >= self.config.max_pending:
             return self._reject_or_degrade(
                 rid, op, args, ErrorCode.OVERLOADED,

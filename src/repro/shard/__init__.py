@@ -40,6 +40,15 @@ from .manifest import (
     load_serving_summaries,
     save_sharded,
 )
+from .migrate import (
+    CoordinatorKilledError,
+    GenerationStore,
+    MigrationCoordinator,
+    MigrationJournal,
+    MigrationPlan,
+    MigrationReport,
+    plan_migration,
+)
 from .partitioner import GraphShard, ShardedGraph, partition_graph
 from .stitch import StitchReport, shard_serving_summary, stitch_shards
 
@@ -58,4 +67,11 @@ __all__ = [
     "save_sharded",
     "load_manifest",
     "load_serving_summaries",
+    "plan_migration",
+    "MigrationPlan",
+    "MigrationJournal",
+    "MigrationReport",
+    "MigrationCoordinator",
+    "GenerationStore",
+    "CoordinatorKilledError",
 ]

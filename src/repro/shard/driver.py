@@ -168,7 +168,11 @@ def summarize_sharded(
 
     manifest = None
     if out_dir is not None:
-        manifest = save_sharded(report.summary, sharded, out_dir)
+        # Persist the local-space summaries too (manifest v2), so the
+        # directory can seed a targeted re-shard via repro.shard.migrate.
+        manifest = save_sharded(
+            report.summary, sharded, out_dir, local_summaries=summaries
+        )
     return ShardSummaryResult(
         sharded=sharded,
         summaries=summaries,

@@ -5,6 +5,16 @@ A stitched run persists one directory::
     manifest.json        ring + universe + per-shard artifact table
     global.ldmeb         the stitched global summary (truth / validation)
     shard-<id>.ldmeb     per-shard serving summary, one per shard
+    local-<id>.ldmeb     per-shard *local-space* summary (v2, optional)
+
+The optional ``local-<id>.ldmeb`` artifacts (manifest version 2) are the
+raw per-shard summaries in shard-local id space — exactly what
+:func:`~repro.shard.stitch.stitch_shards` consumes. Persisting them
+makes a manifest *re-stitchable*: an elastic re-shard
+(:mod:`repro.shard.migrate`) reuses the unaffected shards' local
+summaries verbatim and re-summarizes only the remapped shards. Version 1
+manifests (no locals) still load; they just can't seed a targeted
+rebuild.
 
 Every ``.ldmeb`` is the CRC-footer binary format of :mod:`repro.binaryio`
 (corruption inside a file raises
@@ -45,7 +55,8 @@ __all__ = [
 ]
 
 MANIFEST_NAME = "manifest.json"
-MANIFEST_VERSION = 1
+MANIFEST_VERSION = 2
+SUPPORTED_VERSIONS = frozenset({1, 2})
 
 PathLike = Union[str, "os.PathLike[str]"]
 
@@ -93,6 +104,7 @@ class ShardManifest:
     global_path: str                  # relative, the stitched summary
     global_crc32: int
     entries: List[ShardEntry] = field(default_factory=list)
+    local_entries: List[ShardEntry] = field(default_factory=list)
 
     @property
     def num_shards(self) -> int:
@@ -113,6 +125,26 @@ class ShardManifest:
         """Absolute path of one shard's serving artifact."""
         return os.path.join(self.directory, self.entry(shard_id).path)
 
+    @property
+    def has_locals(self) -> bool:
+        """Whether this manifest carries local-space summaries (v2)."""
+        return bool(self.local_entries)
+
+    def local_entry(self, shard_id: int) -> ShardEntry:
+        """The local-space entry for one shard (``KeyError`` if absent)."""
+        for entry in self.local_entries:
+            if entry.shard_id == shard_id:
+                return entry
+        raise KeyError(f"no local summary for shard {shard_id} in manifest")
+
+    def local_file(self, shard_id: int) -> str:
+        """Absolute path of one shard's local-space summary."""
+        return os.path.join(self.directory, self.local_entry(shard_id).path)
+
+    def load_local(self, shard_id: int) -> Summarization:
+        """Read one shard's local-space summary (CRC-checked)."""
+        return read_summary_binary(self.local_file(shard_id))
+
     def global_file(self) -> str:
         """Absolute path of the stitched global summary."""
         return os.path.join(self.directory, self.global_path)
@@ -125,7 +157,7 @@ class ShardManifest:
         mismatch — a missing, truncated, or substituted file.
         """
         checks = [(self.global_path, self.global_crc32)] + [
-            (e.path, e.crc32) for e in self.entries
+            (e.path, e.crc32) for e in self.entries + self.local_entries
         ]
         for rel, expected in checks:
             path = os.path.join(self.directory, rel)
@@ -158,6 +190,8 @@ class ShardManifest:
             "global": {"path": self.global_path, "crc32": self.global_crc32},
             "shards": [e.to_dict() for e in sorted(
                 self.entries, key=lambda e: e.shard_id)],
+            "locals": [e.to_dict() for e in sorted(
+                self.local_entries, key=lambda e: e.shard_id)],
         }
 
 
@@ -167,12 +201,16 @@ def save_sharded(
     directory: PathLike,
     *,
     serving: Optional[Dict[int, Summarization]] = None,
+    local_summaries: Optional[Dict[int, Summarization]] = None,
 ) -> ShardManifest:
     """Persist a stitched run as a manifest directory.
 
     Derives each shard's serving summary (unless precomputed ones are
     passed via ``serving``), writes all ``.ldmeb`` artifacts, then the
-    manifest last. Returns the in-memory :class:`ShardManifest`.
+    manifest last. When ``local_summaries`` (shard id → local-space
+    summary) is given, each one is persisted as ``local-<id>.ldmeb`` so
+    the directory can seed a targeted re-shard later. Returns the
+    in-memory :class:`ShardManifest`.
     """
     directory = os.fspath(directory)
     os.makedirs(directory, exist_ok=True)
@@ -198,6 +236,28 @@ def save_sharded(
             num_supernodes=summary.num_supernodes,
         ))
 
+    local_entries: List[ShardEntry] = []
+    if local_summaries:
+        missing = (
+            {s.shard_id for s in sharded.shards} - set(local_summaries)
+        )
+        if missing:
+            raise ValueError(
+                f"local_summaries missing shards {sorted(missing)}"
+            )
+        for shard in sharded.shards:
+            sid = shard.shard_id
+            rel = f"local-{sid}.ldmeb"
+            path = os.path.join(directory, rel)
+            size = write_summary_binary(local_summaries[sid], path)
+            local_entries.append(ShardEntry(
+                shard_id=sid,
+                path=rel,
+                crc32=file_crc32(path),
+                size_bytes=size,
+                num_supernodes=local_summaries[sid].num_supernodes,
+            ))
+
     manifest = ShardManifest(
         directory=directory,
         ring=sharded.ring,
@@ -207,6 +267,7 @@ def save_sharded(
         global_path=global_rel,
         global_crc32=file_crc32(global_abs),
         entries=entries,
+        local_entries=local_entries,
     )
     manifest_path = os.path.join(directory, MANIFEST_NAME)
     with atomic_write(manifest_path, "w", encoding="utf-8") as fh:
@@ -230,7 +291,7 @@ def load_manifest(directory: PathLike, *, verify: bool = True) -> ShardManifest:
     with open(path, "r", encoding="utf-8") as fh:
         data = json.load(fh)
     version = int(data.get("version", 0))
-    if version != MANIFEST_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise CorruptSummaryError(path, f"unsupported manifest version {version}")
     manifest = ShardManifest(
         directory=os.path.dirname(path) or ".",
@@ -241,6 +302,9 @@ def load_manifest(directory: PathLike, *, verify: bool = True) -> ShardManifest:
         global_path=str(data["global"]["path"]),
         global_crc32=int(data["global"]["crc32"]),
         entries=[ShardEntry.from_dict(doc) for doc in data["shards"]],
+        local_entries=[
+            ShardEntry.from_dict(doc) for doc in data.get("locals", [])
+        ],
     )
     ring_shards = set(manifest.ring.shards)
     entry_shards = set(manifest.shard_ids)
@@ -250,6 +314,14 @@ def load_manifest(directory: PathLike, *, verify: bool = True) -> ShardManifest:
             f"ring shards {sorted(ring_shards)} != "
             f"manifest shards {sorted(entry_shards)}",
         )
+    if manifest.local_entries:
+        local_shards = {e.shard_id for e in manifest.local_entries}
+        if local_shards != entry_shards:
+            raise CorruptSummaryError(
+                path,
+                f"local summary shards {sorted(local_shards)} != "
+                f"manifest shards {sorted(entry_shards)}",
+            )
     if verify:
         manifest.verify_files()
     return manifest

@@ -352,6 +352,78 @@ class TestShardMetricsConformance:
             client.shutdown()
 
 
+class TestMigrationMetricsConformance:
+    """The elastic re-sharding rows: per-phase ``migration_state``
+    gauges, the remapped-vertex gauge, the rollback counter, and the
+    cluster ring epoch — all zero-registered at construction so
+    dashboards see the series before the first migration ever runs."""
+
+    def test_migration_rows_zero_registered(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.shard import GenerationStore, MigrationCoordinator
+        from repro.shard.migrate import MIGRATION_PHASES
+
+        registry = MetricsRegistry()
+        MigrationCoordinator(
+            GenerationStore(tmp_path / "store"), registry=registry
+        )
+        types, samples = assert_conformant(registry.to_prometheus())
+        assert types["repro_migration_state"] == "gauge"
+        assert types["repro_migration_remapped_vertices"] == "gauge"
+        assert types["repro_migration_rollback_total"] == "counter"
+        assert types["repro_cluster_ring_epoch"] == "gauge"
+        states = {
+            s[1]["phase"]: s[2] for s in samples
+            if s[0] == "repro_migration_state"
+        }
+        assert sorted(states) == sorted(MIGRATION_PHASES)
+        assert all(v == 0 for v in states.values())
+        by_name = {n: v for n, l, v in samples if not l}
+        assert by_name["repro_migration_remapped_vertices"] == 0
+        assert by_name["repro_migration_rollback_total"] == 0
+        assert by_name["repro_cluster_ring_epoch"] == 0
+
+    def test_migration_rows_after_a_run(self, tmp_path):
+        from repro.graph.generators import web_host_graph as _whg
+        from repro.obs.metrics import MetricsRegistry
+        from repro.shard import (
+            GenerationStore,
+            HashRing,
+            MigrationCoordinator,
+        )
+
+        graph = _whg(num_hosts=3, host_size=8, seed=5)
+        store = GenerationStore(tmp_path / "store")
+        store.bootstrap(graph, shards=2, iterations=3, seed=0)
+        registry = MetricsRegistry()
+        report = MigrationCoordinator(
+            store, iterations=3, seed=0, registry=registry
+        ).migrate(HashRing(3, virtual_nodes=1), graph)
+        assert report.committed
+        _, samples = assert_conformant(registry.to_prometheus())
+        states = {
+            s[1]["phase"]: s[2] for s in samples
+            if s[0] == "repro_migration_state"
+        }
+        assert states["done"] == 1
+        assert sum(states.values()) == 1     # exactly one active phase
+        by_name = {n: v for n, l, v in samples if not l}
+        assert by_name["repro_migration_remapped_vertices"] > 0
+
+    def test_ring_epoch_gauge_tracks_client_refresh(self):
+        from repro.serve import ClusterClient
+
+        client = ClusterClient([("127.0.0.1", 1)], epoch=2)
+        try:
+            _, samples = assert_conformant(
+                client.metrics.to_prometheus()
+            )
+            by_name = {n: v for n, l, v in samples if not l}
+            assert by_name["repro_cluster_ring_epoch"] == 2
+        finally:
+            client.shutdown()
+
+
 class TestIngestMetricsConformance:
     """The crash-safe ingest service's exposition: lag/segment gauges
     plus applied/replayed counters, refreshed at scrape time."""

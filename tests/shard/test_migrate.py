@@ -1,0 +1,409 @@
+"""Elastic re-sharding: planner properties, journal durability, and
+crash-safe coordinator resume/rollback (``repro.shard.migrate``).
+
+The planner's contract is checked against brute force with hypothesis:
+the remap set is exactly the per-key diff of the two rings' assignments,
+and an add-then-remove round trip plans nothing. The coordinator is
+killed at every journal step and must either resume forward to a
+committed generation or roll back all-or-nothing; a corrupted staged
+artifact must trigger the rollback path, never a cutover.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CorruptSummaryError
+from repro.graph.generators import web_host_graph
+from repro.graph.graph import Graph
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience import MigrationFault, MigrationFaultPlan
+from repro.shard import (
+    GenerationStore,
+    HashRing,
+    MigrationCoordinator,
+    MigrationJournal,
+    plan_migration,
+)
+from repro.shard.migrate import JOURNAL_STEPS, CoordinatorKilledError
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ----------------------------------------------------------------------
+# planner properties
+# ----------------------------------------------------------------------
+class TestPlanProperties:
+    @SETTINGS
+    @given(
+        old_shards=st.integers(min_value=1, max_value=6),
+        new_shards=st.integers(min_value=1, max_value=6),
+        virtual_nodes=st.integers(min_value=1, max_value=8),
+        num_nodes=st.integers(min_value=0, max_value=400),
+        seed=st.integers(min_value=0, max_value=3),
+    )
+    def test_remap_set_matches_bruteforce(
+        self, old_shards, new_shards, virtual_nodes, num_nodes, seed
+    ):
+        old = HashRing(old_shards, virtual_nodes=virtual_nodes, seed=seed)
+        new = HashRing(new_shards, virtual_nodes=virtual_nodes, seed=seed)
+        plan = plan_migration(old, new, num_nodes)
+
+        moved = {
+            key for key in range(num_nodes)
+            if old.shard_of(key) != new.shard_of(key)
+        }
+        assert set(plan.remapped.tolist()) == moved
+
+        donors = {old.shard_of(k) for k in moved}
+        receivers = {new.shard_of(k) for k in moved}
+        expect_rebuild = sorted((donors | receivers) & set(new.shards))
+        assert plan.rebuild_shards == expect_rebuild
+        assert sorted(plan.rebuild_shards + plan.reused_shards) == new.shards
+        assert plan.num_remapped == len(moved)
+
+    @SETTINGS
+    @given(
+        shards=st.integers(min_value=1, max_value=6),
+        virtual_nodes=st.integers(min_value=1, max_value=8),
+        num_nodes=st.integers(min_value=0, max_value=300),
+        extra=st.integers(min_value=100, max_value=104),
+    )
+    def test_add_then_remove_round_trip_is_empty(
+        self, shards, virtual_nodes, num_nodes, extra
+    ):
+        base = HashRing(shards, virtual_nodes=virtual_nodes)
+        ring = HashRing(base.shards, virtual_nodes=virtual_nodes)
+        ring.add_shard(extra)
+        ring.remove_shard(extra)
+        plan = plan_migration(base, ring, num_nodes)
+        assert plan.is_empty
+        assert plan.num_remapped == 0
+        assert plan.rebuild_shards == []
+        assert plan.reused_shards == base.shards
+
+    def test_same_ring_plans_nothing(self):
+        ring = HashRing(3, virtual_nodes=4)
+        plan = plan_migration(ring, ring, 1000)
+        assert plan.is_empty and plan.fraction_remapped == 0.0
+
+    def test_graph_partition_counts_affected_cut_edges(self):
+        graph = Graph.from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        old = HashRing(2, virtual_nodes=1)
+        new = HashRing(3, virtual_nodes=1)
+        plan = plan_migration(old, new, graph)
+        moved = set(plan.remapped.tolist())
+        expect = sum(
+            1 for u, v in graph.edges() if u in moved or v in moved
+        )
+        assert plan.affected_cut_edges == expect
+
+    def test_single_virtual_node_expansion_is_minimal(self):
+        # The acceptance-criterion property: with one ring point per
+        # shard, adding a shard splits exactly one arc, so a 2 -> 3
+        # expansion rebuilds strictly fewer shards than from scratch.
+        old = HashRing(2, virtual_nodes=1)
+        new = HashRing(3, virtual_nodes=1)
+        plan = plan_migration(old, new, 10_000)
+        assert len(plan.rebuild_shards) < len(new.shards)
+        assert plan.reused_shards
+
+
+# ----------------------------------------------------------------------
+# journal durability
+# ----------------------------------------------------------------------
+class TestJournal:
+    def _journal(self):
+        return MigrationJournal(
+            step="build",
+            old_generation="gen-000000",
+            new_generation="gen-000001",
+            old_ring=HashRing(2, virtual_nodes=1).to_dict(),
+            new_ring=HashRing(3, virtual_nodes=1).to_dict(),
+            num_remapped=7,
+            rebuild_shards=[1, 2],
+            reused_shards=[0],
+        )
+
+    def test_round_trip(self, tmp_path):
+        store = GenerationStore(tmp_path / "store")
+        journal = self._journal()
+        store.write_journal(journal)
+        back = store.read_journal()
+        assert back == journal
+        assert back.active
+
+    def test_missing_journal_reads_none(self, tmp_path):
+        assert GenerationStore(tmp_path / "store").read_journal() is None
+
+    def test_crc_mismatch_rejected(self, tmp_path):
+        store = GenerationStore(tmp_path / "store")
+        store.write_journal(self._journal())
+        with open(store.journal_path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        doc["journal"]["step"] = "commit"   # tampered payload, stale CRC
+        with open(store.journal_path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+        with pytest.raises(CorruptSummaryError):
+            store.read_journal()
+
+    def test_missing_crc_envelope_rejected(self, tmp_path):
+        store = GenerationStore(tmp_path / "store")
+        with open(store.journal_path, "w", encoding="utf-8") as fh:
+            json.dump({"journal": self._journal().to_dict()}, fh)
+        with pytest.raises(CorruptSummaryError):
+            store.read_journal()
+
+
+# ----------------------------------------------------------------------
+# generation store
+# ----------------------------------------------------------------------
+class TestGenerationStore:
+    def test_bootstrap_and_current(self, tmp_path):
+        graph = web_host_graph(num_hosts=3, host_size=8, seed=1)
+        store = GenerationStore(tmp_path / "store")
+        manifest = store.bootstrap(graph, shards=2, iterations=4)
+        assert store.current() == "gen-000000"
+        assert manifest.ring == HashRing(2, virtual_nodes=1)
+        assert manifest.has_locals
+        with pytest.raises(RuntimeError):
+            store.bootstrap(graph, shards=2, iterations=4)
+
+    def test_refuses_to_remove_serving_generation(self, tmp_path):
+        graph = web_host_graph(num_hosts=2, host_size=6, seed=1)
+        store = GenerationStore(tmp_path / "store")
+        store.bootstrap(graph, shards=2, iterations=3)
+        with pytest.raises(ValueError):
+            store.remove_generation("gen-000000")
+
+    def test_set_current_requires_manifest(self, tmp_path):
+        store = GenerationStore(tmp_path / "store")
+        with pytest.raises(ValueError):
+            store.set_current("gen-000042")
+
+
+# ----------------------------------------------------------------------
+# coordinator: crash safety
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def graph():
+    return web_host_graph(num_hosts=4, host_size=10, seed=7)
+
+
+@pytest.fixture()
+def store(tmp_path, graph):
+    store = GenerationStore(tmp_path / "store")
+    store.bootstrap(graph, shards=2, iterations=4, seed=0)
+    return store
+
+
+def _coordinator(store, **kwargs):
+    kwargs.setdefault("iterations", 4)
+    kwargs.setdefault("registry", MetricsRegistry())
+    return MigrationCoordinator(store, **kwargs)
+
+
+class TestCoordinator:
+    def test_expand_commits_and_reuses_untouched_shards(self, store, graph):
+        report = _coordinator(store).migrate(
+            HashRing(3, virtual_nodes=1), graph
+        )
+        assert report.committed and not report.rolled_back
+        assert store.current() == "gen-000001"
+        # Strictly fewer artifacts rebuilt than a from-scratch run.
+        assert len(report.resummarized_shards) < 3
+        assert report.reused_shards
+        manifest = store.current_manifest()
+        assert manifest.ring == HashRing(3, virtual_nodes=1)
+        journal = store.read_journal()
+        assert journal.step == "done" and not journal.active
+
+    def test_shrink_commits(self, store, graph):
+        coordinator = _coordinator(store)
+        report = coordinator.migrate(HashRing(3, virtual_nodes=1), graph)
+        assert report.committed
+        report = coordinator.migrate(HashRing(2, virtual_nodes=1), graph)
+        assert report.committed
+        assert store.current_manifest().ring == HashRing(2, virtual_nodes=1)
+
+    def test_noop_migration_short_circuits(self, store, graph):
+        report = _coordinator(store).migrate(
+            HashRing(2, virtual_nodes=1), graph
+        )
+        assert report.committed and report.plan.is_empty
+        assert store.current() == "gen-000000"
+        assert store.read_journal() is None
+
+    def test_migrate_refuses_concurrent_migration(self, store, graph):
+        with pytest.raises(CoordinatorKilledError):
+            _coordinator(
+                store,
+                on_step=MigrationFaultPlan(
+                    [MigrationFault(step="build")]
+                ).on_step,
+            ).migrate(HashRing(3, virtual_nodes=1), graph)
+        with pytest.raises(RuntimeError, match="already in progress"):
+            _coordinator(store).migrate(HashRing(3, virtual_nodes=1), graph)
+
+    @pytest.mark.parametrize("step", JOURNAL_STEPS)
+    def test_kill_at_every_step_then_resume_commits(
+        self, tmp_path, graph, step
+    ):
+        store = GenerationStore(tmp_path / f"store-{step}")
+        store.bootstrap(graph, shards=2, iterations=4, seed=0)
+        plan = MigrationFaultPlan([MigrationFault(step=step)])
+        with pytest.raises(CoordinatorKilledError):
+            _coordinator(store, on_step=plan.on_step).migrate(
+                HashRing(3, virtual_nodes=1), graph
+            )
+        assert plan.exhausted
+        journal = store.read_journal()
+        assert journal.step == step
+
+        # A fresh coordinator (new process, same journal) finishes it.
+        report = _coordinator(store).resume(graph)
+        assert report.committed and not report.rolled_back
+        assert store.current() == "gen-000001"
+        assert store.read_journal().step == "done"
+        store.current_manifest(verify=True)   # artifacts intact
+
+    def test_resume_verifies_artifacts_and_rebuilds_torn_ones(
+        self, store, graph
+    ):
+        with pytest.raises(CoordinatorKilledError):
+            _coordinator(
+                store,
+                on_step=MigrationFaultPlan(
+                    [MigrationFault(step="built")]
+                ).on_step,
+            ).migrate(HashRing(3, virtual_nodes=1), graph)
+        # Damage one freshly built artifact; resume must notice via the
+        # CRC check, fall back to "build", and still commit.
+        from repro.resilience import flip_bit
+        from repro.resilience.faults import _corruption_target
+
+        flip_bit(_corruption_target(store.path("gen-000001")))
+        report = _coordinator(store).resume(graph)
+        assert report.committed
+        store.current_manifest(verify=True)
+
+    def test_corrupt_staged_artifact_rolls_back(self, store, graph):
+        registry = MetricsRegistry()
+        plan = MigrationFaultPlan([
+            MigrationFault(
+                step="prepare",
+                action="corrupt",
+                path=store.path("gen-000001"),
+            ),
+        ])
+        report = _coordinator(
+            store, on_step=plan.on_step, registry=registry
+        ).migrate(HashRing(3, virtual_nodes=1), graph)
+        assert report.rolled_back and not report.committed
+        assert "gen-000001" in report.error or report.error
+        # All-or-nothing: old generation serving, staged one removed.
+        assert store.current() == "gen-000000"
+        assert store.generations() == ["gen-000000"]
+        journal = store.read_journal()
+        assert journal.step == "aborted" and journal.error
+        assert registry.counter("migration_rollback_total") == 1
+
+    def test_abort_rolls_back_in_flight_migration(self, store, graph):
+        with pytest.raises(CoordinatorKilledError):
+            _coordinator(
+                store,
+                on_step=MigrationFaultPlan(
+                    [MigrationFault(step="build")]
+                ).on_step,
+            ).migrate(HashRing(3, virtual_nodes=1), graph)
+        report = _coordinator(store).abort()
+        assert report.rolled_back
+        assert store.current() == "gen-000000"
+        assert store.read_journal().step == "aborted"
+        # Aborted journal is terminal: nothing to abort or resume-run.
+        with pytest.raises(RuntimeError):
+            _coordinator(store).abort()
+        resumed = _coordinator(store).resume(graph)
+        assert resumed.rolled_back and not resumed.committed
+
+    def test_committed_summary_matches_from_scratch(self, store, graph):
+        # The reuse path must be invisible in the output: querying the
+        # migrated generation gives the same answers as the graph.
+        from repro.queries.compiled import CompiledSummaryIndex
+
+        report = _coordinator(store).migrate(
+            HashRing(3, virtual_nodes=1), graph
+        )
+        assert report.committed
+        index = CompiledSummaryIndex(store.current_manifest().load_global())
+        for v in range(0, graph.num_nodes, 7):
+            assert index.neighbors(v) == sorted(graph.neighbors(v).tolist())
+
+    def test_metrics_rows_zero_registered(self, tmp_path):
+        registry = MetricsRegistry()
+        MigrationCoordinator(GenerationStore(tmp_path / "store"),
+                             registry=registry)
+        from repro.shard.migrate import MIGRATION_PHASES
+
+        for phase in MIGRATION_PHASES:
+            assert registry.gauge(
+                "migration_state", labels={"phase": phase}
+            ) == 0
+        assert registry.gauge("migration_remapped_vertices") == 0
+        assert registry.counter("migration_rollback_total") == 0
+
+
+# ----------------------------------------------------------------------
+# CLI round trip (storage-only, real argv path)
+# ----------------------------------------------------------------------
+class TestMigrateCli:
+    def test_init_kill_resume_round_trip(self, tmp_path, graph, capsys):
+        from repro.cli import main
+        from repro.graph.io import save_graph
+
+        graph_path = tmp_path / "graph.txt"
+        save_graph(graph, str(graph_path))
+        store_root = str(tmp_path / "store")
+        base = ["migrate", store_root, "--graph", str(graph_path),
+                "--iterations", "3"]
+
+        assert main(base + ["--init", "--shards", "2"]) == 0
+        assert main(base + ["--shards", "3", "--plan-only"]) == 0
+        plan_line = capsys.readouterr().out.strip().splitlines()[-1]
+        assert plan_line.startswith("plan:")
+        plan = json.loads(plan_line.split("plan:", 1)[1])
+        assert len(plan["rebuild_shards"]) < 3
+
+        assert main(base + ["--shards", "3",
+                            "--kill-at-step", "prepare"]) == 3
+        store = GenerationStore(store_root)
+        assert store.read_journal().step == "prepare"
+
+        assert main(base + ["--resume"]) == 0
+        assert store.current() == "gen-000001"
+        assert store.read_journal().step == "done"
+
+    def test_abort_via_cli(self, tmp_path, graph):
+        from repro.cli import main
+        from repro.graph.io import save_graph
+
+        graph_path = tmp_path / "graph.txt"
+        save_graph(graph, str(graph_path))
+        store_root = str(tmp_path / "store")
+        base = ["migrate", store_root, "--graph", str(graph_path),
+                "--iterations", "3"]
+        assert main(base + ["--init", "--shards", "2"]) == 0
+        assert main(base + ["--shards", "3",
+                            "--kill-at-step", "build"]) == 3
+        assert main(["migrate", store_root, "--abort"]) == 0
+        store = GenerationStore(store_root)
+        assert store.current() == "gen-000000"
+        assert store.read_journal().step == "aborted"
